@@ -1,0 +1,68 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation disables one checker capability and re-runs a workload
+that depends on it.  The interesting readout is the *vectorized* time:
+with the capability disabled the "vectorized" program degenerates to
+the original loop, so the pair quantifies what each mechanism buys.
+
+* pattern database off  → diagonal/dot/broadcast workloads stay loops;
+* transpose insertion off → the §2.2 example stays a loop;
+* reductions off        → Menon-style accumulations stay loops;
+* product regrouping off → the quadruple nest stays a loop.
+"""
+
+import pytest
+
+from repro import vectorize_source
+from repro.mlang.parser import parse
+from repro.runtime.interp import Interpreter
+from repro.vectorizer.checker import CheckOptions
+from repro.bench.workloads import WORKLOADS
+
+from conftest import ROUNDS, copy_env
+
+CASES = [
+    ("diagonal-scale", "patterns", CheckOptions(patterns=False)),
+    ("dot-products", "patterns", CheckOptions(patterns=False)),
+    ("transpose-add", "transposes", CheckOptions(transposes=False)),
+    ("matvec", "reductions", CheckOptions(reductions=False)),
+    ("quad-nest", "regroup", CheckOptions(product_regroup=False)),
+    ("power-series", "promotion", CheckOptions(promotion=False)),
+]
+
+
+@pytest.fixture(scope="module", params=CASES,
+                ids=[f"{w}-sans-{f}" for w, f, _ in CASES])
+def ablation_case(request):
+    name, feature, options = request.param
+    workload = WORKLOADS[name]
+    source = workload.source()
+    env = workload.env(scale="default")
+
+    full = vectorize_source(source)
+    ablated = vectorize_source(source, options=options)
+    # The ablated feature must actually matter for this workload:
+    assert "for " not in full.source
+    assert "for " in ablated.source
+    return name, feature, parse(full.source), ablated.program, env
+
+
+def _timer(program, env):
+    def run():
+        return Interpreter(seed=0).run(program, env=copy_env(env))
+
+    return run
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_ablation_full(benchmark, ablation_case):
+    name, feature, full, _, env = ablation_case
+    benchmark.group = f"ablation-{name}-sans-{feature}"
+    benchmark.pedantic(_timer(full, env), rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.benchmark(group="ablation")
+def bench_ablation_disabled(benchmark, ablation_case):
+    name, feature, _, ablated, env = ablation_case
+    benchmark.group = f"ablation-{name}-sans-{feature}"
+    benchmark.pedantic(_timer(ablated, env), rounds=ROUNDS, iterations=1)

@@ -1,0 +1,44 @@
+"""§5 corpus sweep — "the dimensional analysis approach was capable of
+vectorizing all the inputs for which it was applicable."
+
+Benchmarks the remaining corpus programs (those not already covered by
+the per-figure benchmarks): simple pointwise loops, transposition,
+reductions, comparisons, and the deliberately non-vectorizable
+recurrence (where both sides run the same loop — speedup ≈ 1).
+"""
+
+import pytest
+
+from conftest import Prepared, run_pair
+
+PAIRS = [
+    "scale-shift",
+    "saxpy",
+    "row-col-add",
+    "transpose-add",
+    "running-sum",
+    "matvec",
+    "threshold",
+    "normalize-rows",
+    "outer-product",
+    "power-series",
+    "mixed",
+    "recurrence",
+]
+
+
+@pytest.fixture(scope="module", params=PAIRS)
+def corpus_case(request):
+    return Prepared(request.param, scale="default")
+
+
+@pytest.mark.benchmark(group="corpus")
+def bench_corpus_loop(benchmark, corpus_case):
+    benchmark.group = f"corpus-{corpus_case.workload.name}"
+    run_pair(benchmark, corpus_case, "loop")
+
+
+@pytest.mark.benchmark(group="corpus")
+def bench_corpus_vectorized(benchmark, corpus_case):
+    benchmark.group = f"corpus-{corpus_case.workload.name}"
+    run_pair(benchmark, corpus_case, "vectorized")

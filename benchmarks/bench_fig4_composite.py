@@ -1,0 +1,29 @@
+"""Figure 4 — the composite example (≈50× in the paper: 25 s → 0.5 s).
+
+The program combines several transformations in one imperfect nest:
+diagonal accesses, a dot-product pattern, loop normalization of strided
+ranges (2:2:1500), native matrix multiplication, a transposed read, and
+a repmat broadcast.  Matrices are scaled from 1500² to 32² for the
+tree-walker baseline; both statements must still vectorize fully.
+"""
+
+import pytest
+
+from conftest import Prepared, run_pair
+
+
+@pytest.fixture(scope="module")
+def composite():
+    prepared = Prepared("composite", scale="default")
+    assert "for " not in prepared.result.source
+    return prepared
+
+
+@pytest.mark.benchmark(group="fig4-composite")
+def bench_composite_loop(benchmark, composite):
+    run_pair(benchmark, composite, "loop")
+
+
+@pytest.mark.benchmark(group="fig4-composite")
+def bench_composite_vectorized(benchmark, composite):
+    run_pair(benchmark, composite, "vectorized")

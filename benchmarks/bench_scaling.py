@@ -1,0 +1,62 @@
+"""Scaling sweep — §5: "The speedup is dependent on the chosen problem
+size, but these results indicate the significant speedup possible on
+large problems or deeply nested loops."
+
+Benchmarks histogram equalization at growing image sizes and the
+quadruple nest at growing n; the loop time should grow with the
+iteration count while the vectorized time stays near-flat, so the
+speedup ratio widens — the claim's shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro import vectorize_source
+from repro.mlang.parser import parse
+from repro.runtime.interp import Interpreter
+from repro.bench.workloads import WORKLOADS
+
+from conftest import copy_env
+
+HISTEQ_SIZES = [(20, 15), (40, 30), (80, 60)]
+QUAD_SIZES = [4, 8, 12]
+
+
+def _runner(program, env):
+    return lambda: Interpreter(seed=0).run(program, env=copy_env(env))
+
+
+@pytest.fixture(scope="module")
+def histeq_programs():
+    source = WORKLOADS["histeq"].source()
+    return parse(source), vectorize_source(source).program
+
+
+@pytest.mark.benchmark(group="scaling-histeq")
+@pytest.mark.parametrize("size", HISTEQ_SIZES,
+                         ids=[f"{r}x{c}" for r, c in HISTEQ_SIZES])
+@pytest.mark.parametrize("which", ["loop", "vectorized"])
+def bench_histeq_scaling(benchmark, histeq_programs, size, which):
+    rows, cols = size
+    benchmark.group = f"scaling-histeq-{rows}x{cols}"
+    rng = np.random.default_rng(2)
+    env = {"im": np.asfortranarray(np.floor(rng.random((rows, cols)) * 256))}
+    program = histeq_programs[0] if which == "loop" else histeq_programs[1]
+    benchmark.pedantic(_runner(program, env), rounds=2, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def quad_programs():
+    source = WORKLOADS["quad-nest"].source()
+    return parse(source), vectorize_source(source).program
+
+
+@pytest.mark.benchmark(group="scaling-quad-nest")
+@pytest.mark.parametrize("n", QUAD_SIZES, ids=[f"n={n}" for n in QUAD_SIZES])
+@pytest.mark.parametrize("which", ["loop", "vectorized"])
+def bench_quad_nest_scaling(benchmark, quad_programs, n, which):
+    benchmark.group = f"scaling-quad-nest-n{n}"
+    env = WORKLOADS["quad-nest"].make_env(
+        {"n": n}, np.random.default_rng(3))
+    program = quad_programs[0] if which == "loop" else quad_programs[1]
+    benchmark.pedantic(_runner(program, env), rounds=2, iterations=1)

@@ -1,0 +1,56 @@
+"""Table 2 — the three pattern-database transformations, timed.
+
+The paper's Table 2 gives the loop and vector code; these benchmarks
+measure each pair to confirm the transformations pay off: dot-product
+rows, repmat column broadcast, and diagonal access via column-major
+linear indexing.
+"""
+
+import pytest
+
+from conftest import Prepared, run_pair
+
+
+@pytest.fixture(scope="module")
+def dot_products():
+    return Prepared("dot-products", scale="default")
+
+
+@pytest.fixture(scope="module")
+def column_broadcast():
+    return Prepared("column-broadcast", scale="default")
+
+
+@pytest.fixture(scope="module")
+def diagonal_scale():
+    return Prepared("diagonal-scale", scale="default")
+
+
+@pytest.mark.benchmark(group="table2-pattern1-dot")
+def bench_dot_loop(benchmark, dot_products):
+    run_pair(benchmark, dot_products, "loop")
+
+
+@pytest.mark.benchmark(group="table2-pattern1-dot")
+def bench_dot_vectorized(benchmark, dot_products):
+    run_pair(benchmark, dot_products, "vectorized")
+
+
+@pytest.mark.benchmark(group="table2-pattern2-repmat")
+def bench_broadcast_loop(benchmark, column_broadcast):
+    run_pair(benchmark, column_broadcast, "loop")
+
+
+@pytest.mark.benchmark(group="table2-pattern2-repmat")
+def bench_broadcast_vectorized(benchmark, column_broadcast):
+    run_pair(benchmark, column_broadcast, "vectorized")
+
+
+@pytest.mark.benchmark(group="table2-pattern3-diagonal")
+def bench_diagonal_loop(benchmark, diagonal_scale):
+    run_pair(benchmark, diagonal_scale, "loop")
+
+
+@pytest.mark.benchmark(group="table2-pattern3-diagonal")
+def bench_diagonal_vectorized(benchmark, diagonal_scale):
+    run_pair(benchmark, diagonal_scale, "vectorized")

@@ -1,0 +1,64 @@
+"""Extension benchmark — the MATLAB → NumPy transpiler.
+
+Three execution modes of the same workload:
+
+1. loop program, tree-walking interpreter (the MATLAB-analog baseline);
+2. loop program, compiled to Python (interpretive dispatch removed);
+3. *vectorized* program, compiled to Python (the full pipeline:
+   dimension-abstraction vectorizer + NumPy backend).
+
+The expected shape: 2 beats 1 by a constant factor; 3 beats both and
+scales with problem size.
+"""
+
+import pytest
+
+from repro import vectorize_source
+from repro.mlang.parser import parse
+from repro.runtime.interp import Interpreter
+from repro.translate.numpy_backend import compile_source
+from repro.bench.workloads import WORKLOADS
+
+from conftest import ROUNDS, copy_env
+
+CASES = ["histeq", "matvec", "quad-nest"]
+
+
+@pytest.fixture(scope="module", params=CASES)
+def translate_case(request):
+    workload = WORKLOADS[request.param]
+    source = workload.source()
+    env = workload.env(scale="default")
+    vectorized = vectorize_source(source).source
+    return (
+        request.param,
+        parse(source),
+        compile_source(source, extra_variables=env.keys()),
+        compile_source(vectorized, extra_variables=env.keys()),
+        env,
+    )
+
+
+@pytest.mark.benchmark(group="translate")
+def bench_loop_interpreted(benchmark, translate_case):
+    name, program, _, _, env = translate_case
+    benchmark.group = f"translate-{name}"
+    benchmark.pedantic(
+        lambda: Interpreter(seed=0).run(program, env=copy_env(env)),
+        rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.benchmark(group="translate")
+def bench_loop_compiled(benchmark, translate_case):
+    name, _, compiled_loop, _, env = translate_case
+    benchmark.group = f"translate-{name}"
+    benchmark.pedantic(lambda: compiled_loop(env=copy_env(env), seed=0),
+                       rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.benchmark(group="translate")
+def bench_vectorized_compiled(benchmark, translate_case):
+    name, _, _, compiled_vect, env = translate_case
+    benchmark.group = f"translate-{name}"
+    benchmark.pedantic(lambda: compiled_vect(env=copy_env(env), seed=0),
+                       rounds=ROUNDS, iterations=1)

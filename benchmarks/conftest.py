@@ -1,0 +1,113 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark follows the paper's protocol (§5): run the original
+loop program and the automatically vectorized program on identical
+inputs under the same MATLAB runtime, after verifying the outputs
+match.  ``benchmark.pedantic`` with a few rounds keeps total wall time
+reasonable (the baseline interpreter is a Python tree walker, much
+slower than MATLAB's C interpreter — see EXPERIMENTS.md for the
+scaling discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import vectorize_source
+from repro.mlang.ast_nodes import Assign, For, Program
+from repro.mlang.parser import parse
+from repro.runtime.interp import Interpreter
+from repro.runtime.values import values_equal
+from repro.bench.workloads import WORKLOADS
+
+ROUNDS = 3
+
+
+def copy_env(env: dict) -> dict:
+    return {k: (v.copy(order="F") if isinstance(v, np.ndarray) else v)
+            for k, v in env.items()}
+
+
+class Prepared:
+    """A workload prepared for benchmarking: parsed programs + inputs."""
+
+    def __init__(self, name: str, scale: str = "default", seed: int = 12345):
+        self.workload = WORKLOADS[name]
+        self.source = self.workload.source()
+        self.result = vectorize_source(self.source)
+        self.original = parse(self.source)
+        self.vectorized = self.result.program
+        self.env = self.workload.env(scale=scale, seed=seed)
+        self._verify()
+
+    def _verify(self) -> None:
+        base = Interpreter(seed=0).run(self.original, env=copy_env(self.env))
+        vect = Interpreter(seed=0).run(self.vectorized,
+                                       env=copy_env(self.env))
+        for output in self.workload.outputs:
+            assert values_equal(base[output], vect[output]), (
+                f"{self.workload.name}: outputs diverge — benchmark void")
+
+    def run_original(self):
+        return Interpreter(seed=0).run(self.original,
+                                       env=copy_env(self.env))
+
+    def run_vectorized(self):
+        return Interpreter(seed=0).run(self.vectorized,
+                                       env=copy_env(self.env))
+
+    # -- loop-only variants (Figure 3 reports both whole-program and
+    # loop-only timings) ---------------------------------------------------
+
+    def loop_only_pair(self):
+        """(run_original_loops, run_vectorized_stmts) with the preamble
+        pre-executed into the environment."""
+        pre_orig, body_orig = _split_program(self.original)
+        pre_vect, body_vect = _split_program(self.vectorized)
+        env_orig = Interpreter(seed=0).run(Program(pre_orig),
+                                           env=copy_env(self.env))
+        env_vect = Interpreter(seed=0).run(Program(pre_vect),
+                                           env=copy_env(self.env))
+
+        def run_orig():
+            return Interpreter(seed=0).run(Program(body_orig),
+                                           env=copy_env(env_orig))
+
+        def run_vect():
+            return Interpreter(seed=0).run(Program(body_vect),
+                                           env=copy_env(env_vect))
+
+        return run_orig, run_vect
+
+
+def _split_program(program: Program):
+    """Split a program at the first loop (or first vectorized statement
+    that replaced a loop): everything before is preamble."""
+    body = [s for s in program.body]
+    for k, stmt in enumerate(body):
+        if isinstance(stmt, For):
+            return body[:k], body[k:]
+    # Fully vectorized program: the statements that replaced the loops
+    # are the trailing ones; the preamble is everything before them.
+    return body[:-1], body[-1:]
+
+
+@pytest.fixture(scope="module")
+def prepared_cache():
+    cache: dict = {}
+
+    def get(name: str, scale: str = "default") -> Prepared:
+        key = (name, scale)
+        if key not in cache:
+            cache[key] = Prepared(name, scale=scale)
+        return cache[key]
+
+    return get
+
+
+def run_pair(benchmark, prepared: Prepared, which: str):
+    """Run one side of a loop/vectorized pair under pytest-benchmark."""
+    target = (prepared.run_original if which == "loop"
+              else prepared.run_vectorized)
+    benchmark.pedantic(target, rounds=ROUNDS, iterations=1)

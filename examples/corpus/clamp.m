@@ -1,0 +1,5 @@
+% Clamp values into [lo, hi] using pointwise min/max builtins.
+%! x(*,1) y(*,1) lo(1) hi(1) n(1)
+for i=1:n
+  y(i) = min(max(x(i), lo), hi);
+end

@@ -1,0 +1,7 @@
+% Table 2 pattern 2: column vector broadcast across a matrix.
+%! A(*,*) B(*,*) C(*,1) m(1) n(1)
+for i=1:m
+  for j=1:n
+    A(i,j) = B(i,j) + C(i);
+  end
+end

@@ -1,0 +1,6 @@
+% Column scaling: each column multiplied by a per-column factor
+% (the scale-broadcast pattern over a data extent).
+%! A(*,*) B(*,*) c(*,1) n(1)
+for j=1:n
+  A(:,j) = B(:,j)*c(j);
+end

@@ -1,0 +1,9 @@
+% Figure 4 (scaled): diagonal accesses, dot products, matmul, repmat.
+%! A(*,*) B(*,*) C(*,*) D(*,*) a(1,*) ind(1,*)
+ind=1:15;
+for i=2:2:30,
+  B(i,1)=D(i,i)*A(i,i)+C(i,:)*D(:,i);
+  for j=3:2:31,
+    A(i,j)=B(i,ind)*C(ind,j)+D(j,i)'-a(2*i-1);
+  end
+end

@@ -1,0 +1,12 @@
+% 3x3 convolution (valid region): the pixel loops vectorize, the small
+% kernel loops stay sequential around one accumulating array statement.
+%! im(*,*) out(*,*) k(*,*)
+for di=1:3
+  for dj=1:3
+    for i=1:size(im,1)-2
+      for j=1:size(im,2)-2
+        out(i,j) = out(i,j) + im(i+di-1, j+dj-1)*k(di,dj);
+      end
+    end
+  end
+end

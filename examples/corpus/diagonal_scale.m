@@ -1,0 +1,5 @@
+% Table 2 pattern 3: diagonal access via column-major linear indexing.
+%! a(1,*) A(*,*) b(1,*) n(1)
+for i=1:n
+  a(i) = A(i,i)*b(i);
+end

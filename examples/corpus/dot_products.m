@@ -1,0 +1,5 @@
+% Table 2 pattern 1: per-row dot products.
+%! a(1,*) X(*,*) Y(*,*) n(1)
+for i=1:n
+  a(i) = X(i,:)*Y(:,i);
+end

@@ -1,0 +1,8 @@
+% FIR filter (1-D convolution): tap loop sequential, signal loop
+% vectorized into one accumulating shifted-slice statement per tap.
+%! x(*,1) y(*,1) h(*,1) taps(1)
+for k=1:taps
+  for i=1:size(x,1)-taps+1
+    y(i) = y(i) + h(k)*x(i+k-1);
+  end
+end

@@ -1,0 +1,9 @@
+% Figure 3: histogram equalization of an 8-bit image.
+%! im(*,*) im2(*,*) heq(1,*) h(1,*)
+h=hist(im(:),0:255);
+heq=255*cumsum(h(:))/sum(h(:));
+for i=1:size(im,1),
+  for j=1:size(im,2),
+    im2(i,j)=heq(im(i,j)+1);
+  end
+end

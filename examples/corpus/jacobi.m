@@ -1,0 +1,11 @@
+% Jacobi relaxation: the time loop carries a true dependence and stays
+% sequential; the interior-point double loop vectorizes each sweep.
+%! U(*,*) Uold(*,*) steps(1)
+for t=1:steps
+  Uold = U;
+  for i=2:size(U,1)-1
+    for j=2:size(U,2)-1
+      U(i,j) = 0.25*(Uold(i-1,j)+Uold(i+1,j)+Uold(i,j-1)+Uold(i,j+1));
+    end
+  end
+end

@@ -1,0 +1,7 @@
+% Matrix-vector product written as a double loop (reduction via matmul).
+%! y(*,1) A(*,*) x(*,1) n(1) m(1)
+for i=1:n
+  for k=1:m
+    y(i) = y(i) + A(i,k)*x(k);
+  end
+end

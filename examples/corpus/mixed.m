@@ -1,0 +1,7 @@
+% Mixed loop: one statement vectorizes, the recurrence stays.
+%! a(1,*) b(1,*) x(1,*) n(1)
+a(1) = 0;
+for i=2:n
+  a(i) = a(i-1) + 1;
+  b(i) = x(i)*3;
+end

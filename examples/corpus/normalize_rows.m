@@ -1,0 +1,7 @@
+% Scale each row of a matrix by a per-row factor (broadcast pattern).
+%! A(*,*) B(*,*) w(*,1) m(1) n(1)
+for i=1:m
+  for j=1:n
+    B(i,j) = A(i,j) .* w(i);
+  end
+end

@@ -1,0 +1,7 @@
+% Outer product accumulation written elementwise.
+%! P(*,*) u(*,1) v(1,*) m(1) n(1)
+for i=1:m
+  for j=1:n
+    P(i,j) = u(i)*v(j);
+  end
+end

@@ -1,0 +1,5 @@
+% Pointwise math functions and powers.
+%! x(*,1) y(*,1) n(1)
+for i=1:n
+  y(i) = exp(-x(i)^2/2) + cos(x(i))*0.25;
+end

@@ -1,0 +1,11 @@
+% Menon & Pingali example 3: quadruple nest collapsing to matrix algebra.
+%! y(*,1) x(*,1) A(*,*) B(*,*) C(*,*) n(1)
+for i=1:n,
+  for j=1:n,
+    for k=1:n,
+      for l=1:n
+        y(i)=y(i)+x(j)*A(i,k)*B(l,k)*C(l,j);
+      end
+    end
+  end
+end

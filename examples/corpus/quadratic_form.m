@@ -1,0 +1,7 @@
+% Menon & Pingali example 2: phi(k) += x'*A*f.
+%! phi(*,1) a(*,*) x_se(*,1) f(*,1) k(1) N(1)
+for i=1:N,
+  for j=1:N
+    phi(k)=phi(k)+a(i,j)*x_se(i)*f(j);
+  end
+end

@@ -1,0 +1,6 @@
+% First-order recurrence: must stay sequential (loop-carried flow dep).
+%! a(1,*) n(1)
+a(1) = 1;
+for i=2:n
+  a(i) = a(i-1)*1.1 + 1;
+end

@@ -1,0 +1,5 @@
+% Row vector added to column vector elementwise (needs a transpose).
+%! x(*,1) y(1,*) z(*,1) n(1)
+for i=1:n
+  z(i) = x(i) + y(i);
+end

@@ -1,0 +1,6 @@
+% Scalar additive reduction.
+%! s(1) x(*,1) n(1)
+s = 0;
+for i=1:n
+  s = s + x(i)*x(i);
+end

@@ -1,0 +1,5 @@
+% SAXPY: z = a*x + y.
+%! x(*,1) y(*,1) z(*,1) a(1) n(1)
+for i=1:n
+  z(i) = a*x(i) + y(i);
+end

@@ -1,0 +1,5 @@
+% Pointwise scale-and-shift over a vector (simplest vectorizable loop).
+%! x(*,1) y(*,1) n(1)
+for i=1:n
+  y(i) = 2*x(i) + 1;
+end

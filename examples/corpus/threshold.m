@@ -1,0 +1,7 @@
+% Pointwise comparison: binarize an image against a threshold.
+%! im(*,*) bw(*,*) t(1)
+for i=1:size(im,1)
+  for j=1:size(im,2)
+    bw(i,j) = im(i,j) > t;
+  end
+end

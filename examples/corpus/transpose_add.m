@@ -1,0 +1,7 @@
+% Section 2.2's worked example: B accessed transposed.
+%! A(*,*) B(*,*) C(*,*) m(1) n(1)
+for i=1:m
+  for j=1:n
+    A(i,j) = B(j,i) + C(i,j);
+  end
+end

@@ -1,0 +1,7 @@
+% Menon & Pingali example 1: forward-substitution row update.
+%! X(*,*) L(*,*) i(1) p(1)
+for k=1:p,
+  for j=1:(i-1),
+    X(i,k)=X(i,k)-L(i,j)*X(j,k);
+  end
+end

@@ -1,0 +1,63 @@
+"""Figure 3 walkthrough: histogram equalization of an 8-bit image.
+
+The paper's motivating image-processing example: a double loop mapping
+every pixel through a lookup table collapses to a single array-indexing
+statement.  This script vectorizes the corpus program, verifies the
+two versions pixel-for-pixel, and times them at a few image sizes so
+you can watch the speedup grow with problem size.
+
+Run with::
+
+    python examples/histogram_equalization.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import vectorize_source
+from repro.bench.workloads import workload
+from repro.mlang.parser import parse
+from repro.runtime.interp import Interpreter
+from repro.runtime.values import as_array, values_equal
+
+
+def run(program, env):
+    workspace = {k: (v.copy(order="F") if isinstance(v, np.ndarray) else v)
+                 for k, v in env.items()}
+    start = time.perf_counter()
+    out = Interpreter(seed=0).run(program, env=workspace)
+    return out, time.perf_counter() - start
+
+
+def main() -> None:
+    histeq = workload("histeq")
+    source = histeq.source()
+    result = vectorize_source(source)
+
+    print("--- vectorized program -----------------------")
+    print(result.source.strip())
+    print()
+
+    original = parse(source)
+    vectorized = result.program
+
+    print(f"{'image':>10} {'loop (s)':>10} {'vectorized (s)':>15} "
+          f"{'speedup':>9}")
+    for rows, cols in [(20, 15), (40, 30), (80, 60), (120, 90)]:
+        rng = np.random.default_rng(1)
+        env = {"im": np.asfortranarray(
+            np.floor(rng.random((rows, cols)) * 256))}
+        loop_out, loop_time = run(original, env)
+        vect_out, vect_time = run(vectorized, env)
+        assert values_equal(loop_out["im2"], vect_out["im2"])
+        print(f"{rows}x{cols:<6} {loop_time:>10.4f} {vect_time:>15.5f} "
+              f"{loop_time / vect_time:>8.1f}x")
+
+    # Show a corner of the equalized image for the curious.
+    sample = as_array(vect_out["im2"])[:4, :6]
+    print("\nequalized image corner:\n", np.round(sample, 1))
+
+
+if __name__ == "__main__":
+    main()

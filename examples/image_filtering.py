@@ -1,0 +1,61 @@
+"""Image filtering scenario: convolution + thresholding.
+
+Two image-processing loops from the corpus, showing the vectorizer's
+behaviour on imperfectly vectorizable code:
+
+* ``convolution.m`` — a 3×3 convolution written as a quadruple loop.
+  The two pixel loops vectorize into one accumulating array statement;
+  the two (tiny) kernel loops stay sequential around it — exactly how a
+  performance-minded MATLAB programmer writes convolution by hand.
+* ``threshold.m`` — elementwise comparison against a threshold, which
+  collapses to a single comparison over the whole image.
+
+Run with::
+
+    python examples/image_filtering.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import vectorize_source
+from repro.bench.workloads import workload
+from repro.mlang.parser import parse
+from repro.runtime.interp import Interpreter
+from repro.runtime.values import values_equal
+
+
+def run_timed(program, env):
+    workspace = {k: (v.copy(order="F") if isinstance(v, np.ndarray) else v)
+                 for k, v in env.items()}
+    start = time.perf_counter()
+    out = Interpreter(seed=0).run(program, env=workspace)
+    return out, time.perf_counter() - start
+
+
+def demo(name: str) -> None:
+    w = workload(name)
+    source = w.source()
+    result = vectorize_source(source)
+    print("=" * 64)
+    print(f"{name}")
+    print("--- vectorized -------------------------------")
+    print(result.source.strip())
+
+    env = w.env(scale="default")
+    base, t_loop = run_timed(parse(source), env)
+    vect, t_vect = run_timed(result.program, env)
+    for output in w.outputs:
+        assert values_equal(base[output], vect[output])
+    print(f"--- loop {t_loop:.4f} s  |  vectorized {t_vect:.4f} s  "
+          f"({t_loop / t_vect:.0f}x), outputs match ✓\n")
+
+
+def main() -> None:
+    demo("convolution")
+    demo("threshold")
+
+
+if __name__ == "__main__":
+    main()

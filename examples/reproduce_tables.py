@@ -1,0 +1,99 @@
+"""Regenerate every table/figure of the paper's evaluation (§5).
+
+Prints, in the paper's row format:
+
+* Figure 3 — histogram equalization (whole-program and loop-only);
+* Figure 4 — the composite example;
+* Table 2  — the three pattern-database transformations;
+* Table 3  — the Menon & Pingali kernels;
+* the corpus sweep backing the "vectorized all applicable inputs" claim;
+* the ablation matrix for the design-choice benchmarks.
+
+Run with::
+
+    python examples/reproduce_tables.py [--scale default|tiny|paper]
+
+The default scale keeps the tree-walking baseline to a few seconds per
+workload; EXPERIMENTS.md records one full run and compares shapes with
+the paper's numbers.
+"""
+
+import argparse
+
+from repro.bench.harness import ABLATIONS, format_table, measure
+from repro.bench.workloads import WORKLOADS, workload
+
+
+def section(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="default",
+                        choices=["tiny", "default", "paper"])
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    def scale_for(w):
+        return args.scale if args.scale in w.scales else "default"
+
+    section("Figure 3 — histogram equalization")
+    m = measure(workload("histeq"), scale=scale_for(workload("histeq")),
+                repeats=args.repeats)
+    print(format_table([m]))
+    print("paper: 0.178 s → 0.114 s (~1.56x whole program; ~4.6x for the "
+          "loop portion — see benchmarks/bench_fig3_histeq.py)")
+
+    section("Figure 4 — composite example")
+    m = measure(workload("composite"), scale="default",
+                repeats=args.repeats)
+    print(format_table([m]))
+    print("paper: ~25 s → ~0.5 s (~50x) at 1500x1500")
+
+    section("Table 2 — pattern database")
+    rows = [measure(workload(name), scale=scale_for(workload(name)),
+                    repeats=args.repeats)
+            for name in ("dot-products", "column-broadcast",
+                         "diagonal-scale")]
+    print(format_table(rows))
+
+    section("Table 3 — Menon & Pingali examples")
+    rows = [measure(workload(name), scale=scale_for(workload(name)),
+                    repeats=args.repeats)
+            for name in ("triangular-update", "quadratic-form",
+                         "quad-nest")]
+    print(format_table(rows))
+    print("paper: ~17 (i=500,p=5000), ~14 (N=1000), ~5000 (n=40)")
+
+    section("Corpus sweep (§5 prose)")
+    rows = [measure(w, scale="tiny", repeats=1)
+            for w in WORKLOADS.values()]
+    print(format_table(rows))
+    vectorized = sum(1 for r in rows if r.fully_vectorized)
+    partial = sorted(r.name for r in rows if not r.fully_vectorized)
+    print(f"\nfully vectorized: {vectorized}/{len(rows)}; kept (partly) "
+          f"sequential by design: {', '.join(partial)}; "
+          f"all outputs equal: {all(r.outputs_equal for r in rows)}")
+
+    section("Ablations (design choices)")
+    cases = [("diagonal-scale", "no-patterns"),
+             ("transpose-add", "no-transposes"),
+             ("matvec", "no-reductions"),
+             ("quad-nest", "no-regroup"),
+             ("power-series", "no-promotion")]
+    print(f"{'workload':<20} {'ablation':<16} {'still vectorizes?':<18} "
+          f"{'speedup vs loop'}")
+    for name, variant in cases:
+        m = measure(workload(name), scale="tiny", repeats=1,
+                    options=ABLATIONS[variant])
+        print(f"{name:<20} {variant:<16} "
+              f"{'yes' if m.fully_vectorized else 'NO':<18} "
+              f"{m.speedup:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro — reproduction of *A Dimension Abstraction Approach to
+Vectorization in Matlab* (Birkbeck, Lévesque, Amaral; CGO 2007).
+
+The package provides:
+
+* a MATLAB front-end (:mod:`repro.mlang`): lexer, parser, AST, printer;
+* the dimension abstraction (:mod:`repro.dims`) — symbols ``1``, ``*``,
+  ``r_i`` and the Table-1 vectorized-dimensionality rules;
+* an extensible loop-pattern database (:mod:`repro.patterns`);
+* dependence analysis (:mod:`repro.depgraph`) and the extended
+  Allen & Kennedy ``codegen`` (:mod:`repro.vectorizer`);
+* a MATLAB interpreter over NumPy (:mod:`repro.runtime`) used to verify
+  and benchmark transformations;
+* a MATLAB → NumPy transpiler (:mod:`repro.translate`).
+
+Quickstart::
+
+    from repro import vectorize_source
+    result = vectorize_source('''
+        %! x(*,1) y(*,1) z(*,1) n(1)
+        for i=1:n
+          z(i) = x(i) + y(i);
+        end
+    ''')
+    print(result.source)   # z(1:n) = x(1:n)+y(1:n);
+"""
+
+from .dims.abstract import Dim, ONE, RSym, STAR  # noqa: F401
+from .dims.context import ShapeEnv  # noqa: F401
+from .errors import ReproError  # noqa: F401
+from .mlang.parser import parse, parse_expr, parse_stmt  # noqa: F401
+from .mlang.printer import to_source  # noqa: F401
+from .patterns.base import AccessPattern, BinopPattern, template  # noqa: F401
+from .patterns.builtin import default_database  # noqa: F401
+from .patterns.database import PatternDatabase  # noqa: F401
+from .vectorizer.checker import CheckOptions  # noqa: F401
+from .vectorizer.driver import (  # noqa: F401
+    Vectorizer,
+    VectorizeResult,
+    vectorize_source,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dim",
+    "ONE",
+    "STAR",
+    "RSym",
+    "ShapeEnv",
+    "ReproError",
+    "parse",
+    "parse_expr",
+    "parse_stmt",
+    "to_source",
+    "AccessPattern",
+    "BinopPattern",
+    "template",
+    "PatternDatabase",
+    "default_database",
+    "CheckOptions",
+    "Vectorizer",
+    "VectorizeResult",
+    "vectorize_source",
+    "run_source",
+    "interpret",
+]
+
+
+def run_source(source: str, env: dict | None = None, seed: int | None = None):
+    """Interpret MATLAB ``source`` and return the final workspace.
+
+    Thin wrapper re-exported from :mod:`repro.runtime.interp` (imported
+    lazily to keep the front-end importable without NumPy overhead).
+    """
+    from .runtime.interp import run_source as _run
+
+    return _run(source, env=env, seed=seed)
+
+
+def interpret(program, env: dict | None = None, seed: int | None = None):
+    """Interpret a parsed :class:`~repro.mlang.ast_nodes.Program`."""
+    from .runtime.interp import run_program as _run
+
+    return _run(program, env=env, seed=seed)

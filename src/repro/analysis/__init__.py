@@ -1,0 +1,3 @@
+"""Whole-program analyses: shape inference."""
+
+from .shapes import ShapeInference, infer_shapes  # noqa: F401

@@ -1,0 +1,135 @@
+"""Forward shape inference over the abstract dimension lattice.
+
+The paper assumes array shapes are known — supplied by ``%!``
+annotations produced by external tools [5, 18].  This pass is our
+substitute for those tools: a single forward walk that evaluates the
+abstract dimensionality of straight-line assignments (via the same
+Table-1 rules the vectorizer uses, restricted to zero active loops) and
+applies MATLAB's auto-creation behaviour to subscripted first writes
+(``a(i)=…`` creates a row, ``A(i,j)=…`` a matrix).
+
+Annotated names are *frozen*: inference never overrides them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..dims.abstract import STAR, Dim
+from ..dims.context import ShapeEnv
+from ..mlang.ast_nodes import (
+    Annotation,
+    Apply,
+    Assign,
+    Expr,
+    For,
+    Ident,
+    If,
+    MultiAssign,
+    Program,
+    Stmt,
+    While,
+)
+from ..mlang.annotations import parse_annotation
+from ..patterns.database import PatternDatabase
+from ..vectorizer.checker import CheckFailure, CheckOptions, DimChecker
+
+
+class ShapeInference:
+    """Single-pass forward shape inference for a whole program."""
+
+    def __init__(self, env: Optional[ShapeEnv] = None,
+                 frozen: Iterable[str] = ()):
+        self.env = env if env is not None else ShapeEnv()
+        self.frozen = set(frozen)
+
+    # -- public API -----------------------------------------------------
+
+    def run(self, program: Program) -> ShapeEnv:
+        self._stmts(program.body, loop_vars=set())
+        return self.env
+
+    def expr_dim(self, expr: Expr, loop_vars: set[str]) -> Optional[Dim]:
+        """The abstract dims of a straight-line expression, or None."""
+        checker = DimChecker(
+            self.env, headers=[], sequential_vars=tuple(loop_vars),
+            db=PatternDatabase(), options=CheckOptions(patterns=False),
+        )
+        try:
+            return checker.check_expr(expr).dim
+        except CheckFailure:
+            return None
+
+    # -- traversal ----------------------------------------------------------
+
+    def _stmts(self, stmts: list[Stmt], loop_vars: set[str]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Annotation):
+                fresh = ShapeEnv()
+                parse_annotation(stmt.text, fresh)
+                for name, dim in fresh.shapes.items():
+                    self.env.set(name, dim)
+                    self.frozen.add(name)
+            elif isinstance(stmt, Assign):
+                self._assign(stmt, loop_vars)
+            elif isinstance(stmt, MultiAssign):
+                self._multi_assign(stmt, loop_vars)
+            elif isinstance(stmt, For):
+                self._stmts(stmt.body, loop_vars | {stmt.var})
+            elif isinstance(stmt, While):
+                self._stmts(stmt.body, loop_vars)
+            elif isinstance(stmt, If):
+                for _, body in stmt.tests:
+                    self._stmts(body, loop_vars)
+                self._stmts(stmt.orelse, loop_vars)
+            # Other statements carry no shape information.
+
+    def _assign(self, stmt: Assign, loop_vars: set[str]) -> None:
+        lhs = stmt.lhs
+        if isinstance(lhs, Ident):
+            if lhs.name in self.frozen or lhs.name in loop_vars:
+                return
+            dim = self.expr_dim(stmt.rhs, loop_vars)
+            if dim is not None:
+                self.env.set(lhs.name, dim)
+            return
+        if isinstance(lhs, Apply) and isinstance(lhs.func, Ident):
+            name = lhs.func.name
+            if name in self.frozen or name in self.env:
+                return
+            # MATLAB auto-creation on a subscripted first write.
+            if len(lhs.args) == 1:
+                self.env.set(name, Dim.row())
+            else:
+                self.env.set(name, Dim(tuple(STAR for _ in lhs.args)))
+
+
+    def _multi_assign(self, stmt: MultiAssign, loop_vars: set[str]) -> None:
+        """Shapes from multi-output builtins: every output of
+        ``[m,n] = size(A)`` and the index outputs of ``max``/``min``/
+        ``sort`` are scalars (or keep the input's shape for sort)."""
+        rhs = stmt.rhs
+        if not (isinstance(rhs, Apply) and isinstance(rhs.func, Ident)):
+            return
+        name = rhs.func.name
+        targets = [t.name for t in stmt.targets if isinstance(t, Ident)
+                   and t.name not in self.frozen]
+        if name == "size":
+            for target in targets:
+                self.env.set(target, Dim.scalar())
+        elif name in ("max", "min") and len(rhs.args) == 1:
+            for target in targets:
+                self.env.set(target, Dim.scalar())
+        elif name == "sort" and len(rhs.args) == 1:
+            arg_dim = self.expr_dim(rhs.args[0], loop_vars)
+            if arg_dim is not None:
+                for target in targets:
+                    self.env.set(target, arg_dim)
+
+
+def infer_shapes(program: Program,
+                 annotations_env: Optional[ShapeEnv] = None) -> ShapeEnv:
+    """Convenience entry point: inference seeded with (frozen) annotations."""
+    env = annotations_env.copy() if annotations_env is not None else ShapeEnv()
+    frozen = set(env.shapes) if annotations_env is not None else set()
+    return ShapeInference(env, frozen).run(program)

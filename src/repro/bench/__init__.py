@@ -1,0 +1,12 @@
+"""Benchmark harness: workloads, timing, paper-style reports."""
+
+from .harness import (  # noqa: F401
+    ABLATIONS,
+    AblationRow,
+    Measurement,
+    ablation_sweep,
+    format_table,
+    measure,
+    time_program,
+)
+from .workloads import WORKLOADS, Workload, all_workloads, workload  # noqa: F401

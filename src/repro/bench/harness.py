@@ -1,0 +1,153 @@
+"""Benchmark harness: run loop vs. vectorized code, print paper-style tables.
+
+The harness reproduces the *structure* of the paper's evaluation (§5):
+for each workload it runs the original loop-based program and the
+automatically vectorized program on identical inputs under the same
+MATLAB runtime, verifies the outputs agree, and reports wall-clock
+times and the speedup — the same rows Table 3 and the Figure 3/4 prose
+report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..mlang.parser import parse
+from ..runtime.interp import Interpreter
+from ..runtime.values import values_equal
+from ..vectorizer.checker import CheckOptions
+from ..vectorizer.driver import Vectorizer
+from .workloads import Workload
+
+
+def _copy_env(env: dict) -> dict:
+    return {
+        key: value.copy(order="F") if isinstance(value, np.ndarray)
+        else value
+        for key, value in env.items()
+    }
+
+
+@dataclass
+class Measurement:
+    """One row of a results table."""
+
+    name: str
+    scale: dict
+    input_time: float
+    vect_time: float
+    outputs_equal: bool
+    fully_vectorized: bool
+    experiment: Optional[str] = None
+
+    @property
+    def speedup(self) -> float:
+        if self.vect_time <= 0:
+            return float("inf")
+        return self.input_time / self.vect_time
+
+
+def time_program(program, env: dict, repeats: int = 3,
+                 seed: int = 0) -> float:
+    """Best-of-N wall time of interpreting ``program`` over ``env``."""
+    best = float("inf")
+    for _ in range(repeats):
+        workspace = _copy_env(env)
+        interp = Interpreter(seed=seed)
+        start = time.perf_counter()
+        interp.run(program, env=workspace)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(workload: Workload, scale: str = "default", repeats: int = 3,
+            seed: int = 12345,
+            options: Optional[CheckOptions] = None) -> Measurement:
+    """Benchmark one workload: loop version vs. vectorized version."""
+    source = workload.source()
+    result = Vectorizer(options=options).vectorize_source(source)
+    env = workload.env(scale=scale, seed=seed)
+
+    original = parse(source)
+    vectorized = result.program
+
+    base_out = Interpreter(seed=0).run(original, env=_copy_env(env))
+    vect_out = Interpreter(seed=0).run(vectorized, env=_copy_env(env))
+    equal = all(
+        values_equal(base_out[name], vect_out[name])
+        for name in workload.outputs
+    )
+
+    input_time = time_program(original, env, repeats=repeats)
+    vect_time = time_program(vectorized, env, repeats=repeats)
+    params = workload.scales.get(scale, workload.scales.get("default", {}))
+    return Measurement(
+        name=workload.name,
+        scale=params,
+        input_time=input_time,
+        vect_time=vect_time,
+        outputs_equal=equal,
+        fully_vectorized="for " not in result.source
+        and "while" not in result.source,
+        experiment=workload.experiment,
+    )
+
+
+def format_table(measurements: list[Measurement],
+                 title: str = "") -> str:
+    """Render measurements in the paper's Table 3 layout."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = (f"{'workload':<20} {'settings':<26} {'input time (s)':>14} "
+              f"{'vect. time (s)':>14} {'speedup':>9}  ok")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for m in measurements:
+        settings = " ".join(f"{k}={v}" for k, v in m.scale.items())
+        speedup = f"~{m.speedup:.1f}" if m.vect_time > 0 else "inf"
+        lines.append(
+            f"{m.name:<20} {settings:<26} {m.input_time:>14.4f} "
+            f"{m.vect_time:>14.4f} {speedup:>9}  "
+            f"{'yes' if m.outputs_equal else 'NO'}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+#: The design choices DESIGN.md calls out, as checker option overrides.
+ABLATIONS: dict[str, CheckOptions] = {
+    "full": CheckOptions(),
+    "no-patterns": CheckOptions(patterns=False),
+    "no-transposes": CheckOptions(transposes=False),
+    "no-reductions": CheckOptions(reductions=False),
+    "no-regroup": CheckOptions(product_regroup=False),
+    "no-promotion": CheckOptions(promotion=False),
+}
+
+
+@dataclass
+class AblationRow:
+    workload: str
+    variant: str
+    vectorized: bool
+    speedup: float
+
+
+def ablation_sweep(workloads: list[Workload], scale: str = "tiny",
+                   repeats: int = 1) -> list[AblationRow]:
+    """Vectorize each workload under each ablation and measure."""
+    rows: list[AblationRow] = []
+    for workload in workloads:
+        for variant, options in ABLATIONS.items():
+            m = measure(workload, scale=scale, repeats=repeats,
+                        options=options)
+            rows.append(AblationRow(workload.name, variant,
+                                    m.fully_vectorized, m.speedup))
+    return rows

@@ -1,0 +1,408 @@
+"""Workload definitions shared by the test suite and the benchmarks.
+
+Each :class:`Workload` names a corpus program (``examples/corpus/*.m``),
+how to build its input workspace at a given scale, and which workspace
+variables are its outputs.  The registry covers every experiment in the
+paper's evaluation (§5) plus the supporting corpus.
+
+The paper's absolute problem sizes (800×600 images, 1500×1500 matrices)
+assume MATLAB's interpreter; our baseline interpreter is a Python tree
+walker, so each workload carries a ``default`` scale chosen to keep the
+loop version in benchmarkable territory, and the harness reports that
+scaling alongside the measured speedups (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+
+def find_corpus(start: Optional[Path] = None) -> Path:
+    """Locate ``examples/corpus`` by walking up from ``start`` (or this
+    file, or the working directory)."""
+    candidates = []
+    if start is not None:
+        candidates.append(Path(start))
+    candidates.append(Path(__file__).resolve())
+    candidates.append(Path(os.getcwd()))
+    for origin in candidates:
+        node = origin if origin.is_dir() else origin.parent
+        while True:
+            corpus = node / "examples" / "corpus"
+            if corpus.is_dir():
+                return corpus
+            if node.parent == node:
+                break
+            node = node.parent
+    raise FileNotFoundError("examples/corpus not found; pass an explicit "
+                            "path")
+
+
+def _fortran(array: np.ndarray) -> np.ndarray:
+    return np.asfortranarray(np.array(array, dtype=float))
+
+
+@dataclass
+class Workload:
+    """One benchmarkable program."""
+
+    name: str
+    filename: str
+    outputs: tuple[str, ...]
+    make_env: Callable[[dict, np.random.Generator], dict]
+    #: Named scale presets: "default" is used by benchmarks, "tiny" by
+    #: equivalence tests.
+    scales: dict[str, dict] = field(default_factory=dict)
+    #: Where the paper reports this workload (experiment id), if anywhere.
+    experiment: Optional[str] = None
+
+    def source(self, corpus: Optional[Path] = None) -> str:
+        directory = corpus if corpus is not None else find_corpus()
+        return (directory / self.filename).read_text()
+
+    def env(self, scale: str = "default",
+            seed: int = 12345) -> dict:
+        rng = np.random.default_rng(seed)
+        params = self.scales.get(scale, self.scales.get("default", {}))
+        return self.make_env(dict(params), rng)
+
+
+# ---------------------------------------------------------------------------
+# Environment builders
+# ---------------------------------------------------------------------------
+
+
+def _vector_env(params, rng):
+    n = params["n"]
+    return {
+        "x": _fortran(rng.random((n, 1))),
+        "y": _fortran(rng.random((n, 1))),
+        "z": _fortran(np.zeros((n, 1))),
+        "a": 1.5,
+        "n": float(n),
+    }
+
+
+def _row_col_env(params, rng):
+    n = params["n"]
+    return {
+        "x": _fortran(rng.random((n, 1))),
+        "y": _fortran(rng.random((1, n))),
+        "z": _fortran(np.zeros((n, 1))),
+        "n": float(n),
+    }
+
+
+def _transpose_env(params, rng):
+    m, n = params["m"], params["n"]
+    return {
+        "A": _fortran(np.zeros((m, n))),
+        "B": _fortran(rng.random((n, m))),
+        "C": _fortran(rng.random((m, n))),
+        "m": float(m),
+        "n": float(n),
+    }
+
+
+def _dot_env(params, rng):
+    n, k = params["n"], params["k"]
+    return {
+        "a": _fortran(np.zeros((1, n))),
+        "X": _fortran(rng.random((n, k))),
+        "Y": _fortran(rng.random((k, n))),
+        "n": float(n),
+    }
+
+
+def _broadcast_env(params, rng):
+    m, n = params["m"], params["n"]
+    return {
+        "A": _fortran(np.zeros((m, n))),
+        "B": _fortran(rng.random((m, n))),
+        "C": _fortran(rng.random((m, 1))),
+        "w": _fortran(rng.random((m, 1))),
+        "m": float(m),
+        "n": float(n),
+    }
+
+
+def _diag_env(params, rng):
+    n = params["n"]
+    return {
+        "a": _fortran(np.zeros((1, n))),
+        "A": _fortran(rng.random((n, n))),
+        "b": _fortran(rng.random((1, n))),
+        "n": float(n),
+    }
+
+
+def _histeq_env(params, rng):
+    rows, cols = params["rows"], params["cols"]
+    image = np.floor(rng.random((rows, cols)) * 256)
+    return {"im": _fortran(image)}
+
+
+def _composite_env(params, rng):
+    size = params["size"]  # must cover indices up to 31 in the program
+    return {
+        "A": _fortran(rng.random((size, size))),
+        "B": _fortran(rng.random((size, size))),
+        "C": _fortran(rng.random((size, size))),
+        "D": _fortran(rng.random((size, size))),
+        "a": _fortran(rng.random((1, 4 * size))),
+    }
+
+
+def _triangular_env(params, rng):
+    i, p = params["i"], params["p"]
+    return {
+        "X": _fortran(rng.random((i + 2, p))),
+        "L": _fortran(rng.random((i + 2, i + 2))),
+        "i": float(i),
+        "p": float(p),
+    }
+
+
+def _quadratic_env(params, rng):
+    big_n = params["N"]
+    return {
+        "phi": _fortran(rng.random((3, 1))),
+        "a": _fortran(rng.random((big_n, big_n))),
+        "x_se": _fortran(rng.random((big_n, 1))),
+        "f": _fortran(rng.random((big_n, 1))),
+        "k": 2.0,
+        "N": float(big_n),
+    }
+
+
+def _quad_nest_env(params, rng):
+    n = params["n"]
+    return {
+        "y": _fortran(rng.random((n, 1))),
+        "x": _fortran(rng.random((n, 1))),
+        "A": _fortran(rng.random((n, n))),
+        "B": _fortran(rng.random((n, n))),
+        "C": _fortran(rng.random((n, n))),
+        "n": float(n),
+    }
+
+
+def _reduction_env(params, rng):
+    n = params["n"]
+    return {"x": _fortran(rng.random((n, 1))), "n": float(n)}
+
+
+def _matvec_env(params, rng):
+    n, m = params["n"], params["m"]
+    return {
+        "y": _fortran(np.zeros((n, 1))),
+        "A": _fortran(rng.random((n, m))),
+        "x": _fortran(rng.random((m, 1))),
+        "n": float(n),
+        "m": float(m),
+    }
+
+
+def _recurrence_env(params, rng):
+    return {"n": float(params["n"])}
+
+
+def _mixed_env(params, rng):
+    n = params["n"]
+    return {"x": _fortran(rng.random((1, n))), "n": float(n)}
+
+
+def _threshold_env(params, rng):
+    rows, cols = params["rows"], params["cols"]
+    return {
+        "im": _fortran(np.floor(rng.random((rows, cols)) * 256)),
+        "bw": _fortran(np.zeros((rows, cols))),
+        "t": 128.0,
+    }
+
+
+def _outer_env(params, rng):
+    m, n = params["m"], params["n"]
+    return {
+        "P": _fortran(np.zeros((m, n))),
+        "u": _fortran(rng.random((m, 1))),
+        "v": _fortran(rng.random((1, n))),
+        "m": float(m),
+        "n": float(n),
+    }
+
+
+def _convolution_env(params, rng):
+    rows, cols = params["rows"], params["cols"]
+    return {
+        "im": _fortran(rng.random((rows, cols))),
+        "out": _fortran(np.zeros((rows - 2, cols - 2))),
+        "k": _fortran(rng.random((3, 3))),
+    }
+
+
+def _column_scale_env(params, rng):
+    m, n = params["m"], params["n"]
+    return {
+        "A": _fortran(np.zeros((m, n))),
+        "B": _fortran(rng.random((m, n))),
+        "c": _fortran(rng.random((n, 1))),
+        "n": float(n),
+    }
+
+
+def _clamp_env(params, rng):
+    n = params["n"]
+    return {
+        "x": _fortran(rng.random((n, 1)) * 4 - 2),
+        "y": _fortran(np.zeros((n, 1))),
+        "lo": -1.0,
+        "hi": 1.0,
+        "n": float(n),
+    }
+
+
+def _fir_env(params, rng):
+    n, taps = params["n"], params["taps"]
+    return {
+        "x": _fortran(rng.random((n, 1))),
+        "y": _fortran(np.zeros((n - taps + 1, 1))),
+        "h": _fortran(rng.random((taps, 1))),
+        "taps": float(taps),
+    }
+
+
+def _jacobi_env(params, rng):
+    rows, cols, steps = params["rows"], params["cols"], params["steps"]
+    grid = np.zeros((rows, cols))
+    grid[0, :] = 1.0   # hot top boundary
+    return {"U": _fortran(grid), "Uold": _fortran(np.zeros((rows, cols))),
+            "steps": float(steps)}
+
+
+def _power_env(params, rng):
+    n = params["n"]
+    return {
+        "x": _fortran(rng.random((n, 1))),
+        "y": _fortran(np.zeros((n, 1))),
+        "n": float(n),
+    }
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+WORKLOADS: dict[str, Workload] = {}
+
+
+def _register(workload: Workload) -> None:
+    WORKLOADS[workload.name] = workload
+
+
+_register(Workload(
+    "scale-shift", "scale_shift.m", ("y",), _vector_env,
+    {"tiny": {"n": 17}, "default": {"n": 4000}}))
+_register(Workload(
+    "saxpy", "saxpy.m", ("z",), _vector_env,
+    {"tiny": {"n": 13}, "default": {"n": 4000}}))
+_register(Workload(
+    "row-col-add", "row_col_add.m", ("z",), _row_col_env,
+    {"tiny": {"n": 11}, "default": {"n": 4000}}))
+_register(Workload(
+    "transpose-add", "transpose_add.m", ("A",), _transpose_env,
+    {"tiny": {"m": 5, "n": 7}, "default": {"m": 60, "n": 70}},
+    experiment="section-2.2"))
+_register(Workload(
+    "dot-products", "dot_products.m", ("a",), _dot_env,
+    {"tiny": {"n": 6, "k": 5}, "default": {"n": 120, "k": 80}},
+    experiment="table-2-pattern-1"))
+_register(Workload(
+    "column-broadcast", "column_broadcast.m", ("A",), _broadcast_env,
+    {"tiny": {"m": 5, "n": 4}, "default": {"m": 70, "n": 60}},
+    experiment="table-2-pattern-2"))
+_register(Workload(
+    "diagonal-scale", "diagonal_scale.m", ("a",), _diag_env,
+    {"tiny": {"n": 7}, "default": {"n": 2500}},
+    experiment="table-2-pattern-3"))
+_register(Workload(
+    "histeq", "histeq.m", ("im2", "heq"), _histeq_env,
+    {"tiny": {"rows": 12, "cols": 9},
+     "default": {"rows": 80, "cols": 60},
+     "paper": {"rows": 800, "cols": 600}},
+    experiment="figure-3"))
+_register(Workload(
+    "composite", "composite.m", ("A", "B"), _composite_env,
+    {"tiny": {"size": 32}, "default": {"size": 32}},
+    experiment="figure-4"))
+_register(Workload(
+    "triangular-update", "triangular_update.m", ("X",), _triangular_env,
+    {"tiny": {"i": 5, "p": 8},
+     "default": {"i": 50, "p": 500},
+     "paper": {"i": 500, "p": 5000}},
+    experiment="table-3-row-1"))
+_register(Workload(
+    "quadratic-form", "quadratic_form.m", ("phi",), _quadratic_env,
+    {"tiny": {"N": 6},
+     "default": {"N": 100},
+     "paper": {"N": 1000}},
+    experiment="table-3-row-2"))
+_register(Workload(
+    "quad-nest", "quad_nest.m", ("y",), _quad_nest_env,
+    {"tiny": {"n": 4},
+     "default": {"n": 12},
+     "paper": {"n": 40}},
+    experiment="table-3-row-3"))
+_register(Workload(
+    "running-sum", "running_sum.m", ("s",), _reduction_env,
+    {"tiny": {"n": 19}, "default": {"n": 5000}}))
+_register(Workload(
+    "matvec", "matvec.m", ("y",), _matvec_env,
+    {"tiny": {"n": 6, "m": 5}, "default": {"n": 80, "m": 70}}))
+_register(Workload(
+    "recurrence", "recurrence.m", ("a",), _recurrence_env,
+    {"tiny": {"n": 9}, "default": {"n": 2000}}))
+_register(Workload(
+    "mixed", "mixed.m", ("a", "b"), _mixed_env,
+    {"tiny": {"n": 9}, "default": {"n": 2000}}))
+_register(Workload(
+    "threshold", "threshold.m", ("bw",), _threshold_env,
+    {"tiny": {"rows": 8, "cols": 6}, "default": {"rows": 70, "cols": 60}}))
+_register(Workload(
+    "normalize-rows", "normalize_rows.m", ("B",), _broadcast_env,
+    {"tiny": {"m": 5, "n": 4}, "default": {"m": 70, "n": 60}}))
+_register(Workload(
+    "outer-product", "outer_product.m", ("P",), _outer_env,
+    {"tiny": {"m": 5, "n": 4}, "default": {"m": 70, "n": 60}}))
+_register(Workload(
+    "power-series", "power_series.m", ("y",), _power_env,
+    {"tiny": {"n": 15}, "default": {"n": 3000}}))
+_register(Workload(
+    "convolution", "convolution.m", ("out",), _convolution_env,
+    {"tiny": {"rows": 8, "cols": 7}, "default": {"rows": 50, "cols": 40}}))
+_register(Workload(
+    "column-scale", "column_scale.m", ("A",), _column_scale_env,
+    {"tiny": {"m": 5, "n": 4}, "default": {"m": 80, "n": 60}}))
+_register(Workload(
+    "clamp", "clamp.m", ("y",), _clamp_env,
+    {"tiny": {"n": 11}, "default": {"n": 3000}}))
+_register(Workload(
+    "fir-filter", "fir_filter.m", ("y",), _fir_env,
+    {"tiny": {"n": 12, "taps": 3}, "default": {"n": 400, "taps": 8}}))
+_register(Workload(
+    "jacobi", "jacobi.m", ("U",), _jacobi_env,
+    {"tiny": {"rows": 7, "cols": 6, "steps": 3},
+     "default": {"rows": 30, "cols": 30, "steps": 15}}))
+
+
+def workload(name: str) -> Workload:
+    return WORKLOADS[name]
+
+
+def all_workloads() -> list[Workload]:
+    return list(WORKLOADS.values())

@@ -1,0 +1,5 @@
+"""Dependence analysis: references, direction vectors, the DDG."""
+
+from .dependence import DirectionVector, dependence_between  # noqa: F401
+from .graph import DependenceGraph, Edge, StmtNode  # noqa: F401
+from .references import AffineForm, Ref, affine_form, collect_refs  # noqa: F401

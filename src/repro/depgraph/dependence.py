@@ -1,0 +1,245 @@
+"""Pairwise dependence testing producing direction-vector sets.
+
+Given two references to the same variable inside a common loop nest, we
+compute a per-level set of possible *directions* (``<``, ``=``, ``>``)
+between the source and sink iterations, using the classic hierarchy:
+
+* **ZIV** — neither subscript mentions a loop variable: structurally
+  unequal constants prove independence, equal forms add no constraint;
+* **strong SIV** — a single shared variable with equal coefficients:
+  the dependence distance is exact, giving a single direction at that
+  level (non-integer distances prove independence);
+* **weak/ MIV + GCD** — everything else: a GCD divisibility test may
+  prove independence, otherwise all directions are assumed.
+
+Scalar-style references (no subscripts) constrain nothing: all
+directions at every level.
+
+A *direction vector* assigns one direction per common loop level; the
+set of vectors is the Cartesian product of the per-level sets minus
+vectors ruled out by the subscript tests.  Dependences whose leading
+non-``=`` direction is ``>`` are re-oriented (the dependence actually
+flows from the textually later statement to the earlier one).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from .references import AffineForm, Ref
+
+LT, EQ, GT = "<", "=", ">"
+ALL_DIRECTIONS = frozenset((LT, EQ, GT))
+
+
+@dataclass(frozen=True)
+class DirectionVector:
+    """One direction per loop level, outermost first."""
+
+    directions: tuple[str, ...]
+
+    @property
+    def is_loop_independent(self) -> bool:
+        return all(d == EQ for d in self.directions)
+
+    def leading_level(self) -> Optional[int]:
+        """0-based outermost level whose direction is not ``=``, or None."""
+        for level, direction in enumerate(self.directions):
+            if direction != EQ:
+                return level
+        return None
+
+    @property
+    def is_plausible(self) -> bool:
+        """True when the leading non-``=`` direction is ``<`` (a dependence
+        from an earlier to a later iteration) or the vector is all ``=``."""
+        lead = self.leading_level()
+        return lead is None or self.directions[lead] == LT
+
+    def reversed(self) -> "DirectionVector":
+        flip = {LT: GT, GT: LT, EQ: EQ}
+        return DirectionVector(tuple(flip[d] for d in self.directions))
+
+    def __repr__(self) -> str:
+        return "(" + ",".join(self.directions) + ")"
+
+
+def _subscript_directions(source: AffineForm, sink: AffineForm,
+                          loop_vars: Sequence[str],
+                          bounds: Optional[dict] = None,
+                          ) -> Optional[list[frozenset[str]]]:
+    """Per-level direction sets allowed by one subscript pair.
+
+    Returns None when the pair proves *independence* (no dependence at
+    all through this subscript position).  ``bounds`` optionally maps a
+    loop variable to the :class:`AffineForm` of its trip count (loops
+    are normalized to run 1..count), enabling range-based independence
+    proofs such as ``X(i,k)`` vs ``X(j,k)`` under ``j = 1:i-1``.
+    """
+    unconstrained = [ALL_DIRECTIONS] * len(loop_vars)
+    if not source.exact or not sink.exact:
+        return unconstrained
+
+    involved = source.loop_vars() | sink.loop_vars()
+    common = [v for v in loop_vars if v in involved]
+
+    if len(common) == 1 and bounds:
+        var = common[0]
+        if _range_independent(source, sink, var, bounds.get(var)):
+            return None
+
+    if not common:
+        # ZIV: same symbolic residue and equal constants ⇒ always equal
+        # (no constraint); different constants ⇒ independent; different
+        # residues ⇒ unknown, assume dependence in every direction.
+        if source.same_symbolic(sink):
+            if source.const == sink.const:
+                return unconstrained
+            return None
+        return unconstrained
+
+    if len(common) == 1:
+        var = common[0]
+        a_src = source.coeff(var)
+        a_snk = sink.coeff(var)
+        if not source.same_symbolic(sink):
+            return unconstrained
+        delta = source.const - sink.const
+        if a_src == a_snk and a_src != 0.0:
+            # Strong SIV: a·i_src + c1 = a·i_snk + c2  ⇒  i_snk − i_src = Δ/a.
+            distance = delta / a_src
+            if distance != int(distance):
+                return None
+            distance = int(distance)
+            level = loop_vars.index(var)
+            out = list(unconstrained)
+            if distance > 0:
+                out[level] = frozenset((LT,))
+            elif distance < 0:
+                out[level] = frozenset((GT,))
+            else:
+                out[level] = frozenset((EQ,))
+            return out
+        if a_src == 0.0 or a_snk == 0.0:
+            # Weak-zero SIV: solvable for at most one iteration; integer
+            # solvability check only (direction stays unconstrained).
+            coeff = a_src or a_snk
+            if coeff and (delta / coeff) != int(delta / coeff):
+                return None
+            return unconstrained
+        # Weak SIV: fall through to the GCD test.
+        return _gcd_test([a_src, -a_snk], delta, unconstrained)
+
+    # MIV: GCD test over all involved coefficients.
+    coeffs = [source.coeff(v) for v in common] + [-sink.coeff(v) for v in common]
+    if not source.same_symbolic(sink):
+        return unconstrained
+    return _gcd_test(coeffs, source.const - sink.const, unconstrained)
+
+
+def _range_independent(source: AffineForm, sink: AffineForm, var: str,
+                       count: Optional[AffineForm]) -> bool:
+    """Range test: one subscript is loop-invariant, the other is
+    ``c·var + rest`` with ``var`` normalized to ``1..count``; prove the
+    required iteration ``var* = (invariant − rest)/c`` falls outside the
+    range.  Symbolic residues cancel through affine subtraction, which
+    is what proves the triangular case ``i`` vs ``j = 1:(i-1)``.
+    """
+    a_src, a_snk = source.coeff(var), sink.coeff(var)
+    if (a_src == 0.0) == (a_snk == 0.0):
+        return False
+    if a_src == 0.0:
+        invariant, varying, coeff = source, sink, a_snk
+    else:
+        invariant, varying, coeff = sink, source, a_src
+    numerator = invariant.minus(varying.without_var(var))
+    if numerator.loop_vars():
+        return False
+    solution = numerator.scaled(1.0 / coeff)
+    if solution.is_pure_const:
+        if solution.const != int(solution.const):
+            return True
+        if solution.const < 1.0:
+            return True
+        if count is not None and count.is_pure_const \
+                and solution.const > count.const:
+            return True
+        return False
+    # Symbolic solution: independent when  solution − count ≥ 1  or
+    # solution ≤ 0 can be decided after residue cancellation.
+    if count is not None and count.exact:
+        margin = solution.minus(count)
+        if margin.is_pure_const and margin.const >= 1.0:
+            return True
+    return False
+
+
+def _gcd_test(coeffs: Iterable[float], delta: float,
+              unconstrained: list[frozenset[str]]) -> Optional[list[frozenset[str]]]:
+    values = [c for c in coeffs if c != 0.0]
+    if not values:
+        return unconstrained if delta == 0.0 else None
+    if any(v != int(v) for v in values) or delta != int(delta):
+        return unconstrained
+    gcd = 0
+    for value in values:
+        gcd = math.gcd(gcd, abs(int(value)))
+    if gcd and int(delta) % gcd != 0:
+        return None  # Independent: the Diophantine equation has no solution.
+    return unconstrained
+
+
+@dataclass(frozen=True)
+class DependenceResult:
+    """The outcome of testing one (source-ref, sink-ref) pair."""
+
+    vectors: frozenset[DirectionVector]
+
+    @property
+    def exists(self) -> bool:
+        return bool(self.vectors)
+
+
+def dependence_between(source: Ref, sink: Ref, loop_vars: Sequence[str],
+                    bounds: Optional[dict] = None) -> DependenceResult:
+    """All plausible direction vectors for a dependence ``source → sink``.
+
+    ``source`` is assumed to execute no later than ``sink`` within one
+    iteration (the caller orients statement order); implausible vectors
+    (leading ``>``) are excluded here and re-tested by the caller with
+    the roles swapped.  ``bounds`` maps loop variables to trip-count
+    affine forms for range-based independence proofs.
+    """
+    if not loop_vars:
+        same = _same_location_possible(source, sink)
+        return DependenceResult(frozenset([DirectionVector(())]) if same
+                                else frozenset())
+    per_level = [ALL_DIRECTIONS] * len(loop_vars)
+    if source.subs and sink.subs and len(source.subs) == len(sink.subs):
+        for sub_src, sub_snk in zip(source.subs, sink.subs):
+            constraint = _subscript_directions(sub_src, sub_snk, loop_vars,
+                                               bounds)
+            if constraint is None:
+                return DependenceResult(frozenset())
+            per_level = [a & b for a, b in zip(per_level, constraint)]
+            if any(not s for s in per_level):
+                return DependenceResult(frozenset())
+    # Scalar-style or rank-mismatched accesses keep every direction.
+    vectors = {
+        DirectionVector(combo)
+        for combo in itertools.product(*per_level)
+    }
+    return DependenceResult(frozenset(v for v in vectors if v.is_plausible))
+
+
+def _same_location_possible(source: Ref, sink: Ref) -> bool:
+    if not source.subs or not sink.subs or len(source.subs) != len(sink.subs):
+        return True
+    for a, b in zip(source.subs, sink.subs):
+        if a.exact and b.exact and not a.loop_vars() and not b.loop_vars():
+            if a.same_symbolic(b) and a.const != b.const:
+                return False
+    return True

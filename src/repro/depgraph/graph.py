@@ -1,0 +1,284 @@
+"""The data dependence graph (DDG) over a loop nest's statements.
+
+Nodes are assignment statements; edges carry the dependence kind (flow,
+anti, output) together with the set of direction vectors over the pair's
+*common* loop prefix.  The graph offers exactly the operations Allen &
+Kennedy's ``codegen`` needs: strongly connected components in
+topological order (Tarjan), and "remove dependences carried by level k".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..mlang.ast_nodes import Assign
+from .dependence import DirectionVector, dependence_between
+from .references import StmtRefs, collect_refs
+
+FLOW, ANTI, OUTPUT = "flow", "anti", "output"
+
+
+@dataclass
+class StmtNode:
+    """One assignment statement inside the analyzed nest.
+
+    ``loop_vars`` is the chain of index variables of the loops enclosing
+    the statement, outermost first (the statement's private nest depth is
+    ``len(loop_vars)``).  ``loop_counts`` optionally holds the matching
+    trip-count expressions (loops are normalized to ``1:count``), used
+    for range-based independence proofs.
+    """
+
+    index: int
+    stmt: Assign
+    loop_vars: tuple[str, ...]
+    refs: StmtRefs = field(repr=False, default=None)
+    loop_counts: tuple = ()
+
+    @property
+    def depth(self) -> int:
+        return len(self.loop_vars)
+
+    def bounds(self) -> dict:
+        """Trip-count affine forms keyed by loop variable."""
+        from .references import affine_form
+
+        out = {}
+        for k, var in enumerate(self.loop_vars):
+            if k < len(self.loop_counts):
+                out[var] = affine_form(self.loop_counts[k], self.loop_vars)
+        return out
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A dependence from ``src`` to ``dst`` (statement indices).
+
+    ``src_ref``/``dst_ref`` record the concrete references whose overlap
+    produced the edge (used to recognize reduction self-dependences).
+    """
+
+    src: int
+    dst: int
+    kind: str
+    var: str
+    vectors: frozenset[DirectionVector]
+    src_ref: object = field(default=None, compare=False)
+    dst_ref: object = field(default=None, compare=False)
+
+    def carried_levels(self) -> frozenset[int]:
+        """0-based loop levels that carry this dependence."""
+        levels = set()
+        for vector in self.vectors:
+            lead = vector.leading_level()
+            if lead is not None:
+                levels.add(lead)
+        return frozenset(levels)
+
+    @property
+    def has_loop_independent(self) -> bool:
+        return any(v.is_loop_independent for v in self.vectors)
+
+    def filtered(self, min_level: int) -> Optional["Edge"]:
+        """Drop direction vectors carried at levels below ``min_level``
+        (the A&K "remove dependences carried by this loop" step).
+        Returns None when no vectors remain."""
+        kept = frozenset(
+            v for v in self.vectors
+            if (lead := v.leading_level()) is None or lead >= min_level
+        )
+        if not kept:
+            return None
+        return Edge(self.src, self.dst, self.kind, self.var, kept,
+                    self.src_ref, self.dst_ref)
+
+
+class DependenceGraph:
+    """DDG over the statements of one loop nest."""
+
+    def __init__(self, nodes: Sequence[StmtNode], edges: Iterable[Edge]):
+        self.nodes = list(nodes)
+        self.edges = list(edges)
+
+    # -- construction -------------------------------------------------
+
+    @staticmethod
+    def build(nodes: Sequence[StmtNode],
+              known_functions: frozenset[str] = frozenset()) -> "DependenceGraph":
+        """Run pairwise dependence tests over all statements."""
+        for node in nodes:
+            if node.refs is None:
+                node.refs = collect_refs(node.stmt, node.loop_vars,
+                                         known_functions)
+        edges: list[Edge] = []
+        for a in nodes:
+            for b in nodes:
+                if a.index > b.index:
+                    continue
+                edges.extend(_edges_between(a, b))
+        return DependenceGraph(nodes, edges)
+
+    # -- queries --------------------------------------------------------
+
+    def successors(self, index: int) -> set[int]:
+        return {e.dst for e in self.edges if e.src == index and e.dst != index}
+
+    def subgraph(self, indices: Iterable[int]) -> "DependenceGraph":
+        keep = set(indices)
+        nodes = [n for n in self.nodes if n.index in keep]
+        edges = [e for e in self.edges if e.src in keep and e.dst in keep]
+        return DependenceGraph(nodes, edges)
+
+    def remove_carried_by(self, level: int) -> "DependenceGraph":
+        """A copy without dependences carried at levels ``< level + 1``
+        — i.e. keep only vectors carried strictly deeper than ``level``
+        (or loop-independent ones)."""
+        edges = []
+        for edge in self.edges:
+            filtered = edge.filtered(level + 1)
+            if filtered is not None:
+                edges.append(filtered)
+        return DependenceGraph(list(self.nodes), edges)
+
+    def self_edges(self, index: int) -> list[Edge]:
+        return [e for e in self.edges if e.src == index and e.dst == index]
+
+    # -- strongly connected components ------------------------------------
+
+    def sccs_topological(self) -> list[list[StmtNode]]:
+        """SCCs via Tarjan's algorithm, returned in topological order of
+        the condensation (dependence sources first).
+
+        Tarjan emits SCCs in reverse topological order; we reverse the
+        result.  Ties (unrelated SCCs) preserve statement order because
+        nodes are visited in index order.
+        """
+        index_of: dict[int, int] = {}
+        lowlink: dict[int, int] = {}
+        on_stack: set[int] = set()
+        stack: list[int] = []
+        counter = [0]
+        components: list[list[int]] = []
+        adjacency = {n.index: sorted(self.successors(n.index)) for n in self.nodes}
+
+        def strongconnect(v: int) -> None:
+            # Iterative Tarjan to survive deep statement chains.
+            work = [(v, iter(adjacency[v]))]
+            index_of[v] = lowlink[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in index_of:
+                        index_of[succ] = lowlink[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(adjacency[succ])))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index_of[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    component = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        component.append(w)
+                        if w == node:
+                            break
+                    components.append(sorted(component))
+
+        for node in self.nodes:
+            if node.index not in index_of:
+                strongconnect(node.index)
+
+        components.reverse()
+        by_index = {n.index: n for n in self.nodes}
+        ordered = self._stable_topological(components)
+        return [[by_index[i] for i in comp] for comp in ordered]
+
+    def _stable_topological(self, components: list[list[int]]) -> list[list[int]]:
+        """Re-sort the condensation topologically, breaking ties by the
+        smallest statement index so output order tracks source order."""
+        comp_of: dict[int, int] = {}
+        for c, comp in enumerate(components):
+            for i in comp:
+                comp_of[i] = c
+        succs: dict[int, set[int]] = {c: set() for c in range(len(components))}
+        preds: dict[int, int] = {c: 0 for c in range(len(components))}
+        for edge in self.edges:
+            a, b = comp_of.get(edge.src), comp_of.get(edge.dst)
+            if a is None or b is None or a == b:
+                continue
+            if b not in succs[a]:
+                succs[a].add(b)
+                preds[b] += 1
+        import heapq
+
+        ready = [(min(components[c]), c) for c in range(len(components))
+                 if preds[c] == 0]
+        heapq.heapify(ready)
+        order: list[list[int]] = []
+        while ready:
+            _, c = heapq.heappop(ready)
+            order.append(components[c])
+            for b in succs[c]:
+                preds[b] -= 1
+                if preds[b] == 0:
+                    heapq.heappush(ready, (min(components[b]), b))
+        return order
+
+
+def _edges_between(a: StmtNode, b: StmtNode) -> list[Edge]:
+    """All dependence edges between two statements (``a.index <= b.index``)."""
+    edges: list[Edge] = []
+    common = 0
+    for va, vb in zip(a.loop_vars, b.loop_vars):
+        if va != vb:
+            break
+        common += 1
+    loop_vars = list(a.loop_vars[:common])
+    bounds = {**b.bounds(), **a.bounds()}
+
+    pairs = (
+        (FLOW, a.refs.writes, b.refs.reads),
+        (ANTI, a.refs.reads, b.refs.writes),
+        (OUTPUT, a.refs.writes, b.refs.writes),
+    )
+    for kind, sources, sinks in pairs:
+        for src_ref in sources:
+            for snk_ref in sinks:
+                if src_ref.var != snk_ref.var:
+                    continue
+                forward = dependence_between(src_ref, snk_ref, loop_vars,
+                                          bounds)
+                vectors = set(forward.vectors)
+                if a.index == b.index:
+                    vectors = {v for v in vectors if not v.is_loop_independent}
+                if vectors:
+                    edges.append(Edge(a.index, b.index, kind, src_ref.var,
+                                      frozenset(vectors), src_ref, snk_ref))
+                if a.index != b.index:
+                    backward = dependence_between(snk_ref, src_ref, loop_vars,
+                                               bounds)
+                    back_vectors = {
+                        v for v in backward.vectors if not v.is_loop_independent
+                    }
+                    if back_vectors:
+                        back_kind = {FLOW: ANTI, ANTI: FLOW,
+                                     OUTPUT: OUTPUT}[kind]
+                        edges.append(Edge(b.index, a.index, back_kind,
+                                          src_ref.var, frozenset(back_vectors),
+                                          snk_ref, src_ref))
+    return edges

@@ -1,0 +1,282 @@
+"""Array-reference collection and affine-subscript analysis.
+
+Dependence testing needs, for every statement, the set of memory
+references it makes: the written variable (with subscripts) and every
+read.  Subscripts are summarized as affine forms over the loop index
+variables — ``2*i - 1`` becomes coefficient 2 on ``i`` plus constant
+−1 — with a *symbolic* residue for terms the analysis cannot fold (two
+residues compare structurally via their printed source).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..mlang.ast_nodes import (
+    Apply,
+    Assign,
+    BinOp,
+    Colon,
+    End,
+    Expr,
+    Ident,
+    Num,
+    Range,
+    Stmt,
+    Transpose,
+    UnOp,
+)
+from ..mlang.printer import expr_to_source
+
+
+@dataclass(frozen=True)
+class AffineForm:
+    """``Σ coeff_v · v  +  const  +  symbolic`` over loop variables.
+
+    ``symbolic`` maps a canonical source string to its coefficient; the
+    form is ``exact`` when the expression decomposed fully into these
+    parts (no products of loop variables, no opaque calls *containing*
+    loop variables).
+    """
+
+    coeffs: tuple[tuple[str, float], ...] = ()
+    const: float = 0.0
+    symbolic: tuple[tuple[str, float], ...] = ()
+    exact: bool = True
+
+    def coeff(self, var: str) -> float:
+        for name, value in self.coeffs:
+            if name == var:
+                return value
+        return 0.0
+
+    def loop_vars(self) -> frozenset[str]:
+        return frozenset(name for name, value in self.coeffs if value != 0.0)
+
+    def same_symbolic(self, other: "AffineForm") -> bool:
+        return dict(self.symbolic) == dict(other.symbolic)
+
+    def minus(self, other: "AffineForm") -> "AffineForm":
+        """``self − other`` (both must be exact)."""
+        return AffineForm(
+            coeffs=tuple(sorted(_combine(dict(self.coeffs),
+                                         dict(other.coeffs), -1.0).items())),
+            const=self.const - other.const,
+            symbolic=tuple(sorted(_combine(dict(self.symbolic),
+                                           dict(other.symbolic),
+                                           -1.0).items())),
+            exact=self.exact and other.exact,
+        )
+
+    def scaled(self, factor: float) -> "AffineForm":
+        return AffineForm(
+            coeffs=tuple((k, v * factor) for k, v in self.coeffs),
+            const=self.const * factor,
+            symbolic=tuple((k, v * factor) for k, v in self.symbolic),
+            exact=self.exact,
+        )
+
+    def without_var(self, var: str) -> "AffineForm":
+        return AffineForm(
+            coeffs=tuple((k, v) for k, v in self.coeffs if k != var),
+            const=self.const,
+            symbolic=self.symbolic,
+            exact=self.exact,
+        )
+
+    @property
+    def is_pure_const(self) -> bool:
+        """True when the form is a known number (no vars, no residues)."""
+        return self.exact and not any(v for _, v in self.coeffs) and not any(
+            v for _, v in self.symbolic)
+
+
+_INEXACT = AffineForm(exact=False)
+
+
+def _combine(left: dict, right: dict, sign: float) -> dict:
+    out = dict(left)
+    for key, value in right.items():
+        out[key] = out.get(key, 0.0) + sign * value
+        if out[key] == 0.0:
+            del out[key]
+    return out
+
+
+def affine_form(expr: Expr, loop_vars: Sequence[str]) -> AffineForm:
+    """Decompose ``expr`` into an :class:`AffineForm` over ``loop_vars``."""
+    loop_set = frozenset(loop_vars)
+
+    def walk(node: Expr) -> Optional[tuple[dict, float, dict]]:
+        """Return (coeffs, const, symbolic) or None for inexact."""
+        if isinstance(node, Num):
+            return {}, node.value, {}
+        if isinstance(node, Ident):
+            if node.name in loop_set:
+                return {node.name: 1.0}, 0.0, {}
+            return {}, 0.0, {node.name: 1.0}
+        if isinstance(node, UnOp) and node.op in "+-":
+            inner = walk(node.operand)
+            if inner is None:
+                return None
+            coeffs, const, symbolic = inner
+            if node.op == "-":
+                return ({k: -v for k, v in coeffs.items()}, -const,
+                        {k: -v for k, v in symbolic.items()})
+            return inner
+        if isinstance(node, BinOp) and node.op in ("+", "-"):
+            left = walk(node.left)
+            right = walk(node.right)
+            if left is None or right is None:
+                return None
+            sign = 1.0 if node.op == "+" else -1.0
+            return (_combine(left[0], right[0], sign),
+                    left[1] + sign * right[1],
+                    _combine(left[2], right[2], sign))
+        if isinstance(node, BinOp) and node.op in ("*", ".*"):
+            left = walk(node.left)
+            right = walk(node.right)
+            if left is None or right is None:
+                return None
+            return _scale_product(left, right)
+        if isinstance(node, BinOp) and node.op in ("/", "./"):
+            left = walk(node.left)
+            right = walk(node.right)
+            if left is None or right is None:
+                return None
+            rc, rconst, rsym = right
+            if not rc and not rsym and rconst not in (0.0,):
+                lc, lconst, lsym = left
+                inv = 1.0 / rconst
+                return ({k: v * inv for k, v in lc.items()}, lconst * inv,
+                        {k: v * inv for k, v in lsym.items()})
+            return None if _mentions(node, loop_set) else _opaque(node)
+        # Opaque construct: exact only when it avoids the loop variables.
+        if _mentions(node, loop_set):
+            return None
+        return _opaque(node)
+
+    def _opaque(node: Expr) -> tuple[dict, float, dict]:
+        return {}, 0.0, {expr_to_source(node): 1.0}
+
+    def _scale_product(left, right) -> Optional[tuple[dict, float, dict]]:
+        lc, lconst, lsym = left
+        rc, rconst, rsym = right
+        left_pure = not lc and not lsym
+        right_pure = not rc and not rsym
+        if left_pure:
+            scale, (coeffs, const, symbolic) = lconst, right
+        elif right_pure:
+            scale, (coeffs, const, symbolic) = rconst, left
+        else:
+            return None
+        return ({k: v * scale for k, v in coeffs.items()}, const * scale,
+                {k: v * scale for k, v in symbolic.items()})
+
+    result = walk(expr)
+    if result is None:
+        return _INEXACT
+    coeffs, const, symbolic = result
+    return AffineForm(
+        coeffs=tuple(sorted(coeffs.items())),
+        const=const,
+        symbolic=tuple(sorted(symbolic.items())),
+        exact=True,
+    )
+
+
+def _mentions(node: Expr, names: frozenset[str]) -> bool:
+    return any(isinstance(n, Ident) and n.name in names for n in node.walk())
+
+
+# ---------------------------------------------------------------------------
+# Reference records
+# ---------------------------------------------------------------------------
+
+#: Sentinel affine form for a bare ':' subscript — touches every index of
+#: its dimension, so it constrains nothing.
+COLON_SUB = AffineForm(exact=False)
+
+
+@dataclass(frozen=True)
+class Ref:
+    """One read or write of a variable.
+
+    ``subs`` holds one affine form per subscript; an empty tuple means a
+    whole-variable (scalar-style) access.  ``is_write`` distinguishes the
+    statement's definition from its uses.
+    """
+
+    var: str
+    subs: tuple[AffineForm, ...]
+    is_write: bool
+
+    @property
+    def is_scalar_style(self) -> bool:
+        return not self.subs
+
+
+@dataclass
+class StmtRefs:
+    """All references made by one assignment statement."""
+
+    stmt: Stmt
+    writes: list[Ref] = field(default_factory=list)
+    reads: list[Ref] = field(default_factory=list)
+
+    def refs_to(self, var: str, *, writes: bool) -> list[Ref]:
+        pool = self.writes if writes else self.reads
+        return [ref for ref in pool if ref.var == var]
+
+
+def collect_refs(stmt: Assign, loop_vars: Sequence[str],
+                 known_functions: frozenset[str] = frozenset()) -> StmtRefs:
+    """Collect the write and all reads of an assignment statement.
+
+    ``known_functions`` names identifiers that are function calls rather
+    than array accesses (their "subscripts" are argument reads, but the
+    callee itself is not a memory reference).
+    """
+    refs = StmtRefs(stmt)
+
+    def sub_form(arg: Expr) -> AffineForm:
+        if isinstance(arg, (Colon, End)):
+            return COLON_SUB
+        return affine_form(arg, loop_vars)
+
+    def visit_read(node: Expr) -> None:
+        if isinstance(node, Ident):
+            if node.name not in known_functions:
+                refs.reads.append(Ref(node.name, (), is_write=False))
+            return
+        if isinstance(node, Apply) and isinstance(node.func, Ident):
+            name = node.func.name
+            if name in known_functions:
+                for arg in node.args:
+                    visit_read(arg)
+                return
+            subs = tuple(sub_form(arg) for arg in node.args)
+            refs.reads.append(Ref(name, subs, is_write=False))
+            # Subscript expressions contain reads of their own
+            # (e.g. v(i) in A(v(i)), or the loop variable i itself).
+            for arg in node.args:
+                visit_read(arg)
+            return
+        for child in node.children():
+            visit_read(child)
+
+    # The definition.
+    lhs = stmt.lhs
+    if isinstance(lhs, Ident):
+        refs.writes.append(Ref(lhs.name, (), is_write=True))
+    elif isinstance(lhs, Apply) and isinstance(lhs.func, Ident):
+        subs = tuple(sub_form(arg) for arg in lhs.args)
+        refs.writes.append(Ref(lhs.func.name, subs, is_write=True))
+        for arg in lhs.args:
+            visit_read(arg)
+    else:  # pragma: no cover - parser prevents other targets
+        raise ValueError(f"unsupported assignment target: {lhs!r}")
+
+    visit_read(stmt.rhs)
+    return refs

@@ -1,0 +1,4 @@
+"""The paper's dimension abstraction: symbols, dims, Table-1 rules."""
+
+from .abstract import ONE, STAR, Dim, RSym, compatible, fmax  # noqa: F401
+from .context import DimContext, ShapeEnv  # noqa: F401

@@ -1,0 +1,272 @@
+"""The dimension abstraction of §2.1.
+
+A variable's size in one dimension is abstracted to one of:
+
+* ``ONE``   — the size is exactly 1;
+* ``STAR``  — the size is greater than 1;
+* ``RSym(i)`` — *vectorized* dimensionality only: the size equals the
+  trip count of loop index variable ``i`` (also greater than 1).
+
+A dimensionality is an ordered tuple of such symbols wrapped in
+:class:`Dim`, e.g. ``Dim.parse("(1,*)")`` for a row vector.  The paper's
+``freduce``, ``freverse``, ``fmax`` and the compatibility relation ``≃``
+are provided as methods/functions here.
+
+Two facts from the paper are encoded as tests and honoured throughout:
+``r_i`` is *not* compatible with ``*``, and ``r_i`` is not compatible
+with ``r_j`` for ``i ≠ j`` even when both loops have the same bounds
+(§2.2's transposition example depends on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Union
+
+from ..errors import DimError
+
+
+class _Atom:
+    """A singleton abstract size: ``1`` or ``*``."""
+
+    __slots__ = ("_label",)
+
+    def __init__(self, label: str):
+        self._label = label
+
+    def __repr__(self) -> str:
+        return self._label
+
+    def __str__(self) -> str:
+        return self._label
+
+
+#: The abstract size "exactly one".
+ONE = _Atom("1")
+#: The abstract size "greater than one".
+STAR = _Atom("*")
+
+
+@dataclass(frozen=True, slots=True)
+class RSym:
+    """The special symbol ``r_i`` tying a size to loop variable ``i``.
+
+    ``name`` is the loop index variable; ``serial`` disambiguates
+    distinct loops that reuse the same index variable name.
+    """
+
+    name: str
+    serial: int = 0
+
+    def __repr__(self) -> str:
+        return f"r_{self.name}" if not self.serial else f"r_{self.name}#{self.serial}"
+
+    __str__ = __repr__
+
+
+#: Any abstract size symbol.
+Sym = Union[_Atom, RSym]
+
+
+def is_r(sym: Sym) -> bool:
+    """True when ``sym`` is an ``r_i`` loop symbol."""
+    return isinstance(sym, RSym)
+
+
+def fmax(*syms: Sym) -> Optional[Sym]:
+    """The largest of the given symbols (Table 1's ``fmax``).
+
+    Ordering: ``1 < r_i`` and ``1 < *``.  ``r_i`` and ``*`` (or two
+    distinct ``r`` symbols) are unordered; combining them returns
+    ``None``, which callers treat as "not vectorizable".
+    """
+    result: Sym = ONE
+    for sym in syms:
+        if sym is ONE:
+            continue
+        if result is ONE:
+            result = sym
+        elif result != sym:
+            return None
+    return result
+
+
+class Dim:
+    """An ordered, immutable tuple of abstract size symbols."""
+
+    __slots__ = ("syms",)
+
+    def __init__(self, syms: Iterable[Sym]):
+        syms = tuple(syms)
+        if not syms:
+            syms = (ONE,)
+        for sym in syms:
+            if not (sym is ONE or sym is STAR or isinstance(sym, RSym)):
+                raise DimError(f"invalid dimension symbol: {sym!r}")
+        object.__setattr__(self, "syms", syms)
+
+    # -- construction -------------------------------------------------
+
+    @staticmethod
+    def scalar() -> "Dim":
+        """The dimensionality of a scalar: ``(1)``."""
+        return Dim((ONE,))
+
+    @staticmethod
+    def row() -> "Dim":
+        """A ``1×n`` row vector: ``(1,*)``."""
+        return Dim((ONE, STAR))
+
+    @staticmethod
+    def col() -> "Dim":
+        """An ``m×1`` column vector: ``(*,1)``."""
+        return Dim((STAR, ONE))
+
+    @staticmethod
+    def matrix() -> "Dim":
+        """A general ``k×l`` matrix: ``(*,*)``."""
+        return Dim((STAR, STAR))
+
+    @staticmethod
+    def parse(text: str) -> "Dim":
+        """Parse the annotation syntax: ``(1,*)``, ``(*,1)``, ``(1)``, ``(*)``.
+
+        ``r`` symbols are not expressible in annotations — they only
+        arise during vectorized-dimensionality computation.
+        """
+        inner = text.strip()
+        if inner.startswith("(") and inner.endswith(")"):
+            inner = inner[1:-1]
+        if not inner:
+            raise DimError(f"empty dimensionality in {text!r}")
+        syms: list[Sym] = []
+        for part in inner.split(","):
+            part = part.strip()
+            if part == "1":
+                syms.append(ONE)
+            elif part == "*":
+                syms.append(STAR)
+            else:
+                raise DimError(f"invalid dimension symbol {part!r} in {text!r}")
+        return Dim(syms)
+
+    # -- basic protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Sym]:
+        return iter(self.syms)
+
+    def __len__(self) -> int:
+        return len(self.syms)
+
+    def __getitem__(self, index: int) -> Sym:
+        return self.syms[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Dim) and self.syms == other.syms
+
+    def __hash__(self) -> int:
+        return hash(self.syms)
+
+    def __repr__(self) -> str:
+        return "(" + ",".join(str(s) for s in self.syms) + ")"
+
+    __str__ = __repr__
+
+    # -- the paper's operations ------------------------------------------
+
+    def reduce(self) -> "Dim":
+        """``freduce``: drop trailing ``1`` entries (a 5×5 matrix "is" a
+        5×5×1 matrix).  A scalar reduces to ``(1)``."""
+        syms = list(self.syms)
+        while len(syms) > 1 and syms[-1] is ONE:
+            syms.pop()
+        return Dim(syms)
+
+    def reverse(self) -> "Dim":
+        """``freverse``: the reversed symbol tuple, padded to rank 2 first
+        so that a reduced row/column still flips orientation."""
+        syms = self.syms
+        if len(syms) < 2:
+            syms = syms + (ONE,) * (2 - len(syms))
+        return Dim(tuple(reversed(syms)))
+
+    def pad(self, rank: int) -> "Dim":
+        """This dimensionality padded with trailing ``1`` up to ``rank``."""
+        if len(self.syms) >= rank:
+            return self
+        return Dim(self.syms + (ONE,) * (rank - len(self.syms)))
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_scalar(self) -> bool:
+        """True when every entry is ``1``."""
+        return all(sym is ONE for sym in self.syms)
+
+    @property
+    def is_matrix(self) -> bool:
+        """Table 1's ``isMatrix``: at least two non-1 entries."""
+        return sum(1 for sym in self.syms if sym is not ONE) >= 2
+
+    @property
+    def is_vector(self) -> bool:
+        """Exactly one non-1 entry."""
+        return sum(1 for sym in self.syms if sym is not ONE) == 1
+
+    @property
+    def is_row(self) -> bool:
+        """A (possibly vectorized) ``1×n`` shape with n > 1."""
+        reduced = self.reduce()
+        return len(reduced) == 2 and reduced[0] is ONE and reduced[1] is not ONE
+
+    @property
+    def is_col(self) -> bool:
+        """A (possibly vectorized) ``m×1`` shape with m > 1."""
+        reduced = self.reduce()
+        return len(reduced) == 1 and reduced[0] is not ONE or (
+            len(reduced) == 2 and reduced[0] is not ONE and reduced[1] is ONE
+        )
+
+    # -- r-symbol bookkeeping -------------------------------------------
+
+    def r_syms(self) -> frozenset[RSym]:
+        """The set of loop symbols occurring in this dimensionality."""
+        return frozenset(sym for sym in self.syms if isinstance(sym, RSym))
+
+    def has_duplicate_r(self) -> bool:
+        """True when some ``r_i`` occurs in more than one position (the
+        §3 "matrix access" situation, e.g. ``A(i,i)``)."""
+        seen: set[RSym] = set()
+        for sym in self.syms:
+            if isinstance(sym, RSym):
+                if sym in seen:
+                    return True
+                seen.add(sym)
+        return False
+
+    def unvectorized(self) -> "Dim":
+        """The dimensionality *before* vectorization: every ``r_i`` was a
+        single iteration's scalar slot, so r symbols become ``1``."""
+        return Dim(tuple(ONE if isinstance(s, RSym) else s for s in self.syms)).reduce()
+
+    def axis_of(self, sym: RSym) -> Optional[int]:
+        """0-based index of the unique position holding ``sym``, else None."""
+        positions = [k for k, s in enumerate(self.syms) if s == sym]
+        return positions[0] if len(positions) == 1 else None
+
+    def replace_axis(self, axis: int, sym: Sym) -> "Dim":
+        """A copy with position ``axis`` replaced by ``sym``."""
+        syms = list(self.syms)
+        syms[axis] = sym
+        return Dim(syms)
+
+
+def compatible(a: Dim, b: Dim) -> bool:
+    """The paper's compatibility relation ``dimi(e1) ≃ dimi(e2)``:
+    reduced dimensionalities are identical, symbol for symbol."""
+    return a.reduce() == b.reduce()
+
+
+def equal(a: Dim, b: Dim) -> bool:
+    """Strict equality ``≡``: identical element-wise (no reduction)."""
+    return a == b

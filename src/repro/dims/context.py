@@ -1,0 +1,119 @@
+"""Analysis context: variable shapes, active loop symbols, builtin tables.
+
+The :class:`DimContext` bundles everything the Table-1 rules need:
+
+* a shape environment mapping variable names to their *base* abstract
+  dimensionality (from ``%!`` annotations and/or shape inference);
+* the set of loop index variables currently being vectorized, each bound
+  to its :class:`~repro.dims.abstract.RSym`;
+* classification of known MATLAB builtins (pointwise vs. shape-level),
+  used to decide whether ``f(x)`` propagates dimensionality pointwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ShapeError
+from .abstract import Dim, RSym
+
+#: Builtins applied elementwise to one argument — ``dimi(f(e)) = dimi(e)``.
+POINTWISE_UNARY = frozenset(
+    """
+    cos sin tan acos asin atan cosh sinh tanh exp log log2 log10 sqrt
+    abs sign floor ceil round fix real imag conj double single uint8
+    int8 int16 int32 uint16 uint32 logical not isnan isinf isfinite
+    """.split()
+)
+
+#: Builtins applied elementwise to two arguments (scalar extension applies).
+POINTWISE_BINARY = frozenset("mod rem atan2 hypot power times plus minus".split())
+
+#: Reduction builtins: one array argument collapses along a dimension.
+REDUCTIONS = frozenset("sum prod cumsum cumprod mean min max any all".split())
+
+#: Builtins whose *result* shape is known from their signature alone.
+SHAPE_BUILTINS = frozenset(
+    """
+    size numel length ndims zeros ones eye rand randn linspace colon
+    repmat reshape diag tril triu transpose ctranspose find sort hist
+    histc isempty disp fprintf error cat horzcat vertcat dot norm kron
+    """.split()
+)
+
+#: Functions whose value changes between calls or that have side
+#: effects: hoisting them out of a loop (which vectorization does)
+#: changes program behaviour, so they veto vectorization.
+IMPURE_FUNCTIONS = frozenset(
+    "rand randn randi disp fprintf error input tic toc".split())
+
+#: Every name the analyses recognize as a function rather than a variable.
+KNOWN_FUNCTIONS = (
+    POINTWISE_UNARY | POINTWISE_BINARY | REDUCTIONS | SHAPE_BUILTINS
+)
+
+
+@dataclass
+class ShapeEnv:
+    """Mapping from variable names to base abstract dimensionalities."""
+
+    shapes: dict[str, Dim] = field(default_factory=dict)
+
+    def get(self, name: str) -> Optional[Dim]:
+        return self.shapes.get(name)
+
+    def require(self, name: str) -> Dim:
+        dim = self.shapes.get(name)
+        if dim is None:
+            raise ShapeError(f"no shape information for variable {name!r}")
+        return dim
+
+    def set(self, name: str, dim: Dim) -> None:
+        self.shapes[name] = dim
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.shapes
+
+    def copy(self) -> "ShapeEnv":
+        return ShapeEnv(dict(self.shapes))
+
+    def merge(self, other: "ShapeEnv") -> None:
+        """Overlay ``other``'s entries on top of this environment."""
+        self.shapes.update(other.shapes)
+
+
+@dataclass
+class DimContext:
+    """Everything needed to evaluate vectorized dimensionalities.
+
+    ``loop_syms`` holds *only* the loops currently considered for
+    vectorization — index variables of enclosing sequential loops are
+    plain scalars and must appear in ``shapes`` (or default to scalar
+    via :meth:`var_dim`'s ``sequential_vars``).
+    """
+
+    shapes: ShapeEnv = field(default_factory=ShapeEnv)
+    loop_syms: dict[str, RSym] = field(default_factory=dict)
+    sequential_vars: frozenset[str] = frozenset()
+
+    def sym_for(self, name: str) -> Optional[RSym]:
+        """The r symbol of an actively vectorized index variable, or None."""
+        return self.loop_syms.get(name)
+
+    def var_dim(self, name: str) -> Optional[Dim]:
+        """The base dimensionality of variable ``name`` if known."""
+        if name in self.loop_syms or name in self.sequential_vars:
+            return Dim.scalar()
+        return self.shapes.get(name)
+
+    def is_function(self, name: str) -> bool:
+        """True when ``name`` resolves to a function, not a variable."""
+        if name in self.loop_syms or name in self.sequential_vars:
+            return False
+        if name in self.shapes:
+            return False
+        return name in KNOWN_FUNCTIONS
+
+    def active_syms(self) -> frozenset[RSym]:
+        return frozenset(self.loop_syms.values())

@@ -1,0 +1,123 @@
+"""Result-shape signatures for MATLAB builtins.
+
+Used by the dimension checker (for loop-invariant calls inside candidate
+statements) and by the shape-inference pass (for straight-line preamble
+code such as ``h = hist(im(:), 0:255)`` in the paper's Figure 3).
+
+The rules are *abstract*: they map operand :class:`~repro.dims.abstract.Dim`
+values (plus literal argument values where shape depends on them, e.g.
+``zeros(1, n)`` vs ``zeros(n)``) to a result ``Dim``, returning None when
+the shape cannot be determined.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..mlang.ast_nodes import Expr, literal_value
+from .abstract import ONE, STAR, Dim, Sym
+
+#: Named constants usable as scalar identifiers.
+CONSTANT_NAMES = frozenset({"pi", "eps", "Inf", "inf", "NaN", "nan", "e"})
+
+
+def _size_sym(arg: Optional[Expr]) -> Sym:
+    """Abstract size of a literal dimension argument: 1 → ONE, else STAR."""
+    if arg is not None:
+        value = literal_value(arg)
+        if value == 1.0:
+            return ONE
+    return STAR
+
+
+def _collapse_all(dim: Dim) -> Dim:
+    """Shape after summing a full reduction: vectors collapse to scalars,
+    matrices collapse their first dimension."""
+    reduced = dim.reduce()
+    if reduced.is_scalar or reduced.is_vector:
+        return Dim.scalar()
+    return Dim((ONE,) + reduced.syms[1:])
+
+
+def _reduce_along(dim: Dim, axis_arg: Optional[Expr]) -> Optional[Dim]:
+    if axis_arg is None:
+        return _collapse_all(dim)
+    axis = literal_value(axis_arg)
+    if axis is None:
+        return None
+    axis = int(axis)
+    padded = dim.pad(max(axis, 2))
+    if not 1 <= axis <= len(padded):
+        return None
+    return padded.replace_axis(axis - 1, ONE)
+
+
+def builtin_result_dim(name: str, arg_dims: Sequence[Dim],
+                       args: Sequence[Expr]) -> Optional[Dim]:
+    """Abstract result shape of ``name(args…)``, or None when unknown."""
+    n = len(arg_dims)
+
+    if name in ("size",):
+        return Dim.scalar() if n == 2 else Dim.row()
+    if name in ("numel", "length", "ndims", "isempty", "norm", "dot",
+                "nnz", "trace", "det", "rank"):
+        return Dim.scalar()
+    if name in ("zeros", "ones", "rand", "randn", "eye", "nan", "inf"):
+        if n == 0:
+            return Dim.scalar()
+        if n == 1:
+            sym = _size_sym(args[0])
+            return Dim((sym, sym))
+        return Dim(tuple(_size_sym(a) for a in args[:2]))
+    if name == "linspace":
+        return Dim.row()
+    if name == "colon":
+        return Dim.row()
+    if name in ("sum", "prod", "mean", "any", "all"):
+        if n == 0:
+            return None
+        return _reduce_along(arg_dims[0], args[1] if n >= 2 else None)
+    if name in ("min", "max"):
+        if n == 1:
+            return _collapse_all(arg_dims[0])
+        if n == 2:
+            from .vectorized import pointwise_result
+
+            return pointwise_result(arg_dims[0], arg_dims[1])
+        return None
+    if name in ("cumsum", "cumprod", "sort", "floor", "ceil", "round",
+                "fix", "abs"):
+        return arg_dims[0] if n >= 1 else None
+    if name in ("transpose", "ctranspose"):
+        return arg_dims[0].reverse() if n == 1 else None
+    if name == "repmat":
+        if n == 3 and arg_dims[0].reduce().pad(2) is not None:
+            base = arg_dims[0].pad(2)
+            rows = _merge_rep(base[0], args[1])
+            cols = _merge_rep(base[1], args[2])
+            return Dim((rows, cols))
+        return Dim.matrix()
+    if name == "reshape":
+        if n >= 3:
+            return Dim(tuple(_size_sym(a) for a in args[1:]))
+        return None
+    if name == "diag":
+        if n >= 1 and arg_dims[0].is_matrix:
+            return Dim.col()
+        return Dim.matrix()
+    if name in ("tril", "triu", "kron"):
+        return Dim.matrix()
+    if name in ("hist", "histc"):
+        return Dim.row()
+    if name == "find":
+        return Dim.col()
+    if name in ("disp", "fprintf", "error"):
+        return Dim.scalar()
+    return None
+
+
+def _merge_rep(base: Sym, count: Optional[Expr]) -> Sym:
+    value = literal_value(count) if count is not None else None
+    if value == 1.0:
+        return base
+    return STAR

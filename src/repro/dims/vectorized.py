@@ -1,0 +1,172 @@
+"""Table 1: rules for computing vectorized dimensionalities.
+
+These are the *leaf* rules of the paper's dimensionality analysis —
+pure functions over :class:`~repro.dims.abstract.Dim` values.  The full
+statement traversal (which also consults the pattern database, inserts
+transposes, and tracks reduction sets) lives in
+:mod:`repro.vectorizer.checker` and calls into this module.
+
+Rule summary (Table 1 of the paper):
+
+=====================================  =======================================
+Expression                             ``dimi(e)``
+=====================================  =======================================
+scalar constant                        ``(1)``
+identifier ``i`` (loop index)          ``(1, r_i)``
+identifier ``v`` (other)               ``dim(v)``
+colon expression ``a:b:c``             ``(1, *)``
+``M(e1)``, M or e1 a matrix            ``dimi(e1)``
+``M(e1)``, M a vector                  orientation of M, size ``fmax(dimi(e1))``
+``M(e1, …, ek)``                       ``(fmax(dimi(e1)), …, fmax(dimi(ek)))``
+``+e`` / ``-e``                        ``dimi(e)``
+``e'``                                 ``freverse(dimi(e))``
+=====================================  =======================================
+
+A rule returning ``None`` means "the expression cannot be assigned a
+vectorized dimensionality" and vetoes vectorization at this loop level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .abstract import ONE, STAR, Dim, Sym, fmax
+from .context import DimContext
+
+#: Sentinel for a bare ``:`` subscript — it has no expression dims of its
+#: own; its contribution depends on the indexed array.
+COLON = object()
+
+SubscriptDim = Union[Dim, object]  # Dim or the COLON sentinel
+
+
+def collapse(dim: Dim) -> Optional[Sym]:
+    """``fmax`` over every entry of a dimensionality (Table 1 uses this to
+    turn a subscript expression's dims into a single extent symbol)."""
+    return fmax(*dim.syms)
+
+
+def dim_of_scalar() -> Dim:
+    """A numeric literal or other provably-scalar expression: ``(1)``."""
+    return Dim.scalar()
+
+
+def dim_of_ident(name: str, ctx: DimContext) -> Optional[Dim]:
+    """An identifier: ``(1, r_i)`` for an active loop index, else its
+    declared/inferred base dimensionality (None when unknown)."""
+    sym = ctx.sym_for(name)
+    if sym is not None:
+        return Dim((ONE, sym))
+    return ctx.var_dim(name)
+
+
+def dim_of_colon_expr() -> Dim:
+    """A colon (range) expression ``a:b:c`` is a row vector: ``(1,*)``."""
+    return Dim.row()
+
+
+def dim_of_transpose(operand: Dim) -> Dim:
+    """``e'`` — ``freverse``."""
+    return operand.reverse()
+
+
+def dim_of_signed(operand: Dim) -> Dim:
+    """``+e`` / ``-e`` — unchanged."""
+    return operand
+
+
+def dim_of_subscript(base: Dim, args: Sequence[SubscriptDim]) -> Optional[Dim]:
+    """Dimensionality of ``M(e1, …, ek)`` given ``dim(M)`` and each
+    subscript's vectorized dims (or :data:`COLON`).
+
+    Returns None when some subscript mixes incomparable extents (e.g. a
+    subscript whose own dims are ``(r_i, r_j)``), which vetoes
+    vectorization of the access.  Duplicate-``r`` results (``A(i,i)``)
+    are *returned* here; the checker detects them and consults the
+    pattern database (§3's ``(·)`` patterns).
+    """
+    if not args:
+        return base
+    if len(args) == 1:
+        return _dim_of_linear_subscript(base, args[0])
+    out: list[Sym] = []
+    padded = base.pad(len(args))
+    for position, arg in enumerate(args):
+        if arg is COLON:
+            out.append(padded[position])
+            continue
+        assert isinstance(arg, Dim)
+        extent = collapse(arg)
+        if extent is None:
+            return None
+        out.append(extent)
+    return Dim(out)
+
+
+def _dim_of_linear_subscript(base: Dim, arg: SubscriptDim) -> Optional[Dim]:
+    if arg is COLON:
+        # A(:) flattens to a column.
+        return Dim.scalar() if base.is_scalar else Dim((STAR, ONE))
+    assert isinstance(arg, Dim)
+    if base.is_matrix or arg.is_matrix:
+        # Table 1: the access takes the subscript's shape.
+        return arg
+    if arg.is_scalar:
+        return Dim.scalar()
+    extent = collapse(arg)
+    if extent is None:
+        return None
+    if base.is_scalar:
+        # Indexing a scalar with a vector replicates it (rare; MATLAB
+        # allows e.g. s(ones(1,n))); result takes the subscript's shape.
+        return arg
+    # M is a vector: the result follows M's orientation (the paper's
+    # example: dim(A) = (*,1)  ⇒  dimi(A(i)) = (r_i, 1)).
+    if base.is_row:
+        return Dim((ONE, extent))
+    return Dim((extent, ONE))
+
+
+def dim_of_matrix_literal(row_lengths: Sequence[int],
+                          element_dims: Sequence[Dim]) -> Optional[Dim]:
+    """Approximate dims of a matrix literal built from scalar elements.
+
+    Only literals whose elements are all scalars are given a
+    dimensionality (others return None and veto vectorization; the
+    paper's subset never builds matrices from vector pieces inside
+    candidate loops).
+    """
+    if not row_lengths:
+        return Dim((ONE, ONE))  # `[]` — treated as degenerate scalar slot
+    if any(not d.is_scalar for d in element_dims):
+        if len(row_lengths) == 1 and len(element_dims) == 1:
+            # `[expr]` — brackets around a single expression.
+            return element_dims[0]
+        return None
+    rows = len(row_lengths)
+    cols = row_lengths[0]
+    if any(length != cols for length in row_lengths):
+        return None
+    return Dim((ONE if rows == 1 else STAR, ONE if cols == 1 else STAR))
+
+
+def assignment_compatible(lhs: Dim, rhs: Dim) -> bool:
+    """§2.1 assignment rule: compatible dims, or a scalar right-hand side."""
+    return rhs.is_scalar or lhs.reduce() == rhs.reduce()
+
+
+def pointwise_result(lhs: Dim, rhs: Dim) -> Optional[Dim]:
+    """§2.1 pointwise rule: the result dims of ``e_l ∘ e_r`` for a
+    pointwise operator, or None when the operands are incompatible.
+
+    1. compatible dims → ``dimi(e_l)``;
+    2. scalar left → ``dimi(e_r)``;
+    3. scalar right → ``dimi(e_l)``.
+    """
+    if lhs.reduce() == rhs.reduce():
+        return lhs
+    if lhs.is_scalar:
+        return rhs
+    if rhs.is_scalar:
+        return lhs
+    return None

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to distinguish front-end, analysis, and runtime
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SourceError(ReproError):
+    """An error tied to a location in MATLAB source code."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """Raised by the lexer on malformed input (bad characters, unterminated strings)."""
+
+
+class ParseError(SourceError):
+    """Raised by the parser on syntactically invalid MATLAB."""
+
+
+class AnnotationError(SourceError):
+    """Raised when a ``%!`` shape annotation cannot be parsed."""
+
+
+class ShapeError(ReproError):
+    """Raised when shape information is missing or inconsistent."""
+
+
+class DimError(ReproError):
+    """Raised on invalid operations over abstract dimensionalities."""
+
+
+class PatternError(ReproError):
+    """Raised on invalid pattern definitions or registrations."""
+
+
+class DependenceError(ReproError):
+    """Raised when dependence analysis cannot handle a construct."""
+
+
+class VectorizeError(ReproError):
+    """Raised when the vectorizer is asked to do something unsupported.
+
+    Note that *failure to vectorize* a loop is not an error — the driver
+    simply leaves such loops untouched.  This exception marks internal
+    misuse or malformed input to vectorizer entry points.
+    """
+
+
+class MatlabRuntimeError(ReproError):
+    """Raised by the MATLAB interpreter for errors MATLAB itself would raise."""
+
+
+class TranslateError(ReproError):
+    """Raised when the NumPy transpiler meets an untranslatable construct."""

@@ -1,0 +1,6 @@
+"""MATLAB language front-end: lexer, parser, AST, printer, annotations."""
+
+from .ast_nodes import *  # noqa: F401,F403
+from .lexer import tokenize  # noqa: F401
+from .parser import parse, parse_expr, parse_stmt  # noqa: F401
+from .printer import expr_to_source, to_source  # noqa: F401

@@ -1,0 +1,48 @@
+"""Parsing of ``%!`` shape annotations (§4 of the paper).
+
+The paper assumes shape information is produced by external inference
+tools and supplied as comment annotations::
+
+    %! i(1) a(1,*) b(*,1) A(*,*)
+
+declares ``i`` scalar, ``a`` a row vector, ``b`` a column vector, and
+``A`` a matrix.  This module turns annotation strings into a
+:class:`~repro.dims.context.ShapeEnv`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..dims.abstract import Dim
+from ..dims.context import ShapeEnv
+from ..errors import AnnotationError, DimError
+
+_ENTRY = re.compile(r"([A-Za-z_]\w*)\s*\(([^()]*)\)")
+
+
+def parse_annotation(text: str, env: ShapeEnv) -> ShapeEnv:
+    """Parse one annotation string into ``env`` (returned for chaining)."""
+    stripped = text.strip()
+    consumed = 0
+    for match in _ENTRY.finditer(stripped):
+        name, dims = match.group(1), match.group(2)
+        try:
+            env.set(name, Dim.parse(f"({dims})"))
+        except DimError as error:
+            raise AnnotationError(
+                f"bad annotation for {name!r}: {error}") from error
+        consumed += len(match.group(0))
+    leftovers = _ENTRY.sub("", stripped).strip()
+    if leftovers:
+        raise AnnotationError(
+            f"unrecognized annotation text: {leftovers!r}")
+    return env
+
+
+def parse_annotations(texts: list[str]) -> ShapeEnv:
+    """Parse a list of annotation strings into a fresh environment."""
+    env = ShapeEnv()
+    for text in texts:
+        parse_annotation(text, env)
+    return env

@@ -1,0 +1,368 @@
+"""AST node definitions for the MATLAB subset.
+
+All nodes are plain dataclasses.  Structural equality ignores source
+positions (``pos`` fields use ``compare=False``) so that golden tests can
+compare freshly built trees against parsed ones.
+
+The expression grammar distinguishes *application* (``Apply``) which in
+MATLAB ambiguously means either array indexing or a function call; the
+distinction is resolved later using shape/symbol information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Iterator, Optional, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Pos:
+    """A 1-based source position."""
+
+    line: int = 0
+    column: int = 0
+
+
+@dataclass(eq=True)
+class Node:
+    """Base class for every AST node."""
+
+    def children(self) -> Iterator["Node"]:
+        """Yield all direct child nodes (recursing through arbitrarily
+        nested lists/tuples, e.g. ``If.tests``'s (cond, body) pairs)."""
+
+        def emit(value):
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    yield from emit(item)
+
+        for f in fields(self):
+            yield from emit(getattr(self, f.name))
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+
+class Stmt(Node):
+    """Base class for statements."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=True)
+class Num(Expr):
+    """A numeric literal.  ``raw`` preserves the source spelling."""
+
+    value: float
+    raw: str = ""
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.raw:
+            self.raw = _format_number(self.value)
+
+    @property
+    def is_integer(self) -> bool:
+        return float(self.value) == int(self.value)
+
+
+def _format_number(value: float) -> str:
+    if float(value) == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(float(value))
+
+
+@dataclass(eq=True)
+class Str(Expr):
+    """A character-array literal (single-quoted string)."""
+
+    value: str
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class Ident(Expr):
+    """An identifier reference (variable or function name)."""
+
+    name: str
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class Colon(Expr):
+    """The bare ``:`` subscript meaning "all elements along a dimension"."""
+
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class End(Expr):
+    """The ``end`` keyword used inside a subscript."""
+
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class Range(Expr):
+    """A colon expression ``start:stop`` or ``start:step:stop``."""
+
+    start: Expr
+    stop: Expr
+    step: Optional[Expr] = None
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class BinOp(Expr):
+    """A binary operation.  ``op`` is the MATLAB spelling (``+``, ``.*`` …)."""
+
+    op: str
+    left: Expr
+    right: Expr
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class UnOp(Expr):
+    """A unary operation: ``+``, ``-``, or logical ``~``."""
+
+    op: str
+    operand: Expr
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class Transpose(Expr):
+    """A postfix transpose: ``'`` (ctranspose) or ``.'`` (transpose)."""
+
+    operand: Expr
+    conjugate: bool = True
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class Apply(Expr):
+    """``f(a, b, …)`` — array indexing or a function call.
+
+    MATLAB syntax does not distinguish the two; analyses resolve the
+    ambiguity with a symbol table.  ``func`` is usually an :class:`Ident`
+    but may be any expression (e.g. a chained index).
+    """
+
+    func: Expr
+    args: list[Expr]
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class Matrix(Expr):
+    """A matrix literal ``[r1e1, r1e2; r2e1, r2e2]`` (rows of expressions)."""
+
+    rows: list[list[Expr]]
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=True)
+class Assign(Stmt):
+    """``lhs = rhs`` where ``lhs`` is an :class:`Ident` or indexed :class:`Apply`."""
+
+    lhs: Expr
+    rhs: Expr
+    suppress: bool = True
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class MultiAssign(Stmt):
+    """``[a, b, …] = f(…)`` — multiple-output assignment."""
+
+    targets: list[Expr]
+    rhs: Expr
+    suppress: bool = True
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class ExprStmt(Stmt):
+    """A bare expression evaluated for effect/display."""
+
+    expr: Expr
+    suppress: bool = True
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class For(Stmt):
+    """``for var = iter, body, end``."""
+
+    var: str
+    iter: Expr
+    body: list[Stmt]
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class While(Stmt):
+    """``while cond, body, end``."""
+
+    cond: Expr
+    body: list[Stmt]
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class If(Stmt):
+    """``if``/``elseif``/``else`` chain.
+
+    ``tests`` holds (condition, body) pairs for the ``if`` and each
+    ``elseif``; ``orelse`` is the ``else`` body (possibly empty).
+    """
+
+    tests: list[tuple[Expr, list[Stmt]]]
+    orelse: list[Stmt] = field(default_factory=list)
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class Break(Stmt):
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class Continue(Stmt):
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class Return(Stmt):
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class Global(Stmt):
+    """``global a b c``."""
+
+    names: list[str]
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class FunctionDef(Stmt):
+    """``function [outs] = name(params) body end``."""
+
+    name: str
+    params: list[str]
+    outs: list[str]
+    body: list[Stmt]
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class Annotation(Stmt):
+    """A ``%!`` shape-annotation comment, preserved in statement position."""
+
+    text: str
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+
+@dataclass(eq=True)
+class Program(Node):
+    """A whole script: a statement list plus any shape annotations seen."""
+
+    body: list[Stmt]
+    pos: Pos = field(default_factory=Pos, compare=False, repr=False)
+
+    @property
+    def annotations(self) -> list[str]:
+        """All ``%!`` annotation texts, in source order, anywhere in the tree."""
+        return [n.text for n in self.walk() if isinstance(n, Annotation)]
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors used heavily by rewriting passes
+# ---------------------------------------------------------------------------
+
+
+def num(value: Union[int, float]) -> Num:
+    """Build a numeric literal node."""
+    return Num(float(value))
+
+
+def ident(name: str) -> Ident:
+    """Build an identifier node."""
+    return Ident(name)
+
+
+def call(name: str, *args: Expr) -> Apply:
+    """Build ``name(args…)``."""
+    return Apply(Ident(name), list(args))
+
+
+def binop(op: str, left: Expr, right: Expr) -> BinOp:
+    return BinOp(op, left, right)
+
+
+def add(left: Expr, right: Expr) -> BinOp:
+    return BinOp("+", left, right)
+
+
+def sub(left: Expr, right: Expr) -> BinOp:
+    return BinOp("-", left, right)
+
+
+def mul(left: Expr, right: Expr) -> BinOp:
+    return BinOp("*", left, right)
+
+
+def emul(left: Expr, right: Expr) -> BinOp:
+    return BinOp(".*", left, right)
+
+
+def transpose(operand: Expr) -> Transpose:
+    return Transpose(operand, conjugate=True)
+
+
+def colon_range(start: Union[int, Expr], stop: Union[int, Expr],
+                step: Union[int, Expr, None] = None) -> Range:
+    """Build ``start:stop`` / ``start:step:stop`` accepting ints or exprs."""
+    def lift(v: Union[int, Expr, None]) -> Optional[Expr]:
+        if v is None or isinstance(v, Expr):
+            return v
+        return num(v)
+
+    return Range(lift(start), lift(stop), lift(step))
+
+
+def is_scalar_literal(node: Node) -> bool:
+    """True for numeric literals and signed numeric literals."""
+    if isinstance(node, Num):
+        return True
+    return isinstance(node, UnOp) and node.op in "+-" and is_scalar_literal(node.operand)
+
+
+def literal_value(node: Node) -> Optional[float]:
+    """The numeric value of a (possibly signed) literal, else None."""
+    if isinstance(node, Num):
+        return node.value
+    if isinstance(node, UnOp) and node.op in "+-" and (
+        (inner := literal_value(node.operand)) is not None
+    ):
+        return inner if node.op == "+" else -inner
+    return None

@@ -1,0 +1,260 @@
+"""Lexer for the MATLAB subset understood by the vectorizer.
+
+The lexer handles the classic MATLAB tokenization subtleties:
+
+* ``'`` is either the transpose operator or a string delimiter, decided
+  by the preceding token (transpose after identifiers, numbers, closing
+  brackets, ``end``, or another transpose; string otherwise);
+* ``''`` inside a string is an escaped quote;
+* ``...`` continues a logical line (the rest of the physical line,
+  including any trailing comment, is discarded);
+* ``%`` starts a comment; ``%!`` starts a *shape annotation* which is
+  preserved as an :class:`~repro.mlang.tokens.TokenKind.ANNOTATION`
+  token for the annotation parser;
+* tokens record whether whitespace preceded them, which the parser uses
+  to split space-separated matrix-literal elements (``[1 -2]`` vs
+  ``[1 - 2]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LexError
+from .tokens import KEYWORDS, MULTI_CHAR_OPS, SINGLE_CHAR_OPS, Token, TokenKind
+
+
+@dataclass(frozen=True)
+class SpacedToken(Token):
+    """A token annotated with surrounding-whitespace facts.
+
+    ``space_before``/``space_after`` let the parser reproduce MATLAB's
+    whitespace-sensitive treatment of ``+``/``-`` inside matrix literals.
+    """
+
+    space_before: bool = False
+    space_after: bool = False
+
+
+#: Tokens after which a quote means transpose rather than a string start.
+_TRANSPOSE_PREDECESSORS = {")", "]", "}", "'", ".'"}
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Convert MATLAB source text into a list of tokens."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.tokens: list[SpacedToken] = []
+        self._pending_space = False
+
+    # -- low-level cursor helpers ------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.column)
+
+    # -- token emission ----------------------------------------------
+
+    def _emit(self, kind: TokenKind, text: str, line: int, column: int) -> None:
+        if self.tokens:
+            prev = self.tokens[-1]
+            if self._pending_space and prev.line == line:
+                object.__setattr__(prev, "space_after", True)
+        self.tokens.append(
+            SpacedToken(kind, text, line, column, space_before=self._pending_space)
+        )
+        self._pending_space = False
+
+    # -- main loop ----------------------------------------------------
+
+    def tokenize(self) -> list[SpacedToken]:
+        """Tokenize the whole source; always ends with an EOF token."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r":
+                self._advance()
+                self._pending_space = True
+            elif ch == "\n":
+                self._lex_newline()
+            elif ch == "%":
+                self._lex_comment()
+            elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                self._lex_number()
+            elif _is_ident_start(ch):
+                self._lex_ident()
+            elif ch == "'":
+                self._lex_quote()
+            elif ch == '"':
+                self._lex_dquote_string()
+            else:
+                self._lex_operator()
+        self._emit(TokenKind.EOF, "", self.line, self.column)
+        return self.tokens
+
+    # -- individual token lexers ---------------------------------------
+
+    def _lex_newline(self) -> None:
+        line, column = self.line, self.column
+        self._advance()
+        # Collapse runs of blank lines into one separator.
+        if self.tokens and self.tokens[-1].kind is not TokenKind.NEWLINE:
+            self._emit(TokenKind.NEWLINE, "\n", line, column)
+        self._pending_space = False
+
+    def _lex_comment(self) -> None:
+        line, column = self.line, self.column
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() != "\n":
+            self._advance()
+        text = self.source[start : self.pos]
+        if text.startswith("%!"):
+            self._emit(TokenKind.ANNOTATION, text[2:].strip(), line, column)
+
+    def _lex_number(self) -> None:
+        line, column = self.line, self.column
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        nxt = self._peek(1)
+        # A '.' is part of the number unless it begins an elementwise
+        # operator ('.*', './', '.\\', '.^', ".'") or a field access.
+        if self._peek() == "." and (
+            nxt.isdigit()
+            or nxt == ""
+            or (not _is_ident_char(nxt) and nxt not in "*/^\\'")
+        ):
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        self._emit(TokenKind.NUMBER, self.source[start : self.pos], line, column)
+
+    def _lex_ident(self) -> None:
+        line, column = self.line, self.column
+        start = self.pos
+        while _is_ident_char(self._peek()):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        self._emit(kind, text, line, column)
+
+    def _prev_allows_transpose(self) -> bool:
+        if not self.tokens:
+            return False
+        prev = self.tokens[-1]
+        if self._pending_space:
+            # "a '" starts a string in MATLAB command contexts; within the
+            # expression grammar we support, whitespace before a quote
+            # means a string (e.g. disp('x')  vs  A').
+            return False
+        if prev.kind in (TokenKind.IDENT, TokenKind.NUMBER):
+            return True
+        if prev.kind is TokenKind.KEYWORD and prev.text == "end":
+            return True
+        return prev.kind is TokenKind.OP and prev.text in _TRANSPOSE_PREDECESSORS
+
+    def _lex_quote(self) -> None:
+        line, column = self.line, self.column
+        if self._prev_allows_transpose():
+            self._advance()
+            self._emit(TokenKind.OP, "'", line, column)
+            return
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source) or self._peek() == "\n":
+                raise LexError("unterminated string literal", line, column)
+            ch = self._advance()
+            if ch == "'":
+                if self._peek() == "'":
+                    self._advance()
+                    chars.append("'")
+                else:
+                    break
+            else:
+                chars.append(ch)
+        self._emit(TokenKind.STRING, "".join(chars), line, column)
+
+    def _lex_dquote_string(self) -> None:
+        line, column = self.line, self.column
+        self._advance()
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source) or self._peek() == "\n":
+                raise LexError("unterminated string literal", line, column)
+            ch = self._advance()
+            if ch == '"':
+                if self._peek() == '"':
+                    self._advance()
+                    chars.append('"')
+                else:
+                    break
+            else:
+                chars.append(ch)
+        self._emit(TokenKind.STRING, "".join(chars), line, column)
+
+    def _lex_operator(self) -> None:
+        line, column = self.line, self.column
+        for op in MULTI_CHAR_OPS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                if op == "...":
+                    # Line continuation: discard the rest of the line.
+                    while self.pos < len(self.source) and self._peek() != "\n":
+                        self._advance()
+                    if self.pos < len(self.source):
+                        self._advance()  # the newline itself
+                    self._pending_space = True
+                    return
+                self._emit(TokenKind.OP, op, line, column)
+                return
+        ch = self._peek()
+        if ch in SINGLE_CHAR_OPS:
+            self._advance()
+            if ch == ";":
+                self._emit(TokenKind.SEMI, ";", line, column)
+            elif ch == ",":
+                self._emit(TokenKind.COMMA, ",", line, column)
+            else:
+                self._emit(TokenKind.OP, ch, line, column)
+            return
+        raise self._error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str) -> list[SpacedToken]:
+    """Tokenize MATLAB ``source`` and return the token list (EOF-terminated)."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,556 @@
+"""Recursive-descent parser for the MATLAB subset.
+
+The grammar follows MATLAB's operator precedence table::
+
+    ||  <  &&  <  |  <  &  <  comparisons  <  :  <  + -
+       <  * / \\ .* ./ .\\  <  unary + - ~  <  ^ .^  <  postfix ' .' ( )
+
+MATLAB-specific behaviours implemented here:
+
+* ``a:b:c`` parses as ``Range(start=a, step=b, stop=c)``;
+* bare ``:`` and ``end`` are only legal inside subscripts;
+* matrix literals accept both comma- and space-separated elements, using
+  whitespace around ``+``/``-`` to disambiguate ``[1 -2]`` (two elements)
+  from ``[1 - 2]`` (one element);
+* power binds tighter than unary minus (``-2^2 == -4``) and is
+  left-associative;
+* ``[a, b] = f(x)`` becomes a :class:`MultiAssign`.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .ast_nodes import (
+    Annotation,
+    Apply,
+    Assign,
+    BinOp,
+    Break,
+    Colon,
+    Continue,
+    End,
+    Expr,
+    ExprStmt,
+    For,
+    FunctionDef,
+    Global,
+    Ident,
+    If,
+    Matrix,
+    MultiAssign,
+    Num,
+    Pos,
+    Program,
+    Range,
+    Return,
+    Stmt,
+    Str,
+    Transpose,
+    UnOp,
+    While,
+)
+from .lexer import SpacedToken, tokenize
+from .tokens import TokenKind
+
+_COMPARISON_OPS = ("==", "~=", "<", "<=", ">", ">=")
+_MULTIPLICATIVE_OPS = ("*", "/", "\\", ".*", "./", ".\\")
+_POWER_OPS = ("^", ".^")
+_BLOCK_TERMINATORS = ("end", "else", "elseif", "function")
+
+
+class Parser:
+    """Parse a token stream into a :class:`Program`."""
+
+    def __init__(self, tokens: list[SpacedToken]):
+        self.tokens = tokens
+        self.index = 0
+        self._subscript_depth = 0
+        self._matrix_depth = 0
+
+    # -- token stream helpers ------------------------------------------
+
+    @property
+    def current(self) -> SpacedToken:
+        return self.tokens[self.index]
+
+    def _advance(self) -> SpacedToken:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        tok = self.current
+        return ParseError(f"{message} (got {tok.kind.value} {tok.text!r})",
+                          tok.line, tok.column)
+
+    def _expect_op(self, op: str) -> SpacedToken:
+        if not self.current.is_op(op):
+            raise self._error(f"expected {op!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        if self.current.kind is not TokenKind.IDENT:
+            raise self._error("expected identifier")
+        return self._advance().text
+
+    def _accept_op(self, *ops: str) -> bool:
+        if self.current.is_op(*ops):
+            self._advance()
+            return True
+        return False
+
+    def _pos(self) -> Pos:
+        return Pos(self.current.line, self.current.column)
+
+    def _skip_separators(self) -> None:
+        while self.current.kind in (TokenKind.NEWLINE, TokenKind.SEMI,
+                                    TokenKind.COMMA):
+            self._advance()
+
+    # -- program / statement lists ---------------------------------------
+
+    def parse_program(self) -> Program:
+        body = self._parse_stmt_list(top_level=True)
+        if self.current.kind is not TokenKind.EOF:
+            raise self._error("unexpected trailing input")
+        return Program(body)
+
+    def _parse_stmt_list(self, top_level: bool = False) -> list[Stmt]:
+        stmts: list[Stmt] = []
+        self._skip_separators()
+        while True:
+            tok = self.current
+            if tok.kind is TokenKind.EOF:
+                if not top_level:
+                    raise self._error("unexpected end of input inside block")
+                return stmts
+            if tok.is_keyword(*_BLOCK_TERMINATORS) and not top_level:
+                return stmts
+            if tok.is_keyword("function") and top_level:
+                stmts.append(self._parse_function())
+            else:
+                stmts.append(self._parse_statement())
+            self._skip_separators()
+
+    def _finish_statement(self) -> bool:
+        """Consume the statement separator; return True when it was ';'."""
+        tok = self.current
+        if tok.kind is TokenKind.SEMI:
+            self._advance()
+            return True
+        if tok.kind in (TokenKind.NEWLINE, TokenKind.COMMA):
+            self._advance()
+            return False
+        if tok.kind is TokenKind.EOF or tok.is_keyword(*_BLOCK_TERMINATORS):
+            return False
+        raise self._error("expected end of statement")
+
+    def _parse_statement(self) -> Stmt:
+        tok = self.current
+        pos = self._pos()
+        if tok.kind is TokenKind.ANNOTATION:
+            self._advance()
+            return Annotation(tok.text, pos=pos)
+        if tok.is_keyword("for"):
+            return self._parse_for()
+        if tok.is_keyword("while"):
+            return self._parse_while()
+        if tok.is_keyword("if"):
+            return self._parse_if()
+        if tok.is_keyword("break"):
+            self._advance()
+            self._finish_statement()
+            return Break(pos=pos)
+        if tok.is_keyword("continue"):
+            self._advance()
+            self._finish_statement()
+            return Continue(pos=pos)
+        if tok.is_keyword("return"):
+            self._advance()
+            self._finish_statement()
+            return Return(pos=pos)
+        if tok.is_keyword("global"):
+            self._advance()
+            names = [self._expect_ident()]
+            while self.current.kind is TokenKind.IDENT:
+                names.append(self._advance().text)
+            self._finish_statement()
+            return Global(names, pos=pos)
+        return self._parse_expression_statement()
+
+    def _parse_expression_statement(self) -> Stmt:
+        pos = self._pos()
+        expr = self.parse_expr()
+        if self.current.is_op("="):
+            self._advance()
+            rhs = self.parse_expr()
+            suppress = self._finish_statement()
+            return self._make_assignment(expr, rhs, suppress, pos)
+        suppress = self._finish_statement()
+        return ExprStmt(expr, suppress=suppress, pos=pos)
+
+    def _make_assignment(self, lhs: Expr, rhs: Expr, suppress: bool,
+                         pos: Pos) -> Stmt:
+        if isinstance(lhs, Matrix):
+            if len(lhs.rows) != 1:
+                raise ParseError("invalid assignment target", pos.line, pos.column)
+            targets = lhs.rows[0]
+            for target in targets:
+                if not isinstance(target, (Ident, Apply)):
+                    raise ParseError("invalid assignment target",
+                                     pos.line, pos.column)
+            return MultiAssign(targets, rhs, suppress=suppress, pos=pos)
+        if not isinstance(lhs, (Ident, Apply)):
+            raise ParseError("invalid assignment target", pos.line, pos.column)
+        return Assign(lhs, rhs, suppress=suppress, pos=pos)
+
+    # -- compound statements ----------------------------------------------
+
+    def _parse_for(self) -> For:
+        pos = self._pos()
+        self._advance()  # 'for'
+        paren = self._accept_op("(")
+        var = self._expect_ident()
+        self._expect_op("=")
+        iter_expr = self.parse_expr()
+        if paren:
+            self._expect_op(")")
+        self._finish_statement()
+        body = self._parse_stmt_list()
+        self._expect_keyword("end")
+        return For(var, iter_expr, body, pos=pos)
+
+    def _parse_while(self) -> While:
+        pos = self._pos()
+        self._advance()  # 'while'
+        cond = self.parse_expr()
+        self._finish_statement()
+        body = self._parse_stmt_list()
+        self._expect_keyword("end")
+        return While(cond, body, pos=pos)
+
+    def _parse_if(self) -> If:
+        pos = self._pos()
+        self._advance()  # 'if'
+        tests: list[tuple[Expr, list[Stmt]]] = []
+        cond = self.parse_expr()
+        self._finish_statement()
+        tests.append((cond, self._parse_stmt_list()))
+        orelse: list[Stmt] = []
+        while True:
+            if self.current.is_keyword("elseif"):
+                self._advance()
+                cond = self.parse_expr()
+                self._finish_statement()
+                tests.append((cond, self._parse_stmt_list()))
+            elif self.current.is_keyword("else"):
+                self._advance()
+                self._finish_statement()
+                orelse = self._parse_stmt_list()
+            else:
+                break
+        self._expect_keyword("end")
+        return If(tests, orelse, pos=pos)
+
+    def _parse_function(self) -> FunctionDef:
+        pos = self._pos()
+        self._advance()  # 'function'
+        outs: list[str] = []
+        # Forms: function f(..) | function y = f(..) | function [a,b] = f(..)
+        if self.current.is_op("["):
+            self._advance()
+            if not self.current.is_op("]"):
+                outs.append(self._expect_ident())
+                while self.current.kind is TokenKind.COMMA:
+                    self._advance()
+                    outs.append(self._expect_ident())
+            self._expect_op("]")
+            self._expect_op("=")
+            name = self._expect_ident()
+        else:
+            name = self._expect_ident()
+            if self.current.is_op("="):
+                self._advance()
+                outs = [name]
+                name = self._expect_ident()
+        params: list[str] = []
+        if self._accept_op("("):
+            if not self.current.is_op(")"):
+                params.append(self._expect_ident())
+                while self.current.kind is TokenKind.COMMA:
+                    self._advance()
+                    params.append(self._expect_ident())
+            self._expect_op(")")
+        self._finish_statement()
+        body = self._parse_stmt_list()
+        if self.current.is_keyword("end"):
+            self._advance()
+        return FunctionDef(name, params, outs, body, pos=pos)
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self.current.is_keyword(word):
+            raise self._error(f"expected {word!r}")
+        self._advance()
+
+    # -- expressions -------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_short_or()
+
+    def _parse_short_or(self) -> Expr:
+        left = self._parse_short_and()
+        while self.current.is_op("||"):
+            pos = self._pos()
+            self._advance()
+            left = BinOp("||", left, self._parse_short_and(), pos=pos)
+        return left
+
+    def _parse_short_and(self) -> Expr:
+        left = self._parse_elem_or()
+        while self.current.is_op("&&"):
+            pos = self._pos()
+            self._advance()
+            left = BinOp("&&", left, self._parse_elem_or(), pos=pos)
+        return left
+
+    def _parse_elem_or(self) -> Expr:
+        left = self._parse_elem_and()
+        while self.current.is_op("|") and not self._breaks_matrix_element():
+            pos = self._pos()
+            self._advance()
+            left = BinOp("|", left, self._parse_elem_and(), pos=pos)
+        return left
+
+    def _parse_elem_and(self) -> Expr:
+        left = self._parse_comparison()
+        while self.current.is_op("&") and not self._breaks_matrix_element():
+            pos = self._pos()
+            self._advance()
+            left = BinOp("&", left, self._parse_comparison(), pos=pos)
+        return left
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_colon()
+        while self.current.is_op(*_COMPARISON_OPS):
+            pos = self._pos()
+            op = self._advance().text
+            left = BinOp(op, left, self._parse_colon(), pos=pos)
+        return left
+
+    def _parse_colon(self) -> Expr:
+        start = self._parse_additive()
+        if not self.current.is_op(":"):
+            return start
+        pos = self._pos()
+        self._advance()
+        second = self._parse_additive()
+        if self.current.is_op(":"):
+            self._advance()
+            third = self._parse_additive()
+            return Range(start, third, step=second, pos=pos)
+        return Range(start, second, pos=pos)
+
+    def _breaks_matrix_element(self) -> bool:
+        """True when the current binary-looking token actually starts a new
+        matrix element (``[1 -2]`` style)."""
+        if self._matrix_depth == 0 or self._subscript_depth > 0:
+            return False
+        tok = self.current
+        if not tok.space_before:
+            return False
+        if tok.is_op("+", "-"):
+            # '[1 - 2]' is subtraction; '[1 -2]' is two elements.
+            return not tok.space_after
+        return False
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self.current.is_op("+", "-") and not self._breaks_matrix_element():
+            pos = self._pos()
+            op = self._advance().text
+            left = BinOp(op, left, self._parse_multiplicative(), pos=pos)
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self.current.is_op(*_MULTIPLICATIVE_OPS):
+            pos = self._pos()
+            op = self._advance().text
+            left = BinOp(op, left, self._parse_unary(), pos=pos)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        tok = self.current
+        if tok.is_op("+", "-", "~"):
+            pos = self._pos()
+            self._advance()
+            operand = self._parse_unary()
+            # Fold a sign applied directly to a numeric literal so that
+            # printing a negative Num round-trips through the parser.
+            if tok.text in "+-" and isinstance(operand, Num):
+                value = operand.value if tok.text == "+" else -operand.value
+                return Num(value, pos=pos)
+            return UnOp(tok.text, operand, pos=pos)
+        return self._parse_power()
+
+    def _parse_power(self) -> Expr:
+        left = self._parse_postfix()
+        while self.current.is_op(*_POWER_OPS):
+            pos = self._pos()
+            op = self._advance().text
+            # MATLAB allows a unary sign directly after ^ (2^-3).
+            if self.current.is_op("+", "-", "~"):
+                sign = self._advance()
+                operand = self._parse_postfix()
+                if sign.text in "+-" and isinstance(operand, Num):
+                    value = operand.value if sign.text == "+" \
+                        else -operand.value
+                    right: Expr = Num(value, pos=Pos(sign.line, sign.column))
+                else:
+                    right = UnOp(sign.text, operand,
+                                 pos=Pos(sign.line, sign.column))
+            else:
+                right = self._parse_postfix()
+            left = BinOp(op, left, right, pos=pos)
+        return left
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self.current
+            if tok.is_op("'"):
+                self._advance()
+                expr = Transpose(expr, conjugate=True,
+                                 pos=Pos(tok.line, tok.column))
+            elif tok.is_op(".'"):
+                self._advance()
+                expr = Transpose(expr, conjugate=False,
+                                 pos=Pos(tok.line, tok.column))
+            elif tok.is_op("(") and not (tok.space_before and self._matrix_depth
+                                         and not self._subscript_depth):
+                expr = self._parse_apply(expr)
+            else:
+                return expr
+
+    def _parse_apply(self, func: Expr) -> Apply:
+        pos = self._pos()
+        self._expect_op("(")
+        self._subscript_depth += 1
+        args: list[Expr] = []
+        if not self.current.is_op(")"):
+            args.append(self._parse_subscript_arg())
+            while self.current.kind is TokenKind.COMMA:
+                self._advance()
+                args.append(self._parse_subscript_arg())
+        self._subscript_depth -= 1
+        self._expect_op(")")
+        return Apply(func, args, pos=pos)
+
+    def _parse_subscript_arg(self) -> Expr:
+        tok = self.current
+        if tok.is_op(":") and self._next_meaningful_is(")", ","):
+            self._advance()
+            return Colon(pos=Pos(tok.line, tok.column))
+        return self.parse_expr()
+
+    def _next_meaningful_is(self, *texts: str) -> bool:
+        nxt = self.tokens[self.index + 1]
+        return (nxt.kind is TokenKind.COMMA and "," in texts) or nxt.is_op(*texts)
+
+    def _parse_primary(self) -> Expr:
+        tok = self.current
+        pos = Pos(tok.line, tok.column)
+        if tok.kind is TokenKind.NUMBER:
+            self._advance()
+            return Num(float(tok.text), raw=tok.text, pos=pos)
+        if tok.kind is TokenKind.STRING:
+            self._advance()
+            return Str(tok.text, pos=pos)
+        if tok.kind is TokenKind.IDENT:
+            self._advance()
+            return Ident(tok.text, pos=pos)
+        if tok.is_keyword("end"):
+            if self._subscript_depth == 0:
+                raise self._error("'end' is only valid inside a subscript")
+            self._advance()
+            return End(pos=pos)
+        if tok.is_op("("):
+            self._advance()
+            saved_matrix = self._matrix_depth
+            self._matrix_depth = 0
+            expr = self.parse_expr()
+            self._matrix_depth = saved_matrix
+            self._expect_op(")")
+            return expr
+        if tok.is_op("["):
+            return self._parse_matrix()
+        raise self._error("expected an expression")
+
+    def _parse_matrix(self) -> Matrix:
+        pos = self._pos()
+        self._expect_op("[")
+        self._matrix_depth += 1
+        saved_subscript = self._subscript_depth
+        self._subscript_depth = 0
+        rows: list[list[Expr]] = []
+        current_row: list[Expr] = []
+        while True:
+            while self.current.kind is TokenKind.NEWLINE:
+                if current_row:
+                    rows.append(current_row)
+                    current_row = []
+                self._advance()
+            if self.current.is_op("]"):
+                break
+            current_row.append(self.parse_expr())
+            tok = self.current
+            if tok.kind is TokenKind.COMMA:
+                self._advance()
+            elif tok.kind is TokenKind.SEMI:
+                self._advance()
+                rows.append(current_row)
+                current_row = []
+            elif tok.kind is TokenKind.NEWLINE:
+                continue
+            elif tok.is_op("]"):
+                break
+            elif tok.space_before or tok.is_op("'") is False and (
+                tok.kind in (TokenKind.NUMBER, TokenKind.STRING,
+                             TokenKind.IDENT)
+                or tok.is_op("(", "[")
+            ):
+                # Space-separated element: loop to parse the next element.
+                continue
+            else:
+                raise self._error("expected ',', ';', or ']' in matrix literal")
+        if current_row:
+            rows.append(current_row)
+        self._matrix_depth -= 1
+        self._subscript_depth = saved_subscript
+        self._expect_op("]")
+        return Matrix(rows, pos=pos)
+
+
+def parse(source: str) -> Program:
+    """Parse MATLAB ``source`` into a :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single MATLAB expression (helper used widely in tests)."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expr()
+    parser._skip_separators()
+    if parser.current.kind is not TokenKind.EOF:
+        raise parser._error("unexpected trailing input after expression")
+    return expr
+
+
+def parse_stmt(source: str) -> Stmt:
+    """Parse a single MATLAB statement."""
+    program = parse(source)
+    stmts = [s for s in program.body if not isinstance(s, Annotation)]
+    if len(stmts) != 1:
+        raise ParseError(f"expected exactly one statement, got {len(stmts)}")
+    return stmts[0]

@@ -1,0 +1,251 @@
+"""Pretty-printer: AST → MATLAB source.
+
+The printer emits the *minimal* parenthesization that preserves the tree
+structure, so ``parse(print(ast)) == ast`` holds for every printable tree
+(this round-trip is enforced by property-based tests).
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from .ast_nodes import (
+    Annotation,
+    Apply,
+    Assign,
+    BinOp,
+    Break,
+    Colon,
+    Continue,
+    End,
+    Expr,
+    ExprStmt,
+    For,
+    FunctionDef,
+    Global,
+    Ident,
+    If,
+    Matrix,
+    MultiAssign,
+    Node,
+    Num,
+    Program,
+    Range,
+    Return,
+    Stmt,
+    Str,
+    Transpose,
+    UnOp,
+    While,
+)
+
+# Precedence levels; larger binds tighter.  Mirrors the parser.
+_PREC_OR_OR = 1
+_PREC_AND_AND = 2
+_PREC_OR = 3
+_PREC_AND = 4
+_PREC_CMP = 5
+_PREC_RANGE = 6
+_PREC_ADD = 7
+_PREC_MUL = 8
+_PREC_UNARY = 9
+_PREC_POW = 10
+_PREC_POSTFIX = 11
+_PREC_PRIMARY = 12
+
+_BINOP_PREC = {
+    "||": _PREC_OR_OR,
+    "&&": _PREC_AND_AND,
+    "|": _PREC_OR,
+    "&": _PREC_AND,
+    "==": _PREC_CMP,
+    "~=": _PREC_CMP,
+    "<": _PREC_CMP,
+    "<=": _PREC_CMP,
+    ">": _PREC_CMP,
+    ">=": _PREC_CMP,
+    "+": _PREC_ADD,
+    "-": _PREC_ADD,
+    "*": _PREC_MUL,
+    "/": _PREC_MUL,
+    "\\": _PREC_MUL,
+    ".*": _PREC_MUL,
+    "./": _PREC_MUL,
+    ".\\": _PREC_MUL,
+    "^": _PREC_POW,
+    ".^": _PREC_POW,
+}
+
+
+def _precedence(node: Expr) -> int:
+    if isinstance(node, BinOp):
+        return _BINOP_PREC[node.op]
+    if isinstance(node, Range):
+        return _PREC_RANGE
+    if isinstance(node, UnOp):
+        return _PREC_UNARY
+    if isinstance(node, (Transpose, Apply)):
+        return _PREC_POSTFIX
+    if isinstance(node, Num) and node.value < 0:
+        # Prints with a leading '-', so it binds like a unary expression.
+        return _PREC_UNARY
+    return _PREC_PRIMARY
+
+
+def expr_to_source(node: Expr) -> str:
+    """Render a single expression as MATLAB source."""
+    return _Emitter().expr(node)
+
+
+def to_source(node: Node) -> str:
+    """Render any AST node (program, statement, or expression) as source."""
+    emitter = _Emitter()
+    if isinstance(node, Program):
+        return emitter.program(node)
+    if isinstance(node, Stmt):
+        emitter.stmt(node, 0)
+        return "".join(emitter.lines)
+    if isinstance(node, Expr):
+        return emitter.expr(node)
+    raise ReproError(f"cannot print node of type {type(node).__name__}")
+
+
+class _Emitter:
+    """Stateful source emitter (statement indentation lives here)."""
+
+    def __init__(self, indent: str = "  "):
+        self.lines: list[str] = []
+        self.indent = indent
+
+    # -- expressions -----------------------------------------------------
+
+    def expr(self, node: Expr) -> str:
+        if isinstance(node, Num):
+            return self._num(node)
+        if isinstance(node, Str):
+            return "'" + node.value.replace("'", "''") + "'"
+        if isinstance(node, Ident):
+            return node.name
+        if isinstance(node, Colon):
+            return ":"
+        if isinstance(node, End):
+            return "end"
+        if isinstance(node, Range):
+            return self._range(node)
+        if isinstance(node, BinOp):
+            return self._binop(node)
+        if isinstance(node, UnOp):
+            return self._unop(node)
+        if isinstance(node, Transpose):
+            op = "'" if node.conjugate else ".'"
+            return self._child(node.operand, _PREC_POSTFIX) + op
+        if isinstance(node, Apply):
+            func = self._child(node.func, _PREC_POSTFIX)
+            args = ", ".join(self.expr(a) for a in node.args)
+            return f"{func}({args})"
+        if isinstance(node, Matrix):
+            rows = ["".join(
+                (", " if i else "") + self.expr(e) for i, e in enumerate(row)
+            ) for row in node.rows]
+            return "[" + "; ".join(rows) + "]"
+        raise ReproError(f"cannot print expression {type(node).__name__}")
+
+    def _num(self, node: Num) -> str:
+        raw = node.raw
+        try:
+            if raw and float(raw) == node.value:
+                return raw
+        except ValueError:
+            pass
+        if float(node.value) == int(node.value) and abs(node.value) < 1e16:
+            return str(int(node.value))
+        return repr(node.value)
+
+    def _child(self, node: Expr, minimum: int, strict: bool = False) -> str:
+        prec = _precedence(node)
+        text = self.expr(node)
+        if prec < minimum or (strict and prec == minimum):
+            return f"({text})"
+        return text
+
+    def _range(self, node: Range) -> str:
+        parts = [self._child(node.start, _PREC_ADD)]
+        if node.step is not None:
+            parts.append(self._child(node.step, _PREC_ADD))
+        parts.append(self._child(node.stop, _PREC_ADD))
+        return ":".join(parts)
+
+    def _binop(self, node: BinOp) -> str:
+        prec = _BINOP_PREC[node.op]
+        left = self._child(node.left, prec)
+        right = self._child(node.right, prec, strict=True)
+        return f"{left}{node.op}{right}"
+
+    def _unop(self, node: UnOp) -> str:
+        return node.op + self._child(node.operand, _PREC_UNARY)
+
+    # -- statements --------------------------------------------------------
+
+    def program(self, node: Program) -> str:
+        for stmt in node.body:
+            self.stmt(stmt, 0)
+        return "".join(self.lines)
+
+    def _line(self, depth: int, text: str) -> None:
+        self.lines.append(self.indent * depth + text + "\n")
+
+    def stmt(self, node: Stmt, depth: int) -> None:
+        if isinstance(node, Assign):
+            terminator = ";" if node.suppress else ""
+            self._line(depth,
+                       f"{self.expr(node.lhs)} = {self.expr(node.rhs)}{terminator}")
+        elif isinstance(node, MultiAssign):
+            targets = ", ".join(self.expr(t) for t in node.targets)
+            terminator = ";" if node.suppress else ""
+            self._line(depth, f"[{targets}] = {self.expr(node.rhs)}{terminator}")
+        elif isinstance(node, ExprStmt):
+            terminator = ";" if node.suppress else ""
+            self._line(depth, f"{self.expr(node.expr)}{terminator}")
+        elif isinstance(node, For):
+            self._line(depth, f"for {node.var} = {self.expr(node.iter)}")
+            for child in node.body:
+                self.stmt(child, depth + 1)
+            self._line(depth, "end")
+        elif isinstance(node, While):
+            self._line(depth, f"while {self.expr(node.cond)}")
+            for child in node.body:
+                self.stmt(child, depth + 1)
+            self._line(depth, "end")
+        elif isinstance(node, If):
+            for index, (cond, body) in enumerate(node.tests):
+                word = "if" if index == 0 else "elseif"
+                self._line(depth, f"{word} {self.expr(cond)}")
+                for child in body:
+                    self.stmt(child, depth + 1)
+            if node.orelse:
+                self._line(depth, "else")
+                for child in node.orelse:
+                    self.stmt(child, depth + 1)
+            self._line(depth, "end")
+        elif isinstance(node, Break):
+            self._line(depth, "break;")
+        elif isinstance(node, Continue):
+            self._line(depth, "continue;")
+        elif isinstance(node, Return):
+            self._line(depth, "return;")
+        elif isinstance(node, Global):
+            self._line(depth, "global " + " ".join(node.names) + ";")
+        elif isinstance(node, Annotation):
+            self._line(depth, "%! " + node.text)
+        elif isinstance(node, FunctionDef):
+            header = "function "
+            if len(node.outs) == 1:
+                header += f"{node.outs[0]} = "
+            elif node.outs:
+                header += "[" + ", ".join(node.outs) + "] = "
+            header += node.name + "(" + ", ".join(node.params) + ")"
+            self._line(depth, header)
+            for child in node.body:
+                self.stmt(child, depth + 1)
+            self._line(depth, "end")
+        else:
+            raise ReproError(f"cannot print statement {type(node).__name__}")

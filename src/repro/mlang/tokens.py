@@ -1,0 +1,89 @@
+"""Token kinds and the :class:`Token` record produced by the MATLAB lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Classification of lexical tokens in the supported MATLAB subset."""
+
+    NUMBER = "number"
+    STRING = "string"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    OP = "op"
+    NEWLINE = "newline"      # statement separators: '\n', ',', ';'
+    SEMI = "semi"            # ';' retains output-suppression information
+    COMMA = "comma"
+    ANNOTATION = "annotation"  # a '%!' shape annotation comment
+    EOF = "eof"
+
+
+#: Reserved words recognized by the parser.
+KEYWORDS = frozenset(
+    {
+        "for",
+        "end",
+        "if",
+        "elseif",
+        "else",
+        "while",
+        "function",
+        "return",
+        "break",
+        "continue",
+        "global",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can greedily match.
+MULTI_CHAR_OPS = (
+    "...",
+    "==",
+    "~=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    ".*",
+    "./",
+    ".\\",
+    ".^",
+    ".'",
+)
+
+#: Single-character operators / punctuation.
+SINGLE_CHAR_OPS = "+-*/\\^'()[]{}<>=&|~:@.,;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes
+    ----------
+    kind:
+        The token classification.
+    text:
+        The literal source text (for strings, the unquoted contents).
+    line, column:
+        1-based position of the first character of the token.
+    """
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_op(self, *ops: str) -> bool:
+        """Return True when this token is an operator with text in ``ops``."""
+        return self.kind is TokenKind.OP and self.text in ops
+
+    def is_keyword(self, *words: str) -> bool:
+        """Return True when this token is one of the given keywords."""
+        return self.kind is TokenKind.KEYWORD and self.text in words
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

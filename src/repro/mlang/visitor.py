@@ -1,0 +1,130 @@
+"""Generic AST traversal and rewriting utilities.
+
+Two tools cover every pass in the library:
+
+* :class:`Transformer` — a bottom-up rebuilding visitor.  Subclasses
+  override ``visit_<NodeType>`` methods; the default behaviour rebuilds
+  each node with transformed children (sharing untouched subtrees).
+* :func:`substitute` — replace specific node *instances* (by identity)
+  with replacement expressions; used by the vectorizer to apply planned
+  pattern transformations recorded during dimension checking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Mapping, Optional
+
+from .ast_nodes import Expr, Ident, Node
+
+
+class Transformer:
+    """Bottom-up AST rewriter.
+
+    ``visit(node)`` dispatches to ``visit_<ClassName>`` when defined,
+    otherwise to :meth:`generic_visit`, which reconstructs the node with
+    visited children.  Returning the original node (by identity) from
+    every child visit keeps the original node, so untouched subtrees are
+    shared rather than copied.
+    """
+
+    def visit(self, node: Node) -> Node:
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: Node) -> Node:
+        changes: dict[str, object] = {}
+        for f in dataclasses.fields(node):
+            value = getattr(node, f.name)
+            new_value, changed = self._visit_value(value)
+            if changed:
+                changes[f.name] = new_value
+        if not changes:
+            return node
+        return dataclasses.replace(node, **changes)
+
+    def _visit_value(self, value: object) -> tuple[object, bool]:
+        if isinstance(value, Node):
+            new = self.visit(value)
+            return new, new is not value
+        if isinstance(value, list):
+            items = [self._visit_value(item) for item in value]
+            if any(changed for _, changed in items):
+                return [item for item, _ in items], True
+            return value, False
+        if isinstance(value, tuple):
+            items = [self._visit_value(item) for item in value]
+            if any(changed for _, changed in items):
+                return tuple(item for item, _ in items), True
+            return value, False
+        return value, False
+
+
+class _Substituter(Transformer):
+    def __init__(self, mapping: Mapping[int, Node]):
+        self.mapping = mapping
+
+    def visit(self, node: Node) -> Node:
+        replacement = self.mapping.get(id(node))
+        if replacement is not None:
+            return replacement
+        return super().visit(node)
+
+
+def substitute(root: Node, mapping: Mapping[int, Node]) -> Node:
+    """Replace node instances (keyed by ``id``) with new subtrees.
+
+    Replacement happens top-down and replaced subtrees are *not*
+    re-visited, so a replacement may safely contain the original node.
+    """
+    return _Substituter(mapping).visit(root)
+
+
+class _IdentRenamer(Transformer):
+    def __init__(self, rename: Callable[[str], Optional[Expr]]):
+        self.rename = rename
+
+    def visit_Ident(self, node: Ident) -> Node:
+        replacement = self.rename(node.name)
+        return replacement if replacement is not None else node
+
+
+def substitute_idents(root: Node, mapping: Mapping[str, Expr]) -> Node:
+    """Replace every identifier occurrence named in ``mapping``.
+
+    The replacement expressions are inserted as-is (shared); callers that
+    mutate trees should pass fresh copies.
+    """
+    return _IdentRenamer(lambda name: mapping.get(name)).visit(root)
+
+
+def copy_tree(root: Node) -> Node:
+    """Deep-copy an AST (fresh node instances, same structure)."""
+
+    class _Copier(Transformer):
+        def generic_visit(self, node: Node) -> Node:
+            changes: dict[str, object] = {}
+            for f in dataclasses.fields(node):
+                value = getattr(node, f.name)
+                new_value, _ = self._visit_value(value)
+                if isinstance(value, (Node, list, tuple)):
+                    changes[f.name] = new_value
+            return dataclasses.replace(node, **changes)
+
+        def _visit_value(self, value: object) -> tuple[object, bool]:
+            if isinstance(value, Node):
+                return self.visit(value), True
+            if isinstance(value, list):
+                return [self._visit_value(v)[0] for v in value], True
+            if isinstance(value, tuple):
+                return tuple(self._visit_value(v)[0] for v in value), True
+            return value, False
+
+    return _Copier().visit(root)
+
+
+def collect(root: Node, node_type: type) -> list[Node]:
+    """All descendants of ``root`` (inclusive) that are ``node_type``."""
+    return [n for n in root.walk() if isinstance(n, node_type)]

@@ -1,0 +1,17 @@
+"""The extensible loop-pattern database (§3)."""
+
+from .base import (  # noqa: F401
+    ACCESS_OP,
+    ANY_POINTWISE,
+    AccessPattern,
+    BinopPattern,
+    CallPattern,
+    DimTemplate,
+    PatVar,
+    R1,
+    R2,
+    R3,
+    template,
+)
+from .builtin import default_database  # noqa: F401
+from .database import PatternDatabase  # noqa: F401

@@ -1,0 +1,234 @@
+"""Pattern-database core types (§3 of the paper).
+
+A *pattern* is indexed by an operator and by dimensionality templates
+for its operands; when the §2.1 compatibility check fails, the
+vectorizer probes the database, and a matching pattern supplies (a) the
+output dimensionality of the expression and (b) a *transform* that
+rewrites the parse tree into intrinsic-based vector code when the
+enclosing statement is ultimately vectorized.
+
+Templates are dimensionality tuples over ``1``, ``*``, and pattern
+variables ``R1``, ``R2``, … which bind to concrete loop symbols
+(``r_i``) during matching.  This mirrors the paper's Table 2 and the
+DLL interface of Figure 2; registration replaces dynamic loading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, Sequence, Union
+
+from ..dims.abstract import ONE, STAR, Dim, RSym, Sym
+from ..errors import PatternError
+from ..mlang.ast_nodes import Apply, BinOp, Expr
+
+# ---------------------------------------------------------------------------
+# Dimensionality templates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PatVar:
+    """A pattern variable ``R<k>`` binding to one concrete loop symbol."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"R{self.index}"
+
+
+#: Convenient pattern variables for builtin definitions.
+R1, R2, R3 = PatVar(1), PatVar(2), PatVar(3)
+
+TemplateSym = Union[type(ONE), PatVar]
+Bindings = dict[PatVar, RSym]
+
+
+@dataclass(frozen=True)
+class DimTemplate:
+    """An ordered tuple of template symbols, e.g. ``(R1, *)``."""
+
+    syms: tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        for sym in self.syms:
+            if not (sym is ONE or sym is STAR or isinstance(sym, PatVar)):
+                raise PatternError(f"invalid template symbol {sym!r}")
+
+    def __repr__(self) -> str:
+        return "(" + ",".join(str(s) for s in self.syms) + ")"
+
+    def match(self, dim: Dim, bindings: Bindings) -> Optional[Bindings]:
+        """Match ``dim`` against this template, extending ``bindings``.
+
+        Matching normalizes both sides with ``freduce`` + padding so a
+        ``(r_i)`` column matches the ``(R1, 1)`` template.  Returns the
+        extended bindings, or None on mismatch.  Distinct pattern
+        variables must bind distinct loop symbols.
+        """
+        reduced = dim.reduce()
+        rank = max(len(self.syms), len(reduced))
+        concrete = reduced.pad(rank)
+        template = self.syms + (ONE,) * (rank - len(self.syms))
+        out = dict(bindings)
+        for want, have in zip(template, concrete):
+            if isinstance(want, PatVar):
+                if not isinstance(have, RSym):
+                    return None
+                bound = out.get(want)
+                if bound is None:
+                    if have in out.values():
+                        return None
+                    out[want] = have
+                elif bound != have:
+                    return None
+            elif want is not have:
+                return None
+        return out
+
+    def instantiate(self, bindings: Bindings) -> Dim:
+        """The concrete dimensionality for fully bound pattern variables."""
+        out: list[Sym] = []
+        for sym in self.syms:
+            if isinstance(sym, PatVar):
+                bound = bindings.get(sym)
+                if bound is None:
+                    raise PatternError(f"unbound pattern variable {sym!r}")
+                out.append(bound)
+            else:
+                out.append(sym)
+        return Dim(out)
+
+
+def template(*syms: object) -> DimTemplate:
+    """Build a :class:`DimTemplate` from symbols (``ONE``/``STAR``/``R1``…)."""
+    return DimTemplate(tuple(syms))
+
+
+# ---------------------------------------------------------------------------
+# Transform context — what a transform may ask the vectorizer for
+# ---------------------------------------------------------------------------
+
+
+class TransformContext(Protocol):
+    """Services the vectorizer exposes to pattern transforms.
+
+    Transforms run *before* index-variable substitution, so they emit
+    expressions still written in terms of the loop index variables; the
+    context answers questions about the loops being vectorized.
+    """
+
+    def range_expr(self, sym: RSym) -> Expr:
+        """The loop range (e.g. ``1:n``) that will replace symbol ``sym``."""
+        ...
+
+    def tripcount_expr(self, sym: RSym) -> Expr:
+        """An expression for the trip count of ``sym``'s loop,
+        e.g. ``size(1:n, 2)``."""
+        ...
+
+    def base_dim_of(self, expr: Expr) -> Optional[Dim]:
+        """Base (unvectorized) dims of an expression, when derivable."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# Pattern classes
+# ---------------------------------------------------------------------------
+
+#: Pseudo-operator for matrix-access patterns (the paper's ``(·)`` rows).
+ACCESS_OP = "(.)"
+
+#: Marker accepted in place of a concrete operator: matches any of the
+#: pointwise arithmetic operators (the paper's pattern 2 row applies to
+#: "any pointwise operator").
+POINTWISE_OPS = frozenset({"+", "-", ".*", "./", ".^"})
+ANY_POINTWISE = "pointwise"
+
+BinTransform = Callable[[BinOp, Bindings, TransformContext], Expr]
+AccessTransform = Callable[[Apply, Bindings, TransformContext], Optional[Expr]]
+
+
+@dataclass(frozen=True)
+class BinopPattern:
+    """A pattern over a binary expression (Table 2 rows 1–2).
+
+    ``operator`` is a MATLAB operator spelling or :data:`ANY_POINTWISE`.
+    ``transform`` receives the matched node and must return the
+    replacement expression (still in terms of loop index variables).
+    """
+
+    name: str
+    operator: str
+    lhs: DimTemplate
+    rhs: DimTemplate
+    out: DimTemplate
+    transform: BinTransform
+
+    def matches_operator(self, op: str) -> bool:
+        if self.operator == ANY_POINTWISE:
+            return op in POINTWISE_OPS
+        return self.operator == op
+
+    def match(self, op: str, lhs_dim: Dim, rhs_dim: Dim) -> Optional[Bindings]:
+        """Bindings when (op, operand dims) match this pattern, else None."""
+        if not self.matches_operator(op):
+            return None
+        bindings = self.lhs.match(lhs_dim, {})
+        if bindings is None:
+            return None
+        return self.rhs.match(rhs_dim, bindings)
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """A pattern over a matrix access whose vectorized dims repeat an
+    ``r`` symbol (Table 2 row 3 — e.g. the diagonal access ``A(i,i)``).
+
+    ``transform`` may return None to signal that, although the dims
+    matched, the actual subscript expressions are outside the transform's
+    power (e.g. non-affine subscripts), in which case matching falls
+    through to later patterns.
+    """
+
+    name: str
+    dims: DimTemplate
+    out: DimTemplate
+    transform: AccessTransform
+
+    def match(self, access_dim: Dim) -> Optional[Bindings]:
+        return self.dims.match(access_dim, {})
+
+
+@dataclass(frozen=True)
+class CallPattern:
+    """A pattern over a function call whose arguments carry loop symbols.
+
+    §7 of the paper suggests treating function calls "in the same manner
+    as matrix accesses" in the database; this class realizes that: the
+    pattern is keyed by the callee name and the vectorized
+    dimensionalities of its arguments, and its transform rewrites the
+    call into an intrinsic-based equivalent (e.g. a per-row ``norm``
+    into ``sqrt(sum(.^2))``).
+    """
+
+    name: str
+    function: str
+    args: tuple[DimTemplate, ...]
+    out: DimTemplate
+    transform: Callable[[Apply, Bindings, TransformContext], Optional[Expr]]
+
+    def match(self, function: str,
+              arg_dims: Sequence[Dim]) -> Optional[Bindings]:
+        if function != self.function or len(arg_dims) != len(self.args):
+            return None
+        bindings: Bindings = {}
+        for template_, dim in zip(self.args, arg_dims):
+            matched = template_.match(dim, bindings)
+            if matched is None:
+                return None
+            bindings = matched
+        return bindings
+
+
+Pattern = Union[BinopPattern, AccessPattern, CallPattern]

@@ -1,0 +1,316 @@
+"""Builtin patterns: the three Table 2 entries plus the full broadcast family.
+
+Every pattern here follows the paper's plugin recipe (Figure 2): declare
+the operator and operand dimensionalities, and provide a transform that
+rewrites the parse tree.  :func:`default_database` assembles the standard
+database used by the vectorizer; callers may copy and extend it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dims.abstract import ONE, STAR
+from ..mlang.ast_nodes import (
+    Apply,
+    BinOp,
+    Expr,
+    Ident,
+    Num,
+    Range,
+    Transpose,
+    UnOp,
+    call,
+    num,
+)
+from .base import (
+    ACCESS_OP,
+    ANY_POINTWISE,
+    AccessPattern,
+    Bindings,
+    BinopPattern,
+    R1,
+    R2,
+    TransformContext,
+    template,
+)
+from .database import PatternDatabase
+
+# ---------------------------------------------------------------------------
+# Pattern 1 — row·column dot product:  a(i) = X(i,:)*Y(:,i)
+# ---------------------------------------------------------------------------
+
+
+def _dot_product_transform(node: BinOp, bindings: Bindings,
+                           ctx: TransformContext) -> Expr:
+    """``X(i,:)*Y(:,i)``  →  ``sum(X(i,:)'.*Y(:,i), 1)``.
+
+    After index substitution the transpose lines up the k-element rows of
+    X as columns so the pointwise product against Y's columns followed by
+    a column sum leaves the i-th dot product in column i (1×n row).
+    """
+    pointwise = BinOp(".*", Transpose(node.left), node.right)
+    return call("sum", pointwise, num(1))
+
+
+DOT_PRODUCT = BinopPattern(
+    name="dot-product",
+    operator="*",
+    lhs=template(R1, STAR),
+    rhs=template(STAR, R1),
+    out=template(ONE, R1),
+    transform=_dot_product_transform,
+)
+
+# ---------------------------------------------------------------------------
+# Pattern 2 — vector broadcast across a pointwise operator (repmat family)
+#   A(i,j) = B(i,j) + C(i)    →  B + repmat(C(1:m), 1, size(1:n,2))
+# ---------------------------------------------------------------------------
+
+
+def _repmat(expr: Expr, rows: Expr, cols: Expr) -> Expr:
+    return call("repmat", expr, rows, cols)
+
+
+def _broadcast(node: BinOp, *, side: str, axis: int, sym_var,
+               bindings: Bindings, ctx: TransformContext) -> Expr:
+    """Wrap one operand of ``node`` in ``repmat`` along ``axis``.
+
+    ``axis`` 1 replicates rows (a 1×n row stacked m times), axis 2
+    replicates columns (an m×1 column repeated n times); the replication
+    count is the trip count of the loop symbol bound to ``sym_var``.
+    """
+    count = ctx.tripcount_expr(bindings[sym_var])
+    operand = node.left if side == "left" else node.right
+    if axis == 1:
+        replicated = _repmat(operand, count, num(1))
+    else:
+        replicated = _repmat(operand, num(1), count)
+    if side == "left":
+        return BinOp(node.op, replicated, node.right)
+    return BinOp(node.op, node.left, replicated)
+
+
+COL_BROADCAST_RHS = BinopPattern(
+    name="broadcast-col-rhs",
+    operator=ANY_POINTWISE,
+    lhs=template(R1, R2),
+    rhs=template(R1, ONE),
+    out=template(R1, R2),
+    transform=lambda node, bindings, ctx: _broadcast(
+        node, side="right", axis=2, sym_var=R2, bindings=bindings, ctx=ctx),
+)
+
+ROW_BROADCAST_RHS = BinopPattern(
+    name="broadcast-row-rhs",
+    operator=ANY_POINTWISE,
+    lhs=template(R1, R2),
+    rhs=template(ONE, R2),
+    out=template(R1, R2),
+    transform=lambda node, bindings, ctx: _broadcast(
+        node, side="right", axis=1, sym_var=R1, bindings=bindings, ctx=ctx),
+)
+
+COL_BROADCAST_LHS = BinopPattern(
+    name="broadcast-col-lhs",
+    operator=ANY_POINTWISE,
+    lhs=template(R1, ONE),
+    rhs=template(R1, R2),
+    out=template(R1, R2),
+    transform=lambda node, bindings, ctx: _broadcast(
+        node, side="left", axis=2, sym_var=R2, bindings=bindings, ctx=ctx),
+)
+
+ROW_BROADCAST_LHS = BinopPattern(
+    name="broadcast-row-lhs",
+    operator=ANY_POINTWISE,
+    lhs=template(ONE, R2),
+    rhs=template(R1, R2),
+    out=template(R1, R2),
+    transform=lambda node, bindings, ctx: _broadcast(
+        node, side="left", axis=1, sym_var=R1, bindings=bindings, ctx=ctx),
+)
+
+def _star_broadcast(node: BinOp, bindings: Bindings, ctx: TransformContext,
+                    *, vector_side: str, axis: int) -> Expr:
+    """Broadcast a per-iteration scalar across a data (``*``) extent:
+    ``B(:,j)*c(j)`` → ``B(:,1:n).*repmat(c(1:n)', size(B(:,1:n),1), 1)``.
+
+    ``axis`` 1 replicates the (row-shaped) vector down the other
+    operand's rows; axis 2 replicates the (column-shaped) vector across
+    its columns.  The replication count is the *data* extent, taken from
+    the matrix-shaped operand with ``size``.
+    """
+    matrix_expr = node.right if vector_side == "left" else node.left
+    vector_expr = node.left if vector_side == "left" else node.right
+    count = call("size", matrix_expr, num(axis))
+    if axis == 1:
+        replicated = _repmat(vector_expr, count, num(1))
+    else:
+        replicated = _repmat(vector_expr, num(1), count)
+    if vector_side == "left":
+        return BinOp(node.op, replicated, node.right)
+    return BinOp(node.op, node.left, replicated)
+
+
+SCALE_COLS_RHS = BinopPattern(
+    name="broadcast-scale-cols-rhs",
+    operator=ANY_POINTWISE,
+    lhs=template(STAR, R1),
+    rhs=template(ONE, R1),
+    out=template(STAR, R1),
+    transform=lambda node, bindings, ctx: _star_broadcast(
+        node, bindings, ctx, vector_side="right", axis=1),
+)
+
+SCALE_ROWS_RHS = BinopPattern(
+    name="broadcast-scale-rows-rhs",
+    operator=ANY_POINTWISE,
+    lhs=template(R1, STAR),
+    rhs=template(R1, ONE),
+    out=template(R1, STAR),
+    transform=lambda node, bindings, ctx: _star_broadcast(
+        node, bindings, ctx, vector_side="right", axis=2),
+)
+
+SCALE_COLS_LHS = BinopPattern(
+    name="broadcast-scale-cols-lhs",
+    operator=ANY_POINTWISE,
+    lhs=template(ONE, R1),
+    rhs=template(STAR, R1),
+    out=template(STAR, R1),
+    transform=lambda node, bindings, ctx: _star_broadcast(
+        node, bindings, ctx, vector_side="left", axis=1),
+)
+
+SCALE_ROWS_LHS = BinopPattern(
+    name="broadcast-scale-rows-lhs",
+    operator=ANY_POINTWISE,
+    lhs=template(R1, ONE),
+    rhs=template(R1, STAR),
+    out=template(R1, STAR),
+    transform=lambda node, bindings, ctx: _star_broadcast(
+        node, bindings, ctx, vector_side="left", axis=2),
+)
+
+
+def _outer_broadcast(node: BinOp, bindings: Bindings, ctx: TransformContext,
+                     *, col_side: str) -> Expr:
+    """Both operands need replication: ``B(i,1) + j`` tiles the column
+    across the row's extent and vice versa (an extension of pattern 2 —
+    the paper's table only broadcasts one operand)."""
+    rows = ctx.tripcount_expr(bindings[R1])
+    cols = ctx.tripcount_expr(bindings[R2])
+    if col_side == "left":
+        left = _repmat(node.left, num(1), cols)
+        right = _repmat(node.right, rows, num(1))
+    else:
+        left = _repmat(node.left, rows, num(1))
+        right = _repmat(node.right, num(1), cols)
+    return BinOp(node.op, left, right)
+
+
+OUTER_BROADCAST_COL_ROW = BinopPattern(
+    name="broadcast-outer-col-row",
+    operator=ANY_POINTWISE,
+    lhs=template(R1, ONE),
+    rhs=template(ONE, R2),
+    out=template(R1, R2),
+    transform=lambda node, bindings, ctx: _outer_broadcast(
+        node, bindings, ctx, col_side="left"),
+)
+
+OUTER_BROADCAST_ROW_COL = BinopPattern(
+    name="broadcast-outer-row-col",
+    operator=ANY_POINTWISE,
+    lhs=template(ONE, R2),
+    rhs=template(R1, ONE),
+    out=template(R1, R2),
+    transform=lambda node, bindings, ctx: _outer_broadcast(
+        node, bindings, ctx, col_side="right"),
+)
+
+# ---------------------------------------------------------------------------
+# Pattern 3 — duplicate-r matrix access (diagonal family):  A(i,i)
+# ---------------------------------------------------------------------------
+
+
+def poly_degree(expr: Expr, var: str) -> Optional[int]:
+    """Polynomial degree of ``expr`` in variable ``var`` (0 or 1), or None
+    when the expression is nonlinear in / non-polynomial over ``var``."""
+    if isinstance(expr, Num):
+        return 0
+    if isinstance(expr, Ident):
+        return 1 if expr.name == var else 0
+    if isinstance(expr, UnOp) and expr.op in "+-":
+        return poly_degree(expr.operand, var)
+    if isinstance(expr, BinOp):
+        left = poly_degree(expr.left, var)
+        right = poly_degree(expr.right, var)
+        if left is None or right is None:
+            return None
+        if expr.op in ("+", "-"):
+            return max(left, right)
+        if expr.op in ("*", ".*"):
+            degree = left + right
+            return degree if degree <= 1 else None
+        if expr.op in ("/", "./") and right == 0:
+            return left
+        return None
+    if isinstance(expr, Range):
+        return None
+    # Any other construct: linear only if the variable does not occur.
+    mentions = any(isinstance(n, Ident) and n.name == var for n in expr.walk())
+    return None if mentions else 0
+
+
+def _diagonal_transform(node: Apply, bindings: Bindings,
+                        ctx: TransformContext) -> Optional[Expr]:
+    """``A(c1*i+c2, c3*i+c4)``  →  ``A(c1*i+c2 + size(A,1)*(c3*i+c4-1))``.
+
+    Valid because MATLAB matrices are stored column-major, so the linear
+    index of element (r, c) is ``r + size(A,1)*(c-1)``.  Declines (returns
+    None) unless both subscripts are affine in the bound loop variable.
+    """
+    if len(node.args) != 2:
+        return None
+    sym = bindings[R1]
+    row_sub, col_sub = node.args
+    if poly_degree(row_sub, sym.name) != 1 or poly_degree(col_sub, sym.name) != 1:
+        return None
+    leading = call("size", node.func, num(1))
+    linear = BinOp("+", row_sub,
+                   BinOp("*", leading, BinOp("-", col_sub, num(1))))
+    return Apply(node.func, [linear])
+
+
+DIAGONAL_ACCESS = AccessPattern(
+    name="diagonal-access",
+    dims=template(R1, R1),
+    out=template(ONE, R1),
+    transform=_diagonal_transform,
+)
+
+
+def default_database() -> PatternDatabase:
+    """The standard pattern database shipped with the vectorizer.
+
+    Contains the paper's three Table 2 patterns; the broadcast family
+    generalizes pattern 2 to every orientation/operand-side combination.
+    """
+    return PatternDatabase(
+        [
+            DOT_PRODUCT,
+            COL_BROADCAST_RHS,
+            ROW_BROADCAST_RHS,
+            COL_BROADCAST_LHS,
+            ROW_BROADCAST_LHS,
+            OUTER_BROADCAST_COL_ROW,
+            OUTER_BROADCAST_ROW_COL,
+            SCALE_COLS_RHS,
+            SCALE_ROWS_RHS,
+            SCALE_COLS_LHS,
+            SCALE_ROWS_LHS,
+            DIAGONAL_ACCESS,
+        ]
+    )

@@ -1,0 +1,145 @@
+"""The extensible loop-pattern database (§3).
+
+Patterns are held in registration order; lookup returns the first
+match.  Users extend the vectorizer by registering additional
+:class:`~repro.patterns.base.BinopPattern` /
+:class:`~repro.patterns.base.AccessPattern` objects — the plugin-style
+replacement for the paper's dynamically loaded libraries (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..dims.abstract import Dim
+from ..errors import PatternError
+from ..mlang.ast_nodes import Apply, Expr
+from .base import (
+    AccessPattern,
+    Bindings,
+    BinopPattern,
+    CallPattern,
+    Pattern,
+    TransformContext,
+)
+
+
+@dataclass
+class BinopMatch:
+    """A successful binary-operator pattern match."""
+
+    pattern: BinopPattern
+    bindings: Bindings
+
+    @property
+    def out_dim(self) -> Dim:
+        return self.pattern.out.instantiate(self.bindings)
+
+
+@dataclass
+class CallMatch:
+    """A successful function-call pattern match."""
+
+    pattern: CallPattern
+    bindings: Bindings
+    replacement: Expr
+
+    @property
+    def out_dim(self) -> Dim:
+        return self.pattern.out.instantiate(self.bindings)
+
+
+@dataclass
+class AccessMatch:
+    """A successful matrix-access pattern match (transform already applied)."""
+
+    pattern: AccessPattern
+    bindings: Bindings
+    replacement: Expr
+
+    @property
+    def out_dim(self) -> Dim:
+        return self.pattern.out.instantiate(self.bindings)
+
+
+class PatternDatabase:
+    """An ordered, name-indexed collection of patterns."""
+
+    def __init__(self, patterns: Optional[list[Pattern]] = None):
+        self._patterns: list[Pattern] = []
+        self._by_name: dict[str, Pattern] = {}
+        for pattern in patterns or []:
+            self.register(pattern)
+
+    # -- registration ----------------------------------------------------
+
+    def register(self, pattern: Pattern) -> None:
+        """Add a pattern; names must be unique within the database."""
+        if pattern.name in self._by_name:
+            raise PatternError(f"pattern {pattern.name!r} is already registered")
+        self._patterns.append(pattern)
+        self._by_name[pattern.name] = pattern
+
+    def unregister(self, name: str) -> Pattern:
+        """Remove and return the pattern registered under ``name``."""
+        pattern = self._by_name.pop(name, None)
+        if pattern is None:
+            raise PatternError(f"no pattern named {name!r}")
+        self._patterns.remove(pattern)
+        return pattern
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Pattern]:
+        return iter(self._patterns)
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def names(self) -> list[str]:
+        return [p.name for p in self._patterns]
+
+    def copy(self) -> "PatternDatabase":
+        return PatternDatabase(list(self._patterns))
+
+    # -- lookup ----------------------------------------------------------
+
+    def match_binop(self, op: str, lhs_dim: Dim,
+                    rhs_dim: Dim) -> Optional[BinopMatch]:
+        """First binary pattern matching (op, operand dims), or None."""
+        for pattern in self._patterns:
+            if isinstance(pattern, BinopPattern):
+                bindings = pattern.match(op, lhs_dim, rhs_dim)
+                if bindings is not None:
+                    return BinopMatch(pattern, bindings)
+        return None
+
+    def match_call(self, node: Apply, function: str, arg_dims: list,
+                   ctx: TransformContext) -> Optional[CallMatch]:
+        """First call pattern matching (callee, argument dims) whose
+        transform accepts the node."""
+        for pattern in self._patterns:
+            if isinstance(pattern, CallPattern):
+                bindings = pattern.match(function, arg_dims)
+                if bindings is None:
+                    continue
+                replacement = pattern.transform(node, bindings, ctx)
+                if replacement is not None:
+                    return CallMatch(pattern, bindings, replacement)
+        return None
+
+    def match_access(self, node: Apply, access_dim: Dim,
+                     ctx: TransformContext) -> Optional[AccessMatch]:
+        """First access pattern matching ``access_dim`` whose transform
+        accepts the node (transforms may decline non-affine subscripts)."""
+        for pattern in self._patterns:
+            if isinstance(pattern, AccessPattern):
+                bindings = pattern.match(access_dim)
+                if bindings is None:
+                    continue
+                replacement = pattern.transform(node, bindings, ctx)
+                if replacement is not None:
+                    return AccessMatch(pattern, bindings, replacement)
+        return None

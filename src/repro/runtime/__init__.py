@@ -1,0 +1,1 @@
+"""MATLAB runtime: a tree-walking interpreter over NumPy."""

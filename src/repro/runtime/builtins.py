@@ -1,0 +1,509 @@
+"""MATLAB builtin functions over the runtime value model.
+
+Each builtin is a Python callable taking already-evaluated values; the
+registry :data:`BUILTINS` maps names to implementations.  Shapes and
+corner cases follow MATLAB 7 semantics for the supported subset (sum of
+a vector collapses fully; of a matrix, by columns; ``hist`` uses bin
+*centers*; ``repmat`` tiles; etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import MatlabRuntimeError
+from .values import (
+    Value,
+    as_array,
+    as_scalar,
+    canonical,
+    is_scalar,
+    matrix,
+    numel,
+    shape_of,
+    transpose,
+)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise MatlabRuntimeError(message)
+
+
+# -- shape queries ---------------------------------------------------------
+
+
+def m_size(*args: Value) -> Value:
+    _require(1 <= len(args) <= 2, "size: wrong number of arguments")
+    rows, cols = shape_of(args[0])
+    if len(args) == 2:
+        dim = int(as_scalar(args[1]))
+        if dim == 1:
+            return float(rows)
+        if dim == 2:
+            return float(cols)
+        _require(dim >= 1, "size: bad dimension")
+        return 1.0
+    return np.asfortranarray(np.array([[float(rows), float(cols)]]))
+
+
+def m_numel(value: Value) -> Value:
+    return float(numel(value))
+
+
+def m_length(value: Value) -> Value:
+    rows, cols = shape_of(value)
+    if rows == 0 or cols == 0:
+        return 0.0
+    return float(max(rows, cols))
+
+
+def m_ndims(value: Value) -> Value:
+    return 2.0
+
+
+def m_isempty(value: Value) -> Value:
+    return float(numel(value) == 0)
+
+
+# -- constructors -----------------------------------------------------------
+
+
+def _dims_from_args(args: tuple[Value, ...]) -> tuple[int, int]:
+    if len(args) == 0:
+        return 1, 1
+    if len(args) == 1:
+        if isinstance(args[0], np.ndarray) and numel(args[0]) == 2:
+            flat = as_array(args[0]).reshape(-1, order="F")
+            return int(flat[0]), int(flat[1])
+        n = int(as_scalar(args[0]))
+        return n, n
+    return int(as_scalar(args[0])), int(as_scalar(args[1]))
+
+
+def m_zeros(*args: Value) -> Value:
+    rows, cols = _dims_from_args(args)
+    return canonical(matrix(rows, cols, 0.0))
+
+
+def m_ones(*args: Value) -> Value:
+    rows, cols = _dims_from_args(args)
+    return canonical(matrix(rows, cols, 1.0))
+
+
+def m_eye(*args: Value) -> Value:
+    rows, cols = _dims_from_args(args)
+    return canonical(np.asfortranarray(np.eye(rows, cols)))
+
+
+def m_linspace(lo: Value, hi: Value, n: Value = 100.0) -> Value:
+    points = np.linspace(as_scalar(lo), as_scalar(hi), int(as_scalar(n)))
+    return np.asfortranarray(points.reshape(1, -1))
+
+
+def m_colon(lo: Value, step_or_hi: Value, hi: Optional[Value] = None) -> Value:
+    if hi is None:
+        lo_v, hi_v, step = as_scalar(lo), as_scalar(step_or_hi), 1.0
+    else:
+        lo_v, step, hi_v = as_scalar(lo), as_scalar(step_or_hi), as_scalar(hi)
+    return colon_range(lo_v, step, hi_v)
+
+
+def colon_range(lo: float, step: float, hi: float) -> Value:
+    """The value of ``lo:step:hi`` (row vector; empty when degenerate)."""
+    if step == 0:
+        raise MatlabRuntimeError("colon: zero step")
+    count = int(np.floor((hi - lo) / step + 1e-10)) + 1
+    if count <= 0:
+        return matrix(1, 0)
+    points = lo + step * np.arange(count, dtype=float)
+    return np.asfortranarray(points.reshape(1, -1))
+
+
+def m_repmat(value: Value, *reps: Value) -> Value:
+    if len(reps) == 1:
+        if isinstance(reps[0], np.ndarray) and numel(reps[0]) == 2:
+            flat = as_array(reps[0]).reshape(-1, order="F")
+            rows, cols = int(flat[0]), int(flat[1])
+        else:
+            rows = cols = int(as_scalar(reps[0]))
+    elif len(reps) == 2:
+        rows, cols = int(as_scalar(reps[0])), int(as_scalar(reps[1]))
+    else:
+        raise MatlabRuntimeError("repmat: wrong number of arguments")
+    return canonical(np.asfortranarray(np.tile(as_array(value),
+                                               (rows, cols))))
+
+
+def m_reshape(value: Value, *dims: Value) -> Value:
+    rows, cols = _dims_from_args(dims)
+    arr = as_array(value)
+    _require(arr.size == rows * cols,
+             "reshape: number of elements must not change")
+    return canonical(np.asfortranarray(
+        arr.reshape((rows, cols), order="F")))
+
+
+def m_diag(value: Value) -> Value:
+    arr = as_array(value)
+    if min(arr.shape) == 1 and max(arr.shape) > 1:
+        flat = arr.reshape(-1, order="F")
+        return np.asfortranarray(np.diag(flat))
+    return np.asfortranarray(np.diag(arr).reshape(-1, 1))
+
+
+def m_tril(value: Value, k: Value = 0.0) -> Value:
+    return canonical(np.asfortranarray(np.tril(as_array(value),
+                                               int(as_scalar(k)))))
+
+
+def m_triu(value: Value, k: Value = 0.0) -> Value:
+    return canonical(np.asfortranarray(np.triu(as_array(value),
+                                               int(as_scalar(k)))))
+
+
+def m_kron(a: Value, b: Value) -> Value:
+    return canonical(np.asfortranarray(np.kron(as_array(a), as_array(b))))
+
+
+# -- reductions --------------------------------------------------------------
+
+
+def _reduce(value: Value, dim: Optional[Value], fn) -> Value:
+    arr = as_array(value)
+    if arr.dtype == np.bool_:
+        arr = arr.astype(float)
+    if dim is None:
+        if min(arr.shape) <= 1:
+            return float(fn(arr.reshape(-1))) if arr.size else 0.0
+        return canonical(np.asfortranarray(fn(arr, axis=0).reshape(1, -1)))
+    axis = int(as_scalar(dim)) - 1
+    _require(axis in (0, 1), "reduction: bad dimension argument")
+    result = fn(arr, axis=axis)
+    if axis == 0:
+        return canonical(np.asfortranarray(result.reshape(1, -1)))
+    return canonical(np.asfortranarray(result.reshape(-1, 1)))
+
+
+def m_sum(value: Value, dim: Optional[Value] = None) -> Value:
+    return _reduce(value, dim, np.sum)
+
+
+def m_prod(value: Value, dim: Optional[Value] = None) -> Value:
+    return _reduce(value, dim, np.prod)
+
+
+def m_mean(value: Value, dim: Optional[Value] = None) -> Value:
+    return _reduce(value, dim, np.mean)
+
+
+def m_any(value: Value, dim: Optional[Value] = None) -> Value:
+    return _reduce(value, dim, lambda a, axis=None:
+                   np.any(a != 0, axis=axis).astype(float))
+
+
+def m_all(value: Value, dim: Optional[Value] = None) -> Value:
+    return _reduce(value, dim, lambda a, axis=None:
+                   np.all(a != 0, axis=axis).astype(float))
+
+
+def _cumulative(value: Value, dim: Optional[Value], fn) -> Value:
+    arr = as_array(value)
+    if dim is None:
+        axis = 0 if arr.shape[0] > 1 or arr.shape[1] == 1 else 1
+    else:
+        axis = int(as_scalar(dim)) - 1
+    return canonical(np.asfortranarray(fn(arr, axis=axis)))
+
+
+def m_cumsum(value: Value, dim: Optional[Value] = None) -> Value:
+    return _cumulative(value, dim, np.cumsum)
+
+
+def m_cumprod(value: Value, dim: Optional[Value] = None) -> Value:
+    return _cumulative(value, dim, np.cumprod)
+
+
+def m_min(*args: Value) -> Value:
+    return _minmax(args, np.minimum, np.min)
+
+
+def m_max(*args: Value) -> Value:
+    return _minmax(args, np.maximum, np.max)
+
+
+def _minmax(args: tuple[Value, ...], pairwise, reducing) -> Value:
+    if len(args) == 1:
+        arr = as_array(args[0])
+        if min(arr.shape) <= 1:
+            return float(reducing(arr)) if arr.size else 0.0
+        return canonical(np.asfortranarray(
+            reducing(arr, axis=0).reshape(1, -1)))
+    if len(args) == 2:
+        from .values import _check_elementwise_shapes
+
+        _check_elementwise_shapes(args[0], args[1], "min/max")
+        left = as_array(args[0]) if isinstance(args[0], np.ndarray) \
+            else as_scalar(args[0])
+        right = as_array(args[1]) if isinstance(args[1], np.ndarray) \
+            else as_scalar(args[1])
+        return canonical(np.asfortranarray(pairwise(left, right)))
+    raise MatlabRuntimeError("min/max: wrong number of arguments")
+
+
+def m_dot(a: Value, b: Value) -> Value:
+    left = as_array(a).reshape(-1, order="F")
+    right = as_array(b).reshape(-1, order="F")
+    _require(left.size == right.size, "dot: size mismatch")
+    return float(np.dot(left, right))
+
+
+def m_norm(value: Value, kind: Optional[Value] = None) -> Value:
+    arr = as_array(value)
+    if min(arr.shape) <= 1:
+        order = 2.0 if kind is None else as_scalar(kind)
+        return float(np.linalg.norm(arr.reshape(-1), order))
+    return float(np.linalg.norm(arr, 2 if kind is None else as_scalar(kind)))
+
+
+# -- histogram ---------------------------------------------------------------
+
+
+def m_hist(values: Value, centers: Optional[Value] = None) -> Value:
+    """MATLAB ``hist(y, x)``: counts per bin *center* (outermost bins
+    absorb the tails)."""
+    data = as_array(values).reshape(-1, order="F")
+    if centers is None:
+        center_points = np.linspace(data.min(), data.max(), 10) \
+            if data.size else np.arange(10, dtype=float)
+    elif is_scalar(centers):
+        n = int(as_scalar(centers))
+        lo, hi = (data.min(), data.max()) if data.size else (0.0, 1.0)
+        width = (hi - lo) / n if hi > lo else 1.0
+        center_points = lo + width * (np.arange(n) + 0.5)
+    else:
+        center_points = as_array(centers).reshape(-1, order="F")
+    edges = np.concatenate((
+        [-np.inf],
+        (center_points[:-1] + center_points[1:]) / 2.0,
+        [np.inf],
+    ))
+    counts, _ = np.histogram(data, bins=edges)
+    return np.asfortranarray(counts.astype(float).reshape(1, -1))
+
+
+def m_histc(values: Value, edges: Value) -> Value:
+    data = as_array(values).reshape(-1, order="F")
+    edge_points = as_array(edges).reshape(-1, order="F")
+    counts = np.zeros(edge_points.size)
+    for k in range(edge_points.size - 1):
+        counts[k] = np.sum((data >= edge_points[k])
+                           & (data < edge_points[k + 1]))
+    counts[-1] = np.sum(data == edge_points[-1])
+    return np.asfortranarray(counts.reshape(1, -1))
+
+
+# -- misc ---------------------------------------------------------------------
+
+
+def m_find(value: Value) -> Value:
+    arr = as_array(value)
+    if arr.dtype == np.bool_:
+        arr = arr.astype(float)
+    flat = arr.reshape(-1, order="F")
+    positions = np.flatnonzero(flat != 0) + 1.0
+    if arr.shape[0] == 1 and arr.shape[1] > 1:
+        return np.asfortranarray(positions.reshape(1, -1))
+    return np.asfortranarray(positions.reshape(-1, 1))
+
+
+def m_sort(value: Value) -> Value:
+    arr = as_array(value)
+    if min(arr.shape) <= 1:
+        ordered = np.sort(arr.reshape(-1, order="F"))
+        return canonical(np.asfortranarray(ordered.reshape(arr.shape)))
+    return canonical(np.asfortranarray(np.sort(arr, axis=0)))
+
+
+def m_disp(value: Value) -> Value:
+    print(value if isinstance(value, str) else as_array(value))
+    return 0.0
+
+
+def m_fprintf(*args: Value) -> Value:
+    if args and isinstance(args[0], str):
+        text = args[0].replace("\\n", "\n")
+        numbers = [as_scalar(a) for a in args[1:]]
+        try:
+            print(text % tuple(numbers), end="")
+        except (TypeError, ValueError):
+            print(text, end="")
+    return 0.0
+
+
+def m_error(*args: Value) -> Value:
+    message = args[0] if args and isinstance(args[0], str) else "error"
+    raise MatlabRuntimeError(str(message))
+
+
+def _pointwise(fn) -> Callable[[Value], Value]:
+    def wrapper(value: Value) -> Value:
+        if isinstance(value, np.ndarray):
+            return canonical(np.asfortranarray(fn(as_array(value))))
+        return float(fn(float(value)))
+
+    return wrapper
+
+
+def m_mod(a: Value, b: Value) -> Value:
+    from .values import _elementwise
+
+    return _elementwise("mod", a, b, lambda x, y: np.mod(x, y))
+
+
+def m_rem(a: Value, b: Value) -> Value:
+    from .values import _elementwise
+
+    return _elementwise("rem", a, b, lambda x, y: np.fmod(x, y))
+
+
+def m_atan2(a: Value, b: Value) -> Value:
+    from .values import _elementwise
+
+    return _elementwise("atan2", a, b, lambda x, y: np.arctan2(x, y))
+
+
+def m_uint8(value: Value) -> Value:
+    """Simulated uint8 cast: round and clamp to [0, 255] (values stay
+    double — sufficient for the paper's image workloads)."""
+    if isinstance(value, np.ndarray):
+        return np.asfortranarray(np.clip(np.round(as_array(value)), 0, 255))
+    return float(np.clip(round(float(value)), 0, 255))
+
+
+def m_double(value: Value) -> Value:
+    return canonical(as_array(value)) if isinstance(value, np.ndarray) \
+        else float(value)
+
+
+def make_builtins(rng: np.random.Generator) -> dict[str, Callable]:
+    """The builtin registry; random builtins close over ``rng`` so runs
+    are reproducible under a caller-provided seed."""
+
+    def m_rand(*args: Value) -> Value:
+        rows, cols = _dims_from_args(args)
+        return canonical(np.asfortranarray(rng.random((rows, cols))))
+
+    def m_randn(*args: Value) -> Value:
+        rows, cols = _dims_from_args(args)
+        return canonical(np.asfortranarray(rng.standard_normal((rows,
+                                                                cols))))
+
+    registry: dict[str, Callable] = {
+        "size": m_size,
+        "numel": m_numel,
+        "length": m_length,
+        "ndims": m_ndims,
+        "isempty": m_isempty,
+        "zeros": m_zeros,
+        "ones": m_ones,
+        "eye": m_eye,
+        "rand": m_rand,
+        "randn": m_randn,
+        "linspace": m_linspace,
+        "colon": m_colon,
+        "repmat": m_repmat,
+        "reshape": m_reshape,
+        "diag": m_diag,
+        "tril": m_tril,
+        "triu": m_triu,
+        "kron": m_kron,
+        "sum": m_sum,
+        "prod": m_prod,
+        "mean": m_mean,
+        "any": m_any,
+        "all": m_all,
+        "cumsum": m_cumsum,
+        "cumprod": m_cumprod,
+        "min": m_min,
+        "max": m_max,
+        "dot": m_dot,
+        "norm": m_norm,
+        "hist": m_hist,
+        "histc": m_histc,
+        "find": m_find,
+        "sort": m_sort,
+        "disp": m_disp,
+        "fprintf": m_fprintf,
+        "error": m_error,
+        "mod": m_mod,
+        "rem": m_rem,
+        "atan2": m_atan2,
+        "uint8": m_uint8,
+        "double": m_double,
+        "transpose": lambda v: transpose(v),
+        "ctranspose": lambda v: transpose(v),
+    }
+    unary = {
+        "cos": np.cos, "sin": np.sin, "tan": np.tan,
+        "acos": np.arccos, "asin": np.arcsin, "atan": np.arctan,
+        "cosh": np.cosh, "sinh": np.sinh, "tanh": np.tanh,
+        "exp": np.exp, "log": np.log, "log2": np.log2, "log10": np.log10,
+        "sqrt": np.sqrt, "abs": np.abs, "sign": np.sign,
+        "floor": np.floor, "ceil": np.ceil, "round": np.round,
+        "fix": np.trunc, "real": lambda x: x, "conj": lambda x: x,
+        "isnan": lambda x: np.isnan(x).astype(float) if hasattr(x, "dtype")
+        else float(np.isnan(x)),
+        "isinf": lambda x: np.isinf(x).astype(float) if hasattr(x, "dtype")
+        else float(np.isinf(x)),
+        "isfinite": lambda x: np.isfinite(x).astype(float)
+        if hasattr(x, "dtype") else float(np.isfinite(x)),
+    }
+    for name, fn in unary.items():
+        registry[name] = _pointwise(fn)
+    return registry
+
+
+def call_multi(registry: dict, name: str, args: list,
+               nargout: int) -> Optional[list]:
+    """Evaluate builtin ``name`` with ``nargout`` outputs, or None when
+    the builtin has no multi-output form.
+
+    Supported: ``[m,n] = size(A)``, ``[v,i] = max/min(x)`` (value and
+    1-based position of the first extremum), ``[s,i] = sort(x)``.
+    """
+    if nargout <= 1:
+        return None
+    if name == "size" and len(args) == 1:
+        rows, cols = shape_of(args[0])
+        return [float(rows), float(cols)]
+    if name in ("max", "min") and len(args) == 1:
+        arr = as_array(args[0]).reshape(-1, order="F")
+        _require(arr.size > 0, f"{name}: empty input")
+        position = int(np.argmax(arr) if name == "max" else np.argmin(arr))
+        return [float(arr[position]), float(position + 1)]
+    if name == "sort" and len(args) == 1:
+        arr = as_array(args[0])
+        _require(min(arr.shape) <= 1, "sort: two-output form needs a "
+                                      "vector")
+        flat = arr.reshape(-1, order="F")
+        order = np.argsort(flat, kind="stable")
+        ordered = flat[order].reshape(arr.shape, order="F")
+        indices = (order + 1).astype(float).reshape(arr.shape, order="F")
+        return [canonical(np.asfortranarray(ordered)),
+                canonical(np.asfortranarray(indices))]
+    return None
+
+
+#: Scalar named constants.
+CONSTANTS: dict[str, float] = {
+    "pi": float(np.pi),
+    "e": float(np.e),
+    "eps": float(np.finfo(float).eps),
+    "Inf": float("inf"),
+    "inf": float("inf"),
+    "NaN": float("nan"),
+    "nan": float("nan"),
+}

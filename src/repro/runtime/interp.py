@@ -1,0 +1,407 @@
+"""A tree-walking MATLAB interpreter over NumPy.
+
+This is the substitute for MATLAB 7.2 itself: loop-based code pays a
+per-statement interpretive cost (Python-level dispatch), while
+array-level operations run as single NumPy kernels — the same cost
+structure that gives the paper its speedups, so the benchmark *shapes*
+carry over.
+
+Supported: scripts and function definitions, ``for``/``while``/``if``,
+``break``/``continue``/``return``, the full expression grammar of
+:mod:`repro.mlang`, 1-based/linear/colon indexing with auto-growing
+assignment, ``end`` arithmetic in subscripts, and the builtin registry
+of :mod:`repro.runtime.builtins`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import MatlabRuntimeError
+from ..mlang.ast_nodes import (
+    Annotation,
+    Apply,
+    Assign,
+    BinOp,
+    Break,
+    Colon,
+    Continue,
+    End,
+    Expr,
+    ExprStmt,
+    For,
+    FunctionDef,
+    Global,
+    Ident,
+    If,
+    Matrix,
+    MultiAssign,
+    Num,
+    Program,
+    Range,
+    Return,
+    Stmt,
+    Str,
+    Transpose,
+    UnOp,
+    While,
+)
+from ..mlang.parser import parse
+from . import values as V
+from .builtins import CONSTANTS, call_multi, colon_range, make_builtins
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    pass
+
+
+_BINOPS = {
+    "+": V.add,
+    "-": V.sub,
+    "*": V.matmul,
+    ".*": V.elmul,
+    "/": V.rdivide,
+    "./": V.eldiv,
+    "\\": V.ldivide,
+    ".\\": V.elleftdiv,
+    "^": V.mpower,
+    ".^": V.elpow,
+    "&": V.logical_and,
+    "|": V.logical_or,
+}
+
+
+class Interpreter:
+    """Evaluate parsed MATLAB programs.
+
+    ``seed`` makes ``rand``/``randn`` reproducible.  The workspace is a
+    plain dict mapping variable names to runtime values.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self.rng = np.random.default_rng(seed)
+        self.builtins = make_builtins(self.rng)
+        self.functions: dict[str, FunctionDef] = {}
+
+    # -- program / statements -------------------------------------------
+
+    def run(self, program: Program,
+            env: Optional[dict] = None) -> dict:
+        """Execute a program; returns the final workspace."""
+        workspace = env if env is not None else {}
+        for stmt in program.body:
+            if isinstance(stmt, FunctionDef):
+                self.functions[stmt.name] = stmt
+        try:
+            self.exec_block(
+                [s for s in program.body if not isinstance(s, FunctionDef)],
+                workspace)
+        except _ReturnSignal:
+            pass
+        return workspace
+
+    def exec_block(self, stmts: list[Stmt], env: dict) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: Stmt, env: dict) -> None:
+        cls = type(stmt)
+        if cls is Assign:
+            self._assign(stmt, env)
+        elif cls is For:
+            self._for(stmt, env)
+        elif cls is If:
+            for cond, body in stmt.tests:
+                if V.is_truthy(self.eval(cond, env)):
+                    self.exec_block(body, env)
+                    return
+            self.exec_block(stmt.orelse, env)
+        elif cls is While:
+            while V.is_truthy(self.eval(stmt.cond, env)):
+                try:
+                    self.exec_block(stmt.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif cls is ExprStmt:
+            value = self.eval(stmt.expr, env)
+            if not stmt.suppress:
+                env["ans"] = value
+        elif cls is MultiAssign:
+            self._multi_assign(stmt, env)
+        elif cls is Break:
+            raise _BreakSignal()
+        elif cls is Continue:
+            raise _ContinueSignal()
+        elif cls is Return:
+            raise _ReturnSignal()
+        elif cls is Annotation:
+            pass
+        elif cls is Global:
+            pass  # single-workspace scripts: globals are already visible
+        elif cls is FunctionDef:
+            self.functions[stmt.name] = stmt
+        else:
+            raise MatlabRuntimeError(
+                f"cannot execute statement {cls.__name__}")
+
+    # -- loops ----------------------------------------------------------
+
+    def _for(self, stmt: For, env: dict) -> None:
+        iter_value = self._loop_values(stmt.iter, env)
+        body = stmt.body
+        var = stmt.var
+        for item in iter_value:
+            env[var] = item
+            try:
+                self.exec_block(body, env)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+
+    def _loop_values(self, iter_expr: Expr, env: dict):
+        if isinstance(iter_expr, Range):
+            lo = V.as_scalar(self.eval(iter_expr.start, env))
+            hi = V.as_scalar(self.eval(iter_expr.stop, env))
+            step = V.as_scalar(self.eval(iter_expr.step, env)) \
+                if iter_expr.step is not None else 1.0
+            if step == 0:
+                raise MatlabRuntimeError("for: zero step")
+            count = int(np.floor((hi - lo) / step + 1e-10)) + 1
+            return (lo + step * k for k in range(max(count, 0)))
+        value = self.eval(iter_expr, env)
+        arr = V.as_array(value)
+        if arr.shape[0] == 1:
+            return (float(x) for x in arr[0])
+        # MATLAB iterates over columns of a matrix.
+        return (np.asfortranarray(arr[:, [k]]) for k in range(arr.shape[1]))
+
+    # -- assignment -------------------------------------------------------
+
+    def _assign(self, stmt: Assign, env: dict) -> None:
+        rhs = self.eval(stmt.rhs, env)
+        lhs = stmt.lhs
+        if type(lhs) is Ident:
+            env[lhs.name] = rhs
+            return
+        if type(lhs) is Apply and type(lhs.func) is Ident:
+            name = lhs.func.name
+            current = env.get(name)
+            subs = self._eval_subscripts(lhs.args, current, env)
+            env[name] = V.index_write(current, subs, rhs)
+            return
+        raise MatlabRuntimeError("unsupported assignment target")
+
+    def _multi_assign(self, stmt: MultiAssign, env: dict) -> None:
+        rhs = stmt.rhs
+        outputs: list
+        if isinstance(rhs, Apply) and isinstance(rhs.func, Ident) \
+                and rhs.func.name in self.functions:
+            outputs = self._call_function(
+                self.functions[rhs.func.name],
+                [self.eval(a, env) for a in rhs.args],
+                nargout=len(stmt.targets))
+        elif isinstance(rhs, Apply) and isinstance(rhs.func, Ident) \
+                and rhs.func.name in self.builtins \
+                and rhs.func.name not in env:
+            args = [self.eval(a, env) for a in rhs.args]
+            multi = call_multi(self.builtins, rhs.func.name, args,
+                               nargout=len(stmt.targets))
+            if multi is None:
+                multi = [self.builtins[rhs.func.name](*args)]
+            outputs = multi[: max(len(stmt.targets), 1)] \
+                if len(multi) >= len(stmt.targets) else multi
+        else:
+            outputs = [self.eval(rhs, env)]
+        if len(outputs) < len(stmt.targets):
+            raise MatlabRuntimeError("too many output arguments")
+        for target, value in zip(stmt.targets, outputs):
+            self._assign(Assign(target, _Quoted(value)), env)
+
+    # -- expressions --------------------------------------------------------
+
+    def eval(self, expr: Expr, env: dict):
+        cls = type(expr)
+        if cls is Num:
+            return expr.value
+        if cls is Ident:
+            name = expr.name
+            if name in env:
+                return env[name]
+            if name in CONSTANTS:
+                return CONSTANTS[name]
+            if name in self.functions:
+                return self._call_function(self.functions[name], [],
+                                           nargout=1)[0]
+            if name in self.builtins:
+                return self.builtins[name]()
+            raise MatlabRuntimeError(f"undefined variable {name!r}")
+        if cls is BinOp:
+            return self._binop(expr, env)
+        if cls is Apply:
+            return self._apply(expr, env)
+        if cls is Range:
+            lo = V.as_scalar(self.eval(expr.start, env))
+            hi = V.as_scalar(self.eval(expr.stop, env))
+            step = V.as_scalar(self.eval(expr.step, env)) \
+                if expr.step is not None else 1.0
+            return colon_range(lo, step, hi)
+        if cls is Transpose:
+            return V.transpose(self.eval(expr.operand, env))
+        if cls is UnOp:
+            value = self.eval(expr.operand, env)
+            if expr.op == "-":
+                return V.negate(value)
+            if expr.op == "~":
+                return V.logical_not(value)
+            return value
+        if cls is Str:
+            return expr.value
+        if cls is Matrix:
+            return self._matrix(expr, env)
+        if cls is _Quoted:
+            return expr.value
+        if cls is Colon or cls is End:
+            raise MatlabRuntimeError("':'/'end' outside a subscript")
+        raise MatlabRuntimeError(f"cannot evaluate {cls.__name__}")
+
+    def _binop(self, expr: BinOp, env: dict):
+        op = expr.op
+        if op == "&&":
+            left = self.eval(expr.left, env)
+            if not V.is_truthy(left):
+                return 0.0
+            return 1.0 if V.is_truthy(self.eval(expr.right, env)) else 0.0
+        if op == "||":
+            left = self.eval(expr.left, env)
+            if V.is_truthy(left):
+                return 1.0
+            return 1.0 if V.is_truthy(self.eval(expr.right, env)) else 0.0
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        fn = _BINOPS.get(op)
+        if fn is not None:
+            return fn(left, right)
+        if op in V._COMPARISONS:
+            return V.compare(op, left, right)
+        raise MatlabRuntimeError(f"unsupported operator {op!r}")
+
+    def _matrix(self, expr: Matrix, env: dict):
+        return V.build_matrix(
+            [[self.eval(e, env) for e in row] for row in expr.rows])
+
+    # -- application: indexing or calls ---------------------------------------
+
+    def _apply(self, expr: Apply, env: dict):
+        func = expr.func
+        if type(func) is Ident:
+            name = func.name
+            target = env.get(name)
+            if target is not None:
+                subs = self._eval_subscripts(expr.args, target, env)
+                return V.index_read(target, subs)
+            if name in self.functions:
+                args = [self.eval(a, env) for a in expr.args]
+                return self._call_function(self.functions[name], args,
+                                           nargout=1)[0]
+            builtin = self.builtins.get(name)
+            if builtin is not None:
+                args = [self.eval(a, env) for a in expr.args]
+                return builtin(*args)
+            raise MatlabRuntimeError(f"undefined variable or function "
+                                     f"{name!r}")
+        # Indexing the result of an arbitrary expression.
+        target = self.eval(func, env)
+        subs = self._eval_subscripts(expr.args, target, env)
+        return V.index_read(target, subs)
+
+    def _eval_subscripts(self, args: list[Expr], target, env: dict) -> list:
+        subs = []
+        total = len(args)
+        for position, arg in enumerate(args):
+            if type(arg) is Colon:
+                subs.append(V.COLON)
+                continue
+            subs.append(self._eval_subscript_expr(arg, target, position,
+                                                  total, env))
+        return subs
+
+    def _eval_subscript_expr(self, arg: Expr, target, position: int,
+                             total: int, env: dict):
+        if not _contains_end(arg):
+            return self.eval(arg, env)
+        if target is None:
+            raise MatlabRuntimeError("'end' used on an undefined variable")
+        rows, cols = V.shape_of(target)
+        if total == 1:
+            end_value = float(rows * cols)
+        else:
+            end_value = float(rows) if position == 0 else float(cols)
+        return self.eval(_substitute_end(arg, end_value), env)
+
+    # -- user-defined functions ----------------------------------------------
+
+    def _call_function(self, fn: FunctionDef, args: list,
+                       nargout: int = 1) -> list:
+        if len(args) > len(fn.params):
+            raise MatlabRuntimeError(
+                f"{fn.name}: too many input arguments")
+        scope = dict(zip(fn.params, args))
+        try:
+            self.exec_block(fn.body, scope)
+        except _ReturnSignal:
+            pass
+        outputs = []
+        for out in fn.outs[: max(nargout, 1)] or []:
+            if out not in scope:
+                raise MatlabRuntimeError(
+                    f"{fn.name}: output argument {out!r} not assigned")
+            outputs.append(scope[out])
+        if not outputs:
+            outputs = [0.0]
+        return outputs
+
+
+class _Quoted(Expr):
+    """Internal wrapper letting pre-computed values flow through _assign."""
+
+    def __init__(self, value):
+        self.value = value
+
+
+def _contains_end(expr: Expr) -> bool:
+    return any(isinstance(node, End) for node in expr.walk())
+
+
+def _substitute_end(expr: Expr, end_value: float):
+    from ..mlang.visitor import Transformer
+
+    class _EndSubst(Transformer):
+        def visit_End(self, node: End):
+            return Num(end_value)
+
+    return _EndSubst().visit(expr)
+
+
+def run_program(program: Program, env: Optional[dict] = None,
+                seed: Optional[int] = None) -> dict:
+    """Execute a parsed program; returns the final workspace."""
+    return Interpreter(seed=seed).run(program, env=env)
+
+
+def run_source(source: str, env: Optional[dict] = None,
+               seed: Optional[int] = None) -> dict:
+    """Parse and execute MATLAB source; returns the final workspace."""
+    return run_program(parse(source), env=env, seed=seed)

@@ -1,0 +1,480 @@
+"""MATLAB value model and operator semantics over NumPy.
+
+Values are either Python ``float``/``bool`` (scalars — the fast path for
+the per-element loops the vectorizer's baselines execute) or 2-D
+``numpy.ndarray`` in Fortran (column-major) order, matching MATLAB's
+storage.  Strings are Python ``str``.
+
+Semantics deliberately match MATLAB 7 (the paper's era):
+
+* **no implicit broadcasting** — elementwise operators require equal
+  shapes or a scalar operand; a row plus a column is an error (this is
+  exactly why the vectorizer must insert transposes and ``repmat``);
+* ``*`` is matrix multiplication (inner dimensions must agree) unless a
+  side is scalar;
+* 1-based indexing; single-subscript (linear) indexing is column-major;
+* assignment auto-grows arrays, zero-filling new elements;
+* ``A(:)`` flattens column-major.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import MatlabRuntimeError
+
+Scalar = Union[float, bool, int]
+Value = Union[Scalar, np.ndarray, str]
+
+#: Marker object for a bare ':' subscript at runtime.
+COLON = object()
+
+
+def is_scalar(value: Value) -> bool:
+    if isinstance(value, (float, int, bool, np.floating, np.integer,
+                          np.bool_)):
+        return True
+    return isinstance(value, np.ndarray) and value.size == 1
+
+
+def as_scalar(value: Value) -> float:
+    if isinstance(value, (float, int, bool, np.floating, np.integer,
+                          np.bool_)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        if value.size != 1:
+            raise MatlabRuntimeError(
+                f"expected a scalar, got a {value.shape[0]}x{value.shape[1]} "
+                "array")
+        return float(value.reshape(-1)[0])
+    raise MatlabRuntimeError(f"expected a scalar, got {type(value).__name__}")
+
+
+def as_array(value: Value) -> np.ndarray:
+    """Canonical 2-D, Fortran-ordered float array view of a value."""
+    if isinstance(value, np.ndarray):
+        if value.ndim == 2:
+            return value
+        if value.ndim < 2:
+            return value.reshape((1, value.size), order="F")
+        raise MatlabRuntimeError(">2-D arrays are not supported")
+    if isinstance(value, (float, int, bool, np.floating, np.integer,
+                          np.bool_)):
+        return np.full((1, 1), float(value), order="F")
+    raise MatlabRuntimeError(f"cannot convert {type(value).__name__} "
+                             "to a matrix")
+
+
+def matrix(rows: int, cols: int, fill: float = 0.0) -> np.ndarray:
+    return np.full((rows, cols), fill, order="F")
+
+
+def canonical(value: Value) -> Value:
+    """Collapse 1×1 arrays to Python floats (keeps the fast path fast)."""
+    if isinstance(value, np.ndarray) and value.size == 1 and value.ndim <= 2:
+        return float(value.reshape(-1)[0])
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return float(value)
+    return value
+
+
+def shape_of(value: Value) -> tuple[int, int]:
+    if isinstance(value, np.ndarray):
+        arr = as_array(value)
+        return arr.shape[0], arr.shape[1]
+    if isinstance(value, str):
+        return (1, len(value)) if value else (0, 0)
+    return (1, 1)
+
+
+def numel(value: Value) -> int:
+    rows, cols = shape_of(value)
+    return rows * cols
+
+
+# ---------------------------------------------------------------------------
+# Elementwise and matrix operators
+# ---------------------------------------------------------------------------
+
+
+def _both_scalar(a: Value, b: Value) -> bool:
+    return not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray)
+
+
+def _check_elementwise_shapes(a: Value, b: Value, op: str) -> None:
+    if is_scalar(a) or is_scalar(b):
+        return
+    sa, sb = shape_of(a), shape_of(b)
+    if sa != sb:
+        raise MatlabRuntimeError(
+            f"{op}: nonconformant arguments (op1 is {sa[0]}x{sa[1]}, "
+            f"op2 is {sb[0]}x{sb[1]})")
+
+
+def _numeric(arr: np.ndarray) -> np.ndarray:
+    """Logical (bool) arrays participate in arithmetic as 0/1 doubles."""
+    return arr.astype(float) if arr.dtype == np.bool_ else arr
+
+
+def _elementwise(op: str, a: Value, b: Value, fn) -> Value:
+    _check_elementwise_shapes(a, b, op)
+    if _both_scalar(a, b):
+        # Go through numpy scalars so MATLAB's IEEE semantics hold:
+        # 1/0 = Inf, 0/0 = NaN, huge^huge = Inf (no Python exceptions).
+        with np.errstate(divide="ignore", invalid="ignore",
+                         over="ignore"):
+            return float(fn(np.float64(a), np.float64(b)))
+    left = _numeric(as_array(a)) if isinstance(a, np.ndarray) else float(a)
+    right = _numeric(as_array(b)) if isinstance(b, np.ndarray) else float(b)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        return canonical(np.asfortranarray(fn(left, right)))
+
+
+def add(a: Value, b: Value) -> Value:
+    return _elementwise("+", a, b, lambda x, y: x + y)
+
+
+def sub(a: Value, b: Value) -> Value:
+    return _elementwise("-", a, b, lambda x, y: x - y)
+
+
+def elmul(a: Value, b: Value) -> Value:
+    return _elementwise(".*", a, b, lambda x, y: x * y)
+
+
+def eldiv(a: Value, b: Value) -> Value:
+    return _elementwise("./", a, b, lambda x, y: x / y)
+
+
+def elleftdiv(a: Value, b: Value) -> Value:
+    return _elementwise(".\\", a, b, lambda x, y: y / x)
+
+
+def elpow(a: Value, b: Value) -> Value:
+    return _elementwise(".^", a, b, lambda x, y: x ** y)
+
+
+def matmul(a: Value, b: Value) -> Value:
+    if is_scalar(a) or is_scalar(b):
+        return elmul(a, b)
+    left, right = _numeric(as_array(a)), _numeric(as_array(b))
+    if left.shape[1] != right.shape[0]:
+        raise MatlabRuntimeError(
+            f"*: nonconformant arguments (op1 is "
+            f"{left.shape[0]}x{left.shape[1]}, op2 is "
+            f"{right.shape[0]}x{right.shape[1]})")
+    return canonical(np.asfortranarray(left @ right))
+
+
+def rdivide(a: Value, b: Value) -> Value:
+    """``a / b``: elementwise when b is scalar, else solve ``x*b = a``."""
+    if is_scalar(b):
+        return eldiv(a, b)
+    left, right = as_array(a), as_array(b)
+    try:
+        solution = np.linalg.solve(right.T, left.T).T
+    except np.linalg.LinAlgError as error:
+        raise MatlabRuntimeError(f"/: {error}") from error
+    return canonical(np.asfortranarray(solution))
+
+
+def ldivide(a: Value, b: Value) -> Value:
+    """``a \\ b``: elementwise when a is scalar, else solve ``a*x = b``."""
+    if is_scalar(a):
+        return elmul(b, 1.0 / as_scalar(a))
+    left, right = as_array(a), as_array(b)
+    try:
+        if left.shape[0] == left.shape[1]:
+            solution = np.linalg.solve(left, right)
+        else:
+            solution, *_ = np.linalg.lstsq(left, right, rcond=None)
+    except np.linalg.LinAlgError as error:
+        raise MatlabRuntimeError(f"\\: {error}") from error
+    return canonical(np.asfortranarray(solution))
+
+
+def mpower(a: Value, b: Value) -> Value:
+    if is_scalar(a) and is_scalar(b):
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            return float(np.float64(as_scalar(a)) **
+                         np.float64(as_scalar(b)))
+    if is_scalar(b):
+        exponent = as_scalar(b)
+        if exponent != int(exponent):
+            raise MatlabRuntimeError("^: non-integer matrix power")
+        return canonical(np.asfortranarray(
+            np.linalg.matrix_power(as_array(a), int(exponent))))
+    raise MatlabRuntimeError("^: unsupported operand shapes")
+
+
+def transpose(a: Value) -> Value:
+    if not isinstance(a, np.ndarray):
+        return a
+    return np.asfortranarray(as_array(a).T)
+
+
+def negate(a: Value) -> Value:
+    if isinstance(a, np.ndarray):
+        return np.asfortranarray(-_numeric(as_array(a)))
+    return -float(a)
+
+
+_COMPARISONS = {
+    "==": lambda x, y: x == y,
+    "~=": lambda x, y: x != y,
+    "<": lambda x, y: x < y,
+    "<=": lambda x, y: x <= y,
+    ">": lambda x, y: x > y,
+    ">=": lambda x, y: x >= y,
+}
+
+
+def compare(op: str, a: Value, b: Value) -> Value:
+    """Comparison: scalars give 0.0/1.0; arrays give *logical* (bool)
+    arrays usable as masks in indexing (MATLAB logical class)."""
+    _check_elementwise_shapes(a, b, op)
+    fn = _COMPARISONS[op]
+    if _both_scalar(a, b):
+        return float(fn(float(a), float(b)))
+    result = fn(_numeric(as_array(a)) if isinstance(a, np.ndarray)
+                else float(a),
+                _numeric(as_array(b)) if isinstance(b, np.ndarray)
+                else float(b))
+    return canonical(np.asfortranarray(result.astype(bool)))
+
+
+def logical_and(a: Value, b: Value) -> Value:
+    return _elementwise("&", a, b, lambda x, y: (x != 0) & (y != 0))
+
+
+def logical_or(a: Value, b: Value) -> Value:
+    return _elementwise("|", a, b, lambda x, y: (x != 0) | (y != 0))
+
+
+def logical_not(a: Value) -> Value:
+    if isinstance(a, np.ndarray):
+        return np.asfortranarray(as_array(a) == 0)
+    return float(float(a) == 0)
+
+
+def is_truthy(value: Value) -> bool:
+    """MATLAB condition semantics: nonempty and all elements nonzero."""
+    if isinstance(value, np.ndarray):
+        return value.size > 0 and bool(np.all(value != 0))
+    if isinstance(value, str):
+        return bool(value)
+    return float(value) != 0
+
+
+# ---------------------------------------------------------------------------
+# Indexing
+# ---------------------------------------------------------------------------
+
+
+def _index_vector(sub: Value, extent: int, what: str) -> np.ndarray:
+    """Convert a 1-based subscript value to 0-based indices.
+
+    A *logical* (bool) subscript is a mask: selected positions are the
+    true entries, in column-major order.
+    """
+    if sub is COLON:
+        return np.arange(extent)
+    if isinstance(sub, np.ndarray) and sub.dtype == np.bool_:
+        mask = sub.reshape(-1, order="F")
+        if mask.size > extent:
+            raise MatlabRuntimeError(f"{what}: logical mask longer than "
+                                     "the indexed extent")
+        return np.flatnonzero(mask)
+    if isinstance(sub, np.ndarray):
+        flat = sub.reshape(-1, order="F")
+        indices = flat.astype(np.int64)
+        if not np.array_equal(indices, flat):
+            raise MatlabRuntimeError(f"{what}: non-integer subscript")
+        if indices.size and indices.min() < 1:
+            raise MatlabRuntimeError(f"{what}: subscript must be >= 1")
+        return indices - 1
+    index = float(sub)
+    if index != int(index):
+        raise MatlabRuntimeError(f"{what}: non-integer subscript")
+    if index < 1:
+        raise MatlabRuntimeError(f"{what}: subscript must be >= 1")
+    return np.array([int(index) - 1])
+
+
+def index_read(value: Value, subs: list) -> Value:
+    """``A(subs…)`` with full MATLAB semantics."""
+    arr = as_array(value)
+    if len(subs) == 0:
+        return canonical(arr)
+    if len(subs) == 1:
+        sub = subs[0]
+        if sub is COLON:
+            return np.asfortranarray(
+                arr.reshape((arr.size, 1), order="F").copy())
+        idx = _index_vector(sub, arr.size, "index")
+        if idx.size and idx.max() >= arr.size:
+            raise MatlabRuntimeError(
+                f"index ({idx.max() + 1}): out of bounds ({arr.size})")
+        flat = arr.reshape(-1, order="F")
+        picked = flat[idx]
+        if not isinstance(sub, np.ndarray):
+            return float(picked[0])
+        if sub.dtype == np.bool_:
+            # Mask selection: a column for column/matrix sources, a row
+            # for row sources (MATLAB logical-indexing shapes).
+            if arr.shape[0] == 1 and arr.shape[1] > 1:
+                return np.asfortranarray(picked.reshape(1, -1))
+            return np.asfortranarray(picked.reshape(-1, 1))
+        sub_arr = as_array(sub)
+        rows, cols = sub_arr.shape
+        if min(arr.shape) > 1:
+            # Matrix source: result has the subscript's shape.
+            return np.asfortranarray(picked.reshape((rows, cols), order="F"))
+        # Vector source: result follows the source's orientation unless
+        # the subscript is a matrix.
+        if min(rows, cols) > 1:
+            return np.asfortranarray(picked.reshape((rows, cols), order="F"))
+        if arr.shape[0] > 1:
+            return np.asfortranarray(picked.reshape((picked.size, 1),
+                                                    order="F"))
+        return np.asfortranarray(picked.reshape((1, picked.size), order="F"))
+    if len(subs) == 2:
+        rows = _index_vector(subs[0], arr.shape[0], "row index")
+        cols = _index_vector(subs[1], arr.shape[1], "column index")
+        if rows.size and rows.max() >= arr.shape[0]:
+            raise MatlabRuntimeError(
+                f"row index ({rows.max() + 1}): out of bounds "
+                f"({arr.shape[0]})")
+        if cols.size and cols.max() >= arr.shape[1]:
+            raise MatlabRuntimeError(
+                f"column index ({cols.max() + 1}): out of bounds "
+                f"({arr.shape[1]})")
+        picked = arr[np.ix_(rows, cols)]
+        return canonical(np.asfortranarray(picked))
+    raise MatlabRuntimeError(">2 subscripts are not supported")
+
+
+def index_write(value: Optional[Value], subs: list, rhs: Value) -> Value:
+    """``A(subs…) = rhs`` with auto-growing; returns the updated array."""
+    if value is None:
+        base = matrix(0, 0)
+    else:
+        base = as_array(value).copy(order="F") \
+            if isinstance(value, np.ndarray) else as_array(value)
+    if len(subs) == 0:
+        return rhs
+    if len(subs) == 1:
+        return _linear_write(base, subs[0], rhs,
+                             was_undefined=value is None)
+    if len(subs) == 2:
+        rows_needed = _max_extent(subs[0], base.shape[0])
+        cols_needed = _max_extent(subs[1], base.shape[1])
+        if rows_needed > base.shape[0] or cols_needed > base.shape[1]:
+            grown = matrix(max(rows_needed, base.shape[0]),
+                           max(cols_needed, base.shape[1]))
+            grown[: base.shape[0], : base.shape[1]] = base
+            base = grown
+        rows = _index_vector(subs[0], base.shape[0], "row index")
+        cols = _index_vector(subs[1], base.shape[1], "column index")
+        block = _conform_block(rhs, rows.size, cols.size)
+        base[np.ix_(rows, cols)] = block
+        return canonical(base)
+    raise MatlabRuntimeError(">2 subscripts are not supported")
+
+
+def _max_extent(sub: Value, current: int) -> int:
+    if sub is COLON:
+        return current
+    if isinstance(sub, np.ndarray):
+        return int(sub.max()) if sub.size else current
+    return int(float(sub))
+
+
+def _conform_block(rhs: Value, rows: int, cols: int) -> np.ndarray:
+    if is_scalar(rhs):
+        return np.full((rows, cols), as_scalar(rhs), order="F")
+    block = as_array(rhs)
+    if block.shape == (rows, cols):
+        return block
+    if block.size == rows * cols and (min(block.shape) == 1
+                                      and (rows == 1 or cols == 1)):
+        return block.reshape((rows, cols), order="F")
+    raise MatlabRuntimeError(
+        f"=: nonconformant arguments (op1 is {rows}x{cols}, op2 is "
+        f"{block.shape[0]}x{block.shape[1]})")
+
+
+def _linear_write(base: np.ndarray, sub: Value, rhs: Value,
+                  was_undefined: bool) -> Value:
+    if sub is COLON:
+        block = as_array(rhs)
+        if block.size != base.size and not is_scalar(rhs):
+            raise MatlabRuntimeError("A(:) = B: size mismatch")
+        if is_scalar(rhs):
+            base[:] = as_scalar(rhs)
+        else:
+            base.reshape(-1, order="F")[:] = block.reshape(-1, order="F")
+        return canonical(base)
+    idx = _index_vector(sub, base.size, "index")
+    needed = int(idx.max()) + 1 if idx.size else 0
+    if base.size == 0:
+        # Auto-created by this write: MATLAB makes a 1×n row vector.
+        base = matrix(1, needed)
+    elif needed > base.size:
+        if base.shape[0] == 1:
+            grown = matrix(1, needed)
+            grown[0, : base.shape[1]] = base[0]
+            base = grown
+        elif base.shape[1] == 1:
+            grown = matrix(needed, 1)
+            grown[: base.shape[0], 0] = base[:, 0]
+            base = grown
+        else:
+            raise MatlabRuntimeError(
+                "linear index out of bounds for a matrix")
+    flat = base.reshape(-1, order="F")
+    if is_scalar(rhs):
+        flat[idx] = as_scalar(rhs)
+    else:
+        block = as_array(rhs).reshape(-1, order="F")
+        if block.size != idx.size:
+            raise MatlabRuntimeError("=: subscripted assignment dimension "
+                                     "mismatch")
+        flat[idx] = block
+    return canonical(base)
+
+
+def build_matrix(rows: list) -> Value:
+    """Build a matrix-literal value from rows of already-evaluated
+    elements (MATLAB block concatenation semantics)."""
+    row_blocks = []
+    for row in rows:
+        parts = [as_array(element) for element in row]
+        parts = [p for p in parts if p.size or len(parts) == 1]
+        if not parts:
+            continue
+        heights = {p.shape[0] for p in parts}
+        if len(heights) != 1:
+            raise MatlabRuntimeError(
+                "matrix literal: inconsistent row heights")
+        row_blocks.append(np.hstack(parts))
+    if not row_blocks:
+        return matrix(0, 0)
+    widths = {b.shape[1] for b in row_blocks}
+    if len(widths) != 1:
+        raise MatlabRuntimeError(
+            "matrix literal: inconsistent column widths")
+    return canonical(np.asfortranarray(np.vstack(row_blocks)))
+
+
+def values_equal(a: Value, b: Value, rtol: float = 1e-10,
+                 atol: float = 1e-12) -> bool:
+    """Numerical equality used by equivalence tests."""
+    if isinstance(a, str) or isinstance(b, str):
+        return a == b
+    aa, bb = as_array(a), as_array(b)
+    if aa.shape != bb.shape:
+        return False
+    return bool(np.allclose(aa, bb, rtol=rtol, atol=atol, equal_nan=True))

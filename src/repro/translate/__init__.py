@@ -1,0 +1,1 @@
+"""MATLAB → Python/NumPy transpiler."""

@@ -1,0 +1,6 @@
+"""The vectorizer: dimension checker, codegen_dim, and the driver."""
+
+from .checker import CheckFailure, CheckOptions, DimChecker  # noqa: F401
+from .codegen import CodegenDim, NestResult  # noqa: F401
+from .driver import Vectorizer, VectorizeResult, vectorize_source  # noqa: F401
+from .loop_info import LoopHeader, extract_nest, normalize_loop  # noqa: F401

@@ -1,0 +1,816 @@
+"""``vectDimsOkay`` — the statement dimension checker (§2, §3, §3.1).
+
+:class:`DimChecker` traverses one assignment's parse tree bottom-up,
+computing vectorized dimensionalities (Table 1 rules from
+:mod:`repro.dims.vectorized`), while
+
+* verifying pointwise/assignment compatibility (§2.1),
+* inserting transposes where they repair compatibility (§2.2),
+* consulting the pattern database on failures (§3),
+* rewriting duplicate-``r`` matrix accesses (diagonal patterns, §3),
+* tracking reduced-variable sets ρ and applying the Γ reduction
+  operator for additive-reduction statements (§3.1), including implicit
+  reduction through native matrix multiplication and the enumeration of
+  associative regroupings of ``*`` chains (footnote 2).
+
+On success the checker returns a rewritten statement *template*: the
+tree with all transforms applied but index variables still in place;
+code generation substitutes the loop ranges afterwards.  On failure a
+:class:`CheckFailure` carries a human-readable reason used in
+vectorization reports.
+
+Soundness notes beyond the paper's text (the paper's examples never hit
+these, but an implementation must decide):
+
+* ρ-carrying subexpressions may only flow through operators that
+  distribute over addition (``+ - *`` and elementwise ``.*``, plus
+  division by a ρ-free denominator); anything else — function calls,
+  powers, comparisons — rejects, because ``f(Σe) ≠ Σf(e)``;
+* multiplicative combinations require *disjoint* ρ sets (each reduction
+  variable may be summed exactly once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..dims.abstract import ONE, STAR, Dim, RSym, compatible
+from ..dims.context import (
+    DimContext,
+    IMPURE_FUNCTIONS,
+    KNOWN_FUNCTIONS,
+    POINTWISE_BINARY,
+    POINTWISE_UNARY,
+    ShapeEnv,
+)
+from ..dims.signatures import builtin_result_dim, CONSTANT_NAMES
+from ..dims.vectorized import (
+    COLON,
+    dim_of_matrix_literal,
+    dim_of_subscript,
+    pointwise_result,
+)
+from ..mlang.ast_nodes import (
+    Apply,
+    Assign,
+    BinOp,
+    Colon,
+    End,
+    Expr,
+    Ident,
+    Matrix,
+    Num,
+    Range,
+    Str,
+    Transpose,
+    UnOp,
+    call,
+    num,
+)
+from ..patterns.database import PatternDatabase
+from .loop_info import LoopHeader
+
+#: Operators that MATLAB applies elementwise (scalar extension included).
+POINTWISE_OPS = frozenset({"+", "-", ".*", "./", ".\\", ".^",
+                           "==", "~=", "<", "<=", ">", ">=", "&", "|"})
+
+#: Scalar operators promoted to their elementwise forms when every
+#: iteration applied them to scalars (x(i)^2 → x(1:n).^2).
+PROMOTIONS = {"*": ".*", "/": "./", "^": ".^", "\\": ".\\"}
+
+#: Operators through which a ρ-carrying operand may pass (they
+#: distribute over the deferred summation).
+_RHO_TRANSPARENT = frozenset({"+", "-", "*", ".*"})
+
+
+class CheckFailure(Exception):
+    """Vectorization of the statement (at this level) is not possible."""
+
+    def __init__(self, reason: str, node: Optional[Expr] = None):
+        self.reason = reason
+        self.node = node
+        super().__init__(reason)
+
+
+@dataclass(frozen=True)
+class VExpr:
+    """A checked subexpression: rewritten template, dims, ρ set, and the
+    names of the database patterns used to build it."""
+
+    expr: Expr
+    dim: Dim
+    rho: frozenset[RSym] = frozenset()
+    patterns: tuple[str, ...] = ()
+
+    def with_transpose(self) -> "VExpr":
+        return VExpr(Transpose(self.expr), self.dim.reverse(), self.rho,
+                     self.patterns)
+
+
+@dataclass
+class CheckOptions:
+    """Feature switches, primarily for the ablation benchmarks."""
+
+    transposes: bool = True
+    patterns: bool = True
+    reductions: bool = True
+    promotion: bool = True
+    product_regroup: bool = True
+    max_chain: int = 8
+
+
+@dataclass
+class CheckedStmt:
+    """A successfully checked statement, pre index-substitution."""
+
+    template: Assign
+    used_patterns: list[str] = field(default_factory=list)
+    is_reduction: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Expression-shape helpers
+# ---------------------------------------------------------------------------
+
+
+def flatten_additive(expr: Expr) -> list[tuple[int, Expr]]:
+    """Flatten the top-level ``+``/``-`` spine into (sign, term) pairs."""
+    terms: list[tuple[int, Expr]] = []
+
+    def walk(node: Expr, sign: int) -> None:
+        if isinstance(node, BinOp) and node.op in ("+", "-"):
+            walk(node.left, sign)
+            walk(node.right, sign if node.op == "+" else -sign)
+        elif isinstance(node, UnOp) and node.op in "+-":
+            walk(node.operand, sign if node.op == "+" else -sign)
+        else:
+            terms.append((sign, node))
+
+    walk(expr, 1)
+    return terms
+
+
+def rebuild_additive(terms: Sequence[tuple[int, Expr]]) -> Expr:
+    """Rebuild an expression from (sign, term) pairs."""
+    expr: Optional[Expr] = None
+    for sign, term in terms:
+        if expr is None:
+            expr = term if sign > 0 else UnOp("-", term)
+        else:
+            expr = BinOp("+" if sign > 0 else "-", expr, term)
+    assert expr is not None
+    return expr
+
+
+def flatten_star(expr: Expr) -> list[Expr]:
+    """Flatten the left spine of a ``*`` chain."""
+    if isinstance(expr, BinOp) and expr.op == "*":
+        return flatten_star(expr.left) + [expr.right]
+    return [expr]
+
+
+def is_additive_reduction(stmt: Assign) -> bool:
+    """Quick syntactic test for the §3.1 form ``A(J) = A(J) ± E``."""
+    return any(sign > 0 and term == stmt.lhs
+               for sign, term in flatten_additive(stmt.rhs))
+
+
+# ---------------------------------------------------------------------------
+# The checker
+# ---------------------------------------------------------------------------
+
+
+class DimChecker:
+    """Dimension-check (and rewrite) statements for a given set of loops.
+
+    ``headers`` are the loops being vectorized, outermost first;
+    ``sequential_vars`` are index variables of enclosing loops that stay
+    sequential (they behave as scalars).
+    """
+
+    def __init__(self, shapes: ShapeEnv, headers: Sequence[LoopHeader],
+                 sequential_vars: Sequence[str] = (),
+                 db: Optional[PatternDatabase] = None,
+                 options: Optional[CheckOptions] = None):
+        self.headers = list(headers)
+        self.ctx = DimContext(
+            shapes=shapes,
+            loop_syms={h.var: h.sym for h in headers},
+            sequential_vars=frozenset(sequential_vars),
+        )
+        self.db = db if db is not None else PatternDatabase()
+        self.options = options or CheckOptions()
+        self._by_sym = {h.sym: h for h in headers}
+        self._reduction_allowed: frozenset[RSym] = frozenset()
+
+    # -- TransformContext protocol ------------------------------------
+
+    def range_expr(self, sym: RSym) -> Expr:
+        return self._by_sym[sym].range_expr()
+
+    def tripcount_expr(self, sym: RSym) -> Expr:
+        return self._by_sym[sym].count
+
+    def base_dim_of(self, expr: Expr) -> Optional[Dim]:
+        if isinstance(expr, Ident):
+            return self.ctx.var_dim(expr.name)
+        return None
+
+    # -- statement entry point ---------------------------------------------
+
+    def check_assign(self, stmt: Assign) -> CheckedStmt:
+        """Check one assignment; raises :class:`CheckFailure` on failure."""
+        lhs_v = self._check_lhs(stmt.lhs)
+        active = self.ctx.active_syms()
+        reduction_vars = active - lhs_v.dim.r_syms()
+
+        if reduction_vars:
+            if not self.options.reductions:
+                raise CheckFailure(
+                    "loop variables "
+                    f"{sorted(str(s) for s in reduction_vars)} do not appear "
+                    "in the assignment target (reductions disabled)",
+                    stmt.lhs)
+            template, used = self._check_reduction(stmt, lhs_v,
+                                                   reduction_vars)
+            return CheckedStmt(template, used, is_reduction=True)
+
+        rhs_v = self.check_expr(stmt.rhs)
+        if rhs_v.rho:
+            raise CheckFailure("internal: unexpected reduction outside an "
+                               "additive-reduction statement", stmt.rhs)
+        rhs_v = self._fit_assignment(lhs_v, rhs_v, stmt.rhs)
+        template = Assign(lhs_v.expr, rhs_v.expr, suppress=stmt.suppress)
+        return CheckedStmt(template, list(lhs_v.patterns + rhs_v.patterns))
+
+    # -- additive reductions (§3.1) ------------------------------------------
+
+    def _check_reduction(self, stmt: Assign, lhs_v: VExpr,
+                         reduction_vars: frozenset[RSym],
+                         ) -> tuple[Assign, list[str]]:
+        terms = flatten_additive(stmt.rhs)
+        acc_positions = [k for k, (sign, term) in enumerate(terms)
+                         if sign > 0 and term == stmt.lhs]
+        if not acc_positions:
+            raise CheckFailure(
+                "statement uses loop variables absent from its target but "
+                "is not an additive reduction A(J) = A(J) + E", stmt.rhs)
+        rest = [pair for k, pair in enumerate(terms) if k != acc_positions[0]]
+        if not rest:
+            raise CheckFailure("degenerate reduction A(J) = A(J)", stmt.rhs)
+        # Γ is linear, so a uniformly negative remainder is accumulated
+        # positively and subtracted once: A = A - Σ E, not A = A + Σ(-E).
+        negated = all(sign < 0 for sign, _ in rest)
+        if negated:
+            rest = [(1, term) for _, term in rest]
+
+        self._reduction_allowed = reduction_vars
+        try:
+            e_v = self.check_expr(rebuild_additive(rest))
+        finally:
+            self._reduction_allowed = frozenset()
+
+        for sym in self._ordered(reduction_vars - e_v.rho):
+            e_v = self._gamma(e_v, sym)
+        if e_v.rho != reduction_vars:
+            raise CheckFailure(
+                f"reduced variables {sorted(str(s) for s in e_v.rho)} do not "
+                f"match the reduction set "
+                f"{sorted(str(s) for s in reduction_vars)}", stmt.rhs)
+
+        e_v = self._fit_assignment(lhs_v, e_v, stmt.rhs)
+        accumulate: Expr = e_v.expr
+        op = "-" if negated else "+"
+        if isinstance(accumulate, UnOp) and accumulate.op == "-":
+            op = "+" if op == "-" else "-"
+            accumulate = accumulate.operand
+        new_rhs = BinOp(op, lhs_v.expr, accumulate)
+        template = Assign(lhs_v.expr, new_rhs, suppress=stmt.suppress)
+        return template, list(lhs_v.patterns + e_v.patterns)
+
+    def _ordered(self, syms: frozenset[RSym]) -> list[RSym]:
+        order = {h.sym: k for k, h in enumerate(self.headers)}
+        return sorted(syms, key=lambda s: order.get(s, len(order)))
+
+    def _gamma(self, value: VExpr, sym: RSym) -> VExpr:
+        """The Γ reduction operator: accumulate ``value`` over ``sym``.
+
+        ``sum(e, j)`` along the unique axis holding ``r_i``; when the
+        symbol does not occur, every iteration contributed the same
+        value, so multiply by the trip count.
+        """
+        axis = value.dim.axis_of(sym)
+        if axis is not None:
+            expr = call("sum", value.expr, num(axis + 1))
+            return VExpr(expr, value.dim.replace_axis(axis, ONE),
+                         value.rho | {sym}, value.patterns)
+        if sym in value.dim.r_syms():
+            raise CheckFailure(
+                f"cannot reduce {sym}: it occurs in several dimensions",
+                value.expr)
+        expr = BinOp("*", self.tripcount_expr(sym), value.expr)
+        return VExpr(expr, value.dim, value.rho | {sym}, value.patterns)
+
+    # -- assignment compatibility -------------------------------------------
+
+    def _fit_assignment(self, lhs_v: VExpr, rhs_v: VExpr,
+                        origin: Expr) -> VExpr:
+        if rhs_v.dim.is_scalar:
+            return rhs_v
+        if compatible(lhs_v.dim, rhs_v.dim):
+            return rhs_v
+        if self.options.transposes and compatible(lhs_v.dim,
+                                                  rhs_v.dim.reverse()):
+            return rhs_v.with_transpose()
+        raise CheckFailure(
+            f"assignment dims disagree: {lhs_v.dim} vs {rhs_v.dim}", origin)
+
+    # -- left-hand sides -------------------------------------------------
+
+    def _check_lhs(self, lhs: Expr) -> VExpr:
+        if isinstance(lhs, Ident):
+            dim = self.ctx.var_dim(lhs.name)
+            if lhs.name in self.ctx.loop_syms:
+                raise CheckFailure(
+                    f"cannot assign to loop index {lhs.name!r}", lhs)
+            if dim is None:
+                raise CheckFailure(
+                    f"no shape information for assigned variable "
+                    f"{lhs.name!r}", lhs)
+            return VExpr(lhs, dim)
+        if isinstance(lhs, Apply) and isinstance(lhs.func, Ident):
+            return self._check_access(lhs, is_write=True)
+        raise CheckFailure("unsupported assignment target", lhs)
+
+    # -- expressions ------------------------------------------------------
+
+    def check_expr(self, expr: Expr) -> VExpr:
+        """Compute the vectorized dimensionality of ``expr``, rewriting."""
+        if isinstance(expr, Num):
+            return VExpr(expr, Dim.scalar())
+        if isinstance(expr, Str):
+            raise CheckFailure("string operand in candidate statement", expr)
+        if isinstance(expr, Ident):
+            return self._check_ident(expr)
+        if isinstance(expr, UnOp):
+            inner = self.check_expr(expr.operand)
+            if expr.op == "~" and inner.rho:
+                raise CheckFailure("logical negation of a reduced value", expr)
+            return VExpr(UnOp(expr.op, inner.expr), inner.dim, inner.rho,
+                         inner.patterns)
+        if isinstance(expr, Transpose):
+            inner = self.check_expr(expr.operand)
+            return VExpr(Transpose(inner.expr, conjugate=expr.conjugate),
+                         inner.dim.reverse(), inner.rho, inner.patterns)
+        if isinstance(expr, Range):
+            return self._check_range(expr)
+        if isinstance(expr, Matrix):
+            return self._check_matrix(expr)
+        if isinstance(expr, BinOp):
+            return self._check_binop(expr)
+        if isinstance(expr, Apply):
+            return self._check_apply(expr)
+        if isinstance(expr, (Colon, End)):
+            raise CheckFailure("':'/'end' outside a subscript", expr)
+        raise CheckFailure(f"unsupported expression {type(expr).__name__}",
+                           expr)
+
+    def _check_ident(self, expr: Ident) -> VExpr:
+        sym = self.ctx.sym_for(expr.name)
+        if sym is not None:
+            return VExpr(expr, Dim((ONE, sym)))
+        dim = self.ctx.var_dim(expr.name)
+        if dim is not None:
+            return VExpr(expr, dim)
+        if expr.name in CONSTANT_NAMES:
+            return VExpr(expr, Dim.scalar())
+        raise CheckFailure(f"no shape information for {expr.name!r}", expr)
+
+    def _check_range(self, expr: Range) -> VExpr:
+        parts = [expr.start, expr.stop] + ([expr.step] if expr.step else [])
+        for part in parts:
+            part_v = self.check_expr(part)
+            if part_v.rho or part_v.dim.r_syms():
+                raise CheckFailure(
+                    "range bounds depend on a vectorized loop variable",
+                    expr)
+            if not part_v.dim.is_scalar:
+                raise CheckFailure("non-scalar range bound", part)
+        return VExpr(expr, Dim.row())
+
+    def _check_matrix(self, expr: Matrix) -> VExpr:
+        element_dims: list[Dim] = []
+        new_rows: list[list[Expr]] = []
+        for row in expr.rows:
+            new_row = []
+            for element in row:
+                element_v = self.check_expr(element)
+                if element_v.rho or element_v.dim.r_syms():
+                    raise CheckFailure(
+                        "matrix literal element depends on a vectorized "
+                        "loop variable", element)
+                element_dims.append(element_v.dim)
+                new_row.append(element_v.expr)
+            new_rows.append(new_row)
+        dim = dim_of_matrix_literal([len(r) for r in expr.rows], element_dims)
+        if dim is None:
+            raise CheckFailure("matrix literal with non-scalar elements",
+                               expr)
+        return VExpr(Matrix(new_rows), dim)
+
+    # -- subscripted accesses -----------------------------------------------
+
+    def _check_apply(self, expr: Apply) -> VExpr:
+        if not isinstance(expr.func, Ident):
+            raise CheckFailure("unsupported applied expression", expr)
+        name = expr.func.name
+        if self.ctx.is_function(name):
+            return self._check_call(expr, name)
+        if self.ctx.var_dim(name) is None and name in KNOWN_FUNCTIONS:
+            return self._check_call(expr, name)
+        return self._check_access(expr, is_write=False)
+
+    def _check_call(self, expr: Apply, name: str) -> VExpr:
+        if name in IMPURE_FUNCTIONS:
+            raise CheckFailure(
+                f"{name!r} is impure: each iteration must call it anew, "
+                "so the statement cannot be vectorized", expr)
+        args = [self.check_expr(arg) for arg in expr.args]
+        for arg_v in args:
+            if arg_v.rho:
+                raise CheckFailure(
+                    f"reduced value used as argument of {name!r}", expr)
+        new_expr = Apply(expr.func, [a.expr for a in args])
+        merged = tuple(p for a in args for p in a.patterns)
+        has_r = any(a.dim.r_syms() for a in args)
+        if name in POINTWISE_UNARY and len(args) == 1:
+            return VExpr(new_expr, args[0].dim, patterns=merged)
+        if (name in POINTWISE_BINARY or name in ("min", "max")) \
+                and len(args) == 2:
+            # Two-argument min/max are elementwise (with scalar
+            # extension), unlike their single-argument reducing forms.
+            dim = pointwise_result(args[0].dim, args[1].dim)
+            if dim is None:
+                raise CheckFailure(
+                    f"incompatible dims in {name}: {args[0].dim} vs "
+                    f"{args[1].dim}", expr)
+            return VExpr(new_expr, dim, patterns=merged)
+        if has_r:
+            if self.options.patterns:
+                match = self.db.match_call(new_expr, name,
+                                           [a.dim for a in args], self)
+                if match is not None:
+                    return VExpr(match.replacement, match.out_dim,
+                                 patterns=merged + (match.pattern.name,))
+            raise CheckFailure(
+                f"non-pointwise function {name!r} applied to a vectorized "
+                "loop expression", expr)
+        dim = builtin_result_dim(name, [a.dim for a in args],
+                                 [a.expr for a in args])
+        if dim is None:
+            raise CheckFailure(f"unknown result shape for builtin {name!r}",
+                               expr)
+        return VExpr(new_expr, dim, patterns=merged)
+
+    def _check_access(self, expr: Apply, is_write: bool) -> VExpr:
+        assert isinstance(expr.func, Ident)
+        name = expr.func.name
+        base = self.ctx.var_dim(name)
+        if base is None:
+            if not is_write:
+                raise CheckFailure(f"no shape information for {name!r}",
+                                   expr)
+            base = self._assumed_write_shape(expr)
+
+        arg_dims: list[object] = []
+        new_args: list[Expr] = []
+        arg_patterns: tuple[str, ...] = ()
+        for arg in expr.args:
+            if isinstance(arg, Colon):
+                if self.ctx.var_dim(name) is None:
+                    raise CheckFailure(
+                        f"':' subscript on unknown-shape variable {name!r}",
+                        arg)
+                arg_dims.append(COLON)
+                new_args.append(arg)
+                continue
+            if isinstance(arg, End):
+                arg_dims.append(Dim.scalar())
+                new_args.append(arg)
+                continue
+            arg_v = self.check_expr(arg)
+            if arg_v.rho:
+                raise CheckFailure("reduced value used as a subscript", arg)
+            arg_dims.append(arg_v.dim)
+            new_args.append(arg_v.expr)
+            arg_patterns += arg_v.patterns
+
+        access_dim = dim_of_subscript(base, arg_dims)
+        if access_dim is None:
+            raise CheckFailure(
+                f"subscript of {name!r} mixes incompatible extents", expr)
+        new_node = Apply(expr.func, new_args)
+        if access_dim.has_duplicate_r():
+            if not self.options.patterns:
+                raise CheckFailure(
+                    f"access {name!r} repeats a loop variable across "
+                    "subscripts (patterns disabled)", expr)
+            match = self.db.match_access(new_node, access_dim, self)
+            if match is None:
+                raise CheckFailure(
+                    f"no pattern handles the access dims {access_dim} of "
+                    f"{name!r}", expr)
+            return VExpr(match.replacement, match.out_dim,
+                         patterns=arg_patterns + (match.pattern.name,))
+        return VExpr(new_node, access_dim, patterns=arg_patterns)
+
+    def _assumed_write_shape(self, expr: Apply) -> Dim:
+        """Shape assumed for a first-write target without annotations:
+        MATLAB auto-creates ``a(i)=…`` as a row and ``A(i,j)=…`` as a
+        matrix."""
+        if len(expr.args) == 1:
+            return Dim.row()
+        return Dim(tuple(STAR for _ in expr.args))
+
+    # -- binary operators ----------------------------------------------------
+
+    def _check_binop(self, expr: BinOp) -> VExpr:
+        op = expr.op
+        if op in ("&&", "||"):
+            left = self.check_expr(expr.left)
+            right = self.check_expr(expr.right)
+            if (left.rho or right.rho or not left.dim.is_scalar
+                    or not right.dim.is_scalar):
+                raise CheckFailure(
+                    "short-circuit operator on non-scalar operands", expr)
+            return VExpr(BinOp(op, left.expr, right.expr), Dim.scalar(),
+                         patterns=left.patterns + right.patterns)
+        if op == "*":
+            return self._check_star_chain(expr)
+        if op in POINTWISE_OPS:
+            left = self.check_expr(expr.left)
+            right = self.check_expr(expr.right)
+            return self._combine_pointwise(expr, op, left, right)
+        if op in ("/", "\\", "^"):
+            return self._check_scalar_family(expr)
+        raise CheckFailure(f"unsupported operator {op!r}", expr)
+
+    def _check_scalar_family(self, expr: BinOp) -> VExpr:
+        """``/``, ``\\``, ``^`` — matrix semantics in MATLAB; vectorizable
+        when an operand is scalar or both were scalars per iteration."""
+        op = expr.op
+        left = self.check_expr(expr.left)
+        right = self.check_expr(expr.right)
+        merged = left.patterns + right.patterns
+        if op == "/" and right.dim.is_scalar and not right.rho:
+            return VExpr(BinOp(op, left.expr, right.expr), left.dim,
+                         left.rho, merged)
+        if op == "\\" and left.dim.is_scalar and not left.rho:
+            return VExpr(BinOp(op, left.expr, right.expr), right.dim,
+                         right.rho, merged)
+        if op == "^" and left.dim.is_scalar and right.dim.is_scalar \
+                and not left.rho and not right.rho:
+            return VExpr(BinOp(op, left.expr, right.expr), Dim.scalar(),
+                         patterns=merged)
+        promotable = (
+            left.dim.unvectorized().is_scalar
+            and right.dim.unvectorized().is_scalar
+        ) or (
+            # '/' by a per-iteration scalar is elementwise scaling too.
+            op == "/" and right.dim.unvectorized().is_scalar
+        ) or (
+            op == "\\" and left.dim.unvectorized().is_scalar
+        )
+        if self.options.promotion and promotable:
+            promoted = PROMOTIONS[op]
+            return self._combine_pointwise(expr, promoted, left, right)
+        raise CheckFailure(
+            f"operator {op!r} with dims {left.dim} and {right.dim} cannot "
+            "be vectorized", expr)
+
+    # -- pointwise combination with transposes, patterns, ρ handling -------
+
+    def _combine_pointwise(self, origin: Expr, op: str, left: VExpr,
+                           right: VExpr) -> VExpr:
+        if op in ("+", "-"):
+            left, right = self._equalize_rho(left, right)
+        else:
+            self._require_rho_valid(op, left, right)
+        rho = left.rho | right.rho
+        merged = left.patterns + right.patterns
+
+        dim = pointwise_result(left.dim, right.dim)
+        if dim is not None:
+            return VExpr(BinOp(op, left.expr, right.expr), dim, rho, merged)
+
+        if self.options.transposes:
+            dim = pointwise_result(left.dim, right.dim.reverse())
+            if dim is not None:
+                return VExpr(BinOp(op, left.expr, Transpose(right.expr)),
+                             dim, rho, merged)
+            dim = pointwise_result(left.dim.reverse(), right.dim)
+            if dim is not None:
+                return VExpr(BinOp(op, Transpose(left.expr), right.expr),
+                             dim, rho, merged)
+
+        if self.options.patterns:
+            variants = [(left, right)]
+            if self.options.transposes:
+                variants += [(left, right.with_transpose()),
+                             (left.with_transpose(), right)]
+            for lv, rv in variants:
+                match = self.db.match_binop(op, lv.dim, rv.dim)
+                if match is not None:
+                    node = BinOp(op, lv.expr, rv.expr)
+                    replacement = match.pattern.transform(
+                        node, match.bindings, self)
+                    return VExpr(replacement, match.out_dim, rho,
+                                 merged + (match.pattern.name,))
+
+        raise CheckFailure(
+            f"incompatible dims for {op!r}: {left.dim} vs {right.dim}",
+            origin)
+
+    def _equalize_rho(self, left: VExpr, right: VExpr) -> tuple[VExpr, VExpr]:
+        """§3.1: before ``±``, make both sides' reduced sets agree by
+        applying Γ to the side missing a reduction variable."""
+        for sym in self._ordered(right.rho - left.rho):
+            left = self._gamma(left, sym)
+        for sym in self._ordered(left.rho - right.rho):
+            right = self._gamma(right, sym)
+        return left, right
+
+    def _require_rho_valid(self, op: str, left: VExpr, right: VExpr) -> None:
+        if not left.rho and not right.rho:
+            return
+        if op not in _RHO_TRANSPARENT and not (
+                op == "./" and not right.rho) and not (
+                op == "/" and not right.rho):
+            raise CheckFailure(
+                f"reduced value cannot pass through operator {op!r}", None)
+        if left.rho & right.rho:
+            raise CheckFailure(
+                "both operands reduce the same loop variable", None)
+        if any(s in right.dim.r_syms() for s in left.rho) or any(
+                s in left.dim.r_syms() for s in right.rho):
+            raise CheckFailure(
+                "a variable reduced in one operand appears in the "
+                "dimensionality of the other", None)
+
+    # -- * chains: scalar rule, promotion, patterns, matmul, regrouping ------
+
+    def _check_star_chain(self, expr: BinOp) -> VExpr:
+        factors = flatten_star(expr)
+        checked = [self.check_expr(f) for f in factors]
+        if len(checked) > self.options.max_chain:
+            raise CheckFailure(
+                f"product chain longer than {self.options.max_chain}", expr)
+        if len(checked) == 2 or not self.options.product_regroup:
+            result = self._best_star_variant(
+                self._combine_star(checked[0], checked[1]))
+            for nxt in checked[2:]:
+                result = self._best_star_variant(
+                    self._combine_star(result, nxt))
+            return result
+        variants = self._plan_chain(checked)
+        if not variants:
+            raise CheckFailure(
+                "no associative grouping of the product chain has "
+                "compatible dimensions", expr)
+        return self._best_star_variant(variants)
+
+    def _plan_chain(self, factors: list[VExpr]) -> list[VExpr]:
+        """Enumerate associative groupings (footnote 2) by interval DP."""
+        n = len(factors)
+        table: dict[tuple[int, int], list[VExpr]] = {}
+        for i in range(n):
+            table[(i, i + 1)] = [factors[i]]
+        for span in range(2, n + 1):
+            for i in range(n - span + 1):
+                j = i + span
+                variants: dict[tuple[Dim, frozenset], VExpr] = {}
+                for k in range(i + 1, j):
+                    for lv in table[(i, k)]:
+                        for rv in table[(k, j)]:
+                            for candidate in self._combine_star(lv, rv):
+                                key = (candidate.dim, candidate.rho)
+                                variants.setdefault(key, candidate)
+                table[(i, j)] = list(variants.values())
+        return table[(0, n)]
+
+    def _best_star_variant(self, variants: list[VExpr]) -> VExpr:
+        if not variants:
+            raise CheckFailure("product has no compatible interpretation",
+                               None)
+        needed = self._reduction_allowed
+
+        def score(v: VExpr) -> tuple:
+            reduced = len(v.rho & needed)
+            leftover_r = len(v.dim.r_syms() - needed)
+            return (-reduced, v.dim.has_duplicate_r(), leftover_r,
+                    _transpose_count(v.expr))
+
+        return min(variants, key=score)
+
+    def _combine_star(self, left: VExpr, right: VExpr) -> list[VExpr]:
+        """All sound interpretations of ``left * right``."""
+        out: list[VExpr] = []
+
+        # 1. Scalar scaling (MATLAB semantics of * with a scalar).
+        if left.dim.is_scalar or right.dim.is_scalar:
+            try:
+                self._require_rho_valid("*", left, right)
+            except CheckFailure:
+                return out
+            dim = right.dim if left.dim.is_scalar else left.dim
+            out.append(VExpr(BinOp("*", left.expr, right.expr), dim,
+                             left.rho | right.rho,
+                             left.patterns + right.patterns))
+            return out
+
+        # 2. Promotion: at least one side was a scalar per iteration, so
+        #    the original '*' was scalar scaling — vectorize elementwise.
+        if self.options.promotion and (
+                left.dim.unvectorized().is_scalar
+                or right.dim.unvectorized().is_scalar):
+            try:
+                out.append(self._combine_pointwise(None, ".*", left, right))
+            except CheckFailure:
+                pass
+
+        # 3. Pattern database (the Table 2 dot-product row and friends).
+        if self.options.patterns:
+            variants = [(left, right)]
+            if self.options.transposes:
+                variants += [(left, right.with_transpose()),
+                             (left.with_transpose(), right)]
+            for lv, rv in variants:
+                match = self.db.match_binop("*", lv.dim, rv.dim)
+                if match is not None:
+                    node = BinOp("*", lv.expr, rv.expr)
+                    replacement = match.pattern.transform(
+                        node, match.bindings, self)
+                    out.append(VExpr(
+                        replacement, match.out_dim, lv.rho | rv.rho,
+                        lv.patterns + rv.patterns + (match.pattern.name,)))
+                    break
+
+        # 4. Matrix multiplication, optionally transposing operands and
+        #    implicitly reducing a shared loop symbol (§3.1).
+        combos = [(left, right)]
+        if self.options.transposes:
+            combos += [
+                (left, right.with_transpose()),
+                (left.with_transpose(), right),
+                (left.with_transpose(), right.with_transpose()),
+            ]
+        for lv, rv in combos:
+            result = self._try_matmul(lv, rv)
+            if result is not None:
+                out.append(result)
+        return out
+
+    def _try_matmul(self, left: VExpr, right: VExpr) -> Optional[VExpr]:
+        ldim = left.dim.reduce().pad(2)
+        rdim = right.dim.reduce().pad(2)
+        if len(ldim) != 2 or len(rdim) != 2:
+            return None
+        inner_l, inner_r = ldim[1], rdim[0]
+        rho = left.rho | right.rho
+        if left.rho & right.rho:
+            return None
+        if any(s in right.dim.r_syms() for s in left.rho) or any(
+                s in left.dim.r_syms() for s in right.rho):
+            return None
+
+        reduces: Optional[RSym] = None
+        if isinstance(inner_l, RSym) or isinstance(inner_r, RSym):
+            if inner_l != inner_r:
+                return None
+            sym = inner_l
+            if sym not in self._reduction_allowed or sym in rho:
+                return None
+            reduces = sym
+        elif inner_l is not inner_r:
+            # 1×k against k'×m with abstract sizes: ONE vs STAR cannot
+            # conform (sizes 1 and >1); equal atoms are assumed
+            # conformable as in the original program.
+            return None
+
+        result_dim = Dim((ldim[0], rdim[1]))
+        result_rho = rho | ({reduces} if reduces else frozenset())
+        # A matmul result repeating a loop symbol (e.g. (r_i,*)×(*,r_i))
+        # computes a full cross product — not what the loop meant.
+        if result_dim.has_duplicate_r():
+            return None
+        if reduces is None and not result_dim.r_syms() and not (
+                left.dim.r_syms() or right.dim.r_syms()):
+            # Loop-invariant product: fine, stays as-is.
+            pass
+        return VExpr(BinOp("*", left.expr, right.expr), result_dim,
+                     result_rho, left.patterns + right.patterns)
+
+
+def _transpose_count(expr: Expr) -> int:
+    return sum(1 for node in expr.walk() if isinstance(node, Transpose))

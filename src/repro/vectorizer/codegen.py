@@ -1,0 +1,195 @@
+"""Algorithm 1 — ``codegen_dim``: Allen & Kennedy's codegen extended with
+dimension checking, pattern transforms, and additive reductions.
+
+The DDG of a (possibly imperfect) loop nest is partitioned into strongly
+connected components visited in topological order:
+
+* a single-node component without recurrences — or whose only
+  recurrences are the self-dependences of an additive-reduction
+  accumulator (the paper's first contribution) — is dimension-checked
+  at the deepest prefix of sequential loops that makes ``vectDimsOkay``
+  succeed, then emitted as a vector statement (wrapped in the sequential
+  loops for levels that failed);
+* any other component runs its outermost loop sequentially: dependences
+  carried by that loop are removed and codegen recurses on the rest.
+
+Statements in imperfect nests carry their own loop chains, so a
+statement at depth 1 vectorizes over one loop while its sibling at
+depth 2 vectorizes over two (this is how Figure 4's two statements each
+produce one vector statement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dims.context import KNOWN_FUNCTIONS, ShapeEnv
+from ..mlang.ast_nodes import Assign, Expr, Stmt
+from ..mlang.visitor import substitute_idents
+from ..patterns.database import PatternDatabase
+from ..depgraph.graph import DependenceGraph, StmtNode
+from .checker import (
+    CheckFailure,
+    CheckOptions,
+    DimChecker,
+    is_additive_reduction,
+)
+from .loop_info import LoopHeader, LoopNest
+from .simplify import fold_constants
+
+
+@dataclass
+class StatementOutcome:
+    """What happened to one statement of the nest."""
+
+    stmt: Assign
+    vectorized: bool
+    level: Optional[int] = None          # first vectorized loop level
+    reasons: list[str] = field(default_factory=list)
+    patterns: list[str] = field(default_factory=list)
+    is_reduction: bool = False
+
+
+@dataclass
+class NestResult:
+    """Output of running codegen over one loop nest."""
+
+    stmts: list[Stmt]
+    outcomes: list[StatementOutcome]
+
+    @property
+    def any_vectorized(self) -> bool:
+        return any(o.vectorized for o in self.outcomes)
+
+    @property
+    def fully_vectorized(self) -> bool:
+        return all(o.vectorized and o.level == 0 for o in self.outcomes)
+
+
+class CodegenDim:
+    """The extended codegen algorithm over one normalized loop nest."""
+
+    def __init__(self, nest: LoopNest, shapes: ShapeEnv,
+                 db: PatternDatabase,
+                 options: Optional[CheckOptions] = None,
+                 outer_scalars: frozenset[str] = frozenset()):
+        self.nest = nest
+        self.shapes = shapes
+        self.db = db
+        self.options = options or CheckOptions()
+        self.outer_scalars = outer_scalars
+        self.outcomes: list[StatementOutcome] = []
+        self._headers_of: dict[int, tuple[LoopHeader, ...]] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def run(self) -> NestResult:
+        nodes = []
+        for index, nest_stmt in enumerate(self.nest.stmts):
+            self._headers_of[index] = nest_stmt.headers
+            nodes.append(StmtNode(
+                index=index,
+                stmt=nest_stmt.stmt,
+                loop_vars=tuple(h.var for h in nest_stmt.headers),
+                loop_counts=tuple(h.count for h in nest_stmt.headers),
+            ))
+        known = frozenset(
+            name for name in KNOWN_FUNCTIONS if name not in self.shapes
+        )
+        graph = DependenceGraph.build(nodes, known)
+        stmts = self._codegen(graph, level=0)
+        return NestResult(stmts, self.outcomes)
+
+    # -- the recursive algorithm --------------------------------------------
+
+    def _codegen(self, graph: DependenceGraph, level: int) -> list[Stmt]:
+        block: list[Stmt] = []
+        for scc in graph.sccs_topological():
+            if len(scc) == 1 and self._is_vector_candidate(graph, scc[0]):
+                block.extend(self._vectorize_or_sequential(scc[0], level))
+            else:
+                indices = [n.index for n in scc]
+                sub = graph.subgraph(indices).remove_carried_by(level)
+                header = self._headers_of[scc[0].index][level]
+                inner = self._codegen(sub, level + 1)
+                block.append(header.header_stmt(inner))
+        return block
+
+    def _is_vector_candidate(self, graph: DependenceGraph,
+                             node: StmtNode) -> bool:
+        """Acyclic, or cyclic only through an additive-reduction
+        accumulator's self-dependences (the codegen extension)."""
+        self_edges = graph.self_edges(node.index)
+        if not self_edges:
+            return True
+        if not self.options.reductions:
+            return False
+        if not is_additive_reduction(node.stmt):
+            return False
+        # Every recurrence must involve only the accumulator: each
+        # self-edge's endpoint references must both use the write's
+        # subscripts (reads with other subscripts are fine only when the
+        # dependence tests already proved them independent — then they
+        # produce no self-edge).
+        writes = node.refs.writes
+        if len(writes) != 1:
+            return False
+        write = writes[0]
+        for edge in self_edges:
+            if edge.var != write.var:
+                return False
+            for ref in (edge.src_ref, edge.dst_ref):
+                if ref is None or ref.var != write.var \
+                        or ref.subs != write.subs:
+                    return False
+        return True
+
+    def _vectorize_or_sequential(self, node: StmtNode,
+                                 level: int) -> list[Stmt]:
+        headers = self._headers_of[node.index]
+        outcome = StatementOutcome(node.stmt, vectorized=False)
+        self.outcomes.append(outcome)
+        for l in range(level, len(headers)):
+            vector_stmt = self._vect_dims_okay(node.stmt, headers, l, outcome)
+            if vector_stmt is not None:
+                outcome.vectorized = True
+                outcome.level = l
+                return self._wrap_sequential(headers, level, l, [vector_stmt])
+        # No vectorization possible at any level: keep the loops.
+        return self._wrap_sequential(headers, level, len(headers),
+                                     [fold_constants(node.stmt)])
+
+    def _vect_dims_okay(self, stmt: Assign,
+                        headers: tuple[LoopHeader, ...], l: int,
+                        outcome: StatementOutcome) -> Optional[Stmt]:
+        """Lines 7–11 of Algorithm 1: check, transform, substitute."""
+        vector_headers = headers[l:]
+        if not vector_headers:
+            return None
+        sequential_vars = [h.var for h in headers[:l]]
+        sequential_vars.extend(self.outer_scalars)
+        checker = DimChecker(self.shapes, vector_headers, sequential_vars,
+                             self.db, self.options)
+        try:
+            checked = checker.check_assign(stmt)
+        except CheckFailure as failure:
+            outcome.reasons.append(
+                f"level {l} ({'/'.join(h.var for h in vector_headers)}): "
+                f"{failure.reason}")
+            return None
+        outcome.patterns.extend(checked.used_patterns)
+        outcome.is_reduction = checked.is_reduction
+        substitution: dict[str, Expr] = {
+            h.var: h.range_expr() for h in vector_headers
+        }
+        return fold_constants(substitute_idents(checked.template,
+                                                substitution))
+
+    def _wrap_sequential(self, headers: tuple[LoopHeader, ...],
+                         outer: int, inner: int,
+                         body: list[Stmt]) -> list[Stmt]:
+        """Wrap ``body`` in sequential loops for levels [outer, inner)."""
+        for k in range(inner - 1, outer - 1, -1):
+            body = [headers[k].header_stmt(body)]
+        return body

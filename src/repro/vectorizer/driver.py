@@ -1,0 +1,240 @@
+"""The vectorizer driver — the Figure 1 pipeline.
+
+``vectorize_source`` runs the whole source-to-source transformation::
+
+    parse → collect %! annotations → shape inference →
+    per loop nest: screen (control flow / index writes) → normalize →
+    data dependence graph → codegen_dim → splice → print
+
+Loops rejected by the screen keep their header but are searched for
+vectorizable *inner* loops.  Loops where no statement vectorizes are
+left byte-identical.  The returned :class:`VectorizeResult` carries the
+transformed program, its printed source, and a per-loop report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis.shapes import infer_shapes
+from ..dims.context import ShapeEnv
+from ..mlang.annotations import parse_annotations
+from ..mlang.ast_nodes import For, If, Program, Stmt, While
+from ..mlang.parser import parse
+from ..mlang.printer import to_source
+from ..patterns.builtin import default_database
+from ..patterns.database import PatternDatabase
+from .checker import CheckOptions
+from .codegen import CodegenDim, StatementOutcome
+from .loop_info import extract_nest, loop_rejection_reason
+from .scalartemps import substitute_scalar_temps
+from .simplify import simplify_transposes
+
+
+@dataclass
+class LoopReport:
+    """What happened to one ``for`` loop encountered by the driver."""
+
+    line: int
+    var: str
+    status: str                       # 'vectorized' | 'partial' | 'rejected' | 'unchanged'
+    reason: Optional[str] = None
+    outcomes: list[StatementOutcome] = field(default_factory=list)
+
+
+@dataclass
+class VectorizeReport:
+    """Aggregate report over a whole program."""
+
+    loops: list[LoopReport] = field(default_factory=list)
+
+    @property
+    def vectorized_loops(self) -> int:
+        return sum(1 for l in self.loops if l.status in ("vectorized",
+                                                         "partial"))
+
+    @property
+    def statements_vectorized(self) -> int:
+        return sum(sum(1 for o in l.outcomes if o.vectorized)
+                   for l in self.loops)
+
+    def stats(self) -> dict:
+        """Aggregate counters for dashboards/CLI: loops and statements by
+        outcome, pattern usage, and failure reasons."""
+        from collections import Counter
+
+        loops = Counter(l.status for l in self.loops)
+        outcomes = [o for l in self.loops for o in l.outcomes]
+        patterns = Counter(p for o in outcomes for p in o.patterns)
+        reasons = Counter(
+            (o.reasons[-1].split(": ", 1)[-1] if o.reasons
+             else "loop-carried dependence")
+            for o in outcomes if not o.vectorized)
+        return {
+            "loops": dict(loops),
+            "statements_total": len(outcomes),
+            "statements_vectorized": sum(o.vectorized for o in outcomes),
+            "reductions": sum(o.is_reduction for o in outcomes),
+            "patterns_used": dict(patterns),
+            "failure_reasons": dict(reasons),
+        }
+
+    def summary(self) -> str:
+        lines = []
+        for loop in self.loops:
+            head = f"loop '{loop.var}' (line {loop.line}): {loop.status}"
+            if loop.reason:
+                head += f" — {loop.reason}"
+            lines.append(head)
+            for outcome in loop.outcomes:
+                if outcome.vectorized:
+                    detail = f"  vectorized at level {outcome.level}"
+                    if outcome.patterns:
+                        detail += f" using patterns {outcome.patterns}"
+                    if outcome.is_reduction:
+                        detail += " (additive reduction)"
+                else:
+                    detail = "  left sequential"
+                    if outcome.reasons:
+                        detail += f": {outcome.reasons[-1]}"
+                lines.append(detail)
+        return "\n".join(lines) if lines else "no loops found"
+
+
+@dataclass
+class VectorizeResult:
+    """The transformed program plus diagnostics."""
+
+    program: Program
+    report: VectorizeReport
+
+    @property
+    def source(self) -> str:
+        return to_source(self.program)
+
+
+class Vectorizer:
+    """Reusable driver with a configurable pattern database and options.
+
+    ``simplify`` additionally runs the transpose-distribution cleanup
+    (the "later optimization" of §2.2) over each vector statement.
+    """
+
+    def __init__(self, db: Optional[PatternDatabase] = None,
+                 options: Optional[CheckOptions] = None,
+                 simplify: bool = False,
+                 scalar_temps: bool = True):
+        self.db = db if db is not None else default_database()
+        self.options = options or CheckOptions()
+        self.simplify = simplify
+        self.scalar_temps = scalar_temps
+        self._ident_counts: dict[str, int] = {}
+
+    # -- entry points ----------------------------------------------------
+
+    def vectorize_source(self, source: str,
+                         shapes: Optional[ShapeEnv] = None) -> VectorizeResult:
+        return self.vectorize_program(parse(source), shapes=shapes)
+
+    def vectorize_program(self, program: Program,
+                          shapes: Optional[ShapeEnv] = None) -> VectorizeResult:
+        annotations = parse_annotations(program.annotations)
+        if shapes is not None:
+            annotations.merge(shapes)
+        env = infer_shapes(program, annotations)
+        self._ident_counts = _ident_occurrences(program)
+        report = VectorizeReport()
+        body = self._process(program.body, env, report,
+                             outer_scalars=frozenset())
+        return VectorizeResult(Program(body), report)
+
+    # -- recursive statement-list processing -------------------------------
+
+    def _process(self, stmts: list[Stmt], env: ShapeEnv,
+                 report: VectorizeReport,
+                 outer_scalars: frozenset[str]) -> list[Stmt]:
+        out: list[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, For):
+                out.extend(self._process_loop(stmt, env, report,
+                                              outer_scalars))
+            elif isinstance(stmt, While):
+                body = self._process(stmt.body, env, report, outer_scalars)
+                out.append(While(stmt.cond, body, pos=stmt.pos))
+            elif isinstance(stmt, If):
+                tests = [(cond, self._process(body, env, report,
+                                              outer_scalars))
+                         for cond, body in stmt.tests]
+                orelse = self._process(stmt.orelse, env, report,
+                                       outer_scalars)
+                out.append(If(tests, orelse, pos=stmt.pos))
+            else:
+                out.append(stmt)
+        return out
+
+    def _process_loop(self, loop: For, env: ShapeEnv,
+                      report: VectorizeReport,
+                      outer_scalars: frozenset[str]) -> list[Stmt]:
+        line = loop.pos.line
+        if self.scalar_temps:
+            loop = substitute_scalar_temps(loop, self._live_outside(loop))
+        reason = loop_rejection_reason(loop)
+        if reason is None:
+            nest = extract_nest(loop)
+            if nest is None:
+                reason = "unsupported loop iteration expression"
+        if reason is not None:
+            # Rejected: keep the loop, but look for inner candidates.
+            report.loops.append(LoopReport(line, loop.var, "rejected",
+                                           reason))
+            body = self._process(loop.body, env, report,
+                                 outer_scalars | {loop.var})
+            return [For(loop.var, loop.iter, body, pos=loop.pos)]
+
+        result = CodegenDim(nest, env, self.db, self.options,
+                            outer_scalars).run()
+        if not result.any_vectorized:
+            failure = None
+            for outcome in result.outcomes:
+                if outcome.reasons:
+                    failure = outcome.reasons[-1]
+                    break
+            report.loops.append(LoopReport(line, loop.var, "unchanged",
+                                           failure, result.outcomes))
+            return [loop]
+        status = "vectorized" if result.fully_vectorized else "partial"
+        report.loops.append(LoopReport(line, loop.var, status, None,
+                                       result.outcomes))
+        stmts = result.stmts
+        if self.simplify:
+            stmts = [simplify_transposes(stmt) for stmt in stmts]
+        return stmts
+
+
+    def _live_outside(self, loop: For) -> frozenset[str]:
+        """Names whose identifier occurrences are not all inside ``loop``
+        (conservatively treated as live after it)."""
+        inside = _ident_occurrences(loop)
+        return frozenset(
+            name for name, total in self._ident_counts.items()
+            if total > inside.get(name, 0))
+
+
+def _ident_occurrences(root) -> dict[str, int]:
+    from ..mlang.ast_nodes import Ident
+
+    counts: dict[str, int] = {}
+    for node in root.walk():
+        if isinstance(node, Ident):
+            counts[node.name] = counts.get(node.name, 0) + 1
+    return counts
+
+
+def vectorize_source(source: str, db: Optional[PatternDatabase] = None,
+                     options: Optional[CheckOptions] = None,
+                     shapes: Optional[ShapeEnv] = None,
+                     simplify: bool = False) -> VectorizeResult:
+    """One-shot convenience wrapper around :class:`Vectorizer`."""
+    return Vectorizer(db, options, simplify=simplify).vectorize_source(
+        source, shapes=shapes)

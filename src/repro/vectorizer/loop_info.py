@@ -1,0 +1,285 @@
+"""Loop headers, nest extraction, and index-variable normalization (§4).
+
+Before analysis every candidate ``for`` loop is *normalized* to iterate
+``1:n`` with unit stride; occurrences of the index variable in the body
+are rewritten to the affine expression ``lo + st*(i-1)`` (simplified, so
+``for i=2:2:1500`` rewrites uses of ``i`` to ``2*i`` over ``i=1:750`` —
+exactly the ``2*(1:750)`` forms in the paper's Figure 4 output).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dims.abstract import RSym
+from ..mlang.ast_nodes import (
+    Assign,
+    BinOp,
+    Expr,
+    For,
+    Num,
+    Range,
+    Stmt,
+    UnOp,
+    literal_value,
+    num,
+)
+from ..mlang.visitor import substitute_idents
+
+# ---------------------------------------------------------------------------
+# Small constant-folding expression builders (for readable output)
+# ---------------------------------------------------------------------------
+
+
+def fold_add(left: Expr, right: Expr) -> Expr:
+    """``left + right`` with numeric folding and 0-elimination.
+
+    Also re-associates a literal tail: ``(n - 2) + 1`` folds to
+    ``n - 1`` so normalized trip counts stay readable.
+    """
+    lv, rv = literal_value(left), literal_value(right)
+    if lv is not None and rv is not None:
+        return num(lv + rv)
+    if lv == 0.0:
+        return right
+    if rv == 0.0:
+        return left
+    if rv is not None and isinstance(left, BinOp) and left.op in "+-":
+        tail = literal_value(left.right)
+        if tail is not None:
+            combined = (tail if left.op == "+" else -tail) + rv
+            return fold_add(left.left, num(combined))
+    if rv is not None and rv < 0:
+        return BinOp("-", left, num(-rv))
+    return BinOp("+", left, right)
+
+
+def fold_sub(left: Expr, right: Expr) -> Expr:
+    """``left - right`` with numeric folding and 0-elimination."""
+    lv, rv = literal_value(left), literal_value(right)
+    if lv is not None and rv is not None:
+        return num(lv - rv)
+    if rv == 0.0:
+        return left
+    return BinOp("-", left, right)
+
+
+def fold_mul(left: Expr, right: Expr) -> Expr:
+    """``left * right`` with numeric folding and 1-elimination."""
+    lv, rv = literal_value(left), literal_value(right)
+    if lv is not None and rv is not None:
+        return num(lv * rv)
+    if lv == 1.0:
+        return right
+    if rv == 1.0:
+        return left
+    return BinOp("*", left, right)
+
+
+# ---------------------------------------------------------------------------
+# Loop headers
+# ---------------------------------------------------------------------------
+
+_serial_counter = [0]
+
+
+def _next_serial() -> int:
+    _serial_counter[0] += 1
+    return _serial_counter[0]
+
+
+@dataclass
+class LoopHeader:
+    """A normalized loop: ``for var = 1:count`` plus its r symbol.
+
+    ``count`` is the trip-count expression; ``original`` keeps the
+    pre-normalization loop for diagnostics and for regenerating
+    sequential code.
+    """
+
+    var: str
+    count: Expr
+    sym: RSym
+    original: For = field(repr=False, default=None)
+
+    def range_expr(self) -> Expr:
+        """The range that replaces the index variable on vectorization."""
+        return Range(num(1), self.count)
+
+    def header_stmt(self, body: list[Stmt]) -> For:
+        """A sequential ``for`` running this normalized loop over ``body``."""
+        return For(self.var, self.range_expr(), body)
+
+
+@dataclass
+class NormalizedLoop:
+    """The result of normalizing one loop level."""
+
+    header: LoopHeader
+    body: list[Stmt]
+
+
+def normalize_loop(loop: For) -> Optional[NormalizedLoop]:
+    """Normalize ``loop`` to unit stride from 1; None when unsupported.
+
+    Supported iteration expressions are colon ranges ``lo:hi`` and
+    ``lo:st:hi``.  Loops over general vectors (``for x = v``) are not
+    candidates for vectorization.
+    """
+    if not isinstance(loop.iter, Range):
+        return None
+    lo = loop.iter.start
+    hi = loop.iter.stop
+    st = loop.iter.step if loop.iter.step is not None else num(1)
+
+    lo_val, st_val, hi_val = (literal_value(lo), literal_value(st),
+                              literal_value(hi))
+    sym = RSym(loop.var, _next_serial())
+
+    if lo_val == 1.0 and st_val == 1.0:
+        header = LoopHeader(loop.var, hi, sym, original=loop)
+        return NormalizedLoop(header, list(loop.body))
+
+    # Trip count: floor((hi - lo)/st) + 1.
+    if lo_val is not None and st_val is not None and hi_val is not None:
+        trips = math.floor((hi_val - lo_val) / st_val) + 1
+        count: Expr = num(max(trips, 0))
+    elif st_val == 1.0:
+        count = fold_add(fold_sub(hi, lo), num(1))
+    else:
+        from ..mlang.ast_nodes import call
+
+        span = BinOp("/", fold_sub(hi, lo), st)
+        count = fold_add(call("floor", span), num(1))
+
+    # Occurrences of var become lo + st*(var - 1) = st*var + (lo - st).
+    if lo_val is not None and st_val is not None:
+        replacement = fold_add(fold_mul(num(st_val), _var(loop.var)),
+                               num(lo_val - st_val))
+    else:
+        replacement = fold_add(fold_mul(st, _var(loop.var)), fold_sub(lo, st))
+
+    body = [substitute_idents(stmt, {loop.var: replacement})
+            for stmt in loop.body]
+    header = LoopHeader(loop.var, count, sym, original=loop)
+    return NormalizedLoop(header, body)
+
+
+def _var(name: str):
+    from ..mlang.ast_nodes import Ident
+
+    return Ident(name)
+
+
+# ---------------------------------------------------------------------------
+# Candidate screening (Figure 1's early rejections)
+# ---------------------------------------------------------------------------
+
+
+def loop_rejection_reason(loop: For) -> Optional[str]:
+    """Why this loop nest cannot be considered for vectorization, or None.
+
+    Mirrors §4: loops containing conditional statements (or any control
+    flow) and loops writing to their own index variable are rejected.
+    """
+    from ..mlang.ast_nodes import (
+        Break,
+        Continue,
+        Global,
+        If,
+        MultiAssign,
+        Return,
+        While,
+    )
+
+    index_vars: set[str] = set()
+
+    def scan(stmts: list[Stmt], vars_in_scope: set[str]) -> Optional[str]:
+        for stmt in stmts:
+            if isinstance(stmt, (If, While)):
+                return "contains control-flow statements"
+            if isinstance(stmt, (Break, Continue, Return)):
+                return "contains control-flow statements"
+            if isinstance(stmt, (Global, MultiAssign)):
+                return "contains unsupported statements"
+            if isinstance(stmt, For):
+                if stmt.var in vars_in_scope:
+                    return f"reuses index variable {stmt.var!r}"
+                reason = scan(stmt.body, vars_in_scope | {stmt.var})
+                if reason:
+                    return reason
+            elif isinstance(stmt, Assign):
+                target = stmt.lhs
+                from ..mlang.ast_nodes import Apply, Ident
+
+                if isinstance(target, Ident) and target.name in vars_in_scope:
+                    return f"writes to its own index variable {target.name!r}"
+                if isinstance(target, Apply) and isinstance(target.func, Ident) \
+                        and target.func.name in vars_in_scope:
+                    return f"writes to its own index variable {target.func.name!r}"
+            else:
+                return f"contains unsupported statement {type(stmt).__name__}"
+        return None
+
+    index_vars.add(loop.var)
+    return scan(loop.body, index_vars)
+
+
+@dataclass
+class NestStmt:
+    """A statement together with its chain of normalized enclosing loops."""
+
+    stmt: Assign
+    headers: tuple[LoopHeader, ...]
+
+
+@dataclass
+class LoopNest:
+    """A fully normalized loop nest, flattened for dependence analysis.
+
+    ``stmts`` lists every assignment in the nest with its loop chain
+    (outermost first); chains share :class:`LoopHeader` instances, so two
+    statements under the same loop reference the same header object.
+    """
+
+    root_header: LoopHeader
+    stmts: list[NestStmt]
+    headers: list[LoopHeader]
+
+    @property
+    def max_depth(self) -> int:
+        return max((len(s.headers) for s in self.stmts), default=0)
+
+
+def extract_nest(loop: For) -> Optional[LoopNest]:
+    """Normalize ``loop`` and every nested loop, flattening statements.
+
+    Returns None when any loop level is unsupported (non-range iteration
+    expression); callers then leave the original loop untouched.
+    """
+    normalized = normalize_loop(loop)
+    if normalized is None:
+        return None
+    stmts: list[NestStmt] = []
+    headers: list[LoopHeader] = [normalized.header]
+
+    def visit(body: list[Stmt], chain: tuple[LoopHeader, ...]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, Assign):
+                stmts.append(NestStmt(stmt, chain))
+            elif isinstance(stmt, For):
+                inner = normalize_loop(stmt)
+                if inner is None:
+                    return False
+                headers.append(inner.header)
+                if not visit(inner.body, chain + (inner.header,)):
+                    return False
+            else:
+                return False
+        return True
+
+    if not visit(normalized.body, (normalized.header,)):
+        return None
+    return LoopNest(normalized.header, stmts, headers)

@@ -1,0 +1,171 @@
+"""Scalar-temporary forward substitution (a scalar-privatization lite).
+
+Loop bodies frequently name per-iteration intermediate values::
+
+    for i=1:n
+      t = 2*x(i) + c;
+      y(i) = t*t;
+    end
+
+The scalar ``t`` creates flow/anti dependences between the two
+statements at every loop level, so Allen & Kennedy's codegen (and the
+paper's extension) must run the loop sequentially.  Classic vectorizers
+fix this with scalar expansion; we implement the cheaper *forward
+substitution*: inline the definition into its same-iteration uses and
+drop it, provided
+
+1. the target is a plain identifier assigned exactly once in the loop
+   body (at any nesting depth of that body, counting writes anywhere in
+   the analyzed nest);
+2. the definition's right-hand side only reads variables that are never
+   written inside the loop (so its value cannot change between the
+   definition and any use in the same iteration) — loop index variables
+   are fine;
+3. the temporary is *dead after the loop*: the caller supplies the set
+   of names read later in the program, and we refuse to substitute a
+   name in it (dropping the definition would change the workspace);
+4. the right-hand side is pure (no impure builtins) and cheap enough to
+   duplicate (a bounded expression size).
+
+Substitution is iterated so chains of temporaries (``u = t+1``) resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dims.context import IMPURE_FUNCTIONS
+from ..mlang.ast_nodes import (
+    Apply,
+    Assign,
+    Expr,
+    For,
+    Ident,
+    Node,
+    Stmt,
+)
+from ..mlang.visitor import substitute_idents
+
+#: Refuse to duplicate right-hand sides with more nodes than this.
+MAX_RHS_NODES = 25
+
+
+@dataclass
+class SubstitutionResult:
+    """Outcome of one pass over a loop body."""
+
+    body: list[Stmt]
+    substituted: list[str] = field(default_factory=list)
+
+
+def _written_names(stmts: list[Stmt]) -> set[str]:
+    """Every name assigned anywhere in the statement list (recursive)."""
+    names: set[str] = set()
+    for stmt in stmts:
+        for node in stmt.walk() if not isinstance(stmt, For) else stmt.walk():
+            if isinstance(node, Assign):
+                target = node.lhs
+                if isinstance(target, Ident):
+                    names.add(target.name)
+                elif isinstance(target, Apply) and isinstance(target.func,
+                                                              Ident):
+                    names.add(target.func.name)
+            elif isinstance(node, For):
+                names.add(node.var)
+    return names
+
+
+def _read_names(node: Node) -> set[str]:
+    return {n.name for n in node.walk() if isinstance(n, Ident)}
+
+
+def _is_pure(expr: Expr) -> bool:
+    for node in expr.walk():
+        if isinstance(node, Apply) and isinstance(node.func, Ident) \
+                and node.func.name in IMPURE_FUNCTIONS:
+            return False
+        if isinstance(node, Ident) and node.name in IMPURE_FUNCTIONS:
+            return False
+    return True
+
+
+def _count_nodes(expr: Expr) -> int:
+    return sum(1 for _ in expr.walk())
+
+
+def substitute_scalar_temps(loop: For,
+                            live_after: frozenset[str]) -> For:
+    """Return ``loop`` with eligible scalar temporaries inlined.
+
+    ``live_after`` lists names read after the loop in the enclosing
+    program; temporaries in it are left alone.  The original loop object
+    is returned unchanged when nothing is eligible.
+    """
+    result = _substitute_in_body(loop.body, live_after,
+                                 loop_vars={loop.var})
+    if not result.substituted:
+        return loop
+    return For(loop.var, loop.iter, result.body, pos=loop.pos)
+
+
+def _substitute_in_body(body: list[Stmt], live_after: frozenset[str],
+                        loop_vars: set[str]) -> SubstitutionResult:
+    written = _written_names(body) | loop_vars
+    out = list(body)
+    substituted: list[str] = []
+
+    changed = True
+    while changed:
+        changed = False
+        for index, stmt in enumerate(out):
+            if not isinstance(stmt, Assign) or not isinstance(stmt.lhs,
+                                                              Ident):
+                continue
+            name = stmt.lhs.name
+            if name in live_after or name in loop_vars:
+                continue
+            # Condition 1: single definition in the body.
+            defs = sum(
+                1 for s in out
+                for n in s.walk()
+                if isinstance(n, Assign) and isinstance(n.lhs, Ident)
+                and n.lhs.name == name)
+            if defs != 1:
+                continue
+            # Condition 2: RHS reads only loop-invariant names (or loop
+            # index variables) — but not the temp itself.
+            reads = _read_names(stmt.rhs)
+            if name in reads:
+                continue
+            if (reads & written) - loop_vars:
+                continue
+            # Condition 4: pure and small.
+            if not _is_pure(stmt.rhs) or _count_nodes(stmt.rhs) > \
+                    MAX_RHS_NODES:
+                continue
+            # No use of the temp *before* its definition (it would read
+            # the previous iteration's value).
+            earlier_reads = any(
+                name in _read_names(s) for s in out[:index])
+            if earlier_reads:
+                continue
+            # Inline into everything after the definition and drop it.
+            replacement = stmt.rhs
+            rest = [substitute_idents(s, {name: replacement})
+                    for s in out[index + 1:]]
+            out = out[:index] + rest
+            substituted.append(name)
+            changed = True
+            break
+
+    # Recurse into nested loops (their bodies may hold their own temps).
+    for index, stmt in enumerate(out):
+        if isinstance(stmt, For):
+            inner = _substitute_in_body(stmt.body, live_after,
+                                        loop_vars | {stmt.var})
+            if inner.substituted:
+                out[index] = For(stmt.var, stmt.iter, inner.body,
+                                 pos=stmt.pos)
+                substituted.extend(inner.substituted)
+
+    return SubstitutionResult(out, substituted)

@@ -1,0 +1,150 @@
+"""Transpose simplification — the paper's "later optimization".
+
+§2.2 generates ``A(1:m,1:n) = (B(1:n,1:m)+C(1:m,1:n)')'`` and notes:
+
+    "A later optimization, not investigated in this paper, would
+    identify that the transpose can be distributed to generate a
+    simpler equivalent form: A(1:m,1:n)=B(1:n,1:m)'+C(1:m,1:n)."
+
+This pass implements exactly that.  Rewrite rules (applied bottom-up to
+a fixpoint, each guarded so the total number of transposes never
+increases):
+
+* ``(X')' → X``                               (involution)
+* ``(X ∘ Y)' → X' ∘ Y'`` for pointwise ∘       (distribution)
+* ``(-X)' → -(X')``
+* ``(X*Y)' → Y'*X'``                           (matmul reversal)
+* ``s' → s`` for provably scalar expressions (numeric literals and
+  scalar-producing builtins such as ``size(A,1)``, ``sum(v,1)`` of a
+  scalar slot are *not* assumed — only literals are).
+
+Distribution is applied only when it strictly reduces the transpose
+count of the subtree (e.g. because an inner operand is itself
+transposed, or is a literal), so ``(B+C')'`` becomes ``B'+C`` but
+``(B+C)'`` is left alone.
+"""
+
+from __future__ import annotations
+
+from ..mlang.ast_nodes import (
+    Assign,
+    BinOp,
+    Expr,
+    Node,
+    Num,
+    Transpose,
+    UnOp,
+    literal_value,
+    num,
+)
+from ..mlang.visitor import Transformer
+
+#: Pointwise operators across which a transpose distributes.
+_DISTRIBUTIVE = frozenset({"+", "-", ".*", "./", ".\\", ".^",
+                           "==", "~=", "<", "<=", ">", ">=", "&", "|"})
+
+
+def transpose_count(expr: Node) -> int:
+    """Number of transpose nodes in a subtree."""
+    return sum(1 for node in expr.walk() if isinstance(node, Transpose))
+
+
+def _transposed(expr: Expr) -> Expr:
+    """``expr'`` simplified at the root."""
+    if isinstance(expr, Transpose):
+        return expr.operand
+    if isinstance(expr, Num):
+        return expr
+    if isinstance(expr, UnOp) and expr.op in "+-":
+        return UnOp(expr.op, _transposed(expr.operand))
+    return Transpose(expr)
+
+
+class _TransposeSimplifier(Transformer):
+    def visit_Transpose(self, node: Transpose) -> Node:
+        operand = self.visit(node.operand)
+
+        # (X')' → X
+        if isinstance(operand, Transpose):
+            return operand.operand
+        # literal' → literal
+        if isinstance(operand, Num):
+            return operand
+        # (-X)' → -(X')
+        if isinstance(operand, UnOp) and operand.op in "+-":
+            return self.visit(UnOp(operand.op, Transpose(operand.operand)))
+        if isinstance(operand, BinOp):
+            if operand.op in _DISTRIBUTIVE:
+                candidate = BinOp(operand.op,
+                                  _transposed(operand.left),
+                                  _transposed(operand.right))
+                if transpose_count(candidate) < 1 + transpose_count(operand):
+                    return self.visit(candidate)
+            if operand.op == "*":
+                candidate = BinOp("*",
+                                  _transposed(operand.right),
+                                  _transposed(operand.left))
+                if transpose_count(candidate) < 1 + transpose_count(operand):
+                    return self.visit(candidate)
+        if operand is node.operand:
+            return node
+        return Transpose(operand, conjugate=node.conjugate)
+
+
+class _ConstantFolder(Transformer):
+    """Shape-safe arithmetic cleanup of generated code.
+
+    Folds ``Num ∘ Num`` for ``+ - *``, drops additive zero terms
+    (``x+0 → x``), unit factors (``1*x → x``), and merges literal tails
+    (``(x+1)-1 → x``).  Rules that could change a value's *shape*
+    (``0*x → 0``) are deliberately absent.
+    """
+
+    def visit_BinOp(self, node: BinOp) -> Node:
+        left = self.visit(node.left)
+        right = self.visit(node.right)
+        op = node.op
+        lv, rv = literal_value(left), literal_value(right)
+        if op in ("+", "-", "*") and lv is not None and rv is not None:
+            value = lv + rv if op == "+" else (
+                lv - rv if op == "-" else lv * rv)
+            return num(value)
+        if op in ("+", "-") and rv == 0.0:
+            return left
+        if op == "+" and lv == 0.0:
+            return right
+        if op in ("*", ".*") and lv == 1.0:
+            return right
+        if op in ("*", ".*", "/", "./") and rv == 1.0:
+            return left
+        # Literal-tail merge: (x ± a) ± b  →  x ± (a ± b).
+        if op in ("+", "-") and rv is not None and isinstance(left, BinOp) \
+                and left.op in ("+", "-") \
+                and (tail := literal_value(left.right)) is not None:
+            combined = (tail if left.op == "+" else -tail) + (
+                rv if op == "+" else -rv)
+            if combined == 0.0:
+                return left.left
+            if combined > 0:
+                return BinOp("+", left.left, num(combined))
+            return BinOp("-", left.left, num(-combined))
+        if left is node.left and right is node.right:
+            return node
+        return BinOp(op, left, right)
+
+
+def fold_constants(root: Node) -> Node:
+    """Apply the shape-safe constant folder (used on generated code)."""
+    return _ConstantFolder().visit(root)
+
+
+def simplify_transposes(root: Node) -> Node:
+    """Apply the transpose rewrite rules to a fixpoint."""
+    simplifier = _TransposeSimplifier()
+    current = root
+    for _ in range(20):  # fixpoint, bounded for safety
+        simplified = simplifier.visit(current)
+        if simplified is current or simplified == current:
+            return simplified
+        current = simplified
+    return current

@@ -1,0 +1,146 @@
+"""Tests for annotations parsing and forward shape inference."""
+
+import pytest
+
+from repro.dims.abstract import Dim
+from repro.dims.context import ShapeEnv
+from repro.errors import AnnotationError
+from repro.mlang.annotations import parse_annotation, parse_annotations
+from repro.analysis.shapes import infer_shapes
+from repro.mlang.parser import parse
+
+
+class TestAnnotations:
+    def test_paper_example(self):
+        env = parse_annotation("i(1) a(1,*) b(*,1) A(*,*)", ShapeEnv())
+        assert env.get("i") == Dim.scalar()
+        assert env.get("a") == Dim.row()
+        assert env.get("b") == Dim.col()
+        assert env.get("A") == Dim.matrix()
+
+    def test_single_star(self):
+        env = parse_annotation("h(*)", ShapeEnv())
+        assert env.get("h") == Dim.parse("(*)")
+
+    def test_multiple_annotations(self):
+        env = parse_annotations(["a(1,*)", "b(*,1)"])
+        assert "a" in env and "b" in env
+
+    def test_later_overrides(self):
+        env = parse_annotations(["a(1,*)", "a(*,1)"])
+        assert env.get("a") == Dim.col()
+
+    def test_bad_annotation(self):
+        with pytest.raises(AnnotationError):
+            parse_annotation("a(1,%)", ShapeEnv())
+
+    def test_leftover_text_rejected(self):
+        with pytest.raises(AnnotationError):
+            parse_annotation("a(1,*) garbage", ShapeEnv())
+
+    def test_empty_annotation_ok(self):
+        env = parse_annotation("", ShapeEnv())
+        assert not env.shapes
+
+
+def infer(source: str) -> ShapeEnv:
+    return infer_shapes(parse(source))
+
+
+class TestInference:
+    def test_scalar_assignment(self):
+        env = infer("x = 3;")
+        assert env.get("x") == Dim.scalar()
+
+    def test_range_assignment(self):
+        env = infer("v = 1:10;")
+        assert env.get("v") == Dim.row()
+
+    def test_zeros(self):
+        env = infer("A = zeros(5, 5);\nr = zeros(1, 5);\nc = zeros(5, 1);")
+        assert env.get("A") == Dim.matrix()
+        assert env.get("r") == Dim.row()
+        assert env.get("c") == Dim.col()
+
+    def test_propagation_through_arithmetic(self):
+        env = infer("v = 1:10;\nw = 2*v + 1;")
+        assert env.get("w") == Dim.row()
+
+    def test_transpose_flips(self):
+        env = infer("v = (1:10)';")
+        assert env.get("v") == Dim((Dim.col()[0], Dim.col()[1]))
+
+    def test_fig3_preamble(self):
+        env = infer("""
+%! im(*,*)
+h = hist(im(:), 0:255);
+heq = 255*cumsum(h(:))/sum(h(:));
+""")
+        assert env.get("h") == Dim.row()
+        # h(:) is a column, so cumsum preserves the column shape.
+        assert env.get("heq") == Dim.col()
+
+    def test_annotations_frozen(self):
+        env = infer("""
+%! v(*,1)
+v = 1:10;
+""")
+        # The annotation wins over the (contradicting) inference.
+        assert env.get("v") == Dim.col()
+
+    def test_loop_write_one_subscript_is_row(self):
+        env = infer("for i=1:10\n a(i) = i;\nend")
+        assert env.get("a") == Dim.row()
+
+    def test_loop_write_two_subscripts_is_matrix(self):
+        env = infer("for i=1:3\n for j=1:4\n  A(i,j) = i+j;\n end\nend")
+        assert env.get("A") == Dim.matrix()
+
+    def test_loop_var_is_scalar_inside(self):
+        env = infer("for i=1:10\n x = i + 1;\nend")
+        assert env.get("x") == Dim.scalar()
+
+    def test_unknown_rhs_leaves_name_undefined(self):
+        env = infer("x = mystery_fn(3);")
+        assert env.get("x") is None
+
+    def test_if_branches_scanned(self):
+        env = infer("n = 1;\nif n > 0\n v = 1:10;\nend")
+        assert env.get("v") == Dim.row()
+
+    def test_size_call(self):
+        env = infer("%! A(*,*)\nm = size(A, 1);")
+        assert env.get("m") == Dim.scalar()
+
+    def test_existing_array_not_demoted_by_indexed_write(self):
+        env = infer("%! b(*,1)\nfor i=1:10\n b(i) = i;\nend")
+        assert env.get("b") == Dim.col()
+
+
+class TestMultiOutputInference:
+    def test_size_outputs_scalar(self):
+        env = infer("%! A(*,*)\n[m, n] = size(A);")
+        assert env.get("m") == Dim.scalar()
+        assert env.get("n") == Dim.scalar()
+
+    def test_size_enables_downstream_vectorization(self):
+        from repro import vectorize_source
+
+        result = vectorize_source("""
+%! A(*,*) y(*,1) x(*,1)
+[m, n] = size(A);
+for i=1:m
+  y(i) = x(i)*n;
+end
+""")
+        assert "for " not in result.source
+
+    def test_max_outputs_scalar(self):
+        env = infer("%! v(1,*)\n[m, idx] = max(v);")
+        assert env.get("m") == Dim.scalar()
+        assert env.get("idx") == Dim.scalar()
+
+    def test_sort_outputs_keep_shape(self):
+        env = infer("%! v(1,*)\n[s, order] = sort(v);")
+        assert env.get("s") == Dim.row()
+        assert env.get("order") == Dim.row()

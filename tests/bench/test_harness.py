@@ -1,0 +1,103 @@
+"""Tests for the benchmark harness itself (timing, tables, ablations)."""
+
+import pytest
+
+from repro.bench.harness import (
+    ABLATIONS,
+    Measurement,
+    ablation_sweep,
+    format_table,
+    measure,
+)
+from repro.bench.workloads import WORKLOADS, all_workloads, find_corpus, workload
+
+
+class TestWorkloadRegistry:
+    def test_lookup(self):
+        assert workload("histeq").experiment == "figure-3"
+
+    def test_all_workloads_nonempty(self):
+        assert len(all_workloads()) >= 20
+
+    def test_every_workload_has_tiny_scale(self):
+        for w in all_workloads():
+            assert "tiny" in w.scales, w.name
+
+    def test_env_deterministic(self):
+        import numpy as np
+
+        a = workload("matvec").env(scale="tiny", seed=3)
+        b = workload("matvec").env(scale="tiny", seed=3)
+        assert np.array_equal(a["A"], b["A"])
+
+    def test_env_seed_sensitivity(self):
+        import numpy as np
+
+        a = workload("matvec").env(scale="tiny", seed=3)
+        b = workload("matvec").env(scale="tiny", seed=4)
+        assert not np.array_equal(a["A"], b["A"])
+
+    def test_sources_parse(self):
+        from repro.mlang.parser import parse
+
+        for w in all_workloads():
+            parse(w.source())
+
+    def test_find_corpus(self):
+        corpus = find_corpus()
+        assert (corpus / "histeq.m").exists()
+
+
+class TestMeasure:
+    def test_measure_tiny(self):
+        m = measure(workload("scale-shift"), scale="tiny", repeats=1)
+        assert m.outputs_equal
+        assert m.fully_vectorized
+        assert m.input_time > 0 and m.vect_time > 0
+
+    def test_measure_records_scale(self):
+        m = measure(workload("scale-shift"), scale="tiny", repeats=1)
+        assert m.scale == {"n": 17}
+
+    def test_speedup_property(self):
+        m = Measurement("x", {}, input_time=2.0, vect_time=0.5,
+                        outputs_equal=True, fully_vectorized=True)
+        assert m.speedup == 4.0
+
+    def test_speedup_zero_division(self):
+        m = Measurement("x", {}, input_time=2.0, vect_time=0.0,
+                        outputs_equal=True, fully_vectorized=True)
+        assert m.speedup == float("inf")
+
+    def test_recurrence_not_fully_vectorized(self):
+        m = measure(workload("recurrence"), scale="tiny", repeats=1)
+        assert not m.fully_vectorized
+        assert m.outputs_equal
+
+
+class TestFormatTable:
+    def test_columns_present(self):
+        m = measure(workload("scale-shift"), scale="tiny", repeats=1)
+        table = format_table([m], title="T")
+        assert "input time" in table and "speedup" in table
+        assert "scale-shift" in table and "n=17" in table
+        assert table.splitlines()[0] == "T"
+
+    def test_failure_flagged(self):
+        m = Measurement("bad", {}, 1.0, 0.5, outputs_equal=False,
+                        fully_vectorized=True)
+        assert "NO" in format_table([m])
+
+
+class TestAblations:
+    def test_registry_keys(self):
+        assert {"full", "no-patterns", "no-transposes",
+                "no-reductions"} <= set(ABLATIONS)
+
+    def test_sweep_shape(self):
+        rows = ablation_sweep([workload("diagonal-scale")], scale="tiny",
+                              repeats=1)
+        assert len(rows) == len(ABLATIONS)
+        by_variant = {r.variant: r for r in rows}
+        assert by_variant["full"].vectorized
+        assert not by_variant["no-patterns"].vectorized

@@ -1,0 +1,156 @@
+"""Dependence-test unit tests: ZIV/SIV/GCD, range test, direction vectors."""
+
+from repro.depgraph.dependence import (
+    ALL_DIRECTIONS,
+    DirectionVector,
+    EQ,
+    GT,
+    LT,
+    dependence_between,
+)
+from repro.depgraph.references import Ref, affine_form
+from repro.mlang.parser import parse_expr
+
+
+def ref(var, *subs, loop_vars=("i",), write=False):
+    forms = tuple(affine_form(parse_expr(s), loop_vars) for s in subs)
+    return Ref(var, forms, is_write=write)
+
+
+def directions(source, sink, loop_vars=("i",), bounds=None):
+    result = dependence_between(source, sink, list(loop_vars), bounds)
+    return {v.directions for v in result.vectors}
+
+
+class TestDirectionVector:
+    def test_loop_independent(self):
+        assert DirectionVector((EQ, EQ)).is_loop_independent
+        assert not DirectionVector((EQ, LT)).is_loop_independent
+
+    def test_leading_level(self):
+        assert DirectionVector((EQ, LT)).leading_level() == 1
+        assert DirectionVector((LT, EQ)).leading_level() == 0
+        assert DirectionVector((EQ, EQ)).leading_level() is None
+
+    def test_plausible(self):
+        assert DirectionVector((LT, GT)).is_plausible
+        assert not DirectionVector((GT, LT)).is_plausible
+        assert DirectionVector((EQ, EQ)).is_plausible
+
+    def test_reversed(self):
+        assert DirectionVector((LT, EQ)).reversed() == \
+            DirectionVector((GT, EQ))
+
+
+class TestStrongSIV:
+    def test_same_subscript_only_equal(self):
+        d = directions(ref("a", "i", write=True), ref("a", "i"))
+        assert d == {(EQ,)}
+
+    def test_distance_one_forward(self):
+        # write a(i), read a(i-1): value flows to the next iteration.
+        d = directions(ref("a", "i", write=True), ref("a", "i-1"))
+        assert d == {(LT,)}
+
+    def test_distance_one_backward_implausible(self):
+        # write a(i), read a(i+1): as source→sink this needs '>' — excluded.
+        d = directions(ref("a", "i", write=True), ref("a", "i+1"))
+        assert d == set()
+
+    def test_scaled_distance(self):
+        d = directions(ref("a", "2*i", write=True), ref("a", "2*i-4"))
+        assert d == {(LT,)}
+
+    def test_fractional_distance_independent(self):
+        d = directions(ref("a", "2*i", write=True), ref("a", "2*i-1"))
+        assert d == set()
+
+    def test_symbolic_offset_cancels(self):
+        d = directions(ref("a", "i+n", write=True), ref("a", "i+n"))
+        assert d == {(EQ,)}
+
+    def test_different_symbolic_unconstrained(self):
+        d = directions(ref("a", "i+n", write=True), ref("a", "i+m"))
+        assert d == {(LT,), (EQ,), (GT,)} - {(GT,)} | {(GT,)} - {(GT,)} \
+            or d == {(LT,), (EQ,)}
+
+
+class TestZIV:
+    def test_distinct_constants_independent(self):
+        d = directions(ref("a", "1", write=True), ref("a", "2"))
+        assert d == set()
+
+    def test_equal_constants_unconstrained(self):
+        d = directions(ref("a", "3", write=True), ref("a", "3"))
+        assert (LT,) in d and (EQ,) in d
+
+    def test_distinct_symbolic_conservative(self):
+        d = directions(ref("a", "n", write=True), ref("a", "m"))
+        assert (LT,) in d
+
+
+class TestGCD:
+    def test_even_odd_independent(self):
+        # a(2i) vs a(2j+1): 2x - 2y = 1 has no integer solution.
+        d = directions(ref("a", "2*i", loop_vars=("i", "j"), write=True),
+                       ref("a", "2*j+1", loop_vars=("i", "j")),
+                       loop_vars=("i", "j"))
+        assert d == set()
+
+    def test_gcd_divides_assumes_dependence(self):
+        d = directions(ref("a", "2*i", loop_vars=("i", "j"), write=True),
+                       ref("a", "2*j", loop_vars=("i", "j")),
+                       loop_vars=("i", "j"))
+        assert d  # conservative: some vectors survive
+
+
+class TestRangeTest:
+    def _bounds(self, **counts):
+        return {var: affine_form(parse_expr(expr), ())
+                for var, expr in counts.items()}
+
+    def test_triangular_independence(self):
+        """write X(i,...) vs read X(j,...) under j = 1:(i-1)."""
+        src = ref("X", "i", "k", loop_vars=("k", "j"), write=True)
+        snk = ref("X", "j", "k", loop_vars=("k", "j"))
+        bounds = {"j": affine_form(parse_expr("i-1"), ("k", "j")),
+                  "k": affine_form(parse_expr("p"), ("k", "j"))}
+        d = directions(src, snk, loop_vars=("k", "j"), bounds=bounds)
+        assert d == set()
+
+    def test_numeric_out_of_range(self):
+        src = ref("a", "11", loop_vars=("i",), write=True)
+        snk = ref("a", "i", loop_vars=("i",))
+        bounds = {"i": affine_form(parse_expr("10"), ())}
+        assert directions(src, snk, bounds=bounds) == set()
+
+    def test_numeric_in_range_dependent(self):
+        src = ref("a", "5", loop_vars=("i",), write=True)
+        snk = ref("a", "i", loop_vars=("i",))
+        bounds = {"i": affine_form(parse_expr("10"), ())}
+        assert directions(src, snk, bounds=bounds) != set()
+
+    def test_below_range(self):
+        src = ref("a", "0", loop_vars=("i",), write=True)
+        snk = ref("a", "i", loop_vars=("i",))
+        assert directions(src, snk, bounds=self._bounds(i="10")) == set()
+
+    def test_fractional_solution_independent(self):
+        src = ref("a", "3", loop_vars=("i",), write=True)
+        snk = ref("a", "2*i", loop_vars=("i",))
+        assert directions(src, snk, bounds=self._bounds(i="10")) == set()
+
+
+class TestScalars:
+    def test_scalar_all_directions(self):
+        d = directions(ref("s", write=True), ref("s"))
+        assert (LT,) in d and (EQ,) in d
+
+    def test_no_loops(self):
+        result = dependence_between(ref("s", write=True), ref("s"), [])
+        assert result.exists
+
+    def test_rank_mismatch_conservative(self):
+        d = directions(ref("a", "i", write=True),
+                       ref("a", "i", "1"))
+        assert (LT,) in d

@@ -1,0 +1,122 @@
+"""DDG construction, SCC computation, topological order, edge filtering."""
+
+from repro.depgraph.graph import DependenceGraph, StmtNode
+from repro.mlang.parser import parse_expr, parse_stmt
+
+
+def build(statements, loop_vars=("i",), counts=None):
+    nodes = []
+    count_exprs = tuple(parse_expr(c) for c in counts) if counts else \
+        tuple(parse_expr("n") for _ in loop_vars)
+    for k, source in enumerate(statements):
+        nodes.append(StmtNode(k, parse_stmt(source), tuple(loop_vars),
+                              loop_counts=count_exprs))
+    return DependenceGraph.build(nodes)
+
+
+class TestEdges:
+    def test_flow_dependence(self):
+        g = build(["b(i) = a(i)*2;", "c(i) = b(i)+1;"])
+        flows = [e for e in g.edges if e.kind == "flow" and e.var == "b"]
+        assert flows and flows[0].src == 0 and flows[0].dst == 1
+
+    def test_no_dependence_between_unrelated(self):
+        g = build(["b(i) = a(i);", "d(i) = c(i);"])
+        assert all(e.src == e.dst or e.var not in ("b", "d")
+                   for e in g.edges if e.src != e.dst) or not [
+            e for e in g.edges if e.src != e.dst]
+
+    def test_anti_dependence(self):
+        g = build(["b(i) = a(i+1);", "a(i) = 0;"])
+        antis = [e for e in g.edges if e.kind == "anti" and e.var == "a"]
+        assert antis
+
+    def test_output_dependence(self):
+        g = build(["a(i) = 1;", "a(i) = 2;"])
+        outs = [e for e in g.edges if e.kind == "output"]
+        assert outs
+
+    def test_self_recurrence(self):
+        g = build(["a(i) = a(i-1)+1;"])
+        self_edges = g.self_edges(0)
+        assert self_edges and all(e.carried_levels() == {0}
+                                  for e in self_edges)
+
+    def test_no_self_edge_same_iteration(self):
+        g = build(["a(i) = a(i)+1;"])
+        assert not g.self_edges(0)
+
+    def test_scalar_accumulator_self_edges(self):
+        g = build(["s = s + x(i);"])
+        assert g.self_edges(0)
+
+    def test_edge_ref_provenance(self):
+        g = build(["s = s + x(i);"])
+        edge = g.self_edges(0)[0]
+        assert edge.src_ref is not None and edge.dst_ref is not None
+        assert edge.src_ref.var == "s"
+
+
+class TestSCC:
+    def test_straight_line_order(self):
+        g = build(["b(i) = a(i);", "c(i) = b(i);", "d(i) = c(i);"])
+        sccs = g.sccs_topological()
+        assert [s[0].index for s in sccs] == [0, 1, 2]
+
+    def test_cycle_grouped(self):
+        # a reads b from a previous iteration; b reads a: cross-iteration
+        # cycle → one SCC.
+        g = build(["a(i) = b(i-1);", "b(i) = a(i-1);"])
+        sccs = g.sccs_topological()
+        assert len(sccs) == 1 and len(sccs[0]) == 2
+
+    def test_topological_respects_dependences(self):
+        g = build(["c(i) = b(i);", "b(i) = a(i);"])
+        # statement 1 defines b used by statement 0 in the same iteration?
+        # No: textual order means statement 0 reads the OLD b (anti-dep).
+        sccs = g.sccs_topological()
+        assert len(sccs) == 2
+
+    def test_independent_stmts_source_order(self):
+        g = build(["x(i) = a(i);", "y(i) = b(i);", "z(i) = c(i);"])
+        sccs = g.sccs_topological()
+        assert [s[0].index for s in sccs] == [0, 1, 2]
+
+    def test_many_statements_iterative_tarjan(self):
+        stmts = [f"v{k}(i) = v{k - 1}(i);" for k in range(1, 120)]
+        g = build(stmts)
+        sccs = g.sccs_topological()
+        assert len(sccs) == 119
+
+
+class TestFiltering:
+    def test_remove_carried_by_level(self):
+        g = build(["A(i, j) = A(i-1, j)+1;"], loop_vars=("i", "j"))
+        assert g.self_edges(0)
+        filtered = g.remove_carried_by(0)
+        assert not filtered.self_edges(0)
+
+    def test_inner_carried_survives_outer_filter(self):
+        g = build(["A(i, j) = A(i, j-1)+1;"], loop_vars=("i", "j"))
+        filtered = g.remove_carried_by(0)
+        assert filtered.self_edges(0)
+        assert not filtered.remove_carried_by(1).self_edges(0)
+
+    def test_subgraph(self):
+        g = build(["b(i) = a(i);", "c(i) = b(i);", "d(i) = c(i);"])
+        sub = g.subgraph([0, 1])
+        assert len(sub.nodes) == 2
+        assert all(e.src in (0, 1) and e.dst in (0, 1) for e in sub.edges)
+
+
+class TestImperfectNests:
+    def test_different_depth_statements(self):
+        outer = StmtNode(0, parse_stmt("b(i) = c(i)*2;"), ("i",),
+                         loop_counts=(parse_expr("n"),))
+        inner = StmtNode(1, parse_stmt("A(i, j) = b(i)+j;"), ("i", "j"),
+                         loop_counts=(parse_expr("n"), parse_expr("m")))
+        g = DependenceGraph.build([outer, inner])
+        flows = [e for e in g.edges if e.kind == "flow" and e.var == "b"]
+        assert flows and flows[0].src == 0 and flows[0].dst == 1
+        # Direction vectors span only the common prefix (i).
+        assert all(len(v.directions) == 1 for v in flows[0].vectors)

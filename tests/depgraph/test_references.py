@@ -1,0 +1,118 @@
+"""Tests for affine-subscript analysis and reference collection."""
+
+from repro.depgraph.references import (
+    AffineForm,
+    affine_form,
+    collect_refs,
+)
+from repro.mlang.parser import parse_expr, parse_stmt
+
+
+def form(source, loop_vars=("i", "j")):
+    return affine_form(parse_expr(source), loop_vars)
+
+
+class TestAffineForms:
+    def test_constant(self):
+        f = form("5")
+        assert f.exact and f.const == 5 and not f.coeffs
+
+    def test_loop_var(self):
+        f = form("i")
+        assert f.coeff("i") == 1
+
+    def test_affine_combination(self):
+        f = form("2*i - 3")
+        assert f.coeff("i") == 2 and f.const == -3
+
+    def test_both_vars(self):
+        f = form("i + 2*j + 1")
+        assert f.coeff("i") == 1 and f.coeff("j") == 2 and f.const == 1
+
+    def test_symbolic_residue(self):
+        f = form("n - 1")
+        assert f.exact and dict(f.symbolic) == {"n": 1.0} and f.const == -1
+
+    def test_scaled_symbolic(self):
+        f = form("2*n + i")
+        assert dict(f.symbolic) == {"n": 2.0} and f.coeff("i") == 1
+
+    def test_nonlinear_is_inexact(self):
+        assert not form("i*i").exact
+
+    def test_opaque_call_without_loopvars_exact(self):
+        f = form("size(A, 1)")
+        assert f.exact and f.symbolic
+
+    def test_opaque_call_with_loopvar_inexact(self):
+        assert not form("size(A, i)").exact
+
+    def test_division_by_constant(self):
+        f = form("i/2")
+        assert f.coeff("i") == 0.5
+
+    def test_negation(self):
+        f = form("-i + 4")
+        assert f.coeff("i") == -1 and f.const == 4
+
+    def test_minus_and_scaled(self):
+        a, b = form("2*i+1"), form("2*i")
+        d = a.minus(b)
+        assert d.is_pure_const and d.const == 1
+
+    def test_symbolic_cancellation(self):
+        a, b = form("n + i"), form("n")
+        d = a.minus(b)
+        assert not d.symbolic and d.coeff("i") == 1
+
+    def test_same_symbolic(self):
+        assert form("n+1").same_symbolic(form("n+5"))
+        assert not form("n+1").same_symbolic(form("m+1"))
+
+    def test_without_var(self):
+        f = form("2*i + j").without_var("i")
+        assert f.coeff("i") == 0 and f.coeff("j") == 1
+
+
+class TestCollectRefs:
+    def test_simple_assignment(self):
+        refs = collect_refs(parse_stmt("a(i) = b(i) + c;"), ["i"])
+        assert [w.var for w in refs.writes] == ["a"]
+        read_vars = {r.var for r in refs.reads}
+        assert {"b", "c", "i"} <= read_vars
+
+    def test_lhs_subscript_reads(self):
+        refs = collect_refs(parse_stmt("a(v(i)) = 0;"), ["i"])
+        assert any(r.var == "v" for r in refs.reads)
+
+    def test_scalar_write(self):
+        refs = collect_refs(parse_stmt("s = s + x(i);"), ["i"])
+        write = refs.writes[0]
+        assert write.var == "s" and write.is_scalar_style
+        assert any(r.var == "s" and r.is_scalar_style for r in refs.reads)
+
+    def test_known_functions_not_refs(self):
+        refs = collect_refs(parse_stmt("a(i) = cos(b(i));"), ["i"],
+                            frozenset({"cos"}))
+        assert all(r.var != "cos" for r in refs.reads)
+        assert any(r.var == "b" for r in refs.reads)
+
+    def test_function_args_still_read(self):
+        refs = collect_refs(parse_stmt("a(i) = sum(B(i, :));"), ["i"],
+                            frozenset({"sum"}))
+        assert any(r.var == "B" for r in refs.reads)
+
+    def test_subscript_forms_recorded(self):
+        refs = collect_refs(parse_stmt("A(2*i, j+1) = 0;"), ["i", "j"])
+        write = refs.writes[0]
+        assert write.subs[0].coeff("i") == 2
+        assert write.subs[1].const == 1
+
+    def test_colon_subscript_is_inexact(self):
+        refs = collect_refs(parse_stmt("A(i, :) = 0;"), ["i"])
+        assert not refs.writes[0].subs[1].exact
+
+    def test_refs_to(self):
+        refs = collect_refs(parse_stmt("a(i) = a(i-1);"), ["i"])
+        assert len(refs.refs_to("a", writes=True)) == 1
+        assert len(refs.refs_to("a", writes=False)) == 1

@@ -1,0 +1,237 @@
+"""Tests for the dimension abstraction (§2.1): symbols, Dim algebra."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.dims.abstract import (
+    Dim,
+    ONE,
+    RSym,
+    STAR,
+    compatible,
+    equal,
+    fmax,
+    is_r,
+)
+from repro.errors import DimError
+
+RI = RSym("i")
+RJ = RSym("j")
+
+
+class TestSymbols:
+    def test_atoms_distinct(self):
+        assert ONE is not STAR
+
+    def test_rsym_equality(self):
+        assert RSym("i") == RSym("i")
+        assert RSym("i") != RSym("j")
+
+    def test_rsym_serial_distinguishes_loops(self):
+        # Two loops reusing index name 'i' must not be conflated.
+        assert RSym("i", 1) != RSym("i", 2)
+
+    def test_is_r(self):
+        assert is_r(RI)
+        assert not is_r(ONE) and not is_r(STAR)
+
+    def test_repr(self):
+        assert str(ONE) == "1" and str(STAR) == "*"
+        assert str(RI) == "r_i"
+
+
+class TestFmax:
+    def test_paper_examples(self):
+        assert fmax(ONE, STAR) is STAR
+        assert fmax(STAR, ONE) is STAR
+        assert fmax(ONE, ONE) is ONE
+        assert fmax(ONE, RI) == RI
+        assert fmax(RI, ONE) == RI
+
+    def test_r_vs_star_undefined(self):
+        assert fmax(RI, STAR) is None
+
+    def test_distinct_r_undefined(self):
+        assert fmax(RI, RJ) is None
+
+    def test_same_r(self):
+        assert fmax(RI, RI) == RI
+
+    def test_empty(self):
+        assert fmax() is ONE
+
+
+class TestDimConstruction:
+    def test_scalar(self):
+        assert Dim.scalar().syms == (ONE,)
+
+    def test_row_col_matrix(self):
+        assert Dim.row().syms == (ONE, STAR)
+        assert Dim.col().syms == (STAR, ONE)
+        assert Dim.matrix().syms == (STAR, STAR)
+
+    def test_parse(self):
+        assert Dim.parse("(1,*)") == Dim.row()
+        assert Dim.parse("(*,1)") == Dim.col()
+        assert Dim.parse("(1)") == Dim.scalar()
+        assert Dim.parse("*,*") == Dim.matrix()
+        assert Dim.parse("(*)") == Dim((STAR,))
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(DimError):
+            Dim.parse("(1,%)")
+        with pytest.raises(DimError):
+            Dim.parse("()")
+
+    def test_invalid_symbol(self):
+        with pytest.raises(DimError):
+            Dim(("x",))
+
+    def test_empty_is_scalar(self):
+        assert Dim(()) == Dim.scalar()
+
+    def test_hash_and_eq(self):
+        assert Dim((RI, ONE)) == Dim((RI, ONE))
+        assert hash(Dim((RI, ONE))) == hash(Dim((RI, ONE)))
+
+    def test_repr(self):
+        assert repr(Dim((ONE, RI))) == "(1,r_i)"
+
+
+class TestReduceReverse:
+    def test_reduce_drops_trailing_ones(self):
+        assert Dim((STAR, ONE)).reduce() == Dim((STAR,))
+        assert Dim((STAR, STAR, ONE)).reduce() == Dim((STAR, STAR))
+
+    def test_reduce_keeps_leading_ones(self):
+        assert Dim((ONE, STAR)).reduce() == Dim((ONE, STAR))
+
+    def test_reduce_scalar(self):
+        assert Dim((ONE, ONE)).reduce() == Dim((ONE,))
+
+    def test_reduce_idempotent(self):
+        d = Dim((RI, ONE, ONE))
+        assert d.reduce().reduce() == d.reduce()
+
+    def test_reverse_row_col(self):
+        assert Dim.row().reverse() == Dim.col()
+        assert Dim.col().reverse() == Dim.row()
+
+    def test_reverse_pads_rank_one(self):
+        # A reduced column (r_i) flips to a row (1, r_i).
+        assert Dim((RI,)).reverse() == Dim((ONE, RI))
+
+    def test_reverse_scalar(self):
+        assert Dim.scalar().reverse() == Dim((ONE, ONE))
+
+    def test_pad(self):
+        assert Dim((STAR,)).pad(2) == Dim((STAR, ONE))
+        assert Dim((STAR, STAR)).pad(2) == Dim((STAR, STAR))
+
+
+class TestPredicates:
+    def test_is_scalar(self):
+        assert Dim((ONE, ONE)).is_scalar
+        assert not Dim((ONE, RI)).is_scalar
+
+    def test_is_matrix(self):
+        assert Dim((STAR, STAR)).is_matrix
+        assert Dim((RI, RJ)).is_matrix
+        assert not Dim((ONE, STAR)).is_matrix
+
+    def test_is_vector(self):
+        assert Dim((ONE, STAR)).is_vector
+        assert Dim((RI, ONE)).is_vector
+        assert not Dim((ONE, ONE)).is_vector
+
+    def test_is_row_col(self):
+        assert Dim((ONE, STAR)).is_row and not Dim((ONE, STAR)).is_col
+        assert Dim((STAR, ONE)).is_col and not Dim((STAR, ONE)).is_row
+        assert Dim((RI,)).is_col
+
+    def test_r_syms(self):
+        assert Dim((RI, RJ)).r_syms() == frozenset({RI, RJ})
+        assert Dim.matrix().r_syms() == frozenset()
+
+    def test_has_duplicate_r(self):
+        assert Dim((RI, RI)).has_duplicate_r()
+        assert not Dim((RI, RJ)).has_duplicate_r()
+        assert not Dim((STAR, STAR)).has_duplicate_r()
+
+    def test_unvectorized(self):
+        assert Dim((RI, RJ)).unvectorized() == Dim.scalar()
+        assert Dim((RI, STAR)).unvectorized() == Dim((ONE, STAR))
+
+    def test_axis_of(self):
+        assert Dim((RI, RJ)).axis_of(RJ) == 1
+        assert Dim((RI, RI)).axis_of(RI) is None
+        assert Dim((STAR, STAR)).axis_of(RI) is None
+
+    def test_replace_axis(self):
+        assert Dim((RI, RJ)).replace_axis(0, ONE) == Dim((ONE, RJ))
+
+
+class TestCompatibility:
+    def test_reduced_equality(self):
+        assert compatible(Dim((STAR, ONE)), Dim((STAR,)))
+        assert compatible(Dim((ONE, ONE)), Dim((ONE,)))
+
+    def test_row_col_incompatible(self):
+        assert not compatible(Dim.row(), Dim.col())
+
+    def test_r_incompatible_with_star(self):
+        """The paper: although r_i is similar to *, they are NOT
+        compatible."""
+        assert not compatible(Dim((ONE, RI)), Dim((ONE, STAR)))
+
+    def test_distinct_r_incompatible(self):
+        """§2.2: r_i ≢ r_j even when loop bounds coincide."""
+        assert not compatible(Dim((RI, RJ)), Dim((RJ, RI)))
+
+    def test_strict_equality(self):
+        assert equal(Dim((STAR, ONE)), Dim((STAR, ONE)))
+        assert not equal(Dim((STAR, ONE)), Dim((STAR,)))
+
+
+_syms = st.sampled_from([ONE, STAR, RSym("i"), RSym("j"), RSym("k")])
+_dims = st.lists(_syms, min_size=1, max_size=4).map(Dim)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_dims)
+def test_reduce_idempotent_property(d):
+    assert d.reduce().reduce() == d.reduce()
+
+
+@settings(max_examples=200, deadline=None)
+@given(_dims)
+def test_reverse_involutive_on_rank2(d):
+    padded = d.pad(2)
+    if len(padded) == 2:
+        assert padded.reverse().reverse() == padded
+
+
+@settings(max_examples=200, deadline=None)
+@given(_dims, _dims)
+def test_compatibility_symmetric(a, b):
+    assert compatible(a, b) == compatible(b, a)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_dims)
+def test_compatibility_reflexive(d):
+    assert compatible(d, d)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_dims, _dims, _dims)
+def test_compatibility_transitive(a, b, c):
+    if compatible(a, b) and compatible(b, c):
+        assert compatible(a, c)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_dims)
+def test_unvectorized_has_no_r(d):
+    assert not d.unvectorized().r_syms()

@@ -1,0 +1,106 @@
+"""Tests for builtin result-shape signatures."""
+
+from repro.dims.abstract import Dim, ONE, STAR
+from repro.dims.signatures import builtin_result_dim
+from repro.mlang.ast_nodes import num
+from repro.mlang.parser import parse_expr
+
+
+def sig(name, arg_dims, args=None):
+    dims = [Dim.parse(d) for d in arg_dims]
+    exprs = [parse_expr(a) for a in args] if args else [None] * len(dims)
+    return builtin_result_dim(name, dims, exprs)
+
+
+class TestShapeQueries:
+    def test_size_one_arg_row(self):
+        assert sig("size", ["(*,*)"], ["A"]) == Dim.row()
+
+    def test_size_two_args_scalar(self):
+        assert sig("size", ["(*,*)", "(1)"], ["A", "1"]) == Dim.scalar()
+
+    def test_numel_length(self):
+        assert sig("numel", ["(*,*)"], ["A"]) == Dim.scalar()
+        assert sig("length", ["(1,*)"], ["a"]) == Dim.scalar()
+
+
+class TestConstructors:
+    def test_zeros_square(self):
+        assert sig("zeros", ["(1)"], ["n"]) == Dim.matrix()
+
+    def test_zeros_explicit(self):
+        assert sig("zeros", ["(1)", "(1)"], ["m", "n"]) == Dim.matrix()
+
+    def test_zeros_row(self):
+        assert sig("zeros", ["(1)", "(1)"], ["1", "n"]) == Dim.row()
+
+    def test_zeros_col(self):
+        assert sig("zeros", ["(1)", "(1)"], ["n", "1"]) == Dim.col()
+
+    def test_zeros_one_by_one(self):
+        assert sig("zeros", ["(1)"], ["1"]) == Dim.scalar().pad(2)
+
+    def test_linspace(self):
+        assert sig("linspace", ["(1)", "(1)", "(1)"],
+                   ["0", "1", "n"]) == Dim.row()
+
+    def test_eye(self):
+        assert sig("eye", ["(1)"], ["n"]) == Dim.matrix()
+
+
+class TestReductions:
+    def test_sum_column(self):
+        assert sig("sum", ["(*,1)"], ["v"]) == Dim.scalar()
+
+    def test_sum_row(self):
+        assert sig("sum", ["(1,*)"], ["v"]) == Dim.scalar()
+
+    def test_sum_matrix_collapses_rows(self):
+        assert sig("sum", ["(*,*)"], ["A"]) == Dim((ONE, STAR))
+
+    def test_sum_with_dim1(self):
+        assert sig("sum", ["(*,*)", "(1)"], ["A", "1"]) == Dim((ONE, STAR))
+
+    def test_sum_with_dim2(self):
+        assert sig("sum", ["(*,*)", "(1)"], ["A", "2"]) == Dim((STAR, ONE))
+
+    def test_cumsum_preserves(self):
+        assert sig("cumsum", ["(*,1)"], ["v"]) == Dim.col()
+
+    def test_min_single(self):
+        assert sig("min", ["(*,1)"], ["v"]) == Dim.scalar()
+
+    def test_min_pairwise(self):
+        assert sig("min", ["(*,1)", "(*,1)"], ["a", "b"]) == Dim.col()
+
+    def test_min_pairwise_scalar(self):
+        assert sig("min", ["(*,1)", "(1)"], ["a", "0"]) == Dim.col()
+
+
+class TestStructured:
+    def test_repmat_tile(self):
+        assert sig("repmat", ["(*,1)", "(1)", "(1)"],
+                   ["c", "1", "n"]) == Dim((STAR, STAR))
+
+    def test_repmat_keep_rows(self):
+        assert sig("repmat", ["(1,*)", "(1)", "(1)"],
+                   ["r", "1", "2"]) == Dim((ONE, STAR))
+
+    def test_diag_of_matrix_is_column(self):
+        assert sig("diag", ["(*,*)"], ["A"]) == Dim.col()
+
+    def test_diag_of_vector_is_matrix(self):
+        assert sig("diag", ["(*,1)"], ["v"]) == Dim.matrix()
+
+    def test_hist_is_row(self):
+        assert sig("hist", ["(*,1)", "(1,*)"], ["x", "c"]) == Dim.row()
+
+    def test_transpose(self):
+        assert sig("transpose", ["(*,1)"], ["v"]) == Dim((ONE, STAR))
+
+    def test_unknown_builtin(self):
+        assert sig("frobnicate", ["(1)"], ["x"]) is None
+
+    def test_reshape_literal_dims(self):
+        assert sig("reshape", ["(*,*)", "(1)", "(1)"],
+                   ["A", "1", "n"]) == Dim.row()

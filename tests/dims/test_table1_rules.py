@@ -1,0 +1,234 @@
+"""Table 1 reproduction: the rules for vectorized dimensionalities.
+
+Each test corresponds to one row of Table 1 (or a worked example from
+§2 of the paper).  The rules are exercised both through the pure
+functions in :mod:`repro.dims.vectorized` and through the checker's
+expression traversal.
+"""
+
+import pytest
+
+from repro.dims.abstract import Dim, ONE, RSym, STAR
+from repro.dims.context import ShapeEnv
+from repro.dims.vectorized import (
+    COLON,
+    collapse,
+    dim_of_colon_expr,
+    dim_of_ident,
+    dim_of_matrix_literal,
+    dim_of_scalar,
+    dim_of_signed,
+    dim_of_subscript,
+    dim_of_transpose,
+    assignment_compatible,
+    pointwise_result,
+)
+from repro.mlang.parser import parse_expr
+from repro.vectorizer.checker import CheckFailure, DimChecker
+from repro.vectorizer.loop_info import LoopHeader
+from repro.mlang.ast_nodes import num
+
+RI = RSym("i")
+RJ = RSym("j")
+
+
+def checker(shapes: dict[str, str], loops: list[str],
+            sequential=()) -> DimChecker:
+    from repro.patterns.builtin import default_database
+
+    env = ShapeEnv({name: Dim.parse(dims) for name, dims in shapes.items()})
+    headers = [LoopHeader(var, num(10), RSym(var)) for var in loops]
+    return DimChecker(env, headers, sequential_vars=sequential,
+                      db=default_database())
+
+
+def vdim(expr: str, shapes: dict[str, str], loops: list[str],
+         sequential=()) -> Dim:
+    chk = checker(shapes, loops, sequential)
+    return chk.check_expr(parse_expr(expr)).dim
+
+
+class TestTable1Rows:
+    def test_scalar_constant(self):
+        assert dim_of_scalar() == Dim.scalar()
+        assert vdim("3", {}, ["i"]) == Dim.scalar()
+
+    def test_loop_index_identifier(self):
+        """dimi(i) = (1, r_i) when i is the loop index."""
+        d = vdim("i", {}, ["i"])
+        assert len(d) == 2 and d[0] is ONE and d[1] == RSym("i")
+
+    def test_other_identifier_keeps_declared_dims(self):
+        assert vdim("v", {"v": "(*,1)"}, ["i"]) == Dim.col()
+
+    def test_colon_expression_is_row(self):
+        assert dim_of_colon_expr() == Dim.row()
+        assert vdim("1:3:20", {}, ["i"]) == Dim.row()
+
+    def test_signed_expression(self):
+        assert dim_of_signed(Dim((RI, ONE))) == Dim((RI, ONE))
+        assert vdim("-v", {"v": "(*,1)"}, ["i"]) == Dim.col()
+
+    def test_transposed_expression(self):
+        assert dim_of_transpose(Dim((ONE, RI))) == Dim((RI, ONE))
+        assert vdim("v'", {"v": "(*,1)"}, ["i"]) == Dim((ONE, STAR))
+
+
+class TestSubscriptRule:
+    def test_paper_example_column_vector(self):
+        """dim(A) = (*,1)  ⇒  dimi(A(i)) = (r_i, 1)."""
+        d = vdim("A(i)", {"A": "(*,1)"}, ["i"])
+        assert d == Dim((RSym("i"), ONE))
+
+    def test_row_vector_orientation(self):
+        d = vdim("a(i)", {"a": "(1,*)"}, ["i"])
+        assert d == Dim((ONE, RSym("i")))
+
+    def test_matrix_single_subscript_takes_subscript_shape(self):
+        """isMatrix(M) ⇒ dimi(M(e)) = dimi(e)."""
+        d = vdim("A(i)", {"A": "(*,*)"}, ["i"])
+        assert d == Dim((ONE, RSym("i")))
+
+    def test_vector_indexed_by_matrix_expr(self):
+        """isMatrix(e1) ⇒ result has e1's dims (Fig. 3's heq lookup)."""
+        d = vdim("heq(im(i,j)+1)", {"heq": "(1,*)", "im": "(*,*)"},
+                 ["i", "j"])
+        assert d == Dim((RSym("i"), RSym("j")))
+
+    def test_two_subscripts_fmax(self):
+        d = vdim("M(i, j)", {"M": "(*,*)"}, ["i", "j"])
+        assert d == Dim((RSym("i"), RSym("j")))
+
+    def test_two_subscripts_with_scalar(self):
+        d = vdim("M(i, h)", {"M": "(*,*)", "h": "(1)"}, ["i"])
+        assert d == Dim((RSym("i"), ONE))
+
+    def test_two_subscripts_with_colon(self):
+        d = vdim("M(i, :)", {"M": "(*,*)"}, ["i"])
+        assert d == Dim((RSym("i"), STAR))
+
+    def test_colon_then_index(self):
+        d = vdim("M(:, i)", {"M": "(*,*)"}, ["i"])
+        assert d == Dim((STAR, RSym("i")))
+
+    def test_lone_colon_flattens_to_column(self):
+        d = vdim("M(:)", {"M": "(*,*)"}, [])
+        assert d == Dim((STAR, ONE))
+
+    def test_subscript_affine_in_index(self):
+        d = vdim("a(2*i-1)", {"a": "(1,*)"}, ["i"])
+        assert d == Dim((ONE, RSym("i")))
+
+    def test_scalar_subscript_gives_scalar(self):
+        assert vdim("a(3)", {"a": "(1,*)"}, []) == Dim.scalar()
+
+    def test_mixed_extent_subscript_via_outer_broadcast(self):
+        """A subscript mixing r_i and r_j is handled by the (extension)
+        outer-broadcast pattern: a(i+j) gathers a repmat-built matrix."""
+        d = vdim("a(i+j)", {"a": "(1,*)"}, ["i", "j"])
+        assert d.r_syms() == {RSym("i"), RSym("j")}
+
+    def test_mixed_extents_rejected_without_patterns(self):
+        from repro.vectorizer.checker import CheckOptions
+
+        chk = checker({"a": "(1,*)"}, ["i", "j"])
+        chk.options = CheckOptions(patterns=False)
+        with pytest.raises(CheckFailure):
+            chk.check_expr(parse_expr("a(i+j)"))
+
+    def test_pure_function_rule(self):
+        assert dim_of_subscript(Dim.col(), [Dim((ONE, RI))]) == Dim((RI, ONE))
+        assert dim_of_subscript(Dim.matrix(),
+                                [Dim((ONE, RI)), Dim((ONE, RJ))]) \
+            == Dim((RI, RJ))
+        assert dim_of_subscript(Dim.matrix(), [COLON, Dim((ONE, RI))]) \
+            == Dim((STAR, RI))
+        # k==1 with isMatrix(M) or isMatrix(e1): the access takes the
+        # subscript's shape (this is how Fig. 3's heq(im+1) works).
+        assert dim_of_subscript(Dim.matrix(), [Dim((RI, RJ))]) \
+            == Dim((RI, RJ))
+        assert dim_of_subscript(Dim.col(), [Dim((RI, RJ))]) \
+            == Dim((RI, RJ))
+        # Multi-subscript access with a mixed-extent subscript is vetoed.
+        assert dim_of_subscript(Dim.matrix(),
+                                [Dim((RI, RJ)), Dim((ONE, RJ))]) is None
+
+
+class TestCollapse:
+    def test_collapse_examples(self):
+        assert collapse(Dim((ONE, RI))) == RI
+        assert collapse(Dim((ONE, STAR))) is STAR
+        assert collapse(Dim((ONE, ONE))) is ONE
+        assert collapse(Dim((RI, RJ))) is None
+        assert collapse(Dim((RI, STAR))) is None
+
+
+class TestMatrixLiteralRule:
+    def test_row_of_scalars(self):
+        assert dim_of_matrix_literal([3], [Dim.scalar()] * 3) == Dim.row()
+
+    def test_column_of_scalars(self):
+        assert dim_of_matrix_literal([1, 1], [Dim.scalar()] * 2) \
+            == Dim.col()
+
+    def test_single_element(self):
+        assert dim_of_matrix_literal([1], [Dim.scalar()]) \
+            == Dim((ONE, ONE))
+
+    def test_bracketed_expression(self):
+        assert dim_of_matrix_literal([1], [Dim.row()]) == Dim.row()
+
+    def test_non_scalar_elements_rejected(self):
+        assert dim_of_matrix_literal([2], [Dim.row(), Dim.row()]) is None
+
+
+class TestCompatRules:
+    def test_assignment_scalar_rhs_always_ok(self):
+        assert assignment_compatible(Dim((RI, RJ)), Dim.scalar())
+
+    def test_assignment_compatible_dims(self):
+        assert assignment_compatible(Dim((RI, ONE)), Dim((RI,)))
+
+    def test_assignment_incompatible(self):
+        assert not assignment_compatible(Dim((ONE, RI)), Dim((RI, ONE)))
+
+    def test_pointwise_rule1(self):
+        assert pointwise_result(Dim((RI, RJ)), Dim((RI, RJ))) \
+            == Dim((RI, RJ))
+
+    def test_pointwise_scalar_left(self):
+        assert pointwise_result(Dim.scalar(), Dim((RI, ONE))) \
+            == Dim((RI, ONE))
+
+    def test_pointwise_scalar_right(self):
+        assert pointwise_result(Dim((ONE, RI)), Dim.scalar()) \
+            == Dim((ONE, RI))
+
+    def test_pointwise_incompatible(self):
+        assert pointwise_result(Dim((ONE, RI)), Dim((RI, ONE))) is None
+        assert pointwise_result(Dim((RI, RJ)), Dim((RJ, RI))) is None
+
+
+class TestSemanticDisambiguation:
+    """§2's motivating example: x(i) = y(i,h)*z(h,i) means different
+    things depending on whether h is a scalar or a vector."""
+
+    def test_h_scalar_pointwise(self):
+        chk = checker({"x": "(1,*)", "y": "(*,*)", "z": "(*,*)",
+                       "h": "(1)"}, ["i"])
+        v = chk.check_expr(parse_expr("y(i,h)*z(h,i)"))
+        # Scalar·scalar per iteration → promoted to '.*' with a transpose.
+        from repro.mlang.printer import expr_to_source
+
+        text = expr_to_source(v.expr)
+        assert ".*" in text and "'" in text
+        assert v.dim.r_syms() == {RSym("i")}
+
+    def test_h_vector_dot_product(self):
+        chk = checker({"x": "(1,*)", "y": "(*,*)", "z": "(*,*)",
+                       "h": "(*,1)"}, ["i"])
+        v = chk.check_expr(parse_expr("y(i,h)*z(h,i)"))
+        from repro.mlang.printer import expr_to_source
+
+        assert "sum(" in expr_to_source(v.expr)
+        assert v.dim == Dim((ONE, RSym("i")))

@@ -1,0 +1,60 @@
+"""Fuzz robustness: the front-end never crashes with anything but its
+own typed errors, and parsing is deterministic."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.errors import LexError, ParseError
+from repro.mlang.lexer import tokenize
+from repro.mlang.parser import parse
+
+_FRAGMENTS = st.sampled_from([
+    "for", "end", "if", "else", "while", "function", "=", "==", "+",
+    "-", "*", ".*", "'", "(", ")", "[", "]", ":", ";", ",", "\n",
+    "a", "b2", "x_y", "1", "2.5", "1e3", "'str'", "%c", "%!a(1,*)",
+    "...", "&&", "~", "end;", "A(i,j)", "1:10", " ",
+])
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(_FRAGMENTS, min_size=0, max_size=25))
+def test_parser_total_over_token_soup(fragments):
+    source = " ".join(fragments)
+    try:
+        parse(source)
+    except (LexError, ParseError):
+        pass  # rejecting is fine; crashing is not
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+               max_size=80))
+def test_lexer_total_over_ascii(text):
+    try:
+        tokenize(text)
+    except LexError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(alphabet="abij()=+*'1:;,\n ", max_size=60))
+def test_parse_deterministic(text):
+    def attempt():
+        try:
+            return ("ok", parse(text))
+        except (LexError, ParseError) as error:
+            return ("err", type(error).__name__)
+
+    assert attempt() == attempt()
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(alphabet="abij()=+*'1:;,\n ", max_size=60))
+def test_driver_never_crashes_on_parseable_input(text):
+    from repro import vectorize_source
+    from repro.errors import ReproError
+
+    try:
+        vectorize_source(text)
+    except ReproError:
+        pass

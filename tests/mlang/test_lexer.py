@@ -1,0 +1,171 @@
+"""Lexer unit tests: token kinds, MATLAB quirks, error handling."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.mlang.lexer import tokenize
+from repro.mlang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind != TokenKind.EOF]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_number_integer(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokenKind.NUMBER
+        assert toks[0].text == "42"
+
+    def test_number_decimal(self):
+        assert texts("3.25") == ["3.25"]
+
+    def test_number_leading_dot(self):
+        assert texts(".5") == [".5"]
+
+    def test_number_trailing_dot(self):
+        assert texts("2.") == ["2."]
+
+    def test_number_exponent(self):
+        assert texts("1e3") == ["1e3"]
+
+    def test_number_exponent_signed(self):
+        assert texts("1.5e-3") == ["1.5e-3"]
+
+    def test_number_exponent_plus(self):
+        assert texts("2E+4") == ["2E+4"]
+
+    def test_ident(self):
+        toks = tokenize("foo_bar2")
+        assert toks[0].kind is TokenKind.IDENT
+        assert toks[0].text == "foo_bar2"
+
+    def test_keyword(self):
+        toks = tokenize("for")
+        assert toks[0].kind is TokenKind.KEYWORD
+
+    def test_keyword_prefix_is_ident(self):
+        toks = tokenize("fortune")
+        assert toks[0].kind is TokenKind.IDENT
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        b = [t for t in toks if t.text == "b"][0]
+        assert (b.line, b.column) == (2, 3)
+
+
+class TestOperators:
+    def test_elementwise_ops(self):
+        assert texts("a.*b./c.^d") == ["a", ".*", "b", "./", "c", ".^", "d"]
+
+    def test_number_dot_star_not_confused(self):
+        # '2.*b' must lex as 2 .* b (MATLAB treats it as elementwise).
+        assert texts("2.*b") == ["2", ".*", "b"]
+
+    def test_comparisons(self):
+        assert texts("a<=b~=c") == ["a", "<=", "b", "~=", "c"]
+
+    def test_short_circuit(self):
+        assert texts("a&&b||c") == ["a", "&&", "b", "||", "c"]
+
+    def test_colon(self):
+        assert texts("1:2:10") == ["1", ":", "2", ":", "10"]
+
+
+class TestTransposeVsString:
+    def test_transpose_after_ident(self):
+        assert texts("A'") == ["A", "'"]
+
+    def test_transpose_after_paren(self):
+        assert texts("(a)'") == ["(", "a", ")", "'"]
+
+    def test_transpose_after_bracket(self):
+        assert texts("[1]'") == ["[", "1", "]", "'"]
+
+    def test_transpose_after_number(self):
+        assert texts("2'") == ["2", "'"]
+
+    def test_double_transpose(self):
+        assert texts("A''") == ["A", "'", "'"]
+
+    def test_string_at_start(self):
+        toks = tokenize("'hello'")
+        assert toks[0].kind is TokenKind.STRING
+        assert toks[0].text == "hello"
+
+    def test_string_after_operator(self):
+        toks = tokenize("a = 'x'")
+        string = [t for t in toks if t.kind is TokenKind.STRING]
+        assert string and string[0].text == "x"
+
+    def test_string_escaped_quote(self):
+        toks = tokenize("x = 'it''s'")
+        string = [t for t in toks if t.kind is TokenKind.STRING][0]
+        assert string.text == "it's"
+
+    def test_string_after_comma(self):
+        toks = tokenize("f(a, 'b')")
+        assert any(t.kind is TokenKind.STRING for t in toks)
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("x = 'oops")
+
+    def test_dot_transpose(self):
+        assert texts("A.'") == ["A", ".'"]
+
+    def test_transpose_after_end(self):
+        toks = tokenize("a(end)'")
+        assert toks[-2].is_op("'")
+
+
+class TestCommentsAndContinuations:
+    def test_comment_dropped(self):
+        assert texts("a % comment here") == ["a"]
+
+    def test_annotation_kept(self):
+        toks = tokenize("%! a(1,*) b(*,1)")
+        assert toks[0].kind is TokenKind.ANNOTATION
+        assert toks[0].text == "a(1,*) b(*,1)"
+
+    def test_continuation(self):
+        assert texts("a + ...\n b") == ["a", "+", "b"]
+
+    def test_continuation_with_comment(self):
+        assert texts("a + ... trailing comment\n b") == ["a", "+", "b"]
+
+    def test_separators(self):
+        toks = tokenize("a;b,c\nd")
+        kinds_ = [t.kind for t in toks]
+        assert TokenKind.SEMI in kinds_
+        assert TokenKind.COMMA in kinds_
+        assert TokenKind.NEWLINE in kinds_
+
+    def test_blank_lines_collapse(self):
+        toks = tokenize("a\n\n\nb")
+        newlines = [t for t in toks if t.kind is TokenKind.NEWLINE]
+        assert len(newlines) == 1
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a ` b")
+
+
+class TestSpaceFlags:
+    def test_space_before(self):
+        toks = tokenize("[1 -2]")
+        minus = [t for t in toks if t.text == "-"][0]
+        assert minus.space_before and not minus.space_after
+
+    def test_space_both_sides(self):
+        toks = tokenize("[1 - 2]")
+        minus = [t for t in toks if t.text == "-"][0]
+        assert minus.space_before and minus.space_after

@@ -1,0 +1,304 @@
+"""Parser unit tests: precedence, statements, MATLAB quirks."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.mlang.ast_nodes import (
+    Apply,
+    Assign,
+    BinOp,
+    Break,
+    Colon,
+    Continue,
+    End,
+    ExprStmt,
+    For,
+    FunctionDef,
+    Global,
+    Ident,
+    If,
+    Matrix,
+    MultiAssign,
+    Num,
+    Range,
+    Return,
+    Str,
+    Transpose,
+    UnOp,
+    While,
+)
+from repro.mlang.parser import parse, parse_expr, parse_stmt
+from repro.mlang.printer import expr_to_source
+
+
+def src(expr):
+    return expr_to_source(parse_expr(expr))
+
+
+class TestPrecedence:
+    def test_mul_over_add(self):
+        e = parse_expr("a+b*c")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = parse_expr("a-b-c")
+        assert e.op == "-" and isinstance(e.left, BinOp)
+
+    def test_power_over_unary(self):
+        # -2^2 == -(2^2) in MATLAB
+        e = parse_expr("-2^2")
+        assert isinstance(e, UnOp) and e.op == "-"
+        assert isinstance(e.operand, BinOp) and e.operand.op == "^"
+
+    def test_power_left_assoc(self):
+        # 2^3^2 == (2^3)^2 in MATLAB (unlike many languages)
+        e = parse_expr("2^3^2")
+        assert e.op == "^" and isinstance(e.left, BinOp)
+
+    def test_unary_after_power(self):
+        e = parse_expr("2^-3")
+        assert e.op == "^" and isinstance(e.right, (UnOp, Num))
+
+    def test_colon_below_add(self):
+        e = parse_expr("1:n+1")
+        assert isinstance(e, Range)
+        assert isinstance(e.stop, BinOp)
+
+    def test_colon_with_step(self):
+        e = parse_expr("1:2:10")
+        assert isinstance(e, Range)
+        assert isinstance(e.step, Num) and e.step.value == 2
+
+    def test_comparison_below_colon(self):
+        e = parse_expr("a < 1:n")
+        assert isinstance(e, BinOp) and e.op == "<"
+        assert isinstance(e.right, Range)
+
+    def test_and_or_precedence(self):
+        e = parse_expr("a || b && c")
+        assert e.op == "||"
+
+    def test_elementwise_same_level_as_mul(self):
+        e = parse_expr("a.*b*c")
+        assert e.op == "*" and e.left.op == ".*"
+
+    def test_parens(self):
+        e = parse_expr("(a+b)*c")
+        assert e.op == "*" and isinstance(e.left, BinOp)
+
+    def test_signed_literal_folds(self):
+        assert parse_expr("-3") == Num(-3.0)
+
+    def test_signed_expr_not_folded(self):
+        e = parse_expr("-a")
+        assert isinstance(e, UnOp)
+
+
+class TestPostfix:
+    def test_transpose(self):
+        e = parse_expr("A'")
+        assert isinstance(e, Transpose) and e.conjugate
+
+    def test_dot_transpose(self):
+        e = parse_expr("A.'")
+        assert isinstance(e, Transpose) and not e.conjugate
+
+    def test_indexing(self):
+        e = parse_expr("A(1, 2)")
+        assert isinstance(e, Apply) and len(e.args) == 2
+
+    def test_chained_indexing(self):
+        e = parse_expr("f(1)(2)")
+        assert isinstance(e, Apply) and isinstance(e.func, Apply)
+
+    def test_transpose_of_index(self):
+        e = parse_expr("A(1, :)'")
+        assert isinstance(e, Transpose)
+
+    def test_colon_subscript(self):
+        e = parse_expr("A(:, 2)")
+        assert isinstance(e.args[0], Colon)
+
+    def test_lone_colon_subscript(self):
+        e = parse_expr("A(:)")
+        assert isinstance(e.args[0], Colon)
+
+    def test_end_in_subscript(self):
+        e = parse_expr("A(end)")
+        assert isinstance(e.args[0], End)
+
+    def test_end_arithmetic(self):
+        e = parse_expr("A(end-1)")
+        assert isinstance(e.args[0], BinOp)
+
+    def test_end_outside_subscript_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("end + 1")
+
+    def test_range_inside_subscript(self):
+        e = parse_expr("A(1:n, j)")
+        assert isinstance(e.args[0], Range)
+
+    def test_empty_args(self):
+        e = parse_expr("rand()")
+        assert isinstance(e, Apply) and e.args == []
+
+
+class TestMatrixLiterals:
+    def test_row(self):
+        e = parse_expr("[1, 2, 3]")
+        assert isinstance(e, Matrix) and len(e.rows) == 1
+        assert len(e.rows[0]) == 3
+
+    def test_rows_semicolon(self):
+        e = parse_expr("[1, 2; 3, 4]")
+        assert len(e.rows) == 2
+
+    def test_rows_newline(self):
+        e = parse_expr("[1, 2\n 3, 4]")
+        assert len(e.rows) == 2
+
+    def test_space_separated(self):
+        e = parse_expr("[1 2 3]")
+        assert len(e.rows[0]) == 3
+
+    def test_space_minus_two_elements(self):
+        e = parse_expr("[1 -2]")
+        assert len(e.rows[0]) == 2
+
+    def test_space_minus_subtraction(self):
+        e = parse_expr("[1 - 2]")
+        assert len(e.rows[0]) == 1
+
+    def test_tight_minus_subtraction(self):
+        e = parse_expr("[1-2]")
+        assert len(e.rows[0]) == 1
+
+    def test_empty(self):
+        e = parse_expr("[]")
+        assert isinstance(e, Matrix) and e.rows == []
+
+    def test_nested_range(self):
+        e = parse_expr("[0:255]")
+        assert isinstance(e.rows[0][0], Range)
+
+    def test_expressions_inside(self):
+        e = parse_expr("[a+b, c*d]")
+        assert len(e.rows[0]) == 2
+
+
+class TestStatements:
+    def test_assignment(self):
+        s = parse_stmt("x = 3;")
+        assert isinstance(s, Assign) and s.suppress
+
+    def test_unsuppressed(self):
+        s = parse_stmt("x = 3")
+        assert not s.suppress
+
+    def test_indexed_assignment(self):
+        s = parse_stmt("A(i, j) = 0;")
+        assert isinstance(s.lhs, Apply)
+
+    def test_expr_statement(self):
+        s = parse_stmt("disp(x);")
+        assert isinstance(s, ExprStmt)
+
+    def test_multi_assign(self):
+        s = parse_stmt("[m, n] = size(A);")
+        assert isinstance(s, MultiAssign) and len(s.targets) == 2
+
+    def test_invalid_target(self):
+        with pytest.raises(ParseError):
+            parse_stmt("3 = x;")
+
+    def test_for_loop(self):
+        s = parse_stmt("for i=1:10, x = i; end")
+        assert isinstance(s, For) and s.var == "i"
+        assert len(s.body) == 1
+
+    def test_for_loop_multiline(self):
+        s = parse_stmt("for i = 1:10\n  a(i) = i;\n  b(i) = i;\nend")
+        assert len(s.body) == 2
+
+    def test_nested_for(self):
+        s = parse_stmt("for i=1:3\n for j=1:4\n A(i,j)=0;\n end\n end")
+        assert isinstance(s.body[0], For)
+
+    def test_while(self):
+        s = parse_stmt("while x < 10\n x = x + 1;\nend")
+        assert isinstance(s, While)
+
+    def test_if(self):
+        s = parse_stmt("if a > 0\n x = 1;\nend")
+        assert isinstance(s, If) and len(s.tests) == 1
+
+    def test_if_else(self):
+        s = parse_stmt("if a\n x=1;\nelse\n x=2;\nend")
+        assert len(s.orelse) == 1
+
+    def test_if_elseif_chain(self):
+        s = parse_stmt("if a\nx=1;\nelseif b\nx=2;\nelseif c\nx=3;\n"
+                       "else\nx=4;\nend")
+        assert len(s.tests) == 3 and len(s.orelse) == 1
+
+    def test_break_continue_return(self):
+        prog = parse("for i=1:3\nbreak;\ncontinue;\nreturn;\nend")
+        body = prog.body[0].body
+        assert isinstance(body[0], Break)
+        assert isinstance(body[1], Continue)
+        assert isinstance(body[2], Return)
+
+    def test_global(self):
+        s = parse_stmt("global a b c;")
+        assert isinstance(s, Global) and s.names == ["a", "b", "c"]
+
+    def test_annotation_statement(self):
+        prog = parse("%! a(1,*)\nx = 1;")
+        assert prog.annotations == ["a(1,*)"]
+
+    def test_trailing_comma_statement(self):
+        prog = parse("for i=1:10,\n x=i;\nend")
+        assert isinstance(prog.body[0], For)
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse("for i=1:3\nx = i;")
+
+
+class TestFunctions:
+    def test_single_output(self):
+        s = parse("function y = f(x)\ny = x + 1;\nend").body[0]
+        assert isinstance(s, FunctionDef)
+        assert s.outs == ["y"] and s.params == ["x"]
+
+    def test_multi_output(self):
+        s = parse("function [a, b] = f(x, y)\na = x;\nb = y;\nend").body[0]
+        assert s.outs == ["a", "b"]
+
+    def test_no_output(self):
+        s = parse("function f(x)\ndisp(x);\nend").body[0]
+        assert s.outs == [] and s.name == "f"
+
+    def test_no_params(self):
+        s = parse("function y = f()\ny = 1;\nend").body[0]
+        assert s.params == []
+
+
+class TestMatlabQuirks:
+    def test_string_statement(self):
+        s = parse_stmt("msg = 'hello world';")
+        assert isinstance(s.rhs, Str)
+
+    def test_semicolon_inside_subscript_invalid(self):
+        with pytest.raises(ParseError):
+            parse_expr("A(1; 2)")
+
+    def test_comment_between_statements(self):
+        prog = parse("a = 1; % first\nb = 2; % second\n")
+        assert len(prog.body) == 2
+
+    def test_parenthesized_for_range(self):
+        s = parse_stmt("for (i = 1:10)\n x = i;\nend")
+        assert isinstance(s, For)

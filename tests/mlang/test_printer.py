@@ -1,0 +1,168 @@
+"""Printer tests, including the parse∘print round-trip property."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.mlang.ast_nodes import (
+    Apply,
+    Assign,
+    BinOp,
+    Colon,
+    End,
+    Expr,
+    For,
+    Ident,
+    If,
+    Matrix,
+    Num,
+    Range,
+    Str,
+    Transpose,
+    UnOp,
+)
+from repro.mlang.parser import parse, parse_expr, parse_stmt
+from repro.mlang.printer import expr_to_source, to_source
+
+
+class TestExprPrinting:
+    @pytest.mark.parametrize("source", [
+        "a+b*c",
+        "(a+b)*c",
+        "a-b-c",
+        "a-(b-c)",
+        "-2^2",
+        "(-2)^2",
+        "2^-3",
+        "a'",
+        "A(1, 2)",
+        "A(:, 1)",
+        "A(:)",
+        "A(end)",
+        "A(end-1, :)",
+        "1:10",
+        "1:2:10",
+        "(1:n)+1",
+        "2*(1:750)",
+        "A(1:n, :)'",
+        "[1, 2; 3, 4]",
+        "x&&y||z",
+        "a<=b",
+        "~a",
+        "sum(X'.*Y, 1)",
+        "repmat(C(1:m), 1, n)",
+    ])
+    def test_round_trip_source(self, source):
+        tree = parse_expr(source)
+        assert parse_expr(expr_to_source(tree)) == tree
+
+    def test_minimal_parens_add_mul(self):
+        assert expr_to_source(parse_expr("a+b*c")) == "a+b*c"
+
+    def test_needed_parens_kept(self):
+        assert expr_to_source(parse_expr("(a+b)*c")) == "(a+b)*c"
+
+    def test_range_in_product_parenthesized(self):
+        source = expr_to_source(parse_expr("2*(1:750)"))
+        assert source == "2*(1:750)"
+
+    def test_transpose_of_range(self):
+        assert expr_to_source(parse_expr("(1:n)'")) == "(1:n)'"
+
+    def test_string_quotes_escaped(self):
+        assert expr_to_source(Str("it's")) == "'it''s'"
+
+    def test_negative_number_as_power_base(self):
+        tree = BinOp("^", Num(-2.0), Num(2.0))
+        assert parse_expr(expr_to_source(tree)) == tree
+
+    def test_number_raw_preserved(self):
+        assert expr_to_source(parse_expr("1e3")) == "1e3"
+
+
+class TestStatementPrinting:
+    @pytest.mark.parametrize("source", [
+        "x = 3;",
+        "A(i, j) = 0;",
+        "for i = 1:10\n  a(i) = i;\nend",
+        "while x<10\n  x = x+1;\nend",
+        "if a>0\n  x = 1;\nelse\n  x = 2;\nend",
+        "[m, n] = size(A);",
+    ])
+    def test_statement_round_trip(self, source):
+        tree = parse_stmt(source)
+        assert parse_stmt(to_source(tree)) == tree
+
+    def test_program_round_trip(self):
+        source = """
+%! A(*,*) b(*,1)
+x = 1;
+for i = 1:10
+  for j = 1:5
+    A(i, j) = b(i)*j;
+  end
+end
+disp(x)
+"""
+        program = parse(source)
+        assert parse(to_source(program)) == program
+
+    def test_suppression_preserved(self):
+        assert to_source(parse_stmt("x = 1")).rstrip().endswith("= 1")
+        assert to_source(parse_stmt("x = 1;")).rstrip().endswith(";")
+
+    def test_indentation(self):
+        text = to_source(parse_stmt("for i = 1:2\n  x = i;\nend"))
+        lines = text.splitlines()
+        assert lines[1].startswith("  ")
+
+
+# ---------------------------------------------------------------------------
+# Property-based round trip over generated ASTs
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "x", "y", "A", "B", "foo"])
+_numbers = st.integers(min_value=0, max_value=999).map(
+    lambda n: Num(float(n)))
+
+
+def _exprs(depth: int) -> st.SearchStrategy[Expr]:
+    leaf = st.one_of(_numbers, _names.map(Ident))
+    if depth <= 0:
+        return leaf
+    sub = _exprs(depth - 1)
+    binops = st.sampled_from(
+        ["+", "-", "*", ".*", "/", "./", "^", ".^", "<", "<=", "==",
+         "&", "|"])
+    return st.one_of(
+        leaf,
+        st.builds(BinOp, binops, sub, sub),
+        st.builds(lambda e: UnOp("-", e),
+                  sub.filter(lambda e: not isinstance(e, Num))),
+        st.builds(lambda e: UnOp("~", e), sub),
+        st.builds(Transpose, sub),
+        st.builds(lambda a, b: Range(a, b), sub, sub),
+        st.builds(lambda f, args: Apply(Ident(f), args),
+                  _names, st.lists(sub, min_size=0, max_size=3)),
+        st.builds(lambda rows: Matrix([rows]),
+                  st.lists(sub, min_size=1, max_size=3)),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(_exprs(3))
+def test_print_parse_round_trip(tree):
+    """parse(print(e)) == e for every printable expression."""
+    printed = expr_to_source(tree)
+    assert parse_expr(printed) == tree
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(
+    st.builds(lambda n, e: Assign(Ident(n), e), _names, _exprs(2)),
+    min_size=1, max_size=5))
+def test_program_print_parse_round_trip(stmts):
+    from repro.mlang.ast_nodes import Program
+
+    program = Program(stmts)
+    assert parse(to_source(program)) == program

@@ -1,0 +1,101 @@
+"""Tests for the AST traversal/rewriting utilities."""
+
+from repro.mlang.ast_nodes import (
+    Apply,
+    Assign,
+    BinOp,
+    For,
+    Ident,
+    Num,
+    Program,
+    Range,
+)
+from repro.mlang.parser import parse, parse_expr, parse_stmt
+from repro.mlang.printer import expr_to_source, to_source
+from repro.mlang.visitor import (
+    Transformer,
+    collect,
+    copy_tree,
+    substitute,
+    substitute_idents,
+)
+
+
+class TestWalkChildren:
+    def test_walk_preorder(self):
+        tree = parse_expr("a+b*c")
+        names = [n.name for n in tree.walk() if isinstance(n, Ident)]
+        assert names == ["a", "b", "c"]
+
+    def test_children_of_statement_lists(self):
+        loop = parse_stmt("for i=1:3\n a(i)=1;\n b(i)=2;\nend")
+        kids = list(loop.children())
+        assert any(isinstance(k, Range) for k in kids)
+        assert sum(isinstance(k, Assign) for k in kids) == 2
+
+    def test_children_of_if_tuples(self):
+        stmt = parse_stmt("if a\n x=1;\nelse\n x=2;\nend")
+        kids = list(stmt.children())
+        assert any(isinstance(k, Ident) for k in kids)
+        assert sum(isinstance(k, Assign) for k in kids) == 2
+
+
+class TestTransformer:
+    def test_identity_shares_tree(self):
+        tree = parse_expr("a+b*c")
+        assert Transformer().visit(tree) is tree
+
+    def test_targeted_rewrite(self):
+        class Renamer(Transformer):
+            def visit_Ident(self, node):
+                return Ident(node.name.upper())
+
+        out = Renamer().visit(parse_expr("a+b"))
+        assert expr_to_source(out) == "A+B"
+
+    def test_untouched_siblings_shared(self):
+        tree = parse_expr("f(a, b+c)")
+
+        class TouchB(Transformer):
+            def visit_Ident(self, node):
+                return Ident("z") if node.name == "b" else node
+
+        out = TouchB().visit(tree)
+        assert out is not tree
+        assert out.args[0] is tree.args[0]  # 'a' subtree shared
+
+
+class TestSubstitute:
+    def test_by_identity(self):
+        tree = parse_expr("a+a")
+        first_a = tree.left
+        out = substitute(tree, {id(first_a): Num(5.0)})
+        assert expr_to_source(out) == "5+a"
+
+    def test_replacement_not_revisited(self):
+        tree = parse_expr("a")
+        out = substitute(tree, {id(tree): BinOp("+", tree, Num(1.0))})
+        assert expr_to_source(out) == "a+1"
+
+    def test_substitute_idents(self):
+        loop = parse_stmt("for i=1:3\n a(i) = i*2;\nend")
+        out = substitute_idents(loop, {"i": parse_expr("2*k")})
+        assert "2*k" in to_source(out)
+
+    def test_substitute_idents_skips_others(self):
+        tree = parse_expr("i+j")
+        out = substitute_idents(tree, {"i": Num(1.0)})
+        assert expr_to_source(out) == "1+j"
+
+
+class TestCopyCollect:
+    def test_copy_is_deep(self):
+        tree = parse_expr("a+b")
+        clone = copy_tree(tree)
+        assert clone == tree and clone is not tree
+        assert clone.left is not tree.left
+
+    def test_collect(self):
+        program = parse("for i=1:3\n a(i)=f(i);\nend")
+        assert len(collect(program, Apply)) == 2
+        assert len(collect(program, For)) == 1

@@ -1,0 +1,89 @@
+"""Tests for function-call patterns (the §7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro import run_source, vectorize_source
+from repro.dims.abstract import Dim, ONE, RSym, STAR
+from repro.mlang.ast_nodes import Apply, BinOp, Transpose, call, num
+from repro.patterns.base import CallPattern, R1, template
+from repro.patterns.builtin import default_database
+from repro.patterns.database import PatternDatabase
+from repro.runtime.values import values_equal
+
+RI = RSym("i")
+
+
+def row_norm_pattern():
+    def transform(node, bindings, ctx):
+        squared = BinOp(".^", Transpose(node.args[0]), num(2))
+        return call("sqrt", call("sum", squared, num(1)))
+
+    return CallPattern(
+        name="row-norms",
+        function="norm",
+        args=(template(R1, STAR),),
+        out=template(ONE, R1),
+        transform=transform,
+    )
+
+
+class TestMatching:
+    def test_matches_name_and_dims(self):
+        p = row_norm_pattern()
+        assert p.match("norm", [Dim((RI, STAR))]) == {R1: RI}
+
+    def test_rejects_other_function(self):
+        p = row_norm_pattern()
+        assert p.match("sum", [Dim((RI, STAR))]) is None
+
+    def test_rejects_arity_mismatch(self):
+        p = row_norm_pattern()
+        assert p.match("norm", [Dim((RI, STAR)), Dim.scalar()]) is None
+
+    def test_rejects_dim_mismatch(self):
+        p = row_norm_pattern()
+        assert p.match("norm", [Dim((STAR, STAR))]) is None
+
+    def test_database_match_call(self):
+        db = PatternDatabase([row_norm_pattern()])
+        node = call("norm", call("X", num(1)))
+
+        class Ctx:
+            pass
+
+        match = db.match_call(node, "norm", [Dim((RI, STAR))], Ctx())
+        assert match is not None
+        assert match.out_dim == Dim((ONE, RI))
+
+
+class TestEndToEnd:
+    SOURCE = """
+%! d(1,*) X(*,*) n(1)
+for i=1:n
+  d(i) = norm(X(i,:));
+end
+"""
+
+    def test_stock_rejects(self):
+        result = vectorize_source(self.SOURCE)
+        assert "for " in result.source
+
+    def test_with_pattern_vectorizes_and_is_equivalent(self):
+        db = default_database()
+        db.register(row_norm_pattern())
+        result = vectorize_source(self.SOURCE, db=db)
+        assert "for " not in result.source
+
+        rng = np.random.default_rng(4)
+        env = {"X": np.asfortranarray(rng.random((7, 3))), "n": 7.0}
+        base = run_source(self.SOURCE, env=dict(env))
+        vect = run_source(result.source, env=dict(env))
+        assert values_equal(base["d"], vect["d"])
+
+    def test_pattern_reported(self):
+        db = default_database()
+        db.register(row_norm_pattern())
+        result = vectorize_source(self.SOURCE, db=db)
+        outcome = result.report.loops[0].outcomes[0]
+        assert "row-norms" in outcome.patterns

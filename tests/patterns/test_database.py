@@ -1,0 +1,232 @@
+"""Pattern-database tests: templates, matching, registration, extensibility."""
+
+import pytest
+
+from repro.dims.abstract import Dim, ONE, RSym, STAR
+from repro.errors import PatternError
+from repro.mlang.ast_nodes import BinOp, Ident, call, num
+from repro.patterns.base import (
+    ANY_POINTWISE,
+    BinopPattern,
+    DimTemplate,
+    PatVar,
+    R1,
+    R2,
+    template,
+)
+from repro.patterns.builtin import (
+    COL_BROADCAST_RHS,
+    DIAGONAL_ACCESS,
+    DOT_PRODUCT,
+    default_database,
+    poly_degree,
+)
+from repro.patterns.database import PatternDatabase
+
+RI = RSym("i")
+RJ = RSym("j")
+
+
+class TestTemplates:
+    def test_literal_match(self):
+        t = template(ONE, STAR)
+        assert t.match(Dim((ONE, STAR)), {}) == {}
+
+    def test_literal_mismatch(self):
+        t = template(ONE, STAR)
+        assert t.match(Dim((STAR, ONE)), {}) is None
+
+    def test_patvar_binds_r(self):
+        t = template(R1, STAR)
+        assert t.match(Dim((RI, STAR)), {}) == {R1: RI}
+
+    def test_patvar_rejects_atom(self):
+        t = template(R1, STAR)
+        assert t.match(Dim((STAR, STAR)), {}) is None
+
+    def test_same_patvar_must_repeat(self):
+        t = template(R1, R1)
+        assert t.match(Dim((RI, RI)), {}) == {R1: RI}
+        assert t.match(Dim((RI, RJ)), {}) is None
+
+    def test_distinct_patvars_distinct_syms(self):
+        t = template(R1, R2)
+        assert t.match(Dim((RI, RI)), {}) is None
+        assert t.match(Dim((RI, RJ)), {}) == {R1: RI, R2: RJ}
+
+    def test_reduction_normalizes(self):
+        # A reduced column (r_i) matches the (R1, 1) template.
+        t = template(R1, ONE)
+        assert t.match(Dim((RI,)), {}) == {R1: RI}
+
+    def test_existing_bindings_respected(self):
+        t = template(R1)
+        assert t.match(Dim((RJ,)), {R1: RI}) is None
+        assert t.match(Dim((RI,)), {R1: RI}) == {R1: RI}
+
+    def test_instantiate(self):
+        t = template(ONE, R1)
+        assert t.instantiate({R1: RI}) == Dim((ONE, RI))
+
+    def test_instantiate_unbound_raises(self):
+        with pytest.raises(PatternError):
+            template(R1).instantiate({})
+
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(PatternError):
+            DimTemplate(("x",))
+
+
+class TestBinopPatternMatching:
+    def test_dot_product_matches(self):
+        bindings = DOT_PRODUCT.match("*", Dim((RI, STAR)), Dim((STAR, RI)))
+        assert bindings == {R1: RI}
+
+    def test_dot_product_rejects_wrong_operator(self):
+        assert DOT_PRODUCT.match("+", Dim((RI, STAR)),
+                                 Dim((STAR, RI))) is None
+
+    def test_dot_product_rejects_mismatched_r(self):
+        assert DOT_PRODUCT.match("*", Dim((RI, STAR)),
+                                 Dim((STAR, RJ))) is None
+
+    def test_any_pointwise_operator_class(self):
+        for op in ("+", "-", ".*", "./"):
+            assert COL_BROADCAST_RHS.match(op, Dim((RI, RJ)),
+                                           Dim((RI, ONE))) is not None
+        assert COL_BROADCAST_RHS.match("*", Dim((RI, RJ)),
+                                       Dim((RI, ONE))) is None
+
+
+class TestDatabase:
+    def test_register_and_lookup_order(self):
+        db = PatternDatabase()
+        p1 = BinopPattern("first", "+", template(R1, R2), template(R1, ONE),
+                          template(R1, R2), lambda n, b, c: n)
+        p2 = BinopPattern("second", "+", template(R1, R2), template(R1, ONE),
+                          template(R1, R2), lambda n, b, c: n)
+        db.register(p1)
+        db.register(p2)
+        match = db.match_binop("+", Dim((RI, RJ)), Dim((RI, ONE)))
+        assert match.pattern.name == "first"
+
+    def test_duplicate_name_rejected(self):
+        db = default_database()
+        with pytest.raises(PatternError):
+            db.register(DOT_PRODUCT)
+
+    def test_unregister(self):
+        db = default_database()
+        before = db.names()
+        db.unregister("dot-product")
+        assert "dot-product" not in db.names()
+        assert db.match_binop("*", Dim((RI, STAR)), Dim((STAR, RI))) is None
+        db.register(DOT_PRODUCT)
+        assert set(db.names()) == set(before)
+
+    def test_unregister_unknown(self):
+        with pytest.raises(PatternError):
+            PatternDatabase().unregister("nope")
+
+    def test_copy_is_independent(self):
+        db = default_database()
+        clone = db.copy()
+        clone.unregister("dot-product")
+        assert "dot-product" in db.names()
+
+    def test_iteration_and_len(self):
+        db = default_database()
+        assert len(db) == len(list(db)) >= 6
+
+    def test_out_dim_instantiation(self):
+        db = default_database()
+        match = db.match_binop("*", Dim((RI, STAR)), Dim((STAR, RI)))
+        assert match.out_dim == Dim((ONE, RI))
+
+
+class TestPolyDegree:
+    @pytest.mark.parametrize("source,expected", [
+        ("i", 1),
+        ("3", 0),
+        ("2*i", 1),
+        ("2*i+1", 1),
+        ("i*2-4", 1),
+        ("n", 0),
+        ("i*i", None),
+        ("i^2", None),
+        ("i/2", 1),
+        ("2/i", None),
+        ("size(A,1)*i", 1),      # loop-invariant coefficient is linear
+        ("-i", 1),
+    ])
+    def test_degrees(self, source, expected):
+        from repro.mlang.parser import parse_expr
+
+        assert poly_degree(parse_expr(source), "i") == expected
+
+
+class TestDiagonalTransform:
+    def _ctx(self):
+        class Ctx:
+            def range_expr(self, sym):
+                return call("colon", num(1), num(10))
+
+            def tripcount_expr(self, sym):
+                return num(10)
+
+            def base_dim_of(self, expr):
+                return Dim.matrix()
+
+        return Ctx()
+
+    def test_simple_diagonal(self):
+        from repro.mlang.parser import parse_expr
+        from repro.mlang.printer import expr_to_source
+
+        node = parse_expr("A(i, i)")
+        result = DIAGONAL_ACCESS.transform(node, {R1: RI}, self._ctx())
+        assert expr_to_source(result) == "A(i+size(A, 1)*(i-1))"
+
+    def test_affine_diagonal(self):
+        from repro.mlang.parser import parse_expr
+        from repro.mlang.printer import expr_to_source
+
+        node = parse_expr("A(2*i, 2*i-1)")
+        result = DIAGONAL_ACCESS.transform(node, {R1: RI}, self._ctx())
+        assert "size(A, 1)" in expr_to_source(result)
+
+    def test_nonaffine_declines(self):
+        from repro.mlang.parser import parse_expr
+
+        node = parse_expr("A(i*i, i)")
+        assert DIAGONAL_ACCESS.transform(node, {R1: RI}, self._ctx()) is None
+
+
+class TestUserExtensibility:
+    def test_custom_pattern_end_to_end(self):
+        """Register a user pattern (the paper's DLL story, Figure 2) and
+        watch the vectorizer use it: an outer-product pattern spelled
+        with an explicit transform."""
+        from repro import vectorize_source
+        from repro.mlang.ast_nodes import Transpose
+
+        def refuse(node, bindings, ctx):  # pragma: no cover
+            raise AssertionError("pattern should not fire for this test")
+
+        db = default_database()
+        db.register(BinopPattern(
+            name="user-refuser",
+            operator=".^",
+            lhs=template(R1, R2, R1),   # deliberately unmatched rank-3
+            rhs=template(ONE),
+            out=template(ONE),
+            transform=refuse,
+        ))
+        src = """
+%! a(1,*) X(*,*) Y(*,*) n(1)
+for i=1:n
+  a(i)=X(i,:)*Y(:,i);
+end
+"""
+        result = vectorize_source(src, db=db)
+        assert "sum(" in result.source

@@ -1,0 +1,84 @@
+"""Appendix A conformance: every operator the paper's Table 4 lists.
+
+One test per row of the paper's MATLAB quick-reference table, executed
+through the runtime (both the description's semantics and the shapes).
+"""
+
+import numpy as np
+
+from repro import run_source
+from repro.runtime.values import as_array, shape_of
+
+
+def run(source):
+    return run_source(source, seed=0)
+
+
+class TestTable4Rows:
+    def test_size_with_dim(self):
+        env = run("X = zeros(3, 5);\nr = size(X, 1);\nc = size(X, 2);")
+        assert env["r"] == 3.0 and env["c"] == 5.0
+
+    def test_size_vector(self):
+        env = run("X = zeros(3, 5);\ns = size(X);")
+        assert np.array_equal(as_array(env["s"]), [[3, 5]])
+
+    def test_repmat_replication(self):
+        env = run("X = [1, 2];\nR = repmat(X, [3, 2]);")
+        assert shape_of(env["R"]) == (3, 4)
+        assert np.array_equal(as_array(env["R"])[0], [1, 2, 1, 2])
+
+    def test_eye(self):
+        env = run("I = eye(3);")
+        assert np.array_equal(as_array(env["I"]), np.eye(3))
+
+    def test_ones(self):
+        env = run("O = ones(2, 3);")
+        assert np.all(as_array(env["O"]) == 1) and shape_of(env["O"]) == (2, 3)
+
+    def test_zeros(self):
+        env = run("Z = zeros(2, 3);")
+        assert np.all(as_array(env["Z"]) == 0) and shape_of(env["Z"]) == (2, 3)
+
+    def test_elementwise_operator_family(self):
+        env = run("A = [1, 2; 3, 4];\nB = [5, 6; 7, 8];\n"
+                  "P = A.*B;\nQ = A./B;\nS = A.^2;")
+        assert as_array(env["P"])[0, 1] == 12.0   # A(1,2)*B(1,2)
+        assert abs(as_array(env["Q"])[1, 0] - 3 / 7) < 1e-12
+        assert as_array(env["S"])[1, 1] == 16.0
+
+    def test_colon_with_increment(self):
+        env = run("v = 1:3:10;")
+        assert np.array_equal(as_array(env["v"]), [[1, 4, 7, 10]])
+
+    def test_colon_default_increment(self):
+        env = run("v = 2:5;")
+        assert np.array_equal(as_array(env["v"]), [[2, 3, 4, 5]])
+
+    def test_diag_of_matrix_extracts_column(self):
+        env = run("X = [1, 2; 3, 4];\nd = diag(X);")
+        assert shape_of(env["d"]) == (2, 1)
+        assert np.array_equal(as_array(env["d"]).ravel(), [1, 4])
+
+    def test_diag_of_vector_builds_matrix(self):
+        env = run("D = diag([7, 8]);")
+        assert np.array_equal(as_array(env["D"]), [[7, 0], [0, 8]])
+
+    def test_colon_flattens_column_major(self):
+        env = run("A = [1, 2; 3, 4];\nf = A(:);")
+        assert shape_of(env["f"]) == (4, 1)
+        assert np.array_equal(as_array(env["f"]).ravel(), [1, 3, 2, 4])
+
+    def test_row_extraction(self):
+        env = run("A = [1, 2; 3, 4];\nr = A(2, :);")
+        assert np.array_equal(as_array(env["r"]), [[3, 4]])
+
+    def test_transpose_operator(self):
+        env = run("A = [1, 2; 3, 4];\nT = A';")
+        assert np.array_equal(as_array(env["T"]), [[1, 3], [2, 4]])
+
+    def test_scalars_are_1x1(self):
+        """Appendix A: scalars are two-dimensional 1×1 objects."""
+        env = run("x = 5;\ns = size(x);\nr = size(x, 1);")
+        assert np.array_equal(as_array(env["s"]), [[1, 1]])
+        assert env["r"] == 1.0

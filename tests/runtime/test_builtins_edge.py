@@ -1,0 +1,207 @@
+"""Edge-case coverage for every builtin family in the runtime."""
+
+import numpy as np
+import pytest
+
+from repro import run_source
+from repro.errors import MatlabRuntimeError
+from repro.runtime.values import as_array, shape_of
+
+
+def run(source):
+    return run_source(source, seed=0)
+
+
+class TestConstructors:
+    def test_zeros_no_args(self):
+        assert run("z = zeros();")["z"] == 0.0
+
+    def test_zeros_size_vector(self):
+        env = run("Z = zeros([2, 3]);")
+        assert shape_of(env["Z"]) == (2, 3)
+
+    def test_ones_square(self):
+        env = run("O = ones(3);")
+        assert shape_of(env["O"]) == (3, 3)
+
+    def test_eye_rectangular(self):
+        env = run("I = eye(2, 4);")
+        assert shape_of(env["I"]) == (2, 4)
+        assert as_array(env["I"])[1, 1] == 1.0
+        assert as_array(env["I"])[0, 2] == 0.0
+
+    def test_linspace_default_count(self):
+        env = run("v = linspace(0, 1);")
+        assert shape_of(env["v"]) == (1, 100)
+
+    def test_linspace_explicit(self):
+        env = run("v = linspace(0, 1, 5);")
+        assert np.allclose(as_array(env["v"]),
+                           [[0, 0.25, 0.5, 0.75, 1.0]])
+
+    def test_repmat_single_count(self):
+        env = run("R = repmat(5, 2);")
+        assert shape_of(env["R"]) == (2, 2)
+
+    def test_reshape_size_mismatch(self):
+        with pytest.raises(MatlabRuntimeError):
+            run("R = reshape(1:6, 4, 2);")
+
+
+class TestReductionsEdge:
+    def test_prod(self):
+        assert run("p = prod([1, 2, 3, 4]);")["p"] == 24.0
+
+    def test_prod_matrix_columns(self):
+        env = run("p = prod([1, 2; 3, 4]);")
+        assert np.array_equal(as_array(env["p"]), [[3, 8]])
+
+    def test_mean_matrix(self):
+        env = run("m = mean([1, 2; 3, 4]);")
+        assert np.array_equal(as_array(env["m"]), [[2, 3]])
+
+    def test_any_all_vectors(self):
+        env = run("a = any([0, 0, 1]);\nb = all([1, 0, 1]);")
+        assert env["a"] == 1.0 and env["b"] == 0.0
+
+    def test_any_matrix_by_columns(self):
+        env = run("a = any([0, 1; 0, 0]);")
+        assert np.array_equal(as_array(env["a"]), [[0, 1]])
+
+    def test_cumsum_matrix_default_axis(self):
+        env = run("c = cumsum([1, 2; 3, 4]);")
+        assert np.array_equal(as_array(env["c"]), [[1, 2], [4, 6]])
+
+    def test_cumsum_axis2(self):
+        env = run("c = cumsum([1, 2; 3, 4], 2);")
+        assert np.array_equal(as_array(env["c"]), [[1, 3], [3, 7]])
+
+    def test_cumprod(self):
+        env = run("c = cumprod([1, 2, 3]);")
+        assert np.array_equal(as_array(env["c"]), [[1, 2, 6]])
+
+    def test_sum_bad_dim(self):
+        with pytest.raises(MatlabRuntimeError):
+            run("s = sum([1, 2], 3);")
+
+    def test_min_max_pairwise_scalar_extension(self):
+        env = run("a = max([1, 5, 3], 2);\nb = min(4, [1, 5, 3]);")
+        assert np.array_equal(as_array(env["a"]), [[2, 5, 3]])
+        assert np.array_equal(as_array(env["b"]), [[1, 4, 3]])
+
+
+class TestStructural:
+    def test_tril_triu(self):
+        env = run("A = ones(3);\nL = tril(A);\nU = triu(A, 1);")
+        assert as_array(env["L"])[0, 2] == 0.0
+        assert as_array(env["U"])[0, 0] == 0.0
+        assert as_array(env["U"])[0, 1] == 1.0
+
+    def test_kron(self):
+        env = run("K = kron([1, 2], [1; 1]);")
+        assert shape_of(env["K"]) == (2, 2)
+        assert np.array_equal(as_array(env["K"]), [[1, 2], [1, 2]])
+
+    def test_diag_rectangular_matrix(self):
+        env = run("d = diag([1, 2, 3; 4, 5, 6]);")
+        assert np.array_equal(as_array(env["d"]).ravel(), [1, 5])
+
+    def test_sort_matrix_by_columns(self):
+        env = run("S = sort([3, 1; 1, 2]);")
+        assert np.array_equal(as_array(env["S"]), [[1, 1], [3, 2]])
+
+    def test_find_row_orientation(self):
+        env = run("f = find([0, 3, 0, 7]);")
+        assert shape_of(env["f"]) == (1, 2)
+
+    def test_find_column_orientation(self):
+        env = run("f = find([0; 3; 7]);")
+        assert shape_of(env["f"]) == (2, 1)
+
+
+class TestScalarQueries:
+    def test_length_of_matrix_is_max_dim(self):
+        assert run("l = length(zeros(3, 7));")["l"] == 7.0
+
+    def test_length_of_empty(self):
+        assert run("l = length(1:0);")["l"] == 0.0
+
+    def test_isempty(self):
+        env = run("a = isempty(1:0);\nb = isempty(5);")
+        assert env["a"] == 1.0 and env["b"] == 0.0
+
+    def test_numel(self):
+        assert run("n = numel(zeros(3, 4));")["n"] == 12.0
+
+    def test_norm_matrix_spectral(self):
+        env = run("n = norm(eye(3));")
+        assert abs(env["n"] - 1.0) < 1e-12
+
+    def test_norm_vector_1norm(self):
+        assert run("n = norm([3, -4], 1);")["n"] == 7.0
+
+    def test_dot_mixed_orientations(self):
+        assert run("d = dot([1, 2, 3], [1; 1; 1]);")["d"] == 6.0
+
+    def test_dot_size_mismatch(self):
+        with pytest.raises(MatlabRuntimeError):
+            run("d = dot([1, 2], [1, 2, 3]);")
+
+
+class TestHistogramFamily:
+    def test_hist_scalar_bin_count(self):
+        env = run("h = hist([0, 1, 2, 3], 2);")
+        assert np.array_equal(as_array(env["h"]), [[2, 2]])
+
+    def test_hist_default_ten_bins(self):
+        env = run("h = hist(1:100);")
+        assert shape_of(env["h"]) == (1, 10)
+        assert as_array(env["h"]).sum() == 100.0
+
+    def test_histc_edges(self):
+        env = run("h = histc([1, 2, 2, 3], [1, 2, 3]);")
+        assert np.array_equal(as_array(env["h"]), [[1, 2, 1]])
+
+
+class TestPointwiseFamily:
+    def test_trig_identity(self):
+        env = run("x = 0.3;\nv = sin(x)^2 + cos(x)^2;")
+        assert abs(env["v"] - 1.0) < 1e-12
+
+    def test_rounding_family(self):
+        env = run("a = floor(-1.5);\nb = ceil(-1.5);\nc = round(2.5);\n"
+                  "d = fix(-1.7);")
+        assert env["a"] == -2.0 and env["b"] == -1.0
+        assert env["d"] == -1.0  # fix truncates toward zero
+
+    def test_sign(self):
+        env = run("s = sign([-3, 0, 9]);")
+        assert np.array_equal(as_array(env["s"]), [[-1, 0, 1]])
+
+    def test_mod_negative(self):
+        assert run("m = mod(-1, 3);")["m"] == 2.0
+
+    def test_rem_negative(self):
+        assert run("r = rem(-1, 3);")["r"] == -1.0
+
+    def test_isnan_isinf(self):
+        env = run("a = isnan(0/0);\nb = isinf(1/0);\nc = isfinite(2);")
+        assert env["a"] == 1.0 and env["b"] == 1.0 and env["c"] == 1.0
+
+    def test_atan2(self):
+        env = run("t = atan2(1, 1);")
+        assert abs(env["t"] - np.pi / 4) < 1e-12
+
+
+class TestErrorsAndIO:
+    def test_error_with_message(self):
+        with pytest.raises(MatlabRuntimeError, match="boom"):
+            run("error('boom');")
+
+    def test_fprintf_format(self, capsys):
+        run("fprintf('v=%d\\n', 42);")
+        assert "v=42" in capsys.readouterr().out
+
+    def test_disp_array(self, capsys):
+        run("disp([1, 2]);")
+        assert capsys.readouterr().out.strip()

@@ -1,0 +1,282 @@
+"""Interpreter tests: statements, control flow, builtins, functions."""
+
+import numpy as np
+import pytest
+
+from repro import run_source
+from repro.errors import MatlabRuntimeError
+from repro.runtime.values import as_array, shape_of
+
+
+def run(source, **env):
+    return run_source(source, env=dict(env) if env else None, seed=0)
+
+
+class TestBasics:
+    def test_assignment(self):
+        assert run("x = 3;")["x"] == 3.0
+
+    def test_arithmetic(self):
+        env = run("x = 2 + 3*4 - 6/2;")
+        assert env["x"] == 11.0
+
+    def test_precedence_power(self):
+        assert run("x = -2^2;")["x"] == -4.0
+
+    def test_range_value(self):
+        env = run("v = 1:5;")
+        assert np.array_equal(as_array(env["v"]), [[1, 2, 3, 4, 5]])
+
+    def test_range_step(self):
+        env = run("v = 10:-2:5;")
+        assert np.array_equal(as_array(env["v"]), [[10, 8, 6]])
+
+    def test_empty_range(self):
+        env = run("v = 1:0;")
+        assert shape_of(env["v"]) == (1, 0)
+
+    def test_matrix_literal(self):
+        env = run("A = [1, 2; 3, 4];")
+        assert np.array_equal(as_array(env["A"]), [[1, 2], [3, 4]])
+
+    def test_matrix_concat_blocks(self):
+        env = run("A = [1:3; 4:6];")
+        assert shape_of(env["A"]) == (2, 3)
+
+    def test_transpose(self):
+        env = run("v = (1:3)';")
+        assert shape_of(env["v"]) == (3, 1)
+
+    def test_string(self):
+        assert run("s = 'hi';")["s"] == "hi"
+
+    def test_constants(self):
+        env = run("p = pi; e1 = eps;")
+        assert abs(env["p"] - np.pi) < 1e-12
+
+    def test_ans_for_unsuppressed(self):
+        assert run("1 + 1")["ans"] == 2.0
+
+    def test_undefined_variable(self):
+        with pytest.raises(MatlabRuntimeError):
+            run("y = qqq + 1;")
+
+
+class TestControlFlow:
+    def test_for_accumulate(self):
+        assert run("s=0;\nfor i=1:10\n s=s+i;\nend")["s"] == 55.0
+
+    def test_for_step(self):
+        env = run("c=0;\nfor i=1:2:9\n c=c+1;\nend")
+        assert env["c"] == 5.0
+
+    def test_for_over_row_vector(self):
+        env = run("s=0;\nv=[2, 4, 6];\nfor x=v\n s=s+x;\nend")
+        assert env["s"] == 12.0
+
+    def test_for_over_matrix_columns(self):
+        env = run("c=0;\nA=[1, 2; 3, 4];\nfor col=A\n c=c+sum(col);\nend")
+        assert env["c"] == 10.0
+
+    def test_while(self):
+        env = run("k=0;\nwhile k < 5\n k = k + 1;\nend")
+        assert env["k"] == 5.0
+
+    def test_if_elseif_else(self):
+        source = """
+x = {};
+if x > 0
+  r = 1;
+elseif x < 0
+  r = -1;
+else
+  r = 0;
+end
+"""
+        for value, expected in [(3.0, 1.0), (-2.0, -1.0), (0.0, 0.0)]:
+            env = run(source.replace("{}", repr(value)))
+            assert env["r"] == expected
+
+    def test_break(self):
+        env = run("s=0;\nfor i=1:10\n if i > 3\n break;\n end\n "
+                  "s=s+i;\nend")
+        assert env["s"] == 6.0
+
+    def test_continue(self):
+        env = run("s=0;\nfor i=1:10\n if mod(i,2) == 0\n continue;\n end\n"
+                  " s=s+i;\nend")
+        assert env["s"] == 25.0
+
+    def test_short_circuit(self):
+        env = run("x = 0;\nok = (x ~= 0) && (1/x > 1);\n")
+        assert env["ok"] == 0.0
+
+
+class TestIndexingInPrograms:
+    def test_auto_grow(self):
+        env = run("a(5) = 1;")
+        assert shape_of(env["a"]) == (1, 5)
+
+    def test_end_keyword(self):
+        env = run("v = 10:10:50;\nx = v(end);\ny = v(end-1);")
+        assert env["x"] == 50.0 and env["y"] == 40.0
+
+    def test_end_per_dimension(self):
+        env = run("A = [1, 2, 3; 4, 5, 6];\nx = A(end, end);")
+        assert env["x"] == 6.0
+
+    def test_end_linear(self):
+        env = run("A = [1, 2; 3, 4];\nx = A(end);")
+        assert env["x"] == 4.0
+
+    def test_colon_assignment(self):
+        env = run("A = zeros(2, 3);\nA(:, 2) = 7;")
+        assert np.array_equal(as_array(env["A"])[:, 1], [7, 7])
+
+    def test_row_assignment(self):
+        env = run("A = zeros(2, 3);\nA(1, :) = 1:3;")
+        assert np.array_equal(as_array(env["A"])[0], [1, 2, 3])
+
+    def test_logical_style_mask_via_find(self):
+        env = run("v = [3, 1, 4, 1, 5];\nidx = find(v > 2);\nw = v(idx);")
+        assert np.array_equal(as_array(env["w"]), [[3, 4, 5]])
+
+
+class TestBuiltins:
+    def test_size(self):
+        env = run("A = zeros(3, 4);\ns = size(A);\nr = size(A, 1);\n"
+                  "c = size(A, 2);")
+        assert np.array_equal(as_array(env["s"]), [[3, 4]])
+        assert env["r"] == 3.0 and env["c"] == 4.0
+
+    def test_multi_output_size(self):
+        env = run("A = zeros(3, 4);\n[m, n] = size(A);")
+        assert env["m"] == 3.0 and env["n"] == 4.0
+
+    def test_sum_vector_and_matrix(self):
+        env = run("a = sum([1, 2, 3]);\nb = sum([1, 2; 3, 4]);\n"
+                  "c = sum([1, 2; 3, 4], 2);")
+        assert env["a"] == 6.0
+        assert np.array_equal(as_array(env["b"]), [[4, 6]])
+        assert np.array_equal(as_array(env["c"]), [[3], [7]])
+
+    def test_cumsum(self):
+        env = run("v = cumsum([1, 2, 3]);")
+        assert np.array_equal(as_array(env["v"]), [[1, 3, 6]])
+
+    def test_repmat(self):
+        env = run("A = repmat([1; 2], 1, 3);")
+        assert shape_of(env["A"]) == (2, 3)
+
+    def test_eye_diag(self):
+        env = run("I = eye(3);\nd = diag(I);\nD = diag([1, 2]);")
+        assert np.array_equal(as_array(env["d"]).ravel(), [1, 1, 1])
+        assert as_array(env["D"])[1, 1] == 2.0
+
+    def test_min_max(self):
+        env = run("a = max([3, 1, 4]);\nb = min([3, 1, 4]);\n"
+                  "c = max([1, 5], [4, 2]);")
+        assert env["a"] == 4.0 and env["b"] == 1.0
+        assert np.array_equal(as_array(env["c"]), [[4, 5]])
+
+    def test_hist_centers(self):
+        env = run("h = hist([0, 0, 1, 2, 2, 2], 0:2);")
+        assert np.array_equal(as_array(env["h"]), [[2, 1, 3]])
+
+    def test_hist_tails_absorbed(self):
+        env = run("h = hist([-5, 0, 1, 99], 0:2);")
+        assert np.array_equal(as_array(env["h"]), [[2, 1, 1]])
+
+    def test_rand_seeded(self):
+        a = run_source("x = rand(2, 2);", seed=7)["x"]
+        b = run_source("x = rand(2, 2);", seed=7)["x"]
+        assert np.array_equal(as_array(a), as_array(b))
+
+    def test_reshape(self):
+        env = run("A = reshape(1:6, 2, 3);")
+        # Column-major fill.
+        assert np.array_equal(as_array(env["A"]), [[1, 3, 5], [2, 4, 6]])
+
+    def test_mod(self):
+        env = run("m = mod([5, 6, 7], 3);")
+        assert np.array_equal(as_array(env["m"]), [[2, 0, 1]])
+
+    def test_error_builtin(self):
+        with pytest.raises(MatlabRuntimeError):
+            run("error('boom');")
+
+    def test_norm_dot(self):
+        env = run("n = norm([3, 4]);\nd = dot([1, 2], [3, 4]);")
+        assert env["n"] == 5.0 and env["d"] == 11.0
+
+    def test_uint8_clamps(self):
+        env = run("x = uint8(300);\ny = uint8(-5);\nz = uint8(3.6);")
+        assert env["x"] == 255.0 and env["y"] == 0.0 and env["z"] == 4.0
+
+
+class TestFunctions:
+    def test_single_output(self):
+        env = run("function y = sq(x)\ny = x*x;\nend\nr = sq(5);")
+        assert env["r"] == 25.0
+
+    def test_multi_output(self):
+        env = run("""
+function [s, p] = both(a, b)
+s = a + b;
+p = a * b;
+end
+[u, v] = both(3, 4);
+""")
+        assert env["u"] == 7.0 and env["v"] == 12.0
+
+    def test_function_scope_isolated(self):
+        env = run("""
+function y = f(x)
+t = x + 1;
+y = t;
+end
+t = 100;
+r = f(1);
+""")
+        assert env["t"] == 100.0 and env["r"] == 2.0
+
+    def test_recursion(self):
+        env = run("""
+function y = fact(n)
+if n <= 1
+  y = 1;
+else
+  y = n*fact(n - 1);
+end
+end
+r = fact(5);
+""")
+        assert env["r"] == 120.0
+
+    def test_return_statement(self):
+        env = run("""
+function y = f(x)
+y = 1;
+if x > 0
+  return;
+end
+y = 2;
+end
+a = f(1);
+b = f(-1);
+""")
+        assert env["a"] == 1.0 and env["b"] == 2.0
+
+
+class TestSemanticFidelity:
+    def test_no_broadcast_error_in_program(self):
+        with pytest.raises(MatlabRuntimeError):
+            run("z = [1, 2, 3] + [1; 2; 3];")
+
+    def test_matmul_conformance_error(self):
+        with pytest.raises(MatlabRuntimeError):
+            run("C = [1, 2]*[3, 4];")
+
+    def test_column_major_linear_order(self):
+        env = run("A = [1, 2; 3, 4];\nv = A(:)';")
+        assert np.array_equal(as_array(env["v"]), [[1, 3, 2, 4]])

@@ -1,0 +1,116 @@
+"""Logical (mask) arrays: comparison results, mask indexing, arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro import run_source
+from repro.errors import MatlabRuntimeError
+from repro.runtime.values import as_array, shape_of
+
+
+def run(source, **env):
+    return run_source(source, env=dict(env) if env else None, seed=0)
+
+
+class TestLogicalCreation:
+    def test_comparison_gives_logical(self):
+        env = run("m = [1, 5, 2] > 2;")
+        assert as_array(env["m"]).dtype == np.bool_
+
+    def test_and_or_not_logical(self):
+        env = run("a = ([1, 0, 1] & [1, 1, 0]);\n"
+                  "b = ([1, 0, 0] | [0, 0, 1]);\n"
+                  "c = ~[1, 0, 2];")
+        assert as_array(env["a"]).dtype == np.bool_
+        assert np.array_equal(as_array(env["b"]), [[True, False, True]])
+        assert np.array_equal(as_array(env["c"]), [[False, True, False]])
+
+    def test_scalar_comparison_is_float(self):
+        env = run("x = 3 > 2;")
+        assert env["x"] == 1.0
+
+
+class TestMaskIndexing:
+    def test_read_row_source(self):
+        env = run("v = [3, 1, 4, 1, 5];\nw = v(v > 2);")
+        assert np.array_equal(as_array(env["w"]), [[3, 4, 5]])
+        assert shape_of(env["w"]) == (1, 3)
+
+    def test_read_column_source(self):
+        env = run("u = (1:5)';\nm = u(u >= 3);")
+        assert shape_of(env["m"]) == (3, 1)
+
+    def test_read_matrix_source_column_major(self):
+        env = run("A = [1, 4; 3, 2];\nw = A(A > 1)';")
+        # Column-major selection order: 3 (2,1), 4 (1,2), 2 (2,2).
+        assert np.array_equal(as_array(env["w"]), [[3, 4, 2]])
+
+    def test_write_with_mask(self):
+        env = run("A = [1, 2; 3, 4];\nA(A > 2) = 0;")
+        assert np.array_equal(as_array(env["A"]), [[1, 2], [0, 0]])
+
+    def test_write_vector_through_mask(self):
+        env = run("v = [1, 2, 3, 4];\nv(v > 2) = [30, 40];")
+        assert np.array_equal(as_array(env["v"]), [[1, 2, 30, 40]])
+
+    def test_mask_per_dimension(self):
+        env = run("A = [1, 2; 3, 4];\nr = A([0, 1] > 0, :);")
+        assert np.array_equal(as_array(env["r"]), [[3, 4]])
+
+    def test_empty_selection(self):
+        env = run("v = [1, 2];\nw = v(v > 99);")
+        assert as_array(env["w"]).size == 0
+
+    def test_mask_longer_than_extent_rejected(self):
+        with pytest.raises(MatlabRuntimeError):
+            run("v = [1, 2];\nw = v([1, 0, 1] > 0);")
+
+
+class TestLogicalArithmetic:
+    def test_masks_count_with_sum(self):
+        env = run("c = sum([1, 5, 2, 7] > 2);")
+        assert env["c"] == 2.0
+
+    def test_mask_in_arithmetic_is_01(self):
+        env = run("x = ([1, 5] > 2) * 10;")
+        assert np.array_equal(as_array(env["x"]), [[0, 10]])
+
+    def test_mask_plus_mask(self):
+        env = run("x = ([1, 5] > 2) + ([5, 1] > 2);")
+        assert np.array_equal(as_array(env["x"]), [[1, 1]])
+
+    def test_negate_mask(self):
+        env = run("x = -([1, 5] > 2);")
+        assert np.array_equal(as_array(env["x"]), [[0, -1]])
+
+    def test_find_on_mask(self):
+        env = run("idx = find([5, 1, 7] > 2);")
+        assert np.array_equal(as_array(env["idx"]).ravel(), [1, 3])
+
+    def test_mean_of_mask(self):
+        env = run("f = mean([1, 5, 2, 7] > 2);")
+        assert env["f"] == 0.5
+
+
+class TestVectorizedEquivalenceWithMasks:
+    def test_threshold_workload_matches_looped(self):
+        """The vectorized threshold writes a logical block into a double
+        matrix; the loop writes scalar 0/1 — results must compare equal."""
+        from repro import vectorize_source
+        from repro.runtime.values import values_equal
+
+        source = """
+%! im(*,*) bw(*,*) t(1)
+for i=1:size(im,1)
+  for j=1:size(im,2)
+    bw(i,j) = im(i,j) > t;
+  end
+end
+"""
+        result = vectorize_source(source)
+        rng = np.random.default_rng(0)
+        env = {"im": np.asfortranarray(np.floor(rng.random((6, 5)) * 10)),
+               "bw": np.asfortranarray(np.zeros((6, 5))), "t": 5.0}
+        base = run_source(source, env=dict(env))
+        vect = run_source(result.source, env=dict(env))
+        assert values_equal(base["bw"], vect["bw"])

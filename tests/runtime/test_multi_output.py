@@ -1,0 +1,77 @@
+"""Multi-output builtins: [m,n]=size, [v,i]=max/min, [s,i]=sort."""
+
+import numpy as np
+import pytest
+
+from repro import run_source
+from repro.errors import MatlabRuntimeError
+from repro.runtime.builtins import call_multi, make_builtins
+from repro.runtime.values import as_array
+from repro.translate.numpy_backend import compile_source
+
+
+def both(source):
+    """Run under the interpreter and the transpiler; results must agree."""
+    interp = run_source(source, seed=0)
+    compiled = compile_source(source)(env={}, seed=0)
+    for key in interp:
+        if isinstance(interp[key], np.ndarray):
+            assert np.array_equal(as_array(interp[key]),
+                                  as_array(compiled[key])), key
+        else:
+            assert interp[key] == compiled[key], key
+    return interp
+
+
+class TestMaxMin:
+    def test_max_with_index(self):
+        env = both("v = [3, 9, 4];\n[m, i] = max(v);")
+        assert env["m"] == 9.0 and env["i"] == 2.0
+
+    def test_min_with_index(self):
+        env = both("v = [3, 9, 4];\n[m, i] = min(v);")
+        assert env["m"] == 3.0 and env["i"] == 1.0
+
+    def test_first_occurrence_wins(self):
+        env = both("v = [7, 2, 2, 7];\n[m, i] = max(v);\n[l, j] = min(v);")
+        assert env["i"] == 1.0 and env["j"] == 2.0
+
+    def test_column_input(self):
+        env = both("v = [3; 9; 4];\n[m, i] = max(v);")
+        assert env["m"] == 9.0 and env["i"] == 2.0
+
+
+class TestSort:
+    def test_sort_with_order(self):
+        env = both("v = [3, 1, 2];\n[s, i] = sort(v);")
+        assert np.array_equal(as_array(env["s"]), [[1, 2, 3]])
+        assert np.array_equal(as_array(env["i"]), [[2, 3, 1]])
+
+    def test_sort_column_keeps_shape(self):
+        env = both("v = [3; 1; 2];\n[s, i] = sort(v);")
+        assert as_array(env["s"]).shape == (3, 1)
+
+    def test_stable_order(self):
+        env = both("v = [2, 1, 2];\n[s, i] = sort(v);")
+        assert np.array_equal(as_array(env["i"]), [[2, 1, 3]])
+
+
+class TestSize:
+    def test_size_two_outputs(self):
+        env = both("A = zeros(2, 7);\n[r, c] = size(A);")
+        assert env["r"] == 2.0 and env["c"] == 7.0
+
+
+class TestCallMultiHelper:
+    def test_unknown_multi_returns_none(self):
+        registry = make_builtins(np.random.default_rng(0))
+        assert call_multi(registry, "cos", [1.0], 2) is None
+
+    def test_single_output_returns_none(self):
+        registry = make_builtins(np.random.default_rng(0))
+        assert call_multi(registry, "max", [np.ones((1, 3))], 1) is None
+
+    def test_sort_matrix_two_outputs_rejected(self):
+        registry = make_builtins(np.random.default_rng(0))
+        with pytest.raises(MatlabRuntimeError):
+            call_multi(registry, "sort", [np.ones((2, 2))], 2)

@@ -1,0 +1,245 @@
+"""Value-model tests: MATLAB-7 operator semantics and indexing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatlabRuntimeError
+from repro.runtime import values as V
+
+
+def arr(data):
+    return np.asfortranarray(np.array(data, dtype=float))
+
+
+class TestScalars:
+    def test_is_scalar(self):
+        assert V.is_scalar(3.0)
+        assert V.is_scalar(arr([[5.0]]))
+        assert not V.is_scalar(arr([[1.0, 2.0]]))
+
+    def test_as_scalar(self):
+        assert V.as_scalar(arr([[7.0]])) == 7.0
+        with pytest.raises(MatlabRuntimeError):
+            V.as_scalar(arr([[1.0, 2.0]]))
+
+    def test_canonical_collapses(self):
+        assert V.canonical(arr([[4.0]])) == 4.0
+        assert isinstance(V.canonical(arr([[1.0, 2.0]])), np.ndarray)
+
+    def test_shape_of(self):
+        assert V.shape_of(3.0) == (1, 1)
+        assert V.shape_of(arr([[1, 2], [3, 4]])) == (2, 2)
+        assert V.shape_of("abc") == (1, 3)
+
+
+class TestNoBroadcasting:
+    """MATLAB 7 has no implicit broadcasting — the whole point of the
+    vectorizer's repmat/transpose insertions."""
+
+    def test_row_plus_column_errors(self):
+        with pytest.raises(MatlabRuntimeError):
+            V.add(arr([[1, 2, 3]]), arr([[1], [2], [3]]))
+
+    def test_matrix_plus_column_errors(self):
+        with pytest.raises(MatlabRuntimeError):
+            V.add(arr([[1, 2], [3, 4]]), arr([[1], [2]]))
+
+    def test_scalar_extension_allowed(self):
+        out = V.add(arr([[1, 2]]), 10.0)
+        assert np.array_equal(V.as_array(out), [[11, 12]])
+
+    def test_equal_shapes_ok(self):
+        out = V.elmul(arr([[1, 2]]), arr([[3, 4]]))
+        assert np.array_equal(V.as_array(out), [[3, 8]])
+
+
+class TestOperators:
+    def test_matmul(self):
+        out = V.matmul(arr([[1, 2]]), arr([[3], [4]]))
+        assert out == 11.0
+
+    def test_matmul_shape_check(self):
+        with pytest.raises(MatlabRuntimeError):
+            V.matmul(arr([[1, 2]]), arr([[3, 4]]))
+
+    def test_matmul_scalar_scaling(self):
+        out = V.matmul(2.0, arr([[1, 2]]))
+        assert np.array_equal(V.as_array(out), [[2, 4]])
+
+    def test_outer_product(self):
+        out = V.matmul(arr([[1], [2]]), arr([[3, 4]]))
+        assert np.array_equal(V.as_array(out), [[3, 4], [6, 8]])
+
+    def test_rdivide_scalar(self):
+        assert V.rdivide(6.0, 2.0) == 3.0
+
+    def test_rdivide_matrix(self):
+        b = arr([[2, 0], [0, 4]])
+        out = V.rdivide(arr([[2, 4]]), b)
+        assert np.allclose(V.as_array(out), [[1, 1]])
+
+    def test_ldivide_solve(self):
+        a = arr([[2, 0], [0, 4]])
+        out = V.ldivide(a, arr([[2], [8]]))
+        assert np.allclose(V.as_array(out), [[1], [2]])
+
+    def test_mpower(self):
+        assert V.mpower(2.0, 10.0) == 1024.0
+        out = V.mpower(arr([[1, 1], [0, 1]]), 3.0)
+        assert np.array_equal(V.as_array(out), [[1, 3], [0, 1]])
+
+    def test_mpower_non_integer_matrix(self):
+        with pytest.raises(MatlabRuntimeError):
+            V.mpower(arr([[1, 0], [0, 1]]), 0.5)
+
+    def test_transpose(self):
+        out = V.transpose(arr([[1, 2, 3]]))
+        assert V.shape_of(out) == (3, 1)
+        assert V.transpose(5.0) == 5.0
+
+    def test_compare_elementwise(self):
+        out = V.compare("<", arr([[1, 5]]), arr([[3, 3]]))
+        assert np.array_equal(V.as_array(out), [[1, 0]])
+
+    def test_logical_ops(self):
+        out = V.logical_and(arr([[1, 0]]), arr([[1, 1]]))
+        assert np.array_equal(V.as_array(out), [[1, 0]])
+        out = V.logical_or(arr([[1, 0]]), arr([[0, 0]]))
+        assert np.array_equal(V.as_array(out), [[1, 0]])
+        assert V.logical_not(0.0) == 1.0
+
+    def test_is_truthy(self):
+        assert V.is_truthy(1.0)
+        assert not V.is_truthy(0.0)
+        assert V.is_truthy(arr([[1, 2]]))
+        assert not V.is_truthy(arr([[1, 0]]))
+        assert not V.is_truthy(V.matrix(0, 0))
+
+
+class TestIndexRead:
+    def test_scalar_subscript(self):
+        a = arr([[10, 20, 30]])
+        assert V.index_read(a, [2.0]) == 20.0
+
+    def test_linear_column_major(self):
+        a = arr([[1, 3], [2, 4]])
+        assert V.index_read(a, [2.0]) == 2.0
+        assert V.index_read(a, [3.0]) == 3.0
+
+    def test_vector_index_row_source(self):
+        a = arr([[10, 20, 30]])
+        out = V.index_read(a, [arr([[1, 3]])])
+        assert V.shape_of(out) == (1, 2)
+
+    def test_vector_index_column_source_keeps_orientation(self):
+        a = arr([[10], [20], [30]])
+        out = V.index_read(a, [arr([[1, 3]])])
+        assert V.shape_of(out) == (2, 1)
+
+    def test_matrix_index_takes_index_shape(self):
+        a = arr([[10, 20, 30]])
+        idx = arr([[1, 2], [3, 1]])
+        out = V.index_read(a, [idx])
+        assert V.shape_of(out) == (2, 2)
+
+    def test_colon_flattens(self):
+        a = arr([[1, 3], [2, 4]])
+        out = V.index_read(a, [V.COLON])
+        assert np.array_equal(V.as_array(out).ravel(), [1, 2, 3, 4])
+        assert V.shape_of(out) == (4, 1)
+
+    def test_two_subscripts(self):
+        a = arr([[1, 2], [3, 4]])
+        assert V.index_read(a, [2.0, 1.0]) == 3.0
+
+    def test_row_slice(self):
+        a = arr([[1, 2], [3, 4]])
+        out = V.index_read(a, [1.0, V.COLON])
+        assert np.array_equal(V.as_array(out), [[1, 2]])
+
+    def test_range_rows(self):
+        a = arr([[1, 2], [3, 4], [5, 6]])
+        out = V.index_read(a, [arr([[2, 3]]), V.COLON])
+        assert np.array_equal(V.as_array(out), [[3, 4], [5, 6]])
+
+    def test_out_of_bounds(self):
+        with pytest.raises(MatlabRuntimeError):
+            V.index_read(arr([[1, 2]]), [5.0])
+
+    def test_non_integer_subscript(self):
+        with pytest.raises(MatlabRuntimeError):
+            V.index_read(arr([[1, 2]]), [1.5])
+
+    def test_zero_subscript(self):
+        with pytest.raises(MatlabRuntimeError):
+            V.index_read(arr([[1, 2]]), [0.0])
+
+
+class TestIndexWrite:
+    def test_simple_write(self):
+        out = V.index_write(arr([[1, 2, 3]]), [2.0], 9.0)
+        assert np.array_equal(V.as_array(out), [[1, 9, 3]])
+
+    def test_auto_create_row(self):
+        out = V.index_write(None, [3.0], 7.0)
+        assert np.array_equal(V.as_array(out), [[0, 0, 7]])
+
+    def test_grow_row(self):
+        out = V.index_write(arr([[1, 2]]), [4.0], 9.0)
+        assert np.array_equal(V.as_array(out), [[1, 2, 0, 9]])
+
+    def test_grow_column(self):
+        out = V.index_write(arr([[1], [2]]), [3.0], 9.0)
+        assert V.shape_of(out) == (3, 1)
+
+    def test_grow_matrix_2d(self):
+        out = V.index_write(arr([[1]]), [2.0, 3.0], 9.0)
+        assert V.shape_of(out) == (2, 3)
+        assert V.index_read(out, [2.0, 3.0]) == 9.0
+
+    def test_slice_write_block(self):
+        base = V.matrix(3, 3)
+        out = V.index_write(base, [arr([[1, 2]]), arr([[1, 2]])],
+                            arr([[1, 2], [3, 4]]))
+        assert V.index_read(out, [2.0, 2.0]) == 4.0
+
+    def test_scalar_fill(self):
+        out = V.index_write(V.matrix(2, 2), [V.COLON, 1.0], 5.0)
+        assert np.array_equal(V.as_array(out)[:, 0], [5, 5])
+
+    def test_vector_orientation_conform(self):
+        # Writing a row into a column slice conforms when sizes match.
+        out = V.index_write(V.matrix(3, 3), [V.COLON, 2.0],
+                            arr([[1, 2, 3]]))
+        assert np.array_equal(V.as_array(out)[:, 1], [1, 2, 3])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MatlabRuntimeError):
+            V.index_write(V.matrix(3, 3),
+                          [arr([[1, 2]]), arr([[1, 2]])],
+                          arr([[1, 2, 3]]))
+
+    def test_linear_write_into_matrix_in_bounds(self):
+        out = V.index_write(arr([[1, 3], [2, 4]]), [4.0], 9.0)
+        assert V.index_read(out, [2.0, 2.0]) == 9.0
+
+    def test_linear_grow_matrix_rejected(self):
+        with pytest.raises(MatlabRuntimeError):
+            V.index_write(arr([[1, 2], [3, 4]]), [9.0], 1.0)
+
+    def test_original_not_mutated(self):
+        base = arr([[1, 2, 3]])
+        V.index_write(base, [1.0], 9.0)
+        assert base[0, 0] == 1.0
+
+
+class TestValuesEqual:
+    def test_scalars(self):
+        assert V.values_equal(1.0, 1.0 + 1e-14)
+        assert not V.values_equal(1.0, 2.0)
+
+    def test_shape_sensitive(self):
+        assert not V.values_equal(arr([[1, 2]]), arr([[1], [2]]))
+
+    def test_nan_equal(self):
+        assert V.values_equal(float("nan"), float("nan"))

@@ -1,0 +1,105 @@
+"""CLI tests for ``mvec``."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def sample(tmp_path):
+    path = tmp_path / "loop.m"
+    path.write_text("""
+%! x(*,1) y(*,1) n(1)
+x = (1:8)';
+n = 8;
+for i=1:n
+  y(i) = 2*x(i);
+end
+""")
+    return path
+
+
+def test_vectorize_to_stdout(sample, capsys):
+    assert main([str(sample)]) == 0
+    out = capsys.readouterr().out
+    assert "y(1:n) = 2*x(1:n);" in out
+    assert "for " not in out
+
+
+def test_output_file(sample, tmp_path, capsys):
+    out_path = tmp_path / "vec.m"
+    assert main([str(sample), "-o", str(out_path)]) == 0
+    assert "y(1:n) = 2*x(1:n);" in out_path.read_text()
+
+
+def test_report(sample, capsys):
+    assert main([str(sample), "--report"]) == 0
+    err = capsys.readouterr().err
+    assert "vectorized" in err
+
+
+def test_run_verifies(sample, capsys):
+    assert main([str(sample), "--run"]) == 0
+    err = capsys.readouterr().err
+    assert "workspaces match" in err
+
+
+def test_emit_python(sample, capsys):
+    assert main([str(sample), "--emit-python"]) == 0
+    out = capsys.readouterr().out
+    assert "def mprogram" in out
+
+
+def test_ablation_flag(sample, capsys):
+    code_on = main([str(sample)])
+    on = capsys.readouterr().out
+    code_off = main([str(sample), "--no-promotion", "--no-transposes"])
+    off = capsys.readouterr().out
+    assert code_on == 0 and code_off == 0
+    assert "for " not in on and "for " not in off  # promotion not needed here
+
+
+def test_missing_file(capsys):
+    assert main(["/nonexistent/file.m"]) == 2
+
+
+def test_parse_error(tmp_path, capsys):
+    bad = tmp_path / "bad.m"
+    bad.write_text("for i=1:3\n x = ;\nend")
+    assert main([str(bad)]) == 1
+    assert "mvec:" in capsys.readouterr().err
+
+
+def test_stdin(monkeypatch, capsys):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("x = 1;\n"))
+    assert main(["-"]) == 0
+    assert "x = 1;" in capsys.readouterr().out
+
+
+def test_stats(sample, capsys):
+    assert main([str(sample), "--stats"]) == 0
+    err = capsys.readouterr().err
+    assert '"statements_vectorized": 1' in err
+
+
+def test_report_stats_api():
+    from repro import vectorize_source
+
+    result = vectorize_source("""
+%! a(1,*) x(1,*) A(*,*) b(1,*) n(1)
+for i=1:n
+  a(i) = A(i,i)*b(i);
+end
+for i=2:n
+  x(i) = x(i-1);
+end
+""")
+    stats = result.report.stats()
+    assert stats["statements_total"] == 2
+    assert stats["statements_vectorized"] == 1
+    assert stats["patterns_used"].get("diagonal-access") == 1
+    assert stats["loops"].get("vectorized") == 1
+    assert stats["loops"].get("unchanged") == 1
+    assert stats["failure_reasons"]

@@ -1,0 +1,74 @@
+"""Error-hierarchy tests: typing, positions, catchability."""
+
+import pytest
+
+from repro.errors import (
+    AnnotationError,
+    DependenceError,
+    DimError,
+    LexError,
+    MatlabRuntimeError,
+    ParseError,
+    PatternError,
+    ReproError,
+    ShapeError,
+    SourceError,
+    TranslateError,
+    VectorizeError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", [
+        SourceError, LexError, ParseError, AnnotationError, ShapeError,
+        DimError, PatternError, DependenceError, VectorizeError,
+        MatlabRuntimeError, TranslateError,
+    ])
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_source_errors_carry_position(self):
+        error = ParseError("bad token", 3, 7)
+        assert error.line == 3 and error.column == 7
+        assert "3:7" in str(error)
+
+    def test_source_error_without_position(self):
+        error = LexError("oops")
+        assert str(error) == "oops"
+
+    def test_lexer_raises_catchable(self):
+        from repro.mlang.lexer import tokenize
+
+        with pytest.raises(ReproError):
+            tokenize("`")
+
+    def test_parser_raises_catchable(self):
+        from repro.mlang.parser import parse
+
+        with pytest.raises(ReproError):
+            parse("for i=1:3")
+
+    def test_runtime_raises_catchable(self):
+        from repro import run_source
+
+        with pytest.raises(ReproError):
+            run_source("x = [1, 2] + [1; 2];")
+
+    def test_annotation_raises_catchable(self):
+        from repro import vectorize_source
+
+        with pytest.raises(AnnotationError):
+            vectorize_source("%! broken annotation !!\nx = 1;")
+
+    def test_translate_raises_catchable(self):
+        from repro.translate.numpy_backend import translate_source
+
+        with pytest.raises(TranslateError):
+            translate_source("x = what_is_this(1);")
+
+    def test_parse_error_message_mentions_token(self):
+        from repro.mlang.parser import parse
+
+        with pytest.raises(ParseError) as info:
+            parse("x = ;")
+        assert "expected an expression" in str(info.value)

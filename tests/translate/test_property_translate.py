@@ -1,0 +1,89 @@
+"""Property: the transpiler agrees with the interpreter on random
+loop programs (the DESIGN.md "transpiler soundness" invariant)."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.mlang.parser import parse
+from repro.runtime.interp import Interpreter
+from repro.runtime.values import values_equal
+from repro.translate.numpy_backend import compile_source
+
+N = 5
+
+HEADER = "%! c1(*,1) r1(1,*) M1(*,*) s(1)\n"
+
+LEAVES = ["c1(i)", "r1(i)", "M1(i,2)", "M1(2,i)", "s", "3", "i"]
+OPS = st.sampled_from(["+", "-", ".*", "*"])
+
+
+def _exprs(depth):
+    leaf = st.sampled_from(LEAVES)
+    if depth == 0:
+        return leaf
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(lambda a, op, b: f"({a}{op}{b})", sub, OPS, sub),
+        st.builds(lambda a: f"sqrt(abs({a}))", leaf),
+        st.builds(lambda a: f"({a})'", leaf),
+    )
+
+
+_targets = st.sampled_from(["o1(i)", "o2(i)", "M1(i,1)", "s"])
+
+
+@st.composite
+def programs(draw):
+    statements = draw(st.lists(
+        st.builds(lambda t, e: f"  {t} = {e};", _targets, _exprs(2)),
+        min_size=1, max_size=4))
+    conditional = draw(st.booleans())
+    body = "\n".join(statements)
+    prog = f"{HEADER}o1 = zeros(1, {N});\no2 = zeros(1, {N});\n"
+    prog += f"for i=1:{N}\n{body}\nend\n"
+    if conditional:
+        prog += "if s > 0\n  o1 = o1*2;\nend\n"
+    prog += "total = sum(o1) + sum(o2);\n"
+    return prog
+
+
+def _workspace(seed):
+    rng = np.random.default_rng(seed)
+    return {
+        "c1": np.asfortranarray(rng.random((N, 1)) + 0.5),
+        "r1": np.asfortranarray(rng.random((1, N)) + 0.5),
+        "M1": np.asfortranarray(rng.random((N, N)) + 0.5),
+        "s": 0.75,
+    }
+
+
+@settings(max_examples=100, deadline=None)
+@given(programs())
+def test_transpiler_matches_interpreter(source):
+    env_keys = ("c1", "r1", "M1", "s")
+    try:
+        interpreted = Interpreter(seed=0).run(parse(source),
+                                              env=_workspace(7))
+        interp_error = None
+    except Exception as error:  # MATLAB-level error (shape mismatch etc.)
+        interpreted, interp_error = None, error
+
+    fn = compile_source(source, extra_variables=env_keys)
+    try:
+        translated = fn(env=_workspace(7), seed=0)
+        translate_error = None
+    except Exception as error:
+        translated, translate_error = None, error
+
+    # Both fail (same MATLAB-level error) or both succeed identically.
+    if interp_error is not None or translate_error is not None:
+        assert interp_error is not None and translate_error is not None, (
+            f"divergent failure for:\n{source}\n"
+            f"interp: {interp_error!r}\ntranslate: {translate_error!r}")
+        return
+    assert set(interpreted) == set(translated)
+    for name in interpreted:
+        assert values_equal(interpreted[name], translated[name]), (
+            f"variable {name!r} diverged for:\n{source}")

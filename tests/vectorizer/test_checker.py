@@ -1,0 +1,303 @@
+"""Dimension-checker tests: compatibility, transposes, promotion,
+reductions, product planning, ablation switches."""
+
+import pytest
+
+from repro.dims.abstract import Dim, ONE, RSym, STAR
+from repro.dims.context import ShapeEnv
+from repro.mlang.ast_nodes import num
+from repro.mlang.parser import parse_expr, parse_stmt
+from repro.mlang.printer import expr_to_source, to_source
+from repro.patterns.builtin import default_database
+from repro.vectorizer.checker import (
+    CheckFailure,
+    CheckOptions,
+    DimChecker,
+    flatten_additive,
+    flatten_star,
+    is_additive_reduction,
+    rebuild_additive,
+)
+from repro.vectorizer.loop_info import LoopHeader
+
+
+def make_checker(shapes, loops, sequential=(), options=None, counts=None):
+    env = ShapeEnv({k: Dim.parse(v) for k, v in shapes.items()})
+    headers = []
+    for k, var in enumerate(loops):
+        count = parse_expr(counts[k]) if counts else num(10)
+        headers.append(LoopHeader(var, count, RSym(var)))
+    return DimChecker(env, headers, sequential_vars=sequential,
+                      db=default_database(), options=options)
+
+
+def checked_source(stmt_src, shapes, loops, **kw):
+    chk = make_checker(shapes, loops, **kw)
+    checked = chk.check_assign(parse_stmt(stmt_src))
+    return to_source(checked.template).strip()
+
+
+class TestFlatteners:
+    def test_flatten_additive(self):
+        terms = flatten_additive(parse_expr("a - b + c - d"))
+        assert [(s, expr_to_source(e)) for s, e in terms] == [
+            (1, "a"), (-1, "b"), (1, "c"), (-1, "d")]
+
+    def test_flatten_additive_unary(self):
+        terms = flatten_additive(parse_expr("-a + b"))
+        assert terms[0][0] == -1
+
+    def test_rebuild_round_trip(self):
+        expr = parse_expr("a-b+c")
+        assert rebuild_additive(flatten_additive(expr)) == expr
+
+    def test_flatten_star(self):
+        factors = flatten_star(parse_expr("a*b*c"))
+        assert [expr_to_source(f) for f in factors] == ["a", "b", "c"]
+
+    def test_flatten_star_respects_parens(self):
+        factors = flatten_star(parse_expr("a*(b*c)"))
+        assert len(factors) == 2
+
+    def test_is_additive_reduction(self):
+        assert is_additive_reduction(parse_stmt("s = s + x(i);"))
+        assert is_additive_reduction(parse_stmt("s = s - x(i);"))
+        assert is_additive_reduction(parse_stmt("s = x(i) + s;"))
+        assert not is_additive_reduction(parse_stmt("s = -s + x(i);"))
+        assert not is_additive_reduction(parse_stmt("s = 2*s + x(i);"))
+        assert not is_additive_reduction(parse_stmt("s = x(i);"))
+
+
+class TestAssignments:
+    def test_simple_pointwise(self):
+        out = checked_source("z(i) = x(i)+y(i);",
+                             {"x": "(*,1)", "y": "(*,1)", "z": "(*,1)"},
+                             ["i"])
+        assert out == "z(i) = x(i)+y(i);"
+
+    def test_transpose_on_rhs_operand(self):
+        out = checked_source("z(i) = x(i)+y(i);",
+                             {"x": "(*,1)", "y": "(1,*)", "z": "(*,1)"},
+                             ["i"])
+        assert out == "z(i) = x(i)+y(i)';"
+
+    def test_transpose_of_whole_rhs(self):
+        out = checked_source("z(i) = x(i)+y(i);",
+                             {"x": "(1,*)", "y": "(1,*)", "z": "(*,1)"},
+                             ["i"])
+        assert out == "z(i) = (x(i)+y(i))';"
+
+    def test_scalar_rhs_broadcast(self):
+        out = checked_source("A(i, j) = 0;", {"A": "(*,*)"}, ["i", "j"])
+        assert out == "A(i, j) = 0;"
+
+    def test_incompatible_fails(self):
+        with pytest.raises(CheckFailure):
+            checked_source("z(i) = x(i)+Y(i, :);",
+                           {"x": "(*,1)", "Y": "(*,*)", "z": "(*,1)"},
+                           ["i"])
+
+    def test_unknown_rhs_variable_fails(self):
+        with pytest.raises(CheckFailure):
+            checked_source("z(i) = q(i);", {"z": "(*,1)"}, ["i"])
+
+    def test_unknown_write_target_assumed_row(self):
+        out = checked_source("fresh(i) = x(i);",
+                             {"x": "(1,*)"}, ["i"])
+        assert out == "fresh(i) = x(i);"
+
+    def test_write_to_loop_index_fails(self):
+        with pytest.raises(CheckFailure):
+            checked_source("i = x(i);", {"x": "(1,*)"}, ["i"])
+
+    def test_promotion_power(self):
+        out = checked_source("y(i) = x(i)^2;",
+                             {"x": "(*,1)", "y": "(*,1)"}, ["i"])
+        assert out == "y(i) = x(i).^2;"
+
+    def test_promotion_division(self):
+        out = checked_source("y(i) = x(i)/w(i);",
+                             {"x": "(*,1)", "w": "(*,1)", "y": "(*,1)"},
+                             ["i"])
+        assert out == "y(i) = x(i)./w(i);"
+
+    def test_pointwise_function(self):
+        out = checked_source("y(i) = cos(x(i));",
+                             {"x": "(*,1)", "y": "(*,1)"}, ["i"])
+        assert out == "y(i) = cos(x(i));"
+
+    def test_nonpointwise_function_fails(self):
+        with pytest.raises(CheckFailure):
+            checked_source("y(i) = sum(X(i, :));",
+                           {"X": "(*,*)", "y": "(*,1)"}, ["i"])
+
+    def test_loop_invariant_call_ok(self):
+        out = checked_source("y(i) = x(i)*size(X, 1);",
+                             {"x": "(*,1)", "y": "(*,1)", "X": "(*,*)"},
+                             ["i"])
+        assert out == "y(i) = x(i)*size(X, 1);"
+
+    def test_range_with_loop_var_fails(self):
+        with pytest.raises(CheckFailure):
+            checked_source("y(i) = sum(x(1:i));",
+                           {"x": "(*,1)", "y": "(*,1)"}, ["i"])
+
+    def test_sequential_outer_var_is_scalar(self):
+        out = checked_source("X(k, j) = L(k, j)*2;",
+                             {"X": "(*,*)", "L": "(*,*)"}, ["j"],
+                             sequential=("k",))
+        assert out == "X(k, j) = L(k, j)*2;"
+
+
+class TestReductions:
+    def test_scalar_accumulator(self):
+        out = checked_source("s = s + x(i);",
+                             {"s": "(1)", "x": "(*,1)"}, ["i"])
+        assert out == "s = s+sum(x(i), 1);"
+
+    def test_row_accumulator_gamma_axis2(self):
+        out = checked_source("a(i) = a(i) + B(i, j);",
+                             {"a": "(*,1)", "B": "(*,*)"}, ["i", "j"])
+        assert out == "a(i) = a(i)+sum(B(i, j), 2);"
+
+    def test_subtracting_accumulation(self):
+        out = checked_source("s = s - x(i);",
+                             {"s": "(1)", "x": "(*,1)"}, ["i"])
+        assert out == "s = s-sum(x(i), 1);"
+
+    def test_tripcount_for_invariant_term(self):
+        # s = s + c with c loop-invariant: Γ multiplies by the trip count.
+        out = checked_source("s = s + c;", {"s": "(1)", "c": "(1)"},
+                             ["i"], counts=["n"])
+        assert out == "s = s+n*c;"
+
+    def test_mixed_invariant_and_varying(self):
+        # Scalar c folds into the pointwise sum: Σ(x_i + c) as one sum.
+        out = checked_source("s = s + x(i) + c;",
+                             {"s": "(1)", "x": "(*,1)", "c": "(1)"},
+                             ["i"], counts=["n"])
+        assert out == "s = s+sum(x(i)+c, 1);"
+
+    def test_gamma_tripcount_for_invariant_beside_reduced(self):
+        # E = A(i,k)*x(k) + c: the matmul reduces k, so Γ must lift the
+        # invariant c by the trip count before the '+'.
+        out = checked_source("y(i) = y(i) + A(i, k)*x(k) + c;",
+                             {"y": "(*,1)", "A": "(*,*)", "x": "(*,1)",
+                              "c": "(1)"},
+                             ["i", "k"], counts=["n", "m"])
+        assert "m*c" in out
+
+    def test_matmul_reduction(self):
+        out = checked_source("y(i) = y(i) + A(i, k)*x(k);",
+                             {"y": "(*,1)", "A": "(*,*)", "x": "(*,1)"},
+                             ["i", "k"])
+        assert out == "y(i) = y(i)+A(i, k)*x(k);"
+
+    def test_matmul_reduction_with_transpose(self):
+        out = checked_source("y(i) = y(i) + A(k, i)*x(k);",
+                             {"y": "(*,1)", "A": "(*,*)", "x": "(*,1)"},
+                             ["i", "k"])
+        assert out == "y(i) = y(i)+A(k, i)'*x(k);"
+
+    def test_non_reduction_form_fails(self):
+        with pytest.raises(CheckFailure):
+            checked_source("s = x(i);", {"s": "(1)", "x": "(*,1)"}, ["i"])
+
+    def test_degenerate_reduction_fails(self):
+        with pytest.raises(CheckFailure):
+            checked_source("s = s;", {"s": "(1)"}, ["i"])
+
+    def test_double_reduction(self):
+        out = checked_source("s = s + A(i, j);",
+                             {"s": "(1)", "A": "(*,*)"}, ["i", "j"])
+        assert out.count("sum(") == 2
+
+    def test_reduction_disabled_option(self):
+        with pytest.raises(CheckFailure):
+            checked_source("s = s + x(i);", {"s": "(1)", "x": "(*,1)"},
+                           ["i"], options=CheckOptions(reductions=False))
+
+    def test_power_of_reduced_value_rejected(self):
+        # s = s + (A(i,k)*x(k))^2 must not reduce inside the power.
+        with pytest.raises(CheckFailure):
+            checked_source("s = s + (A(i, k)*x(k))^2;",
+                           {"s": "(*,1)", "A": "(*,*)", "x": "(*,1)"},
+                           ["k"], sequential=("i",))
+
+
+class TestProductPlanning:
+    SHAPES = {"y": "(*,1)", "x": "(*,1)", "A": "(*,*)", "B": "(*,*)",
+              "C": "(*,*)", "phi": "(*,1)", "a": "(*,*)",
+              "x_se": "(*,1)", "f": "(*,1)"}
+
+    def test_menon2_chain(self):
+        out = checked_source("phi(k) = phi(k)+a(i,j)*x_se(i)*f(j);",
+                             self.SHAPES, ["i", "j"], sequential=("k",))
+        assert "'" in out  # needs a transposed operand
+
+    def test_menon3_quadruple(self):
+        out = checked_source(
+            "y(i) = y(i)+x(j)*A(i,k)*B(l,k)*C(l,j);",
+            self.SHAPES, ["i", "j", "k", "l"])
+        assert out.startswith("y(i) = y(i)+")
+
+    def test_regroup_disabled_fails_menon3(self):
+        with pytest.raises(CheckFailure):
+            checked_source(
+                "y(i) = y(i)+x(j)*A(i,k)*B(l,k)*C(l,j);",
+                self.SHAPES, ["i", "j", "k", "l"],
+                options=CheckOptions(product_regroup=False))
+
+    def test_chain_too_long(self):
+        options = CheckOptions(max_chain=2)
+        with pytest.raises(CheckFailure):
+            checked_source("y(i) = y(i)+x(j)*A(i,k)*B(l,k)*C(l,j);",
+                           self.SHAPES, ["i", "j", "k", "l"],
+                           options=options)
+
+
+class TestAblationSwitches:
+    def test_transposes_disabled(self):
+        with pytest.raises(CheckFailure):
+            checked_source("z(i) = x(i)+y(i);",
+                           {"x": "(*,1)", "y": "(1,*)", "z": "(*,1)"},
+                           ["i"], options=CheckOptions(transposes=False))
+
+    def test_patterns_disabled_diag(self):
+        with pytest.raises(CheckFailure):
+            checked_source("a(i) = A(i, i);",
+                           {"a": "(1,*)", "A": "(*,*)"}, ["i"],
+                           options=CheckOptions(patterns=False))
+
+    def test_promotion_disabled(self):
+        with pytest.raises(CheckFailure):
+            checked_source("y(i) = x(i)^2;",
+                           {"x": "(*,1)", "y": "(*,1)"}, ["i"],
+                           options=CheckOptions(promotion=False))
+
+
+class TestPatternsInChecker:
+    def test_diag_on_lhs(self):
+        out = checked_source("A(i, i) = b(i);",
+                             {"A": "(*,*)", "b": "(1,*)"}, ["i"])
+        assert out == "A(i+size(A, 1)*(i-1)) = b(i);"
+
+    def test_broadcast_needs_tripcount(self):
+        out = checked_source("A(i, j) = B(i, j)+C(i);",
+                             {"A": "(*,*)", "B": "(*,*)", "C": "(*,1)"},
+                             ["i", "j"], counts=["m", "n"])
+        assert "repmat(C(i), 1, n)" in out
+
+    def test_used_patterns_reported(self):
+        chk = make_checker({"a": "(1,*)", "A": "(*,*)", "b": "(1,*)"},
+                           ["i"])
+        checked = chk.check_assign(parse_stmt("a(i) = A(i,i)*b(i);"))
+        assert checked.used_patterns == ["diagonal-access"]
+
+    def test_speculative_patterns_not_reported(self):
+        chk = make_checker({"X": "(*,*)", "L": "(*,*)"},
+                           ["k", "j"], sequential=("i",))
+        checked = chk.check_assign(
+            parse_stmt("X(i,k) = X(i,k)-L(i,j)*X(j,k);"))
+        assert checked.used_patterns == []
+        assert checked.is_reduction

@@ -1,0 +1,193 @@
+"""Checker corner cases: constructs at the edge of the supported subset."""
+
+import numpy as np
+import pytest
+
+from repro import run_source, vectorize_source
+from repro.runtime.values import values_equal
+
+
+def compact(text):
+    return "".join(text.split())
+
+
+def equivalent(source, env, outputs):
+    result = vectorize_source(source)
+
+    def cp():
+        return {k: (v.copy(order="F") if isinstance(v, np.ndarray) else v)
+                for k, v in env.items()}
+
+    base = run_source(source, env=cp())
+    vect = run_source(result.source, env=cp())
+    for name in outputs:
+        assert values_equal(base[name], vect[name]), result.source
+    return result
+
+
+RNG = np.random.default_rng(99)
+
+
+class TestComparisonsAndLogic:
+    def test_comparison_vectorizes(self):
+        result = equivalent("""
+%! y(*,1) x(*,1) n(1)
+for i=1:n
+  y(i) = x(i) > 0.5;
+end
+""", {"x": np.asfortranarray(RNG.random((6, 1))),
+      "y": np.asfortranarray(np.zeros((6, 1))), "n": 6.0}, ["y"])
+        assert "for " not in result.source
+
+    def test_logical_and_vectorizes(self):
+        result = equivalent("""
+%! y(*,1) x(*,1) w(*,1) n(1)
+for i=1:n
+  y(i) = (x(i) > 0.2) & (w(i) < 0.8);
+end
+""", {"x": np.asfortranarray(RNG.random((6, 1))),
+      "w": np.asfortranarray(RNG.random((6, 1))),
+      "y": np.asfortranarray(np.zeros((6, 1))), "n": 6.0}, ["y"])
+        assert "for " not in result.source
+
+    def test_short_circuit_stays_sequential(self):
+        result = vectorize_source("""
+%! y(*,1) x(*,1) n(1)
+for i=1:n
+  y(i) = (x(i) > 0) && (x(i) < 1);
+end
+""")
+        assert "for " in result.source
+
+
+class TestMatrixLiteralsInLoops:
+    def test_scalar_literal_row_ok_outside(self):
+        # Matrix literals with loop-variant elements veto vectorization.
+        result = vectorize_source("""
+%! y(*,1) n(1)
+for i=1:n
+  y(i) = sum([i, 1]);
+end
+""")
+        assert "for " in result.source
+
+    def test_loop_invariant_literal_inside(self):
+        result = equivalent("""
+%! y(*,1) x(*,1) n(1)
+for i=1:n
+  y(i) = x(i)*max([2, 3]);
+end
+""", {"x": np.asfortranarray(RNG.random((5, 1))),
+      "y": np.asfortranarray(np.zeros((5, 1))), "n": 5.0}, ["y"])
+        assert "for " not in result.source
+
+
+class TestSubscriptShapes:
+    def test_end_in_loop_invariant_position(self):
+        result = equivalent("""
+%! y(*,1) x(*,1) n(1)
+for i=1:n
+  y(i) = x(i) + x(end);
+end
+""", {"x": np.asfortranarray(RNG.random((5, 1))),
+      "y": np.asfortranarray(np.zeros((5, 1))), "n": 5.0}, ["y"])
+        assert "for " not in result.source
+
+    def test_reversed_access(self):
+        result = equivalent("""
+%! y(*,1) x(*,1) n(1)
+for i=1:n
+  y(i) = x(n+1-i);
+end
+""", {"x": np.asfortranarray(RNG.random((5, 1))),
+      "y": np.asfortranarray(np.zeros((5, 1))), "n": 5.0}, ["y"])
+        assert "for " not in result.source
+
+    def test_gather_through_index_vector(self):
+        result = equivalent("""
+%! y(*,1) x(*,1) idx(*,1) n(1)
+for i=1:n
+  y(i) = x(idx(i));
+end
+""", {"x": np.asfortranarray(RNG.random((8, 1))),
+      "idx": np.asfortranarray(
+          np.array([[3.0], [1.0], [8.0], [2.0], [5.0]])),
+      "y": np.asfortranarray(np.zeros((5, 1))), "n": 5.0}, ["y"])
+        assert "for " not in result.source
+
+    def test_strided_write(self):
+        result = equivalent("""
+%! y(1,*) x(1,*) n(1)
+for i=1:n
+  y(2*i) = x(i);
+end
+""", {"x": np.asfortranarray(RNG.random((1, 5))),
+      "y": np.asfortranarray(np.zeros((1, 10))), "n": 5.0}, ["y"])
+        assert "for " not in result.source
+
+    def test_anti_diagonal(self):
+        result = equivalent("""
+%! a(1,*) A(*,*) n(1)
+for i=1:n
+  a(i) = A(i, n+1-i);
+end
+""", {"A": np.asfortranarray(RNG.random((5, 5))),
+      "a": np.asfortranarray(np.zeros((1, 5))), "n": 5.0}, ["a"])
+        assert "for " not in result.source
+        assert "size(A, 1)" in result.source  # linear-index transform
+
+
+class TestStringAndUnsupported:
+    def test_string_in_loop_body_stays(self):
+        result = vectorize_source("""
+%! y(*,1) n(1)
+for i=1:n
+  y(i) = length('abc');
+end
+""")
+        assert "for " in result.source
+
+    def test_empty_loop_body(self):
+        # A loop with no statements is degenerate but must not crash.
+        result = vectorize_source("for i=1:10\nend\n")
+        assert result.source.strip().startswith("for") or \
+            result.source.strip() == ""
+
+    def test_matrix_division_stays(self):
+        result = vectorize_source("""
+%! y(*,1) A(*,*) b(*,1) n(1)
+for i=1:n
+  y(i) = b(i)\\2;
+end
+""")
+        # scalar-family backslash with per-iteration scalars promotes
+        assert "for " not in result.source or ".\\" in result.source
+
+
+class TestDeeperNests:
+    def test_triple_nest_full(self):
+        result = equivalent("""
+%! T(*,*) A(*,*) B(*,*) n(1) m(1)
+for i=1:n
+  for j=1:m
+    T(i,j) = A(i,j)*2 + B(j,i);
+  end
+end
+""", {"A": np.asfortranarray(RNG.random((4, 3))),
+      "B": np.asfortranarray(RNG.random((3, 4))),
+      "T": np.asfortranarray(np.zeros((4, 3))),
+      "n": 4.0, "m": 3.0}, ["T"])
+        assert "for " not in result.source
+
+    def test_reduction_nested_in_sequential(self):
+        result = equivalent("""
+%! s(*,1) X(*,*) n(1) m(1)
+for i=1:n
+  for k=1:m
+    s(i) = s(i) + X(i,k)^2;
+  end
+end
+""", {"X": np.asfortranarray(RNG.random((4, 3))),
+      "s": np.asfortranarray(np.zeros((4, 1))),
+      "n": 4.0, "m": 3.0}, ["s"])
+        assert "for " not in result.source

@@ -1,0 +1,296 @@
+"""codegen_dim tests: loop distribution, partial vectorization, imperfect
+nests, reduction rescue, sequential fallbacks, normalization."""
+
+import pytest
+
+from repro import vectorize_source
+from repro.mlang.ast_nodes import For
+from repro.mlang.parser import parse, parse_expr, parse_stmt
+from repro.mlang.printer import to_source
+from repro.vectorizer.checker import CheckOptions
+from repro.vectorizer.loop_info import (
+    extract_nest,
+    fold_add,
+    fold_mul,
+    fold_sub,
+    loop_rejection_reason,
+    normalize_loop,
+)
+
+
+def compact(text):
+    return "".join(text.split())
+
+
+class TestNormalization:
+    def _loop(self, source):
+        stmt = parse_stmt(source)
+        assert isinstance(stmt, For)
+        return stmt
+
+    def test_already_normalized(self):
+        norm = normalize_loop(self._loop("for i=1:n\n a(i)=i;\nend"))
+        assert to_source(norm.header.count).strip() == "n"
+        assert to_source(norm.body[0]).strip() == "a(i) = i;"
+
+    def test_stride_two(self):
+        norm = normalize_loop(self._loop("for i=2:2:1500\n a(i)=i;\nend"))
+        assert to_source(norm.header.count).strip() == "750"
+        assert compact(to_source(norm.body[0])) == "a(2*i)=2*i;"
+
+    def test_offset_start(self):
+        norm = normalize_loop(self._loop("for i=3:7\n a(i)=0;\nend"))
+        assert to_source(norm.header.count).strip() == "5"
+        assert compact(to_source(norm.body[0])) == "a(i+2)=0;"
+
+    def test_symbolic_start_unit_step(self):
+        norm = normalize_loop(self._loop("for i=k:n\n a(i)=0;\nend"))
+        assert compact(to_source(norm.header.count)) == "n-k+1"
+
+    def test_descending(self):
+        norm = normalize_loop(self._loop("for i=10:-1:1\n a(i)=0;\nend"))
+        assert to_source(norm.header.count).strip() == "10"
+        assert compact(to_source(norm.body[0])) == "a(-1*i+11)=0;"
+
+    def test_vector_iteration_unsupported(self):
+        assert normalize_loop(self._loop("for x=v\n a=x;\nend")) is None
+
+    def test_fold_helpers(self):
+        from repro.mlang.ast_nodes import num
+
+        assert to_source(fold_add(num(2), num(3))).strip() == "5"
+        assert to_source(fold_add(parse_expr("n"), num(0))).strip() == "n"
+        assert to_source(fold_mul(num(1), parse_expr("n"))).strip() == "n"
+        assert to_source(fold_sub(parse_expr("n"), num(0))).strip() == "n"
+        assert compact(to_source(fold_add(parse_expr("n"), num(-2)))) \
+            == "n-2"
+
+
+class TestRejection:
+    def test_if_rejected(self):
+        loop = parse_stmt("for i=1:3\n if a\n x=1;\n end\nend")
+        assert "control-flow" in loop_rejection_reason(loop)
+
+    def test_break_rejected(self):
+        loop = parse_stmt("for i=1:3\n break;\nend")
+        assert loop_rejection_reason(loop)
+
+    def test_index_write_rejected(self):
+        loop = parse_stmt("for i=1:3\n i = 5;\nend")
+        assert "index" in loop_rejection_reason(loop)
+
+    def test_inner_index_write_rejected(self):
+        loop = parse_stmt("for i=1:3\n for j=1:4\n i(j) = 5;\n end\nend")
+        assert loop_rejection_reason(loop)
+
+    def test_index_reuse_rejected(self):
+        loop = parse_stmt("for i=1:3\n for i=1:4\n a(i)=0;\n end\nend")
+        assert "reuses" in loop_rejection_reason(loop)
+
+    def test_clean_loop_accepted(self):
+        loop = parse_stmt("for i=1:3\n a(i) = 0;\nend")
+        assert loop_rejection_reason(loop) is None
+
+
+class TestNestExtraction:
+    def test_perfect_nest(self):
+        loop = parse_stmt("for i=1:3\nfor j=1:4\nA(i,j)=0;\nend\nend")
+        nest = extract_nest(loop)
+        assert len(nest.stmts) == 1
+        assert [h.var for h in nest.stmts[0].headers] == ["i", "j"]
+
+    def test_imperfect_nest(self):
+        loop = parse_stmt(
+            "for i=1:3\nb(i)=i;\nfor j=1:4\nA(i,j)=b(i);\nend\nend")
+        nest = extract_nest(loop)
+        assert [len(s.headers) for s in nest.stmts] == [1, 2]
+
+    def test_shared_header_objects(self):
+        loop = parse_stmt(
+            "for i=1:3\nb(i)=i;\nc(i)=i;\nend")
+        nest = extract_nest(loop)
+        assert nest.stmts[0].headers[0] is nest.stmts[1].headers[0]
+
+
+class TestDistribution:
+    def test_statements_distribute(self):
+        out = vectorize_source("""
+%! a(1,*) b(1,*) c(1,*) n(1)
+for i=1:n
+  b(i) = a(i)*2;
+  c(i) = b(i)+1;
+end
+""").source
+        assert compact("b(1:n)=a(1:n)*2;") in compact(out)
+        assert compact("c(1:n)=b(1:n)+1;") in compact(out)
+        assert "for " not in out
+
+    def test_topological_reordering(self):
+        # c reads the NEW b of the same iteration even though b's
+        # statement comes second?  No: b is assigned after c reads it, so
+        # c must keep reading the OLD value — statements must NOT be
+        # blindly reordered; the anti-dependence keeps c first.
+        out = vectorize_source("""
+%! a(1,*) b(1,*) c(1,*) n(1)
+for i=1:n
+  c(i) = b(i)+1;
+  b(i) = a(i)*2;
+end
+""").source
+        assert compact(out).index("c(1:n)") < compact(out).index("b(1:n)=")
+
+    def test_partial_vectorization_mixed(self):
+        """A recurrence shares the loop with a vectorizable statement:
+        distribution leaves the recurrence in a loop and vectorizes the
+        other statement."""
+        result = vectorize_source("""
+%! a(1,*) b(1,*) x(1,*) n(1)
+for i=2:n
+  a(i) = a(i-1)+1;
+  b(i) = x(i)*2;
+end
+""")
+        out = result.source
+        assert "for " in out
+        assert compact("b((1:n-1)+1)=x((1:n-1)+1)*2;") in compact(out)
+        statuses = [o.vectorized for o in result.report.loops[0].outcomes]
+        assert statuses.count(True) == 1
+
+    def test_outer_sequential_inner_vector(self):
+        """Recurrence carried by the outer loop only: codegen runs i
+        sequentially and vectorizes j inside."""
+        out = vectorize_source("""
+%! A(*,*) n(1) m(1)
+for i=2:n
+  for j=1:m
+    A(i,j) = A(i-1,j)+1;
+  end
+end
+""").source
+        assert compact("forj=1:m") not in compact(out)
+        assert compact("A(i+1,1:m)=A(i+1-1,1:m)+1;") in compact(out) or \
+            compact("A(i+1,1:m)=A(i,1:m)+1;") in compact(out)
+        assert "for i" in out
+
+    def test_inner_sequential_outer_not_vectorizable_alone(self):
+        """Recurrence carried by the inner loop: the statement can still
+        be pulled out of no loops at level 0 but the j loop must stay."""
+        out = vectorize_source("""
+%! A(*,*) n(1) m(1)
+for i=1:n
+  for j=2:m
+    A(i,j) = A(i,j-1)+1;
+  end
+end
+""").source
+        assert "for " in out
+
+    def test_two_statement_cycle_stays_sequential(self):
+        out = vectorize_source("""
+%! a(1,*) b(1,*) n(1)
+for i=2:n
+  a(i) = b(i-1)+1;
+  b(i) = a(i-1)*2;
+end
+""").source
+        assert out.count("for ") >= 1
+        assert "1:n" not in out.replace("2:n", "")
+
+
+class TestImperfectNest:
+    def test_figure4_shape(self):
+        result = vectorize_source("""
+%! B(*,*) A(*,*) c(*,1) n(1) m(1)
+for i=1:n
+  B(i,1) = c(i)*2;
+  for j=1:m
+    A(i,j) = B(i,1)+j;
+  end
+end
+""")
+        out = result.source
+        assert "for " not in out
+        # statement 1 vectorizes over i; statement 2 over i and j.
+        assert compact("B(1:n,1)=c(1:n)*2;") in compact(out)
+        levels = [o.level for o in result.report.loops[0].outcomes]
+        assert levels == [0, 0]
+
+
+class TestReductionRescue:
+    def test_scalar_sum(self):
+        out = vectorize_source("""
+%! s(1) x(*,1) n(1)
+s = 0;
+for i=1:n
+  s = s + x(i);
+end
+""").source
+        assert compact("s=s+sum(x(1:n),1);") in compact(out)
+
+    def test_dot_product_reduction(self):
+        out = vectorize_source("""
+%! s(1) x(*,1) y(*,1) n(1)
+s = 0;
+for i=1:n
+  s = s + x(i)*y(i);
+end
+""").source
+        assert "for " not in out
+
+    def test_matvec_reduction(self):
+        out = vectorize_source("""
+%! y(*,1) A(*,*) x(*,1) n(1) m(1)
+for i=1:n
+  for k=1:m
+    y(i) = y(i) + A(i,k)*x(k);
+  end
+end
+""").source
+        assert compact("y(1:n)=y(1:n)+A(1:n,1:m)*x(1:m);") in compact(out)
+
+    def test_true_recurrence_not_rescued(self):
+        out = vectorize_source("""
+%! a(1,*) n(1)
+for i=2:n
+  a(i) = a(i) + a(i-1);
+end
+""").source
+        assert "for " in out
+
+    def test_min_accumulator_not_rescued(self):
+        # min-reduction is not additive; stays sequential.
+        out = vectorize_source("""
+%! s(1) x(*,1) n(1)
+for i=1:n
+  s = min(s, x(i));
+end
+""").source
+        assert "for " in out
+
+
+class TestOptionsThreading:
+    def test_patterns_off_leaves_loop(self):
+        source = """
+%! a(1,*) A(*,*) b(1,*) n(1)
+for i=1:n
+  a(i)=A(i,i)*b(i);
+end
+"""
+        on = vectorize_source(source)
+        off = vectorize_source(source,
+                               options=CheckOptions(patterns=False))
+        assert "for " not in on.source
+        assert "for " in off.source
+
+    def test_transposes_off(self):
+        source = """
+%! A(*,*) B(*,*) C(*,*) m(1) n(1)
+for i=1:m
+  for j=1:n
+    A(i,j)=B(j,i)+C(i,j);
+  end
+end
+"""
+        off = vectorize_source(source,
+                               options=CheckOptions(transposes=False))
+        assert "for " in off.source

@@ -1,0 +1,86 @@
+"""Golden snapshots: the exact vectorizer output for every corpus program.
+
+These pin the generated source (whitespace-normalized) so that any
+change to the checker, patterns, normalization, or printer that alters
+output is visible in review.  Semantic equivalence is covered
+separately by tests/integration; these are regression tripwires.
+"""
+
+import pytest
+
+from repro import vectorize_source
+from repro.bench.workloads import WORKLOADS
+
+GOLDENS = {
+    "scale-shift": "y(1:n)=2*x(1:n)+1;",
+    "saxpy": "z(1:n)=a*x(1:n)+y(1:n);",
+    "row-col-add": "z(1:n)=x(1:n)+y(1:n)';",
+    "transpose-add": "A(1:m,1:n)=(B(1:n,1:m)+C(1:m,1:n)')';",
+    "dot-products": "a(1:n)=sum(X(1:n,:)'.*Y(:,1:n),1);",
+    "column-broadcast": "A(1:m,1:n)=B(1:m,1:n)+repmat(C(1:m),1,n);",
+    "column-scale":
+        "A(:,1:n)=B(:,1:n).*repmat(c(1:n)',size(B(:,1:n),1),1);",
+    "diagonal-scale": "a(1:n)=A((1:n)+size(A,1)*((1:n)-1)).*b(1:n);",
+    "histeq":
+        "im2(1:size(im,1),1:size(im,2))="
+        "heq(im(1:size(im,1),1:size(im,2))+1);",
+    "matvec": "y(1:n)=y(1:n)+A(1:n,1:m)*x(1:m);",
+    "running-sum": "s=s+x(1:n)'*x(1:n);",
+    "normalize-rows": "B(1:m,1:n)=A(1:m,1:n).*repmat(w(1:m),1,n);",
+    "outer-product":
+        "P(1:m,1:n)=repmat(u(1:m),1,n).*repmat(v(1:n),m,1);",
+    "power-series": "y(1:n)=exp(-x(1:n).^2/2)+cos(x(1:n))*0.25;",
+    "threshold":
+        "bw(1:size(im,1),1:size(im,2))=im(1:size(im,1),1:size(im,2))>t;",
+    "triangular-update":
+        "X(i,1:p)=X(i,1:p)-L(i,1:i-1)*X(1:i-1,1:p);",
+    "quadratic-form": "phi(k)=phi(k)+(a(1:N,1:N)'*x_se(1:N))'*f(1:N);",
+    "quad-nest":
+        "y(1:n)=y(1:n)+(x(1:n)'*(A(1:n,1:n)*"
+        "(B(1:n,1:n)'*C(1:n,1:n)))')';",
+    "clamp": "y(1:n)=min(max(x(1:n),lo),hi);",
+    "fir-filter":
+        "y(1:size(x,1)-taps+1)=y(1:size(x,1)-taps+1)+"
+        "(h(1:taps)'*x(repmat(1:size(x,1)-taps+1,taps,1)"
+        "+repmat((1:taps)',1,size(x,1)-taps+1)-1))';",
+}
+
+#: Workloads whose output keeps a loop; golden is a fragment that must
+#: appear plus the loop header that must survive.
+PARTIAL_GOLDENS = {
+    "convolution": ("out(1:size(im,1)-2,1:size(im,2)-2)=", "for di"),
+    "jacobi": ("U((1:size(U,1)-2)+1,(1:size(U,2)-2)+1)=0.25*",
+               "for t"),
+    "mixed": ("b((1:n-1)+1)=x((1:n-1)+1)*3;", "for i"),
+    "recurrence": ("a(i)=a(i-1)*1.1+1;", "for i"),
+}
+
+
+def compact(text: str) -> str:
+    return "".join(text.split())
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_fully_vectorized_golden(name):
+    out = vectorize_source(WORKLOADS[name].source()).source
+    assert GOLDENS[name] in compact(out), out
+    assert "for " not in out, out
+
+
+@pytest.mark.parametrize("name", sorted(PARTIAL_GOLDENS))
+def test_partial_golden(name):
+    fragment, loop_header = PARTIAL_GOLDENS[name]
+    out = vectorize_source(WORKLOADS[name].source()).source
+    assert compact(fragment) in compact(out), out
+    assert loop_header in out, out
+
+
+def test_composite_golden():
+    out = compact(vectorize_source(WORKLOADS["composite"].source()).source)
+    assert compact(
+        "B(2*(1:15),1)=(D(2*(1:15)+size(D,1)*(2*(1:15)-1))"
+        ".*A(2*(1:15)+size(A,1)*(2*(1:15)-1))"
+        "+sum(C(2*(1:15),:)'.*D(:,2*(1:15)),1))';") in out
+    assert compact(
+        "A(2*(1:15),2*(1:15)+1)=B(2*(1:15),ind)*C(ind,2*(1:15)+1)"
+        "+D(2*(1:15)+1,2*(1:15))'-repmat(a(2*(2*(1:15))-1)',1,15);") in out

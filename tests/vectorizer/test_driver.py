@@ -1,0 +1,142 @@
+"""Driver-level tests: recursion into rejected structures, report
+contents, annotation/shape plumbing, idempotence."""
+
+import pytest
+
+from repro import ShapeEnv, Vectorizer, vectorize_source
+from repro.dims.abstract import Dim
+
+
+def compact(text):
+    return "".join(text.split())
+
+
+class TestRecursiveProcessing:
+    def test_inner_loop_of_rejected_outer(self):
+        """The outer loop has an if; its inner clean loop still
+        vectorizes (outer index becomes a sequential scalar)."""
+        out = vectorize_source("""
+%! A(*,*) x(*,1) total(1) n(1) m(1)
+for i=1:n
+  if x(i) > 0
+    total = total + 1;
+  end
+  for j=1:m
+    A(i,j) = x(j)'*2;
+  end
+end
+""").source
+        assert "if " in out
+        assert compact("A(i,1:m)=x(1:m)'*2;") in compact(out)
+
+    def test_loop_inside_while(self):
+        out = vectorize_source("""
+%! y(*,1) x(*,1) n(1) k(1)
+k = 0;
+while k < 3
+  for i=1:n
+    y(i) = x(i)*2;
+  end
+  k = k + 1;
+end
+""").source
+        assert compact("y(1:n)=x(1:n)*2;") in compact(out)
+        assert "while" in out
+
+    def test_loop_inside_if_branch(self):
+        out = vectorize_source("""
+%! y(*,1) x(*,1) n(1) flag(1)
+if flag
+  for i=1:n
+    y(i) = x(i)+1;
+  end
+else
+  y = x;
+end
+""").source
+        assert compact("y(1:n)=x(1:n)+1;") in compact(out)
+
+    def test_two_sibling_loops_reported_separately(self):
+        result = vectorize_source("""
+%! a(1,*) b(1,*) n(1)
+for i=1:n
+  a(i) = i;
+end
+for i=1:n
+  b(i) = a(i)*2;
+end
+""")
+        assert len(result.report.loops) == 2
+        assert all(l.status == "vectorized" for l in result.report.loops)
+
+
+class TestIdempotence:
+    @pytest.mark.parametrize("name", ["histeq", "dot-products",
+                                      "triangular-update"])
+    def test_vectorizing_twice_is_stable(self, name):
+        """Running the vectorizer over its own output changes nothing."""
+        from repro.bench.workloads import WORKLOADS
+
+        once = vectorize_source(WORKLOADS[name].source()).source
+        twice = vectorize_source(once).source
+        assert compact(once) == compact(twice)
+
+
+class TestShapePlumbing:
+    def test_external_shapes_argument(self):
+        env = ShapeEnv({"q": Dim.col(), "w": Dim.col(), "n": Dim.scalar()})
+        result = Vectorizer().vectorize_source("""
+for i=1:n
+  w(i) = q(i)*2;
+end
+""", shapes=env)
+        assert "for " not in result.source
+
+    def test_missing_shapes_block_vectorization(self):
+        result = vectorize_source("""
+for i=1:n
+  w(i) = q(i)*2;
+end
+""")
+        assert "for " in result.source
+        assert "no shape information" in (
+            result.report.loops[0].outcomes[0].reasons[-1])
+
+    def test_annotation_after_loop_is_still_seen(self):
+        # annotations are collected program-wide, not positionally
+        result = vectorize_source("""
+for i=1:n
+  w(i) = q(i)*2;
+end
+%! q(*,1) w(*,1) n(1)
+""")
+        assert "for " not in result.source
+
+
+class TestReportShape:
+    def test_summary_text(self):
+        result = vectorize_source("""
+%! a(1,*) A(*,*) b(1,*) n(1)
+for i=1:n
+  a(i) = A(i,i)*b(i);
+end
+""")
+        summary = result.report.summary()
+        assert "vectorized" in summary
+        assert "diagonal-access" in summary
+
+    def test_no_loops(self):
+        result = vectorize_source("x = 1;\n")
+        assert result.report.summary() == "no loops found"
+        assert result.report.vectorized_loops == 0
+
+    def test_source_round_trips_through_parse(self):
+        from repro.mlang.parser import parse
+
+        result = vectorize_source("""
+%! a(1,*) n(1)
+for i=1:n
+  a(i) = i*i;
+end
+""")
+        assert parse(result.source) == result.program

@@ -1,0 +1,164 @@
+"""Scalar-temporary forward substitution tests."""
+
+import numpy as np
+import pytest
+
+from repro import run_source, vectorize_source
+from repro.runtime.values import values_equal
+from repro.vectorizer.driver import Vectorizer
+
+
+def compact(text):
+    return "".join(text.split())
+
+
+class TestSubstitution:
+    def test_basic_temp_inlined(self):
+        out = vectorize_source("""
+%! x(*,1) y(*,1) c(1) n(1)
+for i=1:n
+  t = 2*x(i) + c;
+  y(i) = t*t;
+end
+""")
+        assert "for " not in out.source
+        assert compact("y(1:n)=(2*x(1:n)+c).*(2*x(1:n)+c);") in \
+            compact(out.source)
+
+    def test_chained_temps(self):
+        out = vectorize_source("""
+%! x(*,1) y(*,1) n(1)
+for i=1:n
+  t = x(i) + 1;
+  u = t*3;
+  y(i) = u - t;
+end
+""")
+        assert "for " not in out.source
+
+    def test_live_after_loop_blocks(self):
+        out = vectorize_source("""
+%! x(*,1) y(*,1) n(1)
+for i=1:n
+  t = x(i) + 1;
+  y(i) = t*2;
+end
+z = t;
+""")
+        assert "for " in out.source
+        assert "t = " in out.source
+
+    def test_rhs_reading_loop_written_array_blocks(self):
+        # t's value depends on b(i), written in the same loop AFTER the
+        # use in some orderings — conservative rule refuses.
+        out = vectorize_source("""
+%! b(1,*) y(1,*) x(1,*) n(1)
+for i=1:n
+  b(i) = x(i)*2;
+  t = b(i) + 1;
+  y(i) = t;
+end
+""")
+        assert "t = " in out.source or "for " in out.source
+
+    def test_impure_rhs_blocks(self):
+        out = vectorize_source("""
+%! y(*,1) n(1)
+for i=1:n
+  t = rand(1);
+  y(i) = t*2;
+end
+""")
+        assert "for " in out.source
+
+    def test_double_definition_blocks(self):
+        out = vectorize_source("""
+%! x(*,1) y(*,1) n(1)
+for i=1:n
+  t = x(i);
+  t = t + 1;
+  y(i) = t;
+end
+""")
+        assert "for " in out.source
+
+    def test_use_before_def_blocks(self):
+        # y(i) reads the PREVIOUS iteration's t: substitution would be
+        # wrong, so the loop stays sequential.
+        source = """
+%! x(*,1) y(*,1) n(1)
+t = 100;
+for i=1:n
+  y(i) = t;
+  t = x(i);
+end
+"""
+        out = vectorize_source(source)
+        assert "for " in out.source
+
+    def test_disabled_via_option(self):
+        source = """
+%! x(*,1) y(*,1) n(1)
+for i=1:n
+  t = x(i)*2;
+  y(i) = t;
+end
+"""
+        off = Vectorizer(scalar_temps=False).vectorize_source(source)
+        assert "for " in off.source
+        on = Vectorizer(scalar_temps=True).vectorize_source(source)
+        assert "for " not in on.source
+
+    def test_nested_loop_temp(self):
+        out = vectorize_source("""
+%! A(*,*) B(*,*) n(1) m(1)
+for i=1:n
+  for j=1:m
+    t = B(i,j)*2;
+    A(i,j) = t + 1;
+  end
+end
+""")
+        assert "for " not in out.source
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("source,outputs", [
+        ("""
+%! x(*,1) y(*,1) c(1) n(1)
+for i=1:n
+  t = 2*x(i) + c;
+  y(i) = t*t;
+end
+""", ["y"]),
+        ("""
+%! x(*,1) y(*,1) n(1)
+for i=1:n
+  t = x(i) + 1;
+  u = t*3;
+  y(i) = u - t;
+end
+""", ["y"]),
+        ("""
+%! x(*,1) y(*,1) n(1)
+t = 100;
+for i=1:n
+  y(i) = t;
+  t = x(i);
+end
+z = t;
+""", ["y", "z", "t"]),
+    ])
+    def test_matches_loop_semantics(self, source, outputs):
+        result = vectorize_source(source)
+        rng = np.random.default_rng(8)
+        env = {
+            "x": np.asfortranarray(rng.random((6, 1))),
+            "y": np.asfortranarray(np.zeros((6, 1))),
+            "c": 0.5,
+            "n": 6.0,
+        }
+        base = run_source(source, env=dict(env))
+        vect = run_source(result.source, env=dict(env))
+        for name in outputs:
+            assert values_equal(base[name], vect[name])

@@ -1,0 +1,157 @@
+"""Transpose-distribution tests (§2.2's "later optimization")."""
+
+import numpy as np
+import pytest
+
+from repro import run_source, vectorize_source
+from repro.mlang.parser import parse_expr, parse_stmt
+from repro.mlang.printer import expr_to_source, to_source
+from repro.runtime.values import values_equal
+from repro.vectorizer.simplify import simplify_transposes, transpose_count
+
+
+def simp(source: str) -> str:
+    return expr_to_source(simplify_transposes(parse_expr(source)))
+
+
+class TestRules:
+    def test_involution(self):
+        assert simp("(A')'") == "A"
+
+    def test_triple(self):
+        assert simp("((A')')'") == "A'"
+
+    def test_literal_transpose(self):
+        assert simp("(3)'") == "3"
+
+    def test_distribute_over_add_when_cheaper(self):
+        assert simp("(B+C')'") == "B'+C"
+
+    def test_no_distribution_when_not_cheaper(self):
+        assert simp("(B+C)'") == "(B+C)'"
+
+    def test_distribute_elementwise(self):
+        assert simp("(B'.*C')'") == "B.*C"
+
+    def test_negation(self):
+        assert simp("(-(A'))'") == "-A"
+
+    def test_matmul_reversal_when_cheaper(self):
+        assert simp("(A'*B)'") == "B'*A"
+
+    def test_matmul_no_reversal_when_not_cheaper(self):
+        assert simp("(A*B)'") == "(A*B)'"
+
+    def test_nested_fixpoint(self):
+        assert simp("((B+C')'+D')'") == "B+C'-D" or \
+            simp("((B+C')'+D')'") == "(B'+C)'+D" or \
+            transpose_count(simplify_transposes(
+                parse_expr("((B+C')'+D')'"))) <= 2
+
+    def test_count_never_increases(self):
+        for source in ["(B+C)'", "(A*B)'", "A'+B", "(A'+B')'",
+                       "((x')'+y)'", "(A.*B')'"]:
+            tree = parse_expr(source)
+            simplified = simplify_transposes(tree)
+            assert transpose_count(simplified) <= transpose_count(tree)
+
+    def test_untouched_tree_shared(self):
+        tree = parse_expr("a+b")
+        assert simplify_transposes(tree) is tree
+
+
+class TestPaperExample:
+    SOURCE = """
+%! A(*,*) B(*,*) C(*,*) m(1) n(1)
+for i=1:m
+  for j=1:n
+    A(i,j)=B(j,i)+C(i,j);
+  end
+end
+"""
+
+    def test_section22_simplified_form(self):
+        """The exact simplification the paper names:
+        (B'+C')' distributing to B'+C."""
+        out = vectorize_source(self.SOURCE, simplify=True).source
+        assert "".join(out.split()).endswith(
+            "A(1:m,1:n)=B(1:n,1:m)'+C(1:m,1:n);")
+
+    def test_plain_form_untouched_without_flag(self):
+        out = vectorize_source(self.SOURCE).source
+        assert "(B(1:n, 1:m)+C(1:m, 1:n)')'" in out
+
+    def test_simplified_still_equivalent(self):
+        rng = np.random.default_rng(0)
+        env = {
+            "B": np.asfortranarray(rng.random((5, 4))),
+            "C": np.asfortranarray(rng.random((4, 5))),
+            "m": 4.0,
+            "n": 5.0,
+        }
+        base = run_source(self.SOURCE, env=dict(env))
+        vect = run_source(vectorize_source(self.SOURCE,
+                                           simplify=True).source,
+                          env=dict(env))
+        assert values_equal(base["A"], vect["A"])
+
+
+class TestSimplifyOnCorpus:
+    @pytest.mark.parametrize("name", ["composite", "quad-nest",
+                                      "row-col-add", "dot-products"])
+    def test_equivalence_preserved(self, name):
+        from repro.bench.workloads import WORKLOADS
+        from repro.bench.harness import _copy_env
+        from repro.mlang.parser import parse
+        from repro.runtime.interp import Interpreter
+
+        workload = WORKLOADS[name]
+        source = workload.source()
+        result = vectorize_source(source, simplify=True)
+        env = workload.env(scale="tiny", seed=17)
+        base = Interpreter(seed=0).run(parse(source), env=_copy_env(env))
+        vect = Interpreter(seed=0).run(result.program, env=_copy_env(env))
+        for output in workload.outputs:
+            assert values_equal(base[output], vect[output])
+
+
+class TestConstantFolding:
+    def _fold(self, source):
+        from repro.mlang.parser import parse_expr
+        from repro.mlang.printer import expr_to_source
+        from repro.vectorizer.simplify import fold_constants
+
+        return expr_to_source(fold_constants(parse_expr(source)))
+
+    def test_literal_arithmetic(self):
+        assert self._fold("2+3") == "5"
+        assert self._fold("2*3-1") == "5"
+
+    def test_additive_zero(self):
+        assert self._fold("x+0") == "x"
+        assert self._fold("0+x") == "x"
+        assert self._fold("x-0") == "x"
+
+    def test_unit_factor(self):
+        assert self._fold("1*x") == "x"
+        assert self._fold("x*1") == "x"
+        assert self._fold("x/1") == "x"
+
+    def test_literal_tail_merge(self):
+        assert self._fold("(x+1)-1") == "x"
+        assert self._fold("(x+1)+1") == "x+2"
+        assert self._fold("(x-2)+1") == "x-1"
+
+    def test_zero_times_matrix_not_folded(self):
+        # 0*A is a zero MATRIX; folding to scalar 0 would change shapes.
+        assert self._fold("0*A") == "0*A"
+
+    def test_subscript_cleanup(self):
+        assert self._fold("U((1:n)+1-1, j)") == "U(1:n, j)"
+
+    def test_untouched_shared(self):
+        from repro.mlang.parser import parse_expr
+        from repro.vectorizer.simplify import fold_constants
+
+        tree = parse_expr("a+b")
+        assert fold_constants(tree) is tree

@@ -1,0 +1,63 @@
+"""Property: the simplification passes preserve runtime semantics.
+
+Random expressions over a fixed workspace are evaluated before and
+after ``fold_constants`` + ``simplify_transposes``; the results must be
+identical (or both raise the same class of MATLAB error).
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.errors import MatlabRuntimeError
+from repro.mlang.parser import parse_expr
+from repro.runtime.interp import Interpreter
+from repro.runtime.values import values_equal
+from repro.vectorizer.simplify import fold_constants, simplify_transposes
+
+_LEAVES = st.sampled_from(["r", "c", "M", "N", "s", "2", "0", "1"])
+_OPS = st.sampled_from(["+", "-", ".*", "*", "./"])
+
+
+def _exprs(depth):
+    leaf = _LEAVES
+    if depth == 0:
+        return leaf
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(lambda a, op, b: f"({a}{op}{b})", sub, _OPS, sub),
+        st.builds(lambda a: f"({a})'", sub),
+        st.builds(lambda a: f"(-({a}))", sub),
+    )
+
+
+def _workspace():
+    rng = np.random.default_rng(23)
+    return {
+        "r": np.asfortranarray(rng.random((1, 4)) + 0.5),
+        "c": np.asfortranarray(rng.random((4, 1)) + 0.5),
+        "M": np.asfortranarray(rng.random((4, 4)) + 0.5),
+        "N": np.asfortranarray(rng.random((4, 4)) + 0.5),
+        "s": 1.5,
+    }
+
+
+def _evaluate(tree):
+    interp = Interpreter(seed=0)
+    try:
+        return ("ok", interp.eval(tree, _workspace()))
+    except MatlabRuntimeError:
+        return ("error", None)
+
+
+@settings(max_examples=250, deadline=None)
+@given(_exprs(3))
+def test_simplify_preserves_value(source):
+    tree = parse_expr(source)
+    simplified = simplify_transposes(fold_constants(tree))
+    before = _evaluate(tree)
+    after = _evaluate(simplified)
+    assert before[0] == after[0], source
+    if before[0] == "ok":
+        assert values_equal(before[1], after[1]), source

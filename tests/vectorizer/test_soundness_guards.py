@@ -1,0 +1,156 @@
+"""Regression tests for soundness guards beyond the paper's text."""
+
+import numpy as np
+import pytest
+
+from repro import run_source, vectorize_source
+from repro.runtime.values import values_equal
+
+
+class TestImpureFunctions:
+    def test_rand_call_not_hoisted(self):
+        """rand(1) per iteration must not become one rand(1) for all."""
+        out = vectorize_source("""
+%! x(*,1) n(1)
+for i=1:n
+  x(i) = rand(1) + 1;
+end
+""")
+        assert "for " in out.source
+
+    def test_randn_not_hoisted(self):
+        out = vectorize_source("""
+%! x(*,1) n(1)
+for i=1:n
+  x(i) = 2*randn(1, 1);
+end
+""")
+        assert "for " in out.source
+
+    def test_pure_call_still_hoistable(self):
+        out = vectorize_source("""
+%! x(*,1) y(*,1) A(*,*) n(1)
+for i=1:n
+  y(i) = x(i)*size(A, 1);
+end
+""")
+        assert "for " not in out.source
+
+    def test_loop_with_disp_left_alone(self):
+        out = vectorize_source("""
+%! x(*,1) n(1)
+for i=1:n
+  disp(x(i));
+end
+""")
+        assert "for " in out.source
+
+
+class TestNonlinearReductionGuards:
+    def test_power_of_matmul_reduction_not_pushed_through(self):
+        """Σ_k (A(i,k)x(k))² ≠ (Σ_k A(i,k)x(k))² — must stay sequential
+        (over k) rather than reduce inside the power."""
+        source = """
+%! s(*,1) A(*,*) x(*,1) n(1) m(1)
+for i=1:n
+  for k=1:m
+    s(i) = s(i) + (A(i,k)*x(k))^2;
+  end
+end
+"""
+        result = vectorize_source(source)
+        rng = np.random.default_rng(0)
+        env = {
+            "s": np.asfortranarray(np.zeros((4, 1))),
+            "A": np.asfortranarray(rng.random((4, 3))),
+            "x": np.asfortranarray(rng.random((3, 1))),
+            "n": 4.0,
+            "m": 3.0,
+        }
+        base = run_source(source, env=dict(env))
+        vect = run_source(result.source, env=dict(env))
+        assert values_equal(base["s"], vect["s"])
+
+    def test_division_by_reduced_value_rejected(self):
+        """Σ_k (a_i / b_k) ≠ a_i / Σ_k b_k."""
+        source = """
+%! s(*,1) a(*,1) b(*,1) n(1) m(1)
+for i=1:n
+  for k=1:m
+    s(i) = s(i) + a(i)/b(k);
+  end
+end
+"""
+        result = vectorize_source(source)
+        rng = np.random.default_rng(1)
+        env = {
+            "s": np.asfortranarray(np.zeros((4, 1))),
+            "a": np.asfortranarray(rng.random((4, 1))),
+            "b": np.asfortranarray(rng.random((3, 1)) + 1.0),
+            "n": 4.0,
+            "m": 3.0,
+        }
+        base = run_source(source, env=dict(env))
+        vect = run_source(result.source, env=dict(env))
+        assert values_equal(base["s"], vect["s"])
+
+    def test_same_var_reduced_twice_rejected(self):
+        """(Σ_k a_k)·(Σ_k b_k) ≠ Σ_k a_k b_k — disjoint-ρ requirement."""
+        source = """
+%! s(1) a(*,1) b(*,1) A(*,*) m(1)
+for k=1:m
+  s = s + (A(1,k)*a(k))*(A(2,k)*b(k));
+end
+"""
+        result = vectorize_source(source)
+        rng = np.random.default_rng(2)
+        env = {
+            "s": 0.0,
+            "a": np.asfortranarray(rng.random((3, 1))),
+            "b": np.asfortranarray(rng.random((3, 1))),
+            "A": np.asfortranarray(rng.random((2, 3))),
+            "m": 3.0,
+        }
+        base = run_source(source, env=dict(env))
+        vect = run_source(result.source, env=dict(env))
+        assert values_equal(base["s"], vect["s"])
+
+
+class TestOrderingGuards:
+    def test_anti_dependence_statement_order(self):
+        """c reads the OLD b: the vectorized statements must keep c's
+        read before b's write."""
+        source = """
+%! a(1,*) b(1,*) c(1,*) n(1)
+b = 1:6;
+for i=1:6
+  c(i) = b(i)+1;
+  b(i) = a(i)*2;
+end
+"""
+        result = vectorize_source(source)
+        rng = np.random.default_rng(3)
+        env = {"a": np.asfortranarray(rng.random((1, 6)))}
+        base = run_source(source, env=dict(env))
+        vect = run_source(result.source, env=dict(env))
+        assert values_equal(base["c"], vect["c"])
+        assert values_equal(base["b"], vect["b"])
+
+    def test_flow_into_later_loop(self):
+        """A vectorized first loop must still feed a second loop."""
+        source = """
+%! x(1,*) y(1,*) z(1,*) n(1)
+x = 1:5;
+n = 5;
+for i=1:n
+  y(i) = x(i)*2;
+end
+for i=1:n
+  z(i) = y(i)+1;
+end
+"""
+        result = vectorize_source(source)
+        base = run_source(source)
+        vect = run_source(result.source)
+        assert values_equal(base["z"], vect["z"])
+        assert "for " not in result.source

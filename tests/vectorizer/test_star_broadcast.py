@@ -1,0 +1,105 @@
+"""Scale-broadcast patterns: per-iteration scalars across data extents.
+
+These extend Table 2's broadcast row to accesses like ``B(:,j)*c(j)``
+(column scaling) where one operand spans a data (``*``) dimension and
+the other is a per-iteration scalar.
+"""
+
+import numpy as np
+import pytest
+
+from repro import run_source, vectorize_source
+from repro.runtime.values import values_equal
+
+RNG = np.random.default_rng(11)
+
+
+def env_mats():
+    return {
+        "A": np.asfortranarray(np.zeros((4, 3))),
+        "B": np.asfortranarray(RNG.random((4, 3))),
+        "c": np.asfortranarray(RNG.random((3, 1))),
+        "r": np.asfortranarray(RNG.random((4, 1))),
+        "n": 3.0,
+        "m": 4.0,
+    }
+
+
+def check(source, output="A"):
+    result = vectorize_source(source)
+    assert "for " not in result.source, result.source
+    env = env_mats()
+
+    def cp():
+        return {k: (v.copy(order="F") if isinstance(v, np.ndarray) else v)
+                for k, v in env.items()}
+
+    base = run_source(source, env=cp())
+    vect = run_source(result.source, env=cp())
+    assert values_equal(base[output], vect[output]), result.source
+    return result
+
+
+class TestColumnScaling:
+    def test_multiply(self):
+        result = check("""
+%! A(*,*) B(*,*) c(*,1) n(1)
+for j=1:n
+  A(:,j) = B(:,j)*c(j);
+end
+""")
+        assert "repmat" in result.source
+
+    def test_add_offset(self):
+        check("""
+%! A(*,*) B(*,*) c(*,1) n(1)
+for j=1:n
+  A(:,j) = B(:,j) + c(j);
+end
+""")
+
+    def test_divide(self):
+        check("""
+%! A(*,*) B(*,*) c(*,1) n(1)
+for j=1:n
+  A(:,j) = B(:,j)/c(j);
+end
+""")
+
+    def test_scalar_on_left(self):
+        check("""
+%! A(*,*) B(*,*) c(*,1) n(1)
+for j=1:n
+  A(:,j) = c(j)*B(:,j);
+end
+""")
+
+
+class TestRowScaling:
+    def test_multiply_rows(self):
+        check("""
+%! A(*,*) B(*,*) r(*,1) m(1)
+for i=1:m
+  A(i,:) = B(i,:)*r(i);
+end
+""")
+
+    def test_subtract_row_offset(self):
+        check("""
+%! A(*,*) B(*,*) r(*,1) m(1)
+for i=1:m
+  A(i,:) = B(i,:) - r(i);
+end
+""")
+
+
+class TestPatternAttribution:
+    def test_reports_scale_pattern(self):
+        result = check("""
+%! A(*,*) B(*,*) c(*,1) n(1)
+for j=1:n
+  A(:,j) = B(:,j)*c(j);
+end
+""")
+        used = result.report.loops[0].outcomes[0].patterns
+        assert any(name.startswith("broadcast-scale") for name in used)
