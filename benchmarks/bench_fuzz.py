@@ -1,0 +1,14 @@
+"""Fuzz-oracle throughput: programs/sec through the full differential
+pipeline (generate → interpret → vectorize → interpret → NumPy ×2 →
+compare).  Tracked so regressions in any stage show up as a rate drop."""
+
+from repro.bench.fuzzbench import format_fuzz_row, measure_fuzz_throughput
+
+
+def bench_fuzz_throughput(benchmark):
+    result = benchmark.pedantic(
+        measure_fuzz_throughput, kwargs={"n": 25, "seed": 0},
+        rounds=2, iterations=1)
+    assert result.mismatches == 0
+    print()
+    print(format_fuzz_row(result))

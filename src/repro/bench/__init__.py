@@ -1,5 +1,10 @@
 """Benchmark harness: workloads, timing, paper-style reports."""
 
+from .fuzzbench import (  # noqa: F401
+    FuzzThroughput,
+    format_fuzz_row,
+    measure_fuzz_throughput,
+)
 from .harness import (  # noqa: F401
     ABLATIONS,
     AblationRow,

@@ -1,0 +1,48 @@
+"""Fuzz throughput as a tracked benchmark metric.
+
+The differential oracle is the safety net every perf/refactor PR runs
+against, so its own throughput (programs/sec oracled end-to-end:
+generate → interpret → vectorize → interpret → NumPy ×2 → compare)
+matters.  This module measures it the same way the harness measures
+workload speedups, and renders a row alongside the paper-style tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fuzz.campaign import run_campaign
+
+
+@dataclass
+class FuzzThroughput:
+    """One fuzz-throughput measurement."""
+
+    programs: int
+    seed: int
+    elapsed: float
+    mismatches: int
+
+    @property
+    def programs_per_sec(self) -> float:
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.programs / self.elapsed
+
+
+def measure_fuzz_throughput(n: int = 50, seed: int = 0) -> FuzzThroughput:
+    """Oracle ``n`` generated programs and report the rate."""
+    result = run_campaign(n, seed=seed)
+    return FuzzThroughput(programs=result.total, seed=seed,
+                          elapsed=result.elapsed,
+                          mismatches=len(result.mismatches))
+
+
+def format_fuzz_row(measurement: FuzzThroughput) -> str:
+    """Render a measurement in the harness's table style."""
+    status = ("ok" if measurement.mismatches == 0
+              else f"{measurement.mismatches} MISMATCH(ES)")
+    return (f"{'fuzz-oracle':<20} {'n=' + str(measurement.programs):<26} "
+            f"{measurement.elapsed:>14.4f} "
+            f"{measurement.programs_per_sec:>14.1f}/s "
+            f"{status:>12}")

@@ -9,6 +9,7 @@ Usage::
                                  #   compare workspaces, print timings
     mvec input.m --emit-python   # print the NumPy-backend translation
     mvec input.m --no-patterns --no-transposes ...   # ablations
+    mvec fuzz --n 500 --seed 0   # differential-equivalence fuzzing
 """
 
 from __future__ import annotations
@@ -20,7 +21,6 @@ import time
 from .errors import ReproError
 from .mlang.parser import parse
 from .runtime.interp import Interpreter
-from .runtime.values import values_equal
 from .translate.numpy_backend import translate_source
 from .vectorizer.checker import CheckOptions
 from .vectorizer.driver import Vectorizer
@@ -66,7 +66,64 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mvec fuzz",
+        description="Differential-equivalence fuzzing: generate random "
+                    "well-formed MATLAB, run it through the interpreter, "
+                    "the vectorizer, and the NumPy backend, and verify "
+                    "all routes agree.")
+    parser.add_argument("--n", type=int, default=100,
+                        help="number of programs to generate (default 100)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    parser.add_argument("--shrink", action="store_true",
+                        help="minimize mismatching programs and write "
+                             "reproducers to --corpus-dir")
+    parser.add_argument("--corpus-dir", default="tests/fuzz_corpus",
+                        help="where --shrink writes reproducers "
+                             "(default tests/fuzz_corpus)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the progress line")
+    return parser
+
+
+def _fuzz_main(argv: list[str]) -> int:
+    from .fuzz import run_campaign
+
+    parser = build_fuzz_parser()
+    args = parser.parse_args(argv)
+    if args.n < 0:
+        parser.error(f"--n must be >= 0, got {args.n}")
+
+    def progress(done: int, total: int) -> None:
+        if not args.quiet and (done % 100 == 0 or done == total):
+            print(f"mvec fuzz: {done}/{total}", file=sys.stderr)
+
+    from pathlib import Path
+
+    result = run_campaign(args.n, seed=args.seed, shrink=args.shrink,
+                          corpus_dir=Path(args.corpus_dir) if args.shrink
+                          else None,
+                          progress=progress)
+    print(result.summary(), file=sys.stderr)
+    for mismatch in result.mismatches:
+        print(f"--- mismatch at index {mismatch.index} ---",
+              file=sys.stderr)
+        print(mismatch.report.describe(), file=sys.stderr)
+        if mismatch.shrunk_source:
+            print("--- shrunken reproducer ---", file=sys.stderr)
+            print(mismatch.shrunk_source, end="", file=sys.stderr)
+        if mismatch.reproducer:
+            print(f"--- written to {mismatch.reproducer}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        return _fuzz_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.input == "-":
         source = sys.stdin.read()
@@ -121,6 +178,8 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run_both(original: str, vectorized: str, seed: int) -> int:
+    from .fuzz.oracle import comparable_names, diff_workspaces
+
     programs = {"original": parse(original),
                 "vectorized": parse(vectorized)}
     outputs = {}
@@ -134,12 +193,17 @@ def _run_both(original: str, vectorized: str, seed: int) -> int:
         elapsed = time.perf_counter() - start
         print(f"--- {label}: {elapsed:.4f} s", file=sys.stderr)
     base, vect = outputs["original"], outputs["vectorized"]
-    diverging = [
-        name for name in sorted(set(base) & set(vect))
-        if not values_equal(base[name], vect[name])
-    ]
-    if diverging:
-        print(f"mvec: outputs diverge: {diverging}", file=sys.stderr)
+    # Compare every observable output of the original program — a
+    # variable the vectorized run *lost* counts as divergence, not just
+    # values that differ (loop indices and forward-substituted scalar
+    # temporaries are legitimately absent and excluded).
+    names = comparable_names(programs["original"])
+    divergences = diff_workspaces(base, vect, names, "vectorized")
+    if divergences:
+        print(f"mvec: outputs diverge: "
+              f"{[d.variable for d in divergences]}", file=sys.stderr)
+        for divergence in divergences:
+            print(f"mvec:   {divergence}", file=sys.stderr)
         return 1
     print("--- workspaces match", file=sys.stderr)
     return 0

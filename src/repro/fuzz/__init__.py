@@ -1,0 +1,48 @@
+"""Differential-equivalence fuzzing for the vectorizer.
+
+The subsystem has three parts, mirroring classic compiler fuzzers:
+
+* :mod:`repro.fuzz.generator` — a seeded, shape-aware program generator
+  that emits random-but-well-formed loop-based MATLAB over the grammar
+  the vectorizer supports (pointwise ops, dot products, broadcasts,
+  diagonal access, additive reductions, nested loops, ``if`` guards);
+* :mod:`repro.fuzz.oracle` — runs each program through the interpreter,
+  through ``vectorize_source`` + the interpreter, and through the
+  NumPy backend, and compares final workspaces;
+* :mod:`repro.fuzz.shrink` — a delta-debugging shrinker that minimizes
+  any mismatching program to a small reproducer.
+
+:mod:`repro.fuzz.campaign` drives the three together; the CLI exposes
+it as ``mvec fuzz --n 500 --seed S [--shrink]``.
+"""
+
+from .campaign import CampaignResult, run_campaign
+from .generator import GeneratedProgram, ProgramGenerator
+from .oracle import (
+    ATOL,
+    RTOL,
+    Divergence,
+    OracleReport,
+    comparable_names,
+    diff_workspaces,
+    loop_index_vars,
+    run_oracle,
+)
+from .shrink import shrink_source, write_reproducer
+
+__all__ = [
+    "ATOL",
+    "RTOL",
+    "CampaignResult",
+    "Divergence",
+    "GeneratedProgram",
+    "OracleReport",
+    "ProgramGenerator",
+    "comparable_names",
+    "diff_workspaces",
+    "loop_index_vars",
+    "run_campaign",
+    "run_oracle",
+    "shrink_source",
+    "write_reproducer",
+]

@@ -1,0 +1,92 @@
+"""Campaign driver: generate → oracle → (optionally) shrink, at scale.
+
+``run_campaign(n, seed)`` oracles ``n`` generated programs and returns
+aggregate statistics, including throughput (programs/sec oracled) so
+the bench harness can track fuzzing speed as a first-class metric.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from .generator import ProgramGenerator
+from .oracle import ATOL, RTOL, OracleReport, run_oracle
+from .shrink import shrink_source, write_reproducer
+
+
+@dataclass
+class Mismatch:
+    """One failing program, with its (optional) shrunken reproducer."""
+
+    index: int
+    report: OracleReport
+    shrunk_source: Optional[str] = None
+    reproducer: Optional[Path] = None
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of one fuzzing campaign."""
+
+    total: int
+    seed: int
+    elapsed: float
+    mismatches: list[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def programs_per_sec(self) -> float:
+        return self.total / self.elapsed if self.elapsed > 0 else float("inf")
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.mismatches)} MISMATCH(ES)"
+        return (f"fuzz: {self.total} programs, seed {self.seed}, "
+                f"{self.elapsed:.2f} s "
+                f"({self.programs_per_sec:.1f} programs/sec) — {verdict}")
+
+
+def run_campaign(n: int, seed: int = 0, shrink: bool = False,
+                 corpus_dir: Optional[Path] = None,
+                 rtol: float = RTOL, atol: float = ATOL,
+                 vectorizer: Optional[Callable] = None,
+                 progress: Optional[Callable[[int, int], None]] = None
+                 ) -> CampaignResult:
+    """Oracle ``n`` generated programs.
+
+    ``shrink`` minimizes each mismatching program; ``corpus_dir``
+    additionally writes the shrunken reproducer there (named
+    ``fuzz_seed<seed>_<index>.m``).  ``vectorizer`` is injectable for
+    tests.  ``progress(done, total)`` is called after each program.
+    """
+    generator = ProgramGenerator(seed)
+    mismatches: list[Mismatch] = []
+    start = time.perf_counter()
+    for index in range(n):
+        program = generator.generate(index)
+        report = run_oracle(program.source, outputs=program.outputs,
+                            rtol=rtol, atol=atol, vectorizer=vectorizer)
+        if not report.ok:
+            mismatch = Mismatch(index=index, report=report)
+            if shrink:
+                mismatch.shrunk_source = shrink_source(
+                    program.source, outputs=program.outputs,
+                    rtol=rtol, atol=atol, vectorizer=vectorizer)
+                if corpus_dir is not None:
+                    shrunk_report = run_oracle(
+                        mismatch.shrunk_source, outputs=program.outputs,
+                        rtol=rtol, atol=atol, vectorizer=vectorizer)
+                    mismatch.reproducer = write_reproducer(
+                        corpus_dir, mismatch.shrunk_source, shrunk_report,
+                        f"fuzz_seed{seed}_{index}")
+            mismatches.append(mismatch)
+        if progress is not None:
+            progress(index + 1, n)
+    elapsed = time.perf_counter() - start
+    return CampaignResult(total=n, seed=seed, elapsed=elapsed,
+                          mismatches=mismatches)

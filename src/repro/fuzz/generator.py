@@ -1,0 +1,427 @@
+"""Seeded, shape-aware random MATLAB program generator.
+
+Programs are *well-formed by construction*: the builder tracks a
+concrete shape for every variable it declares, emits a self-contained
+literal prelude (so the oracle needs no external workspace), and writes
+a ``%!`` annotation line declaring each variable's abstract
+dimensionality — exactly the shape information the paper's vectorizer
+consumes (§4).
+
+Each program is assembled from 1–3 *templates* drawn from the grammar
+the vectorizer targets:
+
+* pointwise vector/matrix loops (with optional scalar temporaries,
+  non-unit strides, and broadcast reads ``u(i)`` / ``v(j)``);
+* per-row dot products and matrix-vector products (Table 2 pattern 1);
+* diagonal accesses ``A(i,i)`` (Table 2 pattern 3);
+* additive reductions, scalar and accumulating nests;
+* loop-carried recurrences and ``if`` guards — programs the vectorizer
+  must *safely decline*, which the oracle still checks end-to-end.
+
+Numeric literals are multiples of 1/32 in [-2, 2] so every value is
+exactly representable in binary floating point; divisors are drawn from
+a nonzero pool.  All randomness comes from one ``random.Random`` seeded
+from ``(seed, index)``, so a campaign is reproducible program by
+program.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..mlang.ast_nodes import (
+    Annotation,
+    Apply,
+    Assign,
+    BinOp,
+    Colon,
+    Expr,
+    For,
+    Ident,
+    If,
+    Matrix,
+    Num,
+    Program,
+    Range,
+    Stmt,
+    UnOp,
+    call,
+    num,
+)
+from ..mlang.printer import to_source
+
+
+@dataclass(frozen=True)
+class Shape:
+    """A concrete (rows, cols) shape for a generated variable."""
+
+    rows: int
+    cols: int
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.rows == 1 and self.cols == 1
+
+    @property
+    def annotation(self) -> str:
+        if self.is_scalar:
+            return "(1)"
+        row = "1" if self.rows == 1 else "*"
+        col = "1" if self.cols == 1 else "*"
+        return f"({row},{col})"
+
+
+@dataclass
+class GeneratedProgram:
+    """One generated program plus the metadata the oracle needs."""
+
+    index: int
+    seed: int
+    source: str
+    outputs: tuple[str, ...]
+    program: Program
+
+
+#: Pool of exactly-representable literal magnitudes (multiples of 1/32).
+_VALUE_GRID = [k / 32.0 for k in range(-64, 65)]
+#: Nonzero divisors for ``./`` right-hand sides.
+_DIVISORS = [-2.0, -1.5, -1.0, -0.5, 0.5, 1.0, 1.5, 2.0]
+#: Elementwise builtins guaranteed total over our value range.
+_UNARY_FUNCS = ["sin", "cos", "abs", "exp", "floor", "ceil", "sign"]
+
+
+class _Builder:
+    """Accumulates the prelude, loop statements, and symbol table."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.prelude: list[Stmt] = []
+        self.body: list[Stmt] = []
+        self.shapes: dict[str, Shape] = {}
+        self.outputs: set[str] = set()
+        self.index_names: set[str] = set()
+        self._counter = 0
+
+    # -- names and values ------------------------------------------------
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def fresh_index(self) -> str:
+        name = self.fresh("i")
+        self.index_names.add(name)
+        return name
+
+    def value(self) -> float:
+        return self.rng.choice(_VALUE_GRID)
+
+    # -- declarations ----------------------------------------------------
+
+    def input_var(self, prefix: str, shape: Shape) -> str:
+        """Declare an input initialized from a literal matrix/scalar."""
+        name = self.fresh(prefix)
+        self.shapes[name] = shape
+        if shape.is_scalar:
+            rhs: Expr = Num(self.value())
+        else:
+            rows = [[Num(self.value()) for _ in range(shape.cols)]
+                    for _ in range(shape.rows)]
+            rhs = Matrix(rows)
+        self.prelude.append(Assign(Ident(name), rhs))
+        self.outputs.add(name)
+        return name
+
+    def output_var(self, prefix: str, shape: Shape) -> str:
+        """Declare a zero-initialized result array."""
+        name = self.fresh(prefix)
+        self.shapes[name] = shape
+        self.prelude.append(Assign(
+            Ident(name), call("zeros", num(shape.rows), num(shape.cols))))
+        self.outputs.add(name)
+        return name
+
+    def scalar_var(self, prefix: str, value: float) -> str:
+        name = self.fresh(prefix)
+        self.shapes[name] = Shape(1, 1)
+        self.prelude.append(Assign(Ident(name), Num(value)))
+        self.outputs.add(name)
+        return name
+
+    def bound_var(self, extent: int) -> str:
+        """A scalar loop bound holding a concrete trip count."""
+        return self.scalar_var("n", float(extent))
+
+    # -- element expressions ---------------------------------------------
+
+    def element_expr(self, leaves: list, depth: int) -> Expr:
+        """A random elementwise expression over the given leaf factories."""
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.3:
+            return rng.choice(leaves)()
+        roll = rng.random()
+        if roll < 0.55:
+            op = rng.choice(["+", "-", ".*"])
+            return BinOp(op, self.element_expr(leaves, depth - 1),
+                         self.element_expr(leaves, depth - 1))
+        if roll < 0.70:
+            return BinOp("./", self.element_expr(leaves, depth - 1),
+                         Num(rng.choice(_DIVISORS)))
+        if roll < 0.80:
+            return BinOp(".^", self.element_expr(leaves, depth - 1),
+                         num(rng.choice([2, 3])))
+        if roll < 0.90:
+            return UnOp("-", self.element_expr(leaves, depth - 1))
+        return call(rng.choice(_UNARY_FUNCS),
+                    self.element_expr(leaves, depth - 1))
+
+    def const_leaf(self):
+        """A leaf factory producing a fresh literal each call."""
+        return lambda: Num(self.value())
+
+    # -- assembly ----------------------------------------------------------
+
+    def finish(self, index: int, seed: int) -> GeneratedProgram:
+        annotated = " ".join(
+            f"{name}{shape.annotation}"
+            for name, shape in sorted(self.shapes.items()))
+        stmts: list[Stmt] = [Annotation(annotated)]
+        stmts.extend(self.prelude)
+        stmts.extend(self.body)
+        program = Program(stmts)
+        return GeneratedProgram(index=index, seed=seed,
+                                source=to_source(program),
+                                outputs=tuple(sorted(self.outputs)),
+                                program=program)
+
+
+def _elem(name: str, *subs: Expr) -> Apply:
+    return Apply(Ident(name), list(subs))
+
+
+def _loop(var: str, bound: Expr, body: list[Stmt],
+          start: int = 1, step: int | None = None) -> For:
+    iterator = Range(num(start), bound, num(step) if step else None)
+    return For(var, iterator, body)
+
+
+# ---------------------------------------------------------------------------
+# Templates
+# ---------------------------------------------------------------------------
+
+
+def t_pointwise_vector(b: _Builder) -> None:
+    """``z(i) = f(x(i), y(i), c)`` over a row or column vector, with
+    optional scalar temporaries and non-unit stride."""
+    rng = b.rng
+    n = rng.randint(3, 6)
+    shape = Shape(n, 1) if rng.random() < 0.5 else Shape(1, n)
+    x = b.input_var("x", shape)
+    y = b.input_var("y", shape)
+    z = b.output_var("z", shape)
+    c = b.scalar_var("c", b.value())
+    bound = b.bound_var(n)
+    i = b.fresh_index()
+    leaves = [lambda: _elem(x, Ident(i)), lambda: _elem(y, Ident(i)),
+              lambda: Ident(c), b.const_leaf()]
+    body: list[Stmt]
+    if rng.random() < 0.3:
+        temp = b.fresh("t")
+        b.shapes[temp] = Shape(1, 1)
+        body = [
+            Assign(Ident(temp), b.element_expr(leaves, 2)),
+            Assign(_elem(z, Ident(i)),
+                   BinOp(rng.choice(["+", ".*"]), Ident(temp),
+                         b.element_expr(leaves, 1))),
+        ]
+    else:
+        body = [Assign(_elem(z, Ident(i)), b.element_expr(leaves, 2))]
+    if rng.random() < 0.2:
+        b.body.append(_loop(i, Ident(bound), body, start=2, step=2))
+    else:
+        b.body.append(_loop(i, Ident(bound), body))
+
+
+def t_pointwise_matrix(b: _Builder) -> None:
+    """2-nest pointwise update with optional broadcast reads."""
+    rng = b.rng
+    m, n = rng.randint(2, 5), rng.randint(2, 5)
+    A = b.input_var("A", Shape(m, n))
+    B = b.input_var("B", Shape(m, n))
+    C = b.output_var("C", Shape(m, n))
+    mb = b.bound_var(m)
+    nb = b.bound_var(n)
+    i, j = b.fresh_index(), b.fresh_index()
+    leaves = [lambda: _elem(A, Ident(i), Ident(j)),
+              lambda: _elem(B, Ident(i), Ident(j)), b.const_leaf()]
+    if rng.random() < 0.5:
+        u = b.input_var("u", Shape(m, 1))
+        leaves.append(lambda: _elem(u, Ident(i)))
+    if rng.random() < 0.5:
+        v = b.input_var("v", Shape(1, n))
+        leaves.append(lambda: _elem(v, Ident(j)))
+    stmt = Assign(_elem(C, Ident(i), Ident(j)), b.element_expr(leaves, 2))
+    b.body.append(_loop(i, Ident(mb), [_loop(j, Ident(nb), [stmt])]))
+
+
+def t_dot_product(b: _Builder) -> None:
+    """Table 2 pattern 1: ``a(i) = X(i,:)*Y(:,i)`` (± pointwise tail)."""
+    rng = b.rng
+    n, k = rng.randint(2, 5), rng.randint(2, 5)
+    X = b.input_var("X", Shape(n, k))
+    Y = b.input_var("Y", Shape(k, n))
+    a = b.output_var("a", Shape(1, n))
+    bound = b.bound_var(n)
+    i = b.fresh_index()
+    dot = BinOp("*", _elem(X, Ident(i), Colon()), _elem(Y, Colon(), Ident(i)))
+    rhs: Expr = dot
+    if rng.random() < 0.4:
+        w = b.input_var("w", Shape(1, n))
+        rhs = BinOp(rng.choice(["+", ".*"]), dot, _elem(w, Ident(i)))
+    b.body.append(_loop(i, Ident(bound), [Assign(_elem(a, Ident(i)), rhs)]))
+
+
+def t_matvec(b: _Builder) -> None:
+    """``y(i) = A(i,:)*x`` — whole-row times column vector."""
+    rng = b.rng
+    n, m = rng.randint(2, 5), rng.randint(2, 5)
+    A = b.input_var("A", Shape(n, m))
+    x = b.input_var("x", Shape(m, 1))
+    y = b.output_var("y", Shape(n, 1))
+    bound = b.bound_var(n)
+    i = b.fresh_index()
+    rhs = BinOp("*", _elem(A, Ident(i), Colon()), Ident(x))
+    b.body.append(_loop(i, Ident(bound), [Assign(_elem(y, Ident(i)), rhs)]))
+
+
+def t_diagonal(b: _Builder) -> None:
+    """Table 2 pattern 3: diagonal access ``A(i,i)``."""
+    rng = b.rng
+    n = rng.randint(2, 5)
+    A = b.input_var("A", Shape(n, n))
+    a = b.output_var("d", Shape(1, n))
+    bound = b.bound_var(n)
+    i = b.fresh_index()
+    diag = _elem(A, Ident(i), Ident(i))
+    rhs: Expr = diag
+    if rng.random() < 0.6:
+        v = b.input_var("b", Shape(1, n))
+        rhs = BinOp(rng.choice([".*", "+"]), diag, _elem(v, Ident(i)))
+    b.body.append(_loop(i, Ident(bound), [Assign(_elem(a, Ident(i)), rhs)]))
+
+
+def t_outer_product(b: _Builder) -> None:
+    """``P(i,j) = u(i)*v(j)`` — 2-nest outer product."""
+    rng = b.rng
+    m, n = rng.randint(2, 5), rng.randint(2, 5)
+    u = b.input_var("u", Shape(m, 1))
+    v = b.input_var("v", Shape(1, n))
+    P = b.output_var("P", Shape(m, n))
+    mb, nb = b.bound_var(m), b.bound_var(n)
+    i, j = b.fresh_index(), b.fresh_index()
+    rhs = BinOp(".*", _elem(u, Ident(i)), _elem(v, Ident(j)))
+    stmt = Assign(_elem(P, Ident(i), Ident(j)), rhs)
+    b.body.append(_loop(i, Ident(mb), [_loop(j, Ident(nb), [stmt])]))
+
+
+def t_reduction(b: _Builder) -> None:
+    """Scalar additive reduction ``s = s + f(x(i))``."""
+    rng = b.rng
+    n = rng.randint(3, 6)
+    x = b.input_var("x", Shape(n, 1))
+    s = b.scalar_var("s", 0.0)
+    bound = b.bound_var(n)
+    i = b.fresh_index()
+    leaves = [lambda: _elem(x, Ident(i)), b.const_leaf()]
+    if rng.random() < 0.5:
+        y = b.input_var("y", Shape(n, 1))
+        leaves.append(lambda: _elem(y, Ident(i)))
+    rhs = BinOp("+", Ident(s), b.element_expr(leaves, 2))
+    b.body.append(_loop(i, Ident(bound), [Assign(Ident(s), rhs)]))
+
+
+def t_accumulating_nest(b: _Builder) -> None:
+    """2-nest reduction ``y(i) = y(i) + A(i,j)*x(j)`` (implicit matvec)."""
+    rng = b.rng
+    n, m = rng.randint(2, 5), rng.randint(2, 5)
+    A = b.input_var("A", Shape(n, m))
+    x = b.input_var("x", Shape(m, 1))
+    y = b.output_var("y", Shape(n, 1))
+    nb, mb = b.bound_var(n), b.bound_var(m)
+    i, j = b.fresh_index(), b.fresh_index()
+    term = BinOp(".*", _elem(A, Ident(i), Ident(j)), _elem(x, Ident(j)))
+    rhs = BinOp("+", _elem(y, Ident(i)), term)
+    stmt = Assign(_elem(y, Ident(i)), rhs)
+    b.body.append(_loop(i, Ident(nb), [_loop(j, Ident(mb), [stmt])]))
+
+
+def t_if_guard(b: _Builder) -> None:
+    """A guarded loop the vectorizer must *safely decline* (§4 screens
+    out control flow), exercised end-to-end by the oracle anyway."""
+    rng = b.rng
+    n = rng.randint(3, 6)
+    x = b.input_var("x", Shape(n, 1))
+    y = b.output_var("y", Shape(n, 1))
+    c = b.scalar_var("c", b.value())
+    bound = b.bound_var(n)
+    i = b.fresh_index()
+    leaves = [lambda: _elem(x, Ident(i)), lambda: Ident(c), b.const_leaf()]
+    cond = BinOp(rng.choice([">", "<", ">=", "<="]),
+                 _elem(x, Ident(i)), Ident(c))
+    then = [Assign(_elem(y, Ident(i)), b.element_expr(leaves, 1))]
+    orelse = [Assign(_elem(y, Ident(i)), b.element_expr(leaves, 1))] \
+        if rng.random() < 0.7 else []
+    b.body.append(_loop(i, Ident(bound), [If([(cond, then)], orelse)]))
+
+
+def t_recurrence(b: _Builder) -> None:
+    """Loop-carried recurrence ``w(i) = w(i-1) + f(x(i))`` — must be
+    left sequential; checks the dependence analysis end-to-end."""
+    rng = b.rng
+    n = rng.randint(3, 6)
+    w = b.input_var("w", Shape(n, 1))
+    x = b.input_var("x", Shape(n, 1))
+    bound = b.bound_var(n)
+    i = b.fresh_index()
+    prev = _elem(w, BinOp("-", Ident(i), num(1)))
+    leaves = [lambda: _elem(x, Ident(i)), b.const_leaf()]
+    rhs = BinOp(rng.choice(["+", ".*"]), prev, b.element_expr(leaves, 1))
+    b.body.append(_loop(i, Ident(bound),
+                        [Assign(_elem(w, Ident(i)), rhs)], start=2))
+
+
+#: Template pool with weights (common shapes drawn more often).
+TEMPLATES: list = [
+    t_pointwise_vector, t_pointwise_vector,
+    t_pointwise_matrix, t_pointwise_matrix,
+    t_dot_product,
+    t_matvec,
+    t_diagonal,
+    t_outer_product,
+    t_reduction,
+    t_accumulating_nest,
+    t_if_guard,
+    t_recurrence,
+]
+
+
+class ProgramGenerator:
+    """Deterministic program factory: ``generate(i)`` depends only on
+    ``(seed, i)``, so any program from a campaign can be regenerated."""
+
+    def __init__(self, seed: int = 0, max_templates: int = 3):
+        self.seed = seed
+        self.max_templates = max_templates
+
+    def generate(self, index: int) -> GeneratedProgram:
+        rng = random.Random(self.seed * 1_000_003 + index)
+        builder = _Builder(rng)
+        for _ in range(rng.randint(1, self.max_templates)):
+            rng.choice(TEMPLATES)(builder)
+        return builder.finish(index, self.seed)
+
+    def programs(self, count: int):
+        """Yield ``count`` programs starting at index 0."""
+        for index in range(count):
+            yield self.generate(index)

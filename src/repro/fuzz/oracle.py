@@ -1,0 +1,254 @@
+"""The equivalence oracle: one program, three execution routes.
+
+Every candidate program is run
+
+1. as written, under :class:`repro.runtime.interp.Interpreter`
+   (the reference semantics);
+2. after ``vectorize_source``, under the same interpreter;
+3. through the :mod:`repro.translate.numpy_backend` compiler — both the
+   original source (exercising the backend's loop emission) and the
+   vectorized source (the paper-pipeline-to-NumPy route).
+
+Final workspaces are compared variable by variable with
+:func:`repro.runtime.values.values_equal` under the documented
+tolerances :data:`RTOL`/:data:`ATOL`.  The tolerances are looser than
+the test-suite default because vectorization legitimately reassociates
+additive reductions (Γ of §3 turns a serial sum into ``sum``/``*``),
+which perturbs floating-point results by a few ulps.
+
+Any crash outside the reference run, and any workspace divergence, is
+reported as a :class:`Divergence`; a crash in the reference run means
+the *generator* emitted an invalid program and is reported under stage
+``interp-original`` so campaigns surface it loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ..errors import ReproError
+from ..mlang.ast_nodes import Apply, Assign, For, Ident, Node, Program
+from ..mlang.parser import parse
+from ..runtime.interp import Interpreter
+from ..runtime.values import values_equal
+from ..translate.numpy_backend import translate_source
+from ..vectorizer.driver import vectorize_source
+
+#: Relative tolerance for workspace comparison (see module docstring).
+RTOL = 1e-9
+#: Absolute tolerance for workspace comparison.
+ATOL = 1e-11
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between two execution routes."""
+
+    stage: str                    # which route disagreed (or crashed)
+    variable: Optional[str]       # workspace variable, None for crashes
+    detail: str
+
+    def __str__(self) -> str:
+        where = f" [{self.variable}]" if self.variable else ""
+        return f"{self.stage}{where}: {self.detail}"
+
+
+@dataclass
+class OracleReport:
+    """The oracle's verdict on one program."""
+
+    source: str
+    outputs: tuple[str, ...]
+    vectorized_source: Optional[str] = None
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def describe(self) -> str:
+        lines = [f"oracle: {len(self.divergences)} divergence(s)"]
+        lines += [f"  {d}" for d in self.divergences]
+        lines.append("--- program ---")
+        lines.append(self.source.rstrip())
+        if self.vectorized_source is not None:
+            lines.append("--- vectorized ---")
+            lines.append(self.vectorized_source.rstrip())
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Workspace comparison helpers (shared with the CLI's --run verifier)
+# ---------------------------------------------------------------------------
+
+
+def loop_index_vars(program: Program) -> set[str]:
+    """Names used as ``for`` index variables anywhere in the program.
+
+    Vectorization deletes loops, so these names legitimately vanish from
+    the vectorized workspace and must not be compared.
+    """
+    return {node.var for node in program.walk() if isinstance(node, For)}
+
+
+def _in_loop_scalar_temps(program: Program) -> set[str]:
+    """Names assigned as bare identifiers inside a loop body whose RHS
+    does not reference themselves.
+
+    These are exactly the per-iteration scalar temporaries the
+    vectorizer may forward-substitute away (self-referencing names are
+    reductions and stay observable).
+    """
+    temps: set[str] = set()
+    keep: set[str] = set()
+
+    def scan(node: Node, in_loop: bool) -> None:
+        if isinstance(node, Assign) and in_loop \
+                and isinstance(node.lhs, Ident):
+            name = node.lhs.name
+            refs = {n.name for n in node.rhs.walk() if isinstance(n, Ident)}
+            (keep if name in refs else temps).add(name)
+        for child in node.children():
+            scan(child, in_loop or isinstance(node, For))
+
+    scan(program, False)
+    return temps - keep
+
+
+def comparable_names(program: Program,
+                     workspace: Optional[dict] = None) -> list[str]:
+    """The workspace variables whose final values are observable program
+    outputs: everything except loop indices and eliminable scalar temps.
+
+    When ``workspace`` is given, restrict to names actually defined in it
+    (a variable assigned only under a never-taken branch never exists).
+    """
+    excluded = loop_index_vars(program) | _in_loop_scalar_temps(program)
+    names: set[str] = set()
+    for node in program.walk():
+        if isinstance(node, Assign):
+            target = node.lhs
+            if isinstance(target, Ident):
+                names.add(target.name)
+            elif isinstance(target, Apply) and isinstance(target.func, Ident):
+                names.add(target.func.name)
+    names -= excluded
+    if workspace is not None:
+        names &= set(workspace)
+    return sorted(names)
+
+
+def diff_workspaces(reference: dict, candidate: dict,
+                    names: Iterable[str], stage: str,
+                    rtol: float = RTOL, atol: float = ATOL
+                    ) -> list[Divergence]:
+    """Compare two final workspaces over ``names``.
+
+    A variable missing from exactly one side is a divergence; missing
+    from both sides is ignored (its defining statement never executed).
+    """
+    out: list[Divergence] = []
+    for name in names:
+        in_ref, in_cand = name in reference, name in candidate
+        if not in_ref and not in_cand:
+            continue
+        if in_ref != in_cand:
+            missing = "candidate" if in_ref else "reference"
+            out.append(Divergence(stage, name,
+                                  f"defined on one side only (missing in "
+                                  f"{missing} run)"))
+            continue
+        if not values_equal(reference[name], candidate[name],
+                            rtol=rtol, atol=atol):
+            out.append(Divergence(
+                stage, name,
+                f"values differ: {_preview(reference[name])} vs "
+                f"{_preview(candidate[name])}"))
+    return out
+
+
+def _preview(value, limit: int = 60) -> str:
+    text = repr(value).replace("\n", " ")
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+# ---------------------------------------------------------------------------
+# The oracle proper
+# ---------------------------------------------------------------------------
+
+
+def _interp(source_or_program, seed: int) -> dict:
+    program = (source_or_program if isinstance(source_or_program, Program)
+               else parse(source_or_program))
+    return Interpreter(seed=seed).run(program, env={})
+
+
+def _numpy_run(source: str, seed: int) -> dict:
+    fn = translate_source(source).compile()
+    return fn(env={}, seed=seed)
+
+
+def run_oracle(source: str, outputs: Optional[Iterable[str]] = None,
+               seed: int = 0, rtol: float = RTOL, atol: float = ATOL,
+               vectorizer: Optional[Callable[[str], object]] = None
+               ) -> OracleReport:
+    """Run ``source`` through every route and compare final workspaces.
+
+    ``outputs`` restricts the comparison to the given variables (the
+    generator passes its declared outputs); when omitted the comparable
+    set is derived from the program itself via :func:`comparable_names`.
+    ``vectorizer`` can replace ``vectorize_source`` (tests inject broken
+    vectorizers to exercise the oracle and shrinker).
+    """
+    report = OracleReport(source=source, outputs=tuple(outputs or ()))
+    vectorize = vectorizer if vectorizer is not None else vectorize_source
+
+    try:
+        program = parse(source)
+        reference = _interp(program, seed)
+    except ReproError as error:
+        report.divergences.append(Divergence(
+            "interp-original", None, f"reference run failed: {error}"))
+        return report
+
+    if outputs is None:
+        names = comparable_names(program)
+    else:
+        names = sorted(outputs)
+    report.outputs = tuple(names)
+
+    try:
+        result = vectorize(source)
+        vectorized_src = result.source
+        report.vectorized_source = vectorized_src
+    except ReproError as error:
+        report.divergences.append(Divergence(
+            "vectorize", None, f"vectorizer raised: {error}"))
+        return report
+    except Exception as error:  # noqa: BLE001 — a crash *is* a finding
+        report.divergences.append(Divergence(
+            "vectorize", None,
+            f"vectorizer crashed: {type(error).__name__}: {error}"))
+        return report
+
+    stages = [
+        ("interp-vectorized", lambda: _interp(vectorized_src, seed)),
+        ("numpy-original", lambda: _numpy_run(source, seed)),
+        ("numpy-vectorized", lambda: _numpy_run(vectorized_src, seed)),
+    ]
+    for stage, runner in stages:
+        try:
+            workspace = runner()
+        except ReproError as error:
+            report.divergences.append(Divergence(
+                stage, None, f"run failed: {error}"))
+            continue
+        except Exception as error:  # noqa: BLE001
+            report.divergences.append(Divergence(
+                stage, None,
+                f"run crashed: {type(error).__name__}: {error}"))
+            continue
+        report.divergences.extend(diff_workspaces(
+            reference, workspace, names, stage, rtol=rtol, atol=atol))
+    return report

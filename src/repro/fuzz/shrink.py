@@ -1,0 +1,205 @@
+"""Delta-debugging shrinker: minimize a mismatching program.
+
+Given a program the oracle flags, repeatedly apply the smallest
+semantics-shrinking edits that *keep the program mismatching*:
+
+* delete any statement, at any nesting depth (loop bodies, ``if``
+  branches) — deleting a whole loop is just deleting its statement;
+* unwrap an ``if`` into one of its branches;
+* flatten literal prelude values to ``1`` (noise reduction so the
+  surviving arithmetic is readable).
+
+Candidates whose *reference* run crashes are rejected (a shrink must
+stay a well-formed program), as are candidates that stop mismatching.
+The greedy loop restarts after every accepted edit and terminates at a
+fixpoint, yielding a local minimum — in practice a handful of lines.
+
+``write_reproducer`` persists the minimized program to
+``tests/fuzz_corpus/`` with a ``%$ outputs:`` header line so the
+regression suite can re-oracle it forever.
+"""
+
+from __future__ import annotations
+
+import copy
+from pathlib import Path
+from typing import Callable, Iterator, Optional
+
+from ..mlang.ast_nodes import (
+    Annotation,
+    Assign,
+    For,
+    Ident,
+    If,
+    Matrix,
+    Num,
+    Program,
+    Stmt,
+)
+from ..mlang.parser import parse
+from ..mlang.printer import to_source
+from .oracle import ATOL, RTOL, OracleReport, run_oracle
+
+
+def _still_failing(source: str, outputs, seed: int, rtol: float,
+                   atol: float, vectorizer) -> bool:
+    report = run_oracle(source, outputs=outputs, seed=seed, rtol=rtol,
+                        atol=atol, vectorizer=vectorizer)
+    if report.ok:
+        return False
+    # A reference crash means the candidate is no longer well-formed.
+    return all(d.stage != "interp-original" for d in report.divergences)
+
+
+def _statement_lists(program: Program) -> Iterator[list[Stmt]]:
+    """Every mutable statement list in the tree, outermost first."""
+
+    def visit(stmts: list[Stmt]) -> Iterator[list[Stmt]]:
+        yield stmts
+        for stmt in stmts:
+            if isinstance(stmt, For):
+                yield from visit(stmt.body)
+            elif isinstance(stmt, If):
+                for _, body in stmt.tests:
+                    yield from visit(body)
+                yield from visit(stmt.orelse)
+
+    yield from visit(program.body)
+
+
+def _variants(program: Program) -> Iterator[Program]:
+    """Candidate one-edit reductions, most aggressive first."""
+    # 1. Statement deletion at every nesting level.
+    for list_index, stmts in enumerate(_statement_lists(program)):
+        for position, stmt in enumerate(stmts):
+            if isinstance(stmt, Annotation):
+                continue
+            clone = copy.deepcopy(program)
+            target = _nth_list(clone, list_index)
+            del target[position]
+            yield clone
+    # 2. If-unwrapping: replace the If with one branch's statements.
+    for list_index, stmts in enumerate(_statement_lists(program)):
+        for position, stmt in enumerate(stmts):
+            if not isinstance(stmt, If):
+                continue
+            branches = [body for _, body in stmt.tests]
+            if stmt.orelse:
+                branches.append(stmt.orelse)
+            for branch_no in range(len(branches)):
+                clone = copy.deepcopy(program)
+                target = _nth_list(clone, list_index)
+                cloned_if = target[position]
+                cloned_branches = [b for _, b in cloned_if.tests]
+                if cloned_if.orelse:
+                    cloned_branches.append(cloned_if.orelse)
+                target[position: position + 1] = cloned_branches[branch_no]
+                yield clone
+    # 3. Literal flattening in the prelude (top-level assigns only).
+    for position, stmt in enumerate(program.body):
+        if not isinstance(stmt, Assign):
+            continue
+        if not isinstance(stmt.rhs, (Matrix, Num)):
+            continue
+        nums = [n for n in stmt.rhs.walk()
+                if isinstance(n, Num) and n.value != 1.0]
+        if not nums:
+            continue
+        clone = copy.deepcopy(program)
+        for node in clone.body[position].rhs.walk():
+            if isinstance(node, Num):
+                node.value = 1.0
+                node.raw = "1"
+        yield clone
+
+
+def _prune_annotations(program: Program) -> Program:
+    """Drop ``%!`` shape declarations for variables no longer present.
+
+    Statement deletion leaves the annotation line naming dead
+    variables; this cleanup keeps the reproducer honest.  Annotations
+    declare space-separated ``name(shape)`` entries.
+    """
+    live = {node.name for node in program.walk() if isinstance(node, Ident)}
+    clone = copy.deepcopy(program)
+    for stmts in _statement_lists(clone):
+        for position in reversed(range(len(stmts))):
+            stmt = stmts[position]
+            if not isinstance(stmt, Annotation):
+                continue
+            kept = [entry for entry in stmt.text.split()
+                    if entry.split("(", 1)[0] in live]
+            if kept:
+                stmt.text = " ".join(kept)
+            else:
+                del stmts[position]
+    return clone
+
+
+def _nth_list(program: Program, index: int) -> list[Stmt]:
+    for k, stmts in enumerate(_statement_lists(program)):
+        if k == index:
+            return stmts
+    raise IndexError(index)
+
+
+def shrink_source(source: str, outputs=None, seed: int = 0,
+                  rtol: float = RTOL, atol: float = ATOL,
+                  vectorizer: Optional[Callable] = None,
+                  max_steps: int = 2000) -> str:
+    """Minimize ``source`` while the oracle keeps reporting a mismatch.
+
+    Returns the minimized source (the input itself if no edit survives).
+    The caller guarantees the input currently mismatches.
+    """
+    program = parse(source)
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for variant in _variants(program):
+            steps += 1
+            candidate = to_source(variant)
+            if _still_failing(candidate, outputs, seed, rtol, atol,
+                              vectorizer):
+                program = variant
+                improved = True
+                break
+            if steps >= max_steps:
+                break
+    pruned = _prune_annotations(program)
+    candidate = to_source(pruned)
+    if candidate != to_source(program) and _still_failing(
+            candidate, outputs, seed, rtol, atol, vectorizer):
+        program = pruned
+    return to_source(program)
+
+
+def write_reproducer(directory: Path, source: str, report: OracleReport,
+                     label: str) -> Path:
+    """Write a shrunken reproducer to ``directory`` for permanent
+    regression coverage; returns the path written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stages = sorted({d.stage for d in report.divergences})
+    lines = [
+        f"% fuzz reproducer: {label}",
+        f"% stages: {', '.join(stages)}",
+    ]
+    if report.outputs:
+        lines.append("%$ outputs: " + " ".join(report.outputs))
+    body = source if source.endswith("\n") else source + "\n"
+    path = directory / f"{label}.m"
+    path.write_text("\n".join(lines) + "\n" + body)
+    return path
+
+
+def read_reproducer_outputs(path: Path) -> Optional[tuple[str, ...]]:
+    """Parse the ``%$ outputs:`` header of a reproducer file, if any."""
+    for line in Path(path).read_text().splitlines():
+        stripped = line.strip()
+        if stripped.startswith("%$ outputs:"):
+            return tuple(stripped.split(":", 1)[1].split())
+        if stripped and not stripped.startswith("%"):
+            break
+    return None

@@ -1,0 +1,221 @@
+"""Hypothesis property tests for the §2.1 dimension-abstraction lattice.
+
+The unit tests in this directory pin down the paper's worked examples;
+these properties assert the *algebra* holds over the whole abstract
+domain: every symbol tuple built from ``{1, *, r_i}``, not just the
+shapes that appear in the corpus.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dims.abstract import (
+    ONE,
+    STAR,
+    Dim,
+    RSym,
+    compatible,
+    fmax,
+    is_r,
+)
+from repro.dims.vectorized import (
+    COLON,
+    assignment_compatible,
+    collapse,
+    dim_of_subscript,
+    dim_of_transpose,
+    pointwise_result,
+)
+
+syms = st.one_of(
+    st.just(ONE),
+    st.just(STAR),
+    st.builds(RSym, st.sampled_from("ijk"), st.integers(0, 2)),
+)
+atom_syms = st.sampled_from([ONE, STAR])
+
+dims = st.builds(Dim, st.lists(syms, min_size=1, max_size=4))
+atom_dims = st.builds(Dim, st.lists(atom_syms, min_size=1, max_size=4))
+subscripts = st.one_of(st.just(COLON), dims)
+
+ALL_DEFAULTS = settings(max_examples=200, deadline=None)
+
+
+# -- compatibility relation ------------------------------------------------
+
+@ALL_DEFAULTS
+@given(dims)
+def test_compatible_reflexive(d):
+    assert compatible(d, d)
+
+
+@ALL_DEFAULTS
+@given(dims, dims)
+def test_compatible_symmetric(a, b):
+    assert compatible(a, b) == compatible(b, a)
+
+
+@ALL_DEFAULTS
+@given(dims, dims, dims)
+def test_compatible_transitive(a, b, c):
+    if compatible(a, b) and compatible(b, c):
+        assert compatible(a, c)
+
+
+@ALL_DEFAULTS
+@given(dims, st.integers(1, 5))
+def test_padding_never_changes_compatibility(d, rank):
+    assert compatible(d, d.pad(rank))
+
+
+# -- freduce / freverse / pad --------------------------------------------
+
+@ALL_DEFAULTS
+@given(dims)
+def test_reduce_idempotent(d):
+    assert d.reduce().reduce() == d.reduce()
+
+
+@ALL_DEFAULTS
+@given(dims)
+def test_reduce_drops_only_trailing_ones(d):
+    reduced = d.reduce()
+    assert d.syms[: len(reduced.syms)] == reduced.syms
+    assert all(s is ONE for s in d.syms[len(reduced.syms):])
+
+
+@ALL_DEFAULTS
+@given(dims)
+def test_reverse_involutive_up_to_rank2_padding(d):
+    # freverse pads to rank 2 before flipping, so a double flip is the
+    # identity on the rank-2-padded dimensionality.
+    assert d.reverse().reverse() == d.pad(2)
+
+
+@ALL_DEFAULTS
+@given(dims)
+def test_transpose_preserves_symbol_multiset(d):
+    before = sorted(map(str, d.pad(2).syms))
+    after = sorted(map(str, dim_of_transpose(d).syms))
+    assert before == after
+
+
+@ALL_DEFAULTS
+@given(dims, st.integers(1, 5))
+def test_reduce_of_pad_is_reduce(d, rank):
+    assert d.pad(rank).reduce() == d.reduce()
+
+
+# -- fmax ------------------------------------------------------------------
+
+@ALL_DEFAULTS
+@given(syms, syms)
+def test_fmax_commutative(a, b):
+    assert fmax(a, b) == fmax(b, a)
+
+
+@ALL_DEFAULTS
+@given(syms)
+def test_fmax_one_is_identity(s):
+    assert fmax(ONE, s) is s
+    assert fmax(s, ONE) is s
+
+
+@ALL_DEFAULTS
+@given(syms)
+def test_fmax_idempotent(s):
+    assert fmax(s, s) is s
+
+
+@ALL_DEFAULTS
+@given(st.lists(syms, min_size=1, max_size=5))
+def test_fmax_result_is_an_input_or_none(symbols):
+    result = fmax(*symbols)
+    assert result is None or result in symbols
+
+
+@ALL_DEFAULTS
+@given(st.lists(syms, min_size=1, max_size=5))
+def test_fmax_none_iff_two_distinct_non_ones(symbols):
+    distinct = {str(s) for s in symbols if s is not ONE}
+    assert (fmax(*symbols) is None) == (len(distinct) > 1)
+
+
+@ALL_DEFAULTS
+@given(dims)
+def test_collapse_is_fmax_over_entries(d):
+    assert collapse(d) == fmax(*d.syms)
+
+
+# -- Table 1 rules close over the abstraction ------------------------------
+
+def _well_formed(d):
+    assert isinstance(d, Dim)
+    assert all(s is ONE or s is STAR or is_r(s) for s in d.syms)
+
+
+@ALL_DEFAULTS
+@given(dims, st.lists(subscripts, min_size=0, max_size=3))
+def test_dim_of_subscript_closed(base, args):
+    result = dim_of_subscript(base, args)
+    if result is not None:
+        _well_formed(result)
+
+
+@ALL_DEFAULTS
+@given(dims, dims)
+def test_pointwise_result_closed_and_compatible(a, b):
+    result = pointwise_result(a, b)
+    if result is not None:
+        _well_formed(result)
+        # The result never invents extents: it is one of the operands.
+        assert result == a or result == b
+
+
+@ALL_DEFAULTS
+@given(dims, dims)
+def test_pointwise_result_symmetric_up_to_compat(a, b):
+    ab = pointwise_result(a, b)
+    ba = pointwise_result(b, a)
+    assert (ab is None) == (ba is None)
+    if ab is not None:
+        assert compatible(ab, ba)
+
+
+@ALL_DEFAULTS
+@given(dims)
+def test_pointwise_with_self_is_self(d):
+    assert pointwise_result(d, d) == d
+
+
+@ALL_DEFAULTS
+@given(dims, dims)
+def test_assignment_accepts_compatible_or_scalar_rhs(lhs, rhs):
+    assert assignment_compatible(lhs, rhs) == (
+        rhs.is_scalar or compatible(lhs, rhs))
+
+
+# -- unvectorized / r bookkeeping -----------------------------------------
+
+@ALL_DEFAULTS
+@given(dims)
+def test_unvectorized_erases_all_r_symbols(d):
+    assert not d.unvectorized().r_syms()
+
+
+@ALL_DEFAULTS
+@given(dims)
+def test_r_syms_sound(d):
+    rs = d.r_syms()
+    assert all(is_r(s) for s in rs)
+    assert rs == frozenset(s for s in d.syms if is_r(s))
+
+
+# -- annotation syntax round trip -----------------------------------------
+
+@ALL_DEFAULTS
+@given(atom_dims)
+def test_parse_repr_round_trip_for_annotation_dims(d):
+    # r symbols are not expressible in `%!` annotations, so the round
+    # trip is only required over {1,*} tuples.
+    assert Dim.parse(repr(d)) == d

@@ -1,0 +1,78 @@
+"""Campaign + CLI integration: clean runs, mismatch handling, metrics."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz.campaign import run_campaign
+
+
+def test_small_campaign_clean():
+    result = run_campaign(25, seed=0)
+    assert result.ok, "\n".join(
+        m.report.describe() for m in result.mismatches)
+    assert result.total == 25
+    assert result.programs_per_sec > 0
+    assert "OK" in result.summary()
+
+
+def test_campaign_counts_mismatches(tmp_path):
+    @dataclass
+    class _FakeResult:
+        source: str
+
+    def alway_wrong(source):
+        return _FakeResult(source="wrong = 42;\n")
+
+    result = run_campaign(3, seed=0, shrink=True, corpus_dir=tmp_path,
+                          vectorizer=alway_wrong)
+    assert not result.ok
+    assert len(result.mismatches) == 3
+    for mismatch in result.mismatches:
+        assert mismatch.shrunk_source is not None
+        assert mismatch.reproducer is not None
+        assert mismatch.reproducer.exists()
+    assert "MISMATCH" in result.summary()
+
+
+def test_progress_callback():
+    seen = []
+    run_campaign(4, seed=0, progress=lambda done, total: seen.append(
+        (done, total)))
+    assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
+def test_cli_fuzz_smoke(capsys):
+    assert main(["fuzz", "--n", "10", "--seed", "0", "--quiet"]) == 0
+    err = capsys.readouterr().err
+    assert "10 programs" in err
+    assert "OK" in err
+
+
+def test_cli_fuzz_progress(capsys):
+    assert main(["fuzz", "--n", "3", "--seed", "1"]) == 0
+    err = capsys.readouterr().err
+    assert "3/3" in err
+
+
+def test_throughput_benchmark_metric():
+    from repro.bench.fuzzbench import (
+        format_fuzz_row,
+        measure_fuzz_throughput,
+    )
+
+    measurement = measure_fuzz_throughput(n=5, seed=0)
+    assert measurement.programs == 5
+    assert measurement.mismatches == 0
+    assert measurement.programs_per_sec > 0
+    row = format_fuzz_row(measurement)
+    assert "fuzz-oracle" in row and "ok" in row
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_campaign_deterministic(seed):
+    first = run_campaign(5, seed=seed)
+    second = run_campaign(5, seed=seed)
+    assert first.ok == second.ok
+    assert first.total == second.total

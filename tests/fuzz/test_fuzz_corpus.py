@@ -1,0 +1,29 @@
+"""Permanent regression coverage: every reproducer in
+``tests/fuzz_corpus/`` must oracle cleanly forever."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.oracle import run_oracle
+from repro.fuzz.shrink import read_reproducer_outputs
+
+CORPUS = Path(__file__).resolve().parent.parent / "fuzz_corpus"
+FILES = sorted(CORPUS.glob("*.m"))
+
+
+def test_corpus_directory_exists():
+    assert CORPUS.is_dir()
+    assert (CORPUS / "README.md").exists()
+
+
+def test_corpus_nonempty():
+    assert FILES, "fuzz corpus must carry at least the seeded programs"
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.stem)
+def test_reproducer_oracles_clean(path):
+    source = path.read_text()
+    outputs = read_reproducer_outputs(path)
+    report = run_oracle(source, outputs=outputs)
+    assert report.ok, report.describe()

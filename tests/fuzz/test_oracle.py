@@ -1,0 +1,141 @@
+"""The oracle must pass correct programs and flag broken ones.
+
+Broken vectorizers are *injected* (the real one is — by design — hard
+to catch misbehaving), proving the oracle actually discriminates.
+"""
+
+from dataclasses import dataclass
+
+from repro.fuzz.oracle import (
+    comparable_names,
+    diff_workspaces,
+    loop_index_vars,
+    run_oracle,
+)
+from repro.mlang.parser import parse
+
+GOOD = """\
+%! x(*,1) z(*,1) n(1)
+x = [1; 2; 3];
+n = 3;
+for i = 1:n
+  z(i) = 2*x(i);
+end
+"""
+
+
+@dataclass
+class _FakeResult:
+    source: str
+
+
+def _broken_vectorizer(source: str) -> _FakeResult:
+    """Pretends to vectorize but silently drops a factor of 2."""
+    return _FakeResult(source="""\
+x = [1; 2; 3];
+n = 3;
+z = x;
+""")
+
+
+def _crashing_vectorizer(source: str):
+    raise ZeroDivisionError("boom")
+
+
+class TestHappyPath:
+    def test_good_program_is_ok(self):
+        report = run_oracle(GOOD)
+        assert report.ok, report.describe()
+        assert report.vectorized_source is not None
+
+    def test_outputs_default_excludes_loop_index(self):
+        report = run_oracle(GOOD)
+        assert "i" not in report.outputs
+        assert "z" in report.outputs
+
+    def test_explicit_outputs_respected(self):
+        report = run_oracle(GOOD, outputs=["z"])
+        assert report.outputs == ("z",)
+        assert report.ok
+
+
+class TestDetection:
+    def test_wrong_vectorization_flagged(self):
+        report = run_oracle(GOOD, vectorizer=_broken_vectorizer)
+        assert not report.ok
+        assert any(d.variable == "z" for d in report.divergences)
+        assert any(d.stage == "interp-vectorized"
+                   for d in report.divergences)
+
+    def test_vectorizer_crash_is_a_finding(self):
+        report = run_oracle(GOOD, vectorizer=_crashing_vectorizer)
+        assert not report.ok
+        assert report.divergences[0].stage == "vectorize"
+
+    def test_invalid_program_reported_as_reference_crash(self):
+        report = run_oracle("z = undefined_variable + 1;")
+        assert not report.ok
+        assert report.divergences[0].stage == "interp-original"
+
+    def test_describe_mentions_program(self):
+        report = run_oracle(GOOD, vectorizer=_broken_vectorizer)
+        text = report.describe()
+        assert "z(i) = 2*x(i);" in text
+        assert "divergence" in text
+
+
+class TestHelpers:
+    def test_loop_index_vars(self):
+        program = parse("for i = 1:3\nfor j = 1:2\nA(i, j) = 1;\nend\nend")
+        assert loop_index_vars(program) == {"i", "j"}
+
+    def test_comparable_names_excludes_temps(self):
+        program = parse("""
+for i = 1:3
+  t = 2*i;
+  z(i) = t + 1;
+end
+""")
+        names = comparable_names(program)
+        assert "z" in names
+        assert "t" not in names      # forward-substitutable temp
+        assert "i" not in names      # loop index
+
+    def test_comparable_names_keeps_reductions(self):
+        program = parse("s = 0;\nfor i = 1:3\ns = s + i;\nend")
+        assert "s" in comparable_names(program)
+
+    def test_diff_missing_variable(self):
+        divergences = diff_workspaces({"a": 1.0}, {}, ["a"], "stage")
+        assert len(divergences) == 1
+        assert "missing" in divergences[0].detail
+
+    def test_diff_absent_everywhere_ignored(self):
+        assert diff_workspaces({}, {}, ["a"], "stage") == []
+
+    def test_diff_tolerance(self):
+        base = {"a": 1.0}
+        assert not diff_workspaces(base, {"a": 1.0 + 1e-13}, ["a"], "s")
+        assert diff_workspaces(base, {"a": 1.01}, ["a"], "s")
+
+
+class TestCorpusPrograms:
+    """The oracle agrees with the existing corpus equivalence suite on
+    self-contained corpus programs (those needing no external inputs
+    are synthesized inline here)."""
+
+    def test_histeq_style_program(self):
+        source = """\
+%! im(*,*) bw(*,*) t(1)
+im = [10, 200; 130, 90];
+t = 128;
+bw = zeros(2, 2);
+for i = 1:2
+  for j = 1:2
+    bw(i, j) = im(i, j) > t;
+  end
+end
+"""
+        report = run_oracle(source)
+        assert report.ok, report.describe()
+        assert "for " not in report.vectorized_source

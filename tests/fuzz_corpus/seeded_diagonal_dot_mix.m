@@ -1,0 +1,15 @@
+% fuzz reproducer: hand-seeded — diagonal access and per-row dot
+% product against the same matrix in one program
+%$ outputs: A Y a d
+%! A(*,*) Y(*,*) a(1,*) d(1,*) n(1)
+A = [1, 2, 3; 4, 5, 6; 7, 8, 10];
+Y = [0.5, -1, 0; 1, 0.25, -0.5; 0, 2, 1];
+a = zeros(1, 3);
+d = zeros(1, 3);
+n = 3;
+for i = 1:n
+  d(i) = A(i, i);
+end
+for i = 1:n
+  a(i) = A(i, :)*Y(:, i);
+end

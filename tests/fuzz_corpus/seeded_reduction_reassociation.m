@@ -1,0 +1,10 @@
+% fuzz reproducer: hand-seeded — Γ reduction reassociation with mixed
+% magnitudes must stay inside the documented oracle tolerances
+%$ outputs: s x
+%! s(1) x(*,1) n(1)
+x = [1000000; 0.03125; -1000000; 0.0625; 512; -512];
+s = 0;
+n = 6;
+for i = 1:n
+  s = s + x(i)*x(i);
+end

@@ -1,0 +1,10 @@
+% fuzz reproducer: hand-seeded — non-unit stride writes only half the
+% output; untouched zero entries must survive vectorization
+%$ outputs: x z
+%! x(*,1) z(*,1) n(1)
+x = [0.25; -1; 1.5; 2; -0.5; 0.75];
+z = zeros(6, 1);
+n = 6;
+for i = 2:2:n
+  z(i) = x(i).^2 - 1;
+end

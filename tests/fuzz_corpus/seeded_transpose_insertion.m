@@ -1,0 +1,13 @@
+% fuzz reproducer: hand-seeded — §2.2 transpose insertion on m ≠ n
+%$ outputs: A B C
+%! A(*,*) B(*,*) C(*,*) m(1) n(1)
+A = zeros(2, 3);
+B = [1, 2; 3, 4; 5, 6];
+C = [0.5, -1, 1.5; 2, -0.25, 0];
+m = 2;
+n = 3;
+for i = 1:m
+  for j = 1:n
+    A(i, j) = B(j, i) + C(i, j);
+  end
+end

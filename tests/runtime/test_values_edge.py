@@ -1,0 +1,165 @@
+"""Edge cases for :func:`repro.runtime.values.values_equal` and for the
+interpreter's auto-growing/indexing semantics.
+
+These pin the exact behaviors the differential-fuzzing oracle leans on:
+``values_equal`` is the judge of every workspace comparison, and
+auto-growing assignment is the trickiest interpreter path a generated
+program can hit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatlabRuntimeError
+from repro.runtime.interp import run_source
+from repro.runtime.values import values_equal
+
+
+def _col(*xs):
+    return np.asfortranarray(np.array(xs, dtype=float).reshape(-1, 1))
+
+
+def _row(*xs):
+    return np.asfortranarray(np.array(xs, dtype=float).reshape(1, -1))
+
+
+# -- values_equal ---------------------------------------------------------
+
+
+class TestValuesEqual:
+    def test_nan_equals_nan(self):
+        assert values_equal(float("nan"), float("nan"))
+        assert values_equal(_col(1.0, float("nan")), _col(1.0, float("nan")))
+
+    def test_nan_not_equal_to_number(self):
+        assert not values_equal(float("nan"), 0.0)
+
+    def test_inf_handling(self):
+        assert values_equal(float("inf"), float("inf"))
+        assert not values_equal(float("inf"), float("-inf"))
+        assert not values_equal(float("inf"), 1e300)
+
+    def test_empty_matrices_equal(self):
+        empty = np.zeros((0, 0), order="F")
+        assert values_equal(empty, empty.copy())
+
+    def test_empty_shapes_distinguished(self):
+        assert not values_equal(np.zeros((0, 0), order="F"),
+                                np.zeros((0, 3), order="F"))
+
+    def test_scalar_equals_1x1_array(self):
+        assert values_equal(3.0, np.full((1, 1), 3.0, order="F"))
+        assert values_equal(np.full((1, 1), 3.0, order="F"), 3.0)
+
+    def test_bool_scalar_equals_float(self):
+        assert values_equal(True, 1.0)
+        assert values_equal(False, 0.0)
+
+    def test_row_and_column_differ(self):
+        assert not values_equal(_row(1, 2, 3), _col(1, 2, 3))
+
+    def test_shape_mismatch(self):
+        assert not values_equal(_col(1, 2), _col(1, 2, 3))
+
+    def test_within_tolerance(self):
+        assert values_equal(1.0, 1.0 + 1e-13)
+        assert not values_equal(1.0, 1.0 + 1e-6)
+
+    def test_custom_tolerance(self):
+        assert values_equal(1.0, 1.001, rtol=1e-2)
+        assert not values_equal(1.0, 1.001, rtol=1e-6)
+
+    def test_strings(self):
+        assert values_equal("abc", "abc")
+        assert not values_equal("abc", "abd")
+        assert not values_equal("1", 1.0)
+
+
+# -- auto-growing assignment ----------------------------------------------
+
+
+class TestAutoGrow:
+    def test_write_past_end_zero_fills(self):
+        ws = run_source("x = [1, 2];\nx(5) = 7;\n")
+        assert values_equal(ws["x"], _row(1, 2, 0, 0, 7))
+
+    def test_append_via_end_plus_one(self):
+        ws = run_source("x = [1; 2];\nx(end + 1) = 9;\n")
+        assert values_equal(ws["x"], _col(1, 2, 9))
+
+    def test_column_vector_grows_as_column(self):
+        ws = run_source("x = [1; 2];\nx(4) = 5;\n")
+        assert values_equal(ws["x"], _col(1, 2, 0, 5))
+
+    def test_two_subscript_growth_preserves_block(self):
+        ws = run_source("A = [1, 2; 3, 4];\nA(3, 3) = 9;\n")
+        expected = np.zeros((3, 3), order="F")
+        expected[:2, :2] = [[1, 2], [3, 4]]
+        expected[2, 2] = 9
+        assert values_equal(ws["A"], expected)
+
+    def test_write_to_undefined_makes_row(self):
+        ws = run_source("x(3) = 5;\n")
+        assert values_equal(ws["x"], _row(0, 0, 5))
+
+    def test_write_to_undefined_two_subscripts(self):
+        ws = run_source("q(2, 3) = 5;\n")
+        expected = np.zeros((2, 3), order="F")
+        expected[1, 2] = 5
+        assert values_equal(ws["q"], expected)
+
+    def test_scalar_promoted_then_grown(self):
+        ws = run_source("s = 4;\ns(3) = 1;\n")
+        assert values_equal(ws["s"], _row(4, 0, 1))
+
+    def test_linear_growth_on_matrix_errors(self):
+        with pytest.raises(MatlabRuntimeError):
+            run_source("A = [1, 2; 3, 4];\nA(9) = 1;\n")
+
+
+# -- indexing reads --------------------------------------------------------
+
+
+class TestIndexing:
+    def test_linear_read_is_column_major(self):
+        ws = run_source("A = [1, 2; 3, 4];\nv = A(2);\nw = A(3);\n")
+        assert ws["v"] == 3.0
+        assert ws["w"] == 2.0
+
+    def test_colon_flattens_column_major(self):
+        ws = run_source("A = [1, 2; 3, 4];\nv = A(:);\n")
+        assert values_equal(ws["v"], _col(1, 3, 2, 4))
+
+    def test_out_of_bounds_read_errors(self):
+        with pytest.raises(MatlabRuntimeError):
+            run_source("x = [1, 2];\ny = x(3);\n")
+
+    def test_out_of_bounds_2d_read_errors(self):
+        with pytest.raises(MatlabRuntimeError):
+            run_source("A = [1, 2; 3, 4];\ny = A(3, 1);\n")
+
+    def test_single_element_read_collapses_to_scalar(self):
+        ws = run_source("A = [1, 2; 3, 4];\nv = A(1, 2);\n")
+        assert isinstance(ws["v"], float)
+        assert ws["v"] == 2.0
+
+    def test_logical_mask_read_on_column(self):
+        ws = run_source("x = [5; -1; 7];\ny = x(x > 0);\n")
+        assert values_equal(ws["y"], _col(5, 7))
+
+    def test_logical_mask_read_on_row(self):
+        ws = run_source("x = [5, -1, 7];\ny = x(x > 0);\n")
+        assert values_equal(ws["y"], _row(5, 7))
+
+    def test_row_slice_of_matrix(self):
+        ws = run_source("A = [1, 2; 3, 4];\nr = A(2, :);\nc = A(:, 1);\n")
+        assert values_equal(ws["r"], _row(3, 4))
+        assert values_equal(ws["c"], _col(1, 3))
+
+    def test_non_integer_subscript_errors(self):
+        with pytest.raises(MatlabRuntimeError):
+            run_source("x = [1, 2];\ny = x(1.5);\n")
+
+    def test_zero_subscript_errors(self):
+        with pytest.raises(MatlabRuntimeError):
+            run_source("x = [1, 2];\ny = x(0);\n")

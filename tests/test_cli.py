@@ -44,6 +44,39 @@ def test_run_verifies(sample, capsys):
     assert "workspaces match" in err
 
 
+def test_run_exits_nonzero_on_divergence(capsys):
+    from repro.cli import _run_both
+
+    original = "x = [1; 2];\nfor i = 1:2\n  z(i) = 2*x(i);\nend\n"
+    wrong = "x = [1; 2];\nz = x;\n"  # lost the factor of 2
+    assert _run_both(original, wrong, seed=0) == 1
+    err = capsys.readouterr().err
+    assert "diverge" in err
+    assert "z" in err
+
+
+def test_run_exits_nonzero_on_missing_output(capsys):
+    from repro.cli import _run_both
+
+    original = "x = [1; 2];\nfor i = 1:2\n  z(i) = 2*x(i);\nend\n"
+    dropped = "x = [1; 2];\n"  # z never defined
+    assert _run_both(original, dropped, seed=0) == 1
+    err = capsys.readouterr().err
+    assert "defined on one side only" in err
+
+
+def test_run_ignores_loop_indices_and_temps(capsys):
+    from repro.cli import _run_both
+
+    # `i` and the forward-substituted scalar temp `t` are legitimately
+    # absent from the vectorized workspace and must not diverge.
+    original = ("x = [1, 2];\n"
+                "for i = 1:2\n  t = 2*x(i);\n  z(i) = t;\nend\n")
+    vectorized = "x = [1, 2];\nz = 2*x;\n"
+    assert _run_both(original, vectorized, seed=0) == 0
+    assert "workspaces match" in capsys.readouterr().err
+
+
 def test_emit_python(sample, capsys):
     assert main([str(sample), "--emit-python"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""Golden-file tests: the vectorized output of every corpus program is
+snapshotted under ``tests/golden/`` and must not drift silently.
+
+Regenerate after an intentional codegen change with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden.py -q
+
+then review the diff like any other code change.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.vectorizer.driver import vectorize_source
+
+CORPUS = Path(__file__).resolve().parent.parent / "examples" / "corpus"
+GOLDEN = Path(__file__).resolve().parent / "golden"
+UPDATE = bool(os.environ.get("REPRO_UPDATE_GOLDEN"))
+
+FILES = sorted(CORPUS.glob("*.m"))
+
+
+def _vectorized(path: Path) -> str:
+    return vectorize_source(path.read_text()).source
+
+
+def test_corpus_present():
+    assert FILES, f"no corpus programs found under {CORPUS}"
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.stem)
+def test_vectorized_output_matches_golden(path):
+    actual = _vectorized(path)
+    golden_path = GOLDEN / f"{path.stem}.golden"
+    if UPDATE:
+        GOLDEN.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(actual)
+        return
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path}; regenerate with "
+        "REPRO_UPDATE_GOLDEN=1")
+    expected = golden_path.read_text()
+    assert actual == expected, (
+        f"vectorized output of {path.name} drifted from its golden "
+        f"snapshot; if intentional, regenerate with REPRO_UPDATE_GOLDEN=1")
+
+
+def test_no_stale_goldens():
+    """Every snapshot corresponds to a live corpus program."""
+    stems = {p.stem for p in FILES}
+    stale = [g.name for g in GOLDEN.glob("*.golden") if g.stem not in stems]
+    assert not stale, f"stale golden files without corpus programs: {stale}"
