@@ -1,0 +1,20 @@
+"""Compilation-service benchmarks: cache cold-vs-warm speedup.
+
+The batch-throughput half lives in ``repro.bench.servicebench`` and is
+run via ``python -m repro.bench.servicebench`` (it spawns fresh
+interpreters per configuration, which pytest-benchmark's in-process
+rounds cannot express)."""
+
+from repro.bench.servicebench import format_service_rows, measure_cache_speedup
+
+
+def bench_cache_cold_vs_warm(benchmark):
+    result = benchmark.pedantic(
+        measure_cache_speedup, kwargs={"cold_runs": 3, "warm_runs": 20},
+        rounds=2, iterations=1)
+    assert result["speedup"] >= 10.0
+    print()
+    print(format_service_rows({"benchmark": "service", "cache": result,
+                               "batch": {"files": 0, "cpu_count": None,
+                                         "per_file_processes_s": 0.0,
+                                         "batch_speedup_vs_per_file": 0.0}}))

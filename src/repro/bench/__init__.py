@@ -5,6 +5,12 @@ from .fuzzbench import (  # noqa: F401
     format_fuzz_row,
     measure_fuzz_throughput,
 )
+from .servicebench import (  # noqa: F401
+    format_service_rows,
+    measure_batch_throughput,
+    measure_cache_speedup,
+    run_service_bench,
+)
 from .harness import (  # noqa: F401
     ABLATIONS,
     AblationRow,

@@ -1,0 +1,190 @@
+"""Service benchmarks: cache cold-vs-warm and batch throughput.
+
+Two questions the compilation service must answer with numbers:
+
+1. How much does the content-addressed cache buy?  ``measure_cache_speedup``
+   times cold compiles (fresh service per run) against warm compiles
+   (repeat requests against one service) for a representative corpus
+   program.  The acceptance bar is warm ≥ 10x faster than cold.
+
+2. How does ``mvec batch`` compare to invoking the compiler once per
+   file?  Each configuration runs in a *fresh subprocess* so no run
+   inherits another's in-memory cache (forked pool workers share the
+   parent's ``_worker_services``, which would otherwise skew the
+   numbers).  The baseline is one ``repro.cli`` process per corpus
+   file — the workflow ``mvec batch`` replaces — so the batch numbers
+   include exactly one interpreter startup instead of twenty-five.
+   Note: on a single-core host the ``workers=4`` configuration cannot
+   beat ``workers=1`` on CPU-bound compiles; the pool still wins on
+   multi-core CI, and both numbers are recorded.
+
+``python -m repro.bench.servicebench`` writes ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from ..service.cache import CompilationCache
+from ..service.compiler import CompilationService
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+CORPUS_DIR = REPO_ROOT / "examples" / "corpus"
+
+# A mid-sized corpus program: one vectorizable loop plus surrounding
+# scalar statements, representative of the serving workload.
+DEFAULT_SOURCE = """\
+%! x(*,1) y(*,1) n(1)
+x = (1:64)';
+n = 64;
+for i=1:n
+  y(i) = 2*x(i) + 1;
+end
+"""
+
+
+def measure_cache_speedup(source: str = DEFAULT_SOURCE,
+                          cold_runs: int = 5,
+                          warm_runs: int = 50) -> dict:
+    """Time cold (fresh service) vs warm (cache hit) compiles."""
+    cold = []
+    for _ in range(cold_runs):
+        service = CompilationService(CompilationCache(capacity=8))
+        start = time.perf_counter()
+        result = service.compile(source)
+        cold.append(time.perf_counter() - start)
+        if not result.ok:
+            raise RuntimeError(f"benchmark program failed: {result.error}")
+
+    service = CompilationService(CompilationCache(capacity=8))
+    service.compile(source)
+    warm = []
+    for _ in range(warm_runs):
+        start = time.perf_counter()
+        result = service.compile(source)
+        warm.append(time.perf_counter() - start)
+        if not result.cached:
+            raise RuntimeError("warm run missed the cache")
+
+    cold_mean = statistics.fmean(cold)
+    warm_mean = statistics.fmean(warm)
+    return {
+        "cold_runs": cold_runs,
+        "warm_runs": warm_runs,
+        "cold_mean_s": cold_mean,
+        "cold_min_s": min(cold),
+        "warm_mean_s": warm_mean,
+        "warm_min_s": min(warm),
+        "speedup": cold_mean / warm_mean if warm_mean > 0 else float("inf"),
+    }
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+_BATCH_CHILD = """\
+import sys, time
+from repro.service.compiler import compile_many, read_sources
+paths = sys.argv[2:]
+pairs = read_sources(paths)
+start = time.perf_counter()
+results = compile_many(pairs, workers=int(sys.argv[1]))
+elapsed = time.perf_counter() - start
+bad = [r.name for r in results if not r.ok]
+if bad:
+    raise SystemExit(f"batch failures: {bad}")
+print(elapsed)
+"""
+
+
+def _time_batch_child(paths: list[Path], workers: int) -> float:
+    """Run ``compile_many`` in a fresh interpreter; return compile time."""
+    proc = subprocess.run(
+        [sys.executable, "-c", _BATCH_CHILD, str(workers),
+         *map(str, paths)],
+        capture_output=True, text=True, env=_child_env(), check=True)
+    return float(proc.stdout.strip().splitlines()[-1])
+
+
+def _time_per_file_processes(paths: list[Path]) -> float:
+    """One ``repro.cli`` process per file — the pre-batch workflow."""
+    env = _child_env()
+    start = time.perf_counter()
+    for path in paths:
+        subprocess.run([sys.executable, "-m", "repro.cli", str(path)],
+                       stdout=subprocess.DEVNULL, env=env, check=True)
+    return time.perf_counter() - start
+
+
+def measure_batch_throughput(corpus_dir: Path = CORPUS_DIR,
+                             workers: tuple[int, ...] = (1, 4)) -> dict:
+    """Batch-compile the corpus under each configuration, cold every time."""
+    paths = sorted(corpus_dir.glob("*.m"))
+    if not paths:
+        raise RuntimeError(f"no corpus programs under {corpus_dir}")
+
+    per_file = _time_per_file_processes(paths)
+    configs = {f"batch_workers_{n}_s": _time_batch_child(paths, n)
+               for n in workers}
+    best = min(configs.values())
+    return {
+        "files": len(paths),
+        "cpu_count": os.cpu_count(),
+        "per_file_processes_s": per_file,
+        **configs,
+        "batch_speedup_vs_per_file": per_file / best if best > 0 else
+        float("inf"),
+    }
+
+
+def run_service_bench() -> dict:
+    """Run both measurements and return the BENCH_service payload."""
+    return {
+        "benchmark": "service",
+        "cache": measure_cache_speedup(),
+        "batch": measure_batch_throughput(),
+    }
+
+
+def format_service_rows(payload: dict) -> str:
+    """Render the payload in the harness's table style."""
+    cache = payload["cache"]
+    batch = payload["batch"]
+    lines = [
+        f"{'cache-cold':<24} {cache['cold_mean_s'] * 1e3:>12.3f} ms",
+        f"{'cache-warm':<24} {cache['warm_mean_s'] * 1e6:>12.3f} us",
+        f"{'cache-speedup':<24} {cache['speedup']:>12.1f} x",
+        f"{'per-file processes':<24} {batch['per_file_processes_s']:>12.3f}"
+        " s",
+    ]
+    for key, value in batch.items():
+        if key.startswith("batch_workers_"):
+            n = key.split("_")[2]
+            lines.append(f"{'batch workers=' + n:<24} {value:>12.3f} s")
+    lines.append(f"{'batch-speedup':<24} "
+                 f"{batch['batch_speedup_vs_per_file']:>12.1f} x")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    out = Path(argv[0]) if argv else REPO_ROOT / "BENCH_service.json"
+    payload = run_service_bench()
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(format_service_rows(payload))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

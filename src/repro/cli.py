@@ -3,6 +3,7 @@
 Usage::
 
     mvec input.m                 # print vectorized MATLAB to stdout
+    mvec a.m b.m c.m             # several files (nonzero exit if any fails)
     mvec input.m -o out.m        # write to a file
     mvec input.m --report        # also print the per-loop report
     mvec input.m --run           # interpret original and vectorized,
@@ -10,6 +11,9 @@ Usage::
     mvec input.m --emit-python   # print the NumPy-backend translation
     mvec input.m --no-patterns --no-transposes ...   # ablations
     mvec fuzz --n 500 --seed 0   # differential-equivalence fuzzing
+    mvec batch *.m --workers 4   # parallel batch compilation
+    mvec serve --port 8032       # JSON compile service (HTTP)
+    mvec serve --stdio           # JSON-lines compile service (pipes)
 """
 
 from __future__ import annotations
@@ -31,8 +35,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="mvec",
         description="Vectorize loop-based MATLAB code (CGO 2007 "
                     "dimension-abstraction approach).")
-    parser.add_argument("input", help="MATLAB source file (use '-' for "
-                                      "stdin)")
+    parser.add_argument("input", nargs="+",
+                        help="MATLAB source file(s) (use '-' for stdin); "
+                             "with several files the exit status is "
+                             "nonzero if any file fails")
     parser.add_argument("-o", "--output", help="write vectorized MATLAB "
                                                "here instead of stdout")
     parser.add_argument("--report", action="store_true",
@@ -51,6 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--simplify", action="store_true",
                         help="distribute/cancel transposes in the output "
                              "(the paper's §2.2 'later optimization')")
+    _add_ablation_flags(parser)
+    return parser
+
+
+def _add_ablation_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-scalar-temps", dest="scalar_temps",
                         action="store_false",
                         help="disable forward substitution of per-"
@@ -63,7 +74,22 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument(flag, dest=attr, action="store_false",
                             help=f"disable the {attr.replace('_', ' ')} "
                                  "mechanism")
-    return parser
+
+
+def _compile_options(args, backend: str):
+    """Build service :class:`CompileOptions` from parsed CLI flags."""
+    from .service.fingerprint import CompileOptions
+
+    return CompileOptions(
+        backend=backend,
+        simplify=getattr(args, "simplify", False),
+        scalar_temps=args.scalar_temps,
+        transposes=args.transposes,
+        patterns=args.patterns,
+        reductions=args.reductions,
+        promotion=args.promotion,
+        product_regroup=args.product_regroup,
+    )
 
 
 def build_fuzz_parser() -> argparse.ArgumentParser:
@@ -85,7 +111,139 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
                              "(default tests/fuzz_corpus)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the progress line")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallelize oracle runs across N worker "
+                             "processes (default 1)")
     return parser
+
+
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mvec batch",
+        description="Compile many MATLAB files in parallel through the "
+                    "compilation service (error-isolated: one bad file "
+                    "fails that file, never the batch).")
+    parser.add_argument("files", nargs="+", help="MATLAB source files")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default min(4, CPUs))")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-file compile timeout in seconds")
+    parser.add_argument("-o", "--out-dir",
+                        help="write each vectorized file here as "
+                             "<stem>.m (and <stem>.py with "
+                             "--emit-python)")
+    parser.add_argument("--emit-python", action="store_true",
+                        help="also produce the NumPy translation")
+    parser.add_argument("--json", action="store_true",
+                        help="print full structured results as JSON on "
+                             "stdout")
+    parser.add_argument("--cache-dir",
+                        help="shared on-disk compilation cache directory")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-file summary on stderr")
+    parser.add_argument("--simplify", action="store_true",
+                        help="distribute/cancel transposes in the output")
+    _add_ablation_flags(parser)
+    return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mvec serve",
+        description="Run the compilation service: POST /vectorize, "
+                    "POST /translate, GET /healthz, GET /metrics — or a "
+                    "JSON-lines loop over stdin/stdout with --stdio.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8032,
+                        help="TCP port (default 8032; 0 picks a free "
+                             "port)")
+    parser.add_argument("--stdio", action="store_true",
+                        help="serve JSON-lines over stdin/stdout instead "
+                             "of HTTP")
+    parser.add_argument("--cache-dir",
+                        help="enable the on-disk cache tier at this "
+                             "directory (memory-only by default)")
+    parser.add_argument("--cache-capacity", type=int, default=256,
+                        help="in-memory LRU capacity in entries "
+                             "(default 256)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-request access logs")
+    return parser
+
+
+def _default_workers() -> int:
+    import os
+
+    return min(4, os.cpu_count() or 1)
+
+
+def _batch_main(argv: list[str]) -> int:
+    from .service.compiler import compile_many, read_sources
+
+    args = build_batch_parser().parse_args(argv)
+    workers = args.workers if args.workers is not None else \
+        _default_workers()
+    try:
+        pairs = read_sources(args.files)
+    except OSError as error:
+        print(f"mvec batch: {error}", file=sys.stderr)
+        return 2
+    backend = "numpy" if args.emit_python else "matlab"
+    start = time.perf_counter()
+    results = compile_many(pairs, options=_compile_options(args, backend),
+                           workers=workers, timeout=args.timeout,
+                           cache_dir=args.cache_dir)
+    elapsed = time.perf_counter() - start
+
+    out_dir = None
+    if args.out_dir:
+        from pathlib import Path
+
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    failed = 0
+    for result in results:
+        if not result.ok:
+            failed += 1
+            print(f"mvec batch: FAIL {result.name}: {result.error.type}: "
+                  f"{result.error.message}", file=sys.stderr)
+            continue
+        if not args.quiet:
+            cached = " (cached)" if result.cached else ""
+            print(f"mvec batch: ok {result.name}{cached}", file=sys.stderr)
+        if out_dir is not None:
+            from pathlib import Path
+
+            stem = Path(result.name).stem
+            (out_dir / f"{stem}.m").write_text(result.vectorized,
+                                               encoding="utf-8")
+            if args.emit_python and result.python is not None:
+                (out_dir / f"{stem}.py").write_text(result.python,
+                                                    encoding="utf-8")
+    if args.json:
+        import json
+
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+    if not args.quiet:
+        print(f"mvec batch: {len(results) - failed}/{len(results)} ok, "
+              f"{workers} worker(s), {elapsed:.3f} s", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _serve_main(argv: list[str]) -> int:
+    from .service.cache import CompilationCache
+    from .service.compiler import CompilationService
+    from .service.server import serve_http, serve_stdio
+
+    args = build_serve_parser().parse_args(argv)
+    cache = CompilationCache(capacity=args.cache_capacity,
+                             directory=args.cache_dir)
+    service = CompilationService(cache=cache)
+    if args.stdio:
+        return serve_stdio(service)
+    return serve_http(args.host, args.port, service, quiet=args.quiet)
 
 
 def _fuzz_main(argv: list[str]) -> int:
@@ -105,7 +263,7 @@ def _fuzz_main(argv: list[str]) -> int:
     result = run_campaign(args.n, seed=args.seed, shrink=args.shrink,
                           corpus_dir=Path(args.corpus_dir) if args.shrink
                           else None,
-                          progress=progress)
+                          progress=progress, workers=args.workers)
     print(result.summary(), file=sys.stderr)
     for mismatch in result.mismatches:
         print(f"--- mismatch at index {mismatch.index} ---",
@@ -124,12 +282,18 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "fuzz":
         return _fuzz_main(argv[1:])
+    if argv and argv[0] == "batch":
+        return _batch_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     args = build_parser().parse_args(argv)
-    if args.input == "-":
+    if len(args.input) > 1:
+        return _multi_main(args)
+    if args.input[0] == "-":
         source = sys.stdin.read()
     else:
         try:
-            with open(args.input, encoding="utf-8") as handle:
+            with open(args.input[0], encoding="utf-8") as handle:
                 source = handle.read()
         except OSError as error:
             print(f"mvec: {error}", file=sys.stderr)
@@ -175,6 +339,46 @@ def main(argv: list[str] | None = None) -> int:
         if status:
             return status
     return 0
+
+
+def _multi_main(args) -> int:
+    """Several positional inputs: compile through the batch compiler,
+    print each result, exit nonzero if any file failed."""
+    from .service.compiler import compile_many, read_sources
+
+    if args.output:
+        print("mvec: -o/--output needs a single input; use "
+              "'mvec batch -o DIR' for many files", file=sys.stderr)
+        return 2
+    try:
+        pairs = read_sources(args.input)
+    except OSError as error:
+        print(f"mvec: {error}", file=sys.stderr)
+        return 2
+    backend = "numpy" if args.emit_python else "matlab"
+    results = compile_many(pairs, options=_compile_options(args, backend))
+    status = 0
+    for (name, source), result in zip(pairs, results):
+        print(f"% ===== {name} =====")
+        if not result.ok:
+            print(f"mvec: {name}: {result.error.type}: "
+                  f"{result.error.message}", file=sys.stderr)
+            status = 1
+            continue
+        print(result.vectorized, end="")
+        if args.report:
+            print(f"--- report: {name} ---", file=sys.stderr)
+            print(result.report_summary, file=sys.stderr)
+        if args.stats:
+            import json
+
+            print(json.dumps(result.stats, indent=2), file=sys.stderr)
+        if args.emit_python:
+            print("--- python ---")
+            print(result.python, end="")
+        if args.run and _run_both(source, result.vectorized, args.seed):
+            status = 1
+    return status
 
 
 def _run_both(original: str, vectorized: str, seed: int) -> int:

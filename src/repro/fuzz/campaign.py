@@ -3,6 +3,13 @@
 ``run_campaign(n, seed)`` oracles ``n`` generated programs and returns
 aggregate statistics, including throughput (programs/sec oracled) so
 the bench harness can track fuzzing speed as a first-class metric.
+
+``workers > 1`` fans contiguous index ranges across the compilation
+service's worker pool (:func:`repro.service.compiler.parallel_map`);
+every program is regenerable from ``(seed, index)`` alone, so chunks
+ship as index ranges, results are deterministic regardless of worker
+scheduling, and shrinking still happens in the parent (mismatches are
+rare; shrinks are serial and need the injectable vectorizer anyway).
 """
 
 from __future__ import annotations
@@ -51,42 +58,107 @@ class CampaignResult:
                 f"({self.programs_per_sec:.1f} programs/sec) — {verdict}")
 
 
+def _oracle_range(item) -> list[tuple[int, OracleReport]]:
+    """Pool worker: oracle indices ``[start, stop)`` of one seed's
+    program stream, returning only the failures (picklable reports)."""
+    seed, start, stop, rtol, atol = item
+    generator = ProgramGenerator(seed)
+    failures: list[tuple[int, OracleReport]] = []
+    for index in range(start, stop):
+        program = generator.generate(index)
+        report = run_oracle(program.source, outputs=program.outputs,
+                            rtol=rtol, atol=atol)
+        if not report.ok:
+            failures.append((index, report))
+    return failures
+
+
+def _chunk_ranges(n: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous ranges, ~4 chunks per worker for load balance."""
+    chunks = min(n, max(1, workers * 4))
+    size, remainder = divmod(n, chunks)
+    ranges, start = [], 0
+    for chunk in range(chunks):
+        stop = start + size + (1 if chunk < remainder else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def _parallel_failures(n: int, seed: int, workers: int,
+                       rtol: float, atol: float,
+                       progress: Optional[Callable[[int, int], None]]
+                       ) -> list[tuple[int, OracleReport]]:
+    from ..service.compiler import WorkerFailure, parallel_map
+
+    ranges = _chunk_ranges(n, workers)
+    items = [(seed, start, stop, rtol, atol) for start, stop in ranges]
+    outcomes = parallel_map(_oracle_range, items, workers=workers)
+    failures: list[tuple[int, OracleReport]] = []
+    done = 0
+    for (start, stop), outcome in zip(ranges, outcomes):
+        if isinstance(outcome, WorkerFailure):
+            # Infrastructure failure, not a finding — don't let it
+            # masquerade as a clean campaign.
+            raise RuntimeError(
+                f"fuzz worker died on indices [{start}, {stop}): "
+                f"{outcome.type}: {outcome.message}")
+        failures.extend(outcome)
+        done += stop - start
+        if progress is not None:
+            progress(done, n)
+    return sorted(failures)
+
+
 def run_campaign(n: int, seed: int = 0, shrink: bool = False,
                  corpus_dir: Optional[Path] = None,
                  rtol: float = RTOL, atol: float = ATOL,
                  vectorizer: Optional[Callable] = None,
-                 progress: Optional[Callable[[int, int], None]] = None
-                 ) -> CampaignResult:
+                 progress: Optional[Callable[[int, int], None]] = None,
+                 workers: int = 1) -> CampaignResult:
     """Oracle ``n`` generated programs.
 
     ``shrink`` minimizes each mismatching program; ``corpus_dir``
     additionally writes the shrunken reproducer there (named
     ``fuzz_seed<seed>_<index>.m``).  ``vectorizer`` is injectable for
-    tests.  ``progress(done, total)`` is called after each program.
+    tests.  ``progress(done, total)`` is called after each program
+    (after each chunk when parallel).  ``workers > 1`` parallelizes the
+    oracle runs; an injected ``vectorizer`` forces the sequential path
+    (closures don't cross process boundaries).
     """
+    start_time = time.perf_counter()
+    failures: list[tuple[int, OracleReport]] = []
+    if workers > 1 and n > 1 and vectorizer is None:
+        failures = _parallel_failures(n, seed, workers, rtol, atol,
+                                      progress)
+    else:
+        generator = ProgramGenerator(seed)
+        for index in range(n):
+            program = generator.generate(index)
+            report = run_oracle(program.source, outputs=program.outputs,
+                                rtol=rtol, atol=atol, vectorizer=vectorizer)
+            if not report.ok:
+                failures.append((index, report))
+            if progress is not None:
+                progress(index + 1, n)
+
     generator = ProgramGenerator(seed)
     mismatches: list[Mismatch] = []
-    start = time.perf_counter()
-    for index in range(n):
-        program = generator.generate(index)
-        report = run_oracle(program.source, outputs=program.outputs,
-                            rtol=rtol, atol=atol, vectorizer=vectorizer)
-        if not report.ok:
-            mismatch = Mismatch(index=index, report=report)
-            if shrink:
-                mismatch.shrunk_source = shrink_source(
-                    program.source, outputs=program.outputs,
+    for index, report in failures:
+        mismatch = Mismatch(index=index, report=report)
+        if shrink:
+            program = generator.generate(index)
+            mismatch.shrunk_source = shrink_source(
+                program.source, outputs=program.outputs,
+                rtol=rtol, atol=atol, vectorizer=vectorizer)
+            if corpus_dir is not None:
+                shrunk_report = run_oracle(
+                    mismatch.shrunk_source, outputs=program.outputs,
                     rtol=rtol, atol=atol, vectorizer=vectorizer)
-                if corpus_dir is not None:
-                    shrunk_report = run_oracle(
-                        mismatch.shrunk_source, outputs=program.outputs,
-                        rtol=rtol, atol=atol, vectorizer=vectorizer)
-                    mismatch.reproducer = write_reproducer(
-                        corpus_dir, mismatch.shrunk_source, shrunk_report,
-                        f"fuzz_seed{seed}_{index}")
-            mismatches.append(mismatch)
-        if progress is not None:
-            progress(index + 1, n)
-    elapsed = time.perf_counter() - start
+                mismatch.reproducer = write_reproducer(
+                    corpus_dir, mismatch.shrunk_source, shrunk_report,
+                    f"fuzz_seed{seed}_{index}")
+        mismatches.append(mismatch)
+    elapsed = time.perf_counter() - start_time
     return CampaignResult(total=n, seed=seed, elapsed=elapsed,
                           mismatches=mismatches)

@@ -46,6 +46,7 @@ from ..mlang.ast_nodes import (
     Range,
     Stmt,
     UnOp,
+    While,
     call,
     num,
 )
@@ -391,6 +392,88 @@ def t_recurrence(b: _Builder) -> None:
                         [Assign(_elem(w, Ident(i)), rhs)], start=2))
 
 
+def t_logical_mask(b: _Builder) -> None:
+    """Masked arithmetic ``y(i) = f(x(i)).*(x(i) <op> c) [+ g.*(~mask)]``.
+
+    Comparisons are pointwise operators (Table 1 row for relational
+    ops), so these loops *do* vectorize — into MATLAB's idiomatic
+    logical-mask style — and the oracle checks the mask semantics
+    (logical temporaries multiplied back into doubles) across all
+    routes.  The complementary branch uses the negated comparison, so
+    both mask polarities are exercised in one statement.
+    """
+    rng = b.rng
+    n = rng.randint(3, 6)
+    shape = Shape(n, 1) if rng.random() < 0.5 else Shape(1, n)
+    x = b.input_var("x", shape)
+    y = b.output_var("y", shape)
+    c = b.scalar_var("c", b.value())
+    bound = b.bound_var(n)
+    i = b.fresh_index()
+    leaves = [lambda: _elem(x, Ident(i)), b.const_leaf()]
+    op = rng.choice([">", "<", ">=", "<="])
+
+    def mask(operator: str) -> Expr:
+        guard: Expr = BinOp(operator, _elem(x, Ident(i)), Ident(c))
+        if rng.random() < 0.3:
+            w = b.input_var("w", shape)
+            other = BinOp(rng.choice([">", "<"]), _elem(w, Ident(i)),
+                          Num(b.value()))
+            guard = BinOp(rng.choice(["&", "|"]), guard, other)
+        return guard
+
+    rhs: Expr = BinOp(".*", b.element_expr(leaves, 1), mask(op))
+    if rng.random() < 0.5:
+        complement = {">": "<=", "<": ">=", ">=": "<", "<=": ">"}[op]
+        rhs = BinOp("+", rhs,
+                    BinOp(".*", b.element_expr(leaves, 1),
+                          BinOp(complement, _elem(x, Ident(i)), Ident(c))))
+    b.body.append(_loop(i, Ident(bound), [Assign(_elem(y, Ident(i)), rhs)]))
+
+
+def t_while_accumulate(b: _Builder) -> None:
+    """Counter-driven ``while`` accumulation — inherently sequential
+    control flow the vectorizer must leave intact (§4 screens loops,
+    and ``while`` never enters codegen), checked end-to-end anyway."""
+    rng = b.rng
+    n = rng.randint(3, 6)
+    x = b.input_var("x", Shape(n, 1))
+    s = b.scalar_var("s", 0.0)
+    bound = b.bound_var(n)
+    k = b.scalar_var("k", 1.0)
+    leaves = [lambda: _elem(x, Ident(k)), b.const_leaf()]
+    body: list[Stmt] = [
+        Assign(Ident(s),
+               BinOp(rng.choice(["+", "-"]), Ident(s),
+                     b.element_expr(leaves, 1))),
+        Assign(Ident(k), BinOp("+", Ident(k), num(1))),
+    ]
+    b.body.append(While(BinOp("<=", Ident(k), Ident(bound)), body))
+
+
+def t_while_inner_for(b: _Builder) -> None:
+    """A vectorizable ``for`` nested in a sequential ``while`` — the
+    driver must recurse through ``While`` bodies and vectorize the
+    inner loop while leaving the outer control flow alone."""
+    rng = b.rng
+    n = rng.randint(3, 5)
+    x = b.input_var("x", Shape(n, 1))
+    z = b.output_var("z", Shape(n, 1))
+    bound = b.bound_var(n)
+    k = b.scalar_var("k", 1.0)
+    passes = b.scalar_var("p", float(rng.randint(1, 3)))
+    i = b.fresh_index()
+    leaves = [lambda: _elem(x, Ident(i)), lambda: Ident(k), b.const_leaf()]
+    update = Assign(_elem(z, Ident(i)),
+                    BinOp("+", _elem(z, Ident(i)),
+                          b.element_expr(leaves, 1)))
+    body: list[Stmt] = [
+        _loop(i, Ident(bound), [update]),
+        Assign(Ident(k), BinOp("+", Ident(k), num(1))),
+    ]
+    b.body.append(While(BinOp("<=", Ident(k), Ident(passes)), body))
+
+
 #: Template pool with weights (common shapes drawn more often).
 TEMPLATES: list = [
     t_pointwise_vector, t_pointwise_vector,
@@ -403,6 +486,9 @@ TEMPLATES: list = [
     t_accumulating_nest,
     t_if_guard,
     t_recurrence,
+    t_logical_mask,
+    t_while_accumulate,
+    t_while_inner_for,
 ]
 
 

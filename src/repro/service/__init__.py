@@ -1,0 +1,53 @@
+"""Compilation service: caching, batch compilation, and serving.
+
+The scaling layer over the paper's one-shot pipeline:
+
+* :mod:`repro.service.fingerprint` — pipeline fingerprint and
+  content-addressed cache keys;
+* :mod:`repro.service.cache` — two-tier (LRU memory + atomic disk)
+  artifact cache;
+* :mod:`repro.service.compiler` — :class:`CompilationService`,
+  :func:`compile_many`, and the error-isolated worker pool;
+* :mod:`repro.service.metrics` — counters/histograms with JSON and
+  Prometheus rendering;
+* :mod:`repro.service.server` — ``mvec serve``'s HTTP and stdio
+  front ends.
+"""
+
+from .cache import CompilationCache, DiskCache, MemoryLRU  # noqa: F401
+from .compiler import (  # noqa: F401
+    CompilationService,
+    CompileFailure,
+    CompileResult,
+    WorkerFailure,
+    compile_many,
+    parallel_map,
+)
+from .fingerprint import (  # noqa: F401
+    CompileOptions,
+    cache_key,
+    pipeline_fingerprint,
+)
+from .metrics import Counter, Histogram, MetricsRegistry  # noqa: F401
+from .server import CompilationServer, serve_http, serve_stdio  # noqa: F401
+
+__all__ = [
+    "CompilationCache",
+    "DiskCache",
+    "MemoryLRU",
+    "CompilationService",
+    "CompileFailure",
+    "CompileResult",
+    "WorkerFailure",
+    "compile_many",
+    "parallel_map",
+    "CompileOptions",
+    "cache_key",
+    "pipeline_fingerprint",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "CompilationServer",
+    "serve_http",
+    "serve_stdio",
+]

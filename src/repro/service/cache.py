@@ -1,0 +1,222 @@
+"""The two-tier content-addressed compilation cache.
+
+Tier 1 is an in-process LRU over artifact dicts; tier 2 is an on-disk
+store safe for concurrent writers.  Both are keyed by
+:func:`repro.service.fingerprint.cache_key` and carry the pipeline
+fingerprint, so entries produced by a different pipeline version are
+dropped on read, never served.
+
+Disk layout (``<dir>/<key[:2]>/<key>.json``, two-hex-char shards to
+keep directories small)::
+
+    {"version": 1, "fingerprint": "…", "key": "…", "artifact": {…}}
+
+Writes go through a temporary file in the destination directory
+followed by ``os.replace`` — readers see either the old entry or the
+new one, never a torn write, and the last concurrent writer wins
+(harmless: both wrote the same content-addressed artifact).  Any entry
+that fails to parse or validate is treated as a miss and deleted; the
+caller recompiles.  A cache failure must never take compilation down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from threading import Lock
+from typing import Optional
+
+from .fingerprint import SCHEMA_VERSION, pipeline_fingerprint
+
+#: Artifact keys every well-formed entry must provide.
+REQUIRED_ARTIFACT_KEYS = ("vectorized",)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, split by tier."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    dropped_stale: int = 0      # fingerprint mismatch
+    dropped_corrupt: int = 0    # unparseable / schema-invalid entry
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "dropped_stale": self.dropped_stale,
+            "dropped_corrupt": self.dropped_corrupt,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class MemoryLRU:
+    """Bounded LRU dict; ``get`` refreshes recency, eviction is oldest-first."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self._lock = Lock()
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[dict]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: str, value: dict) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def keys(self) -> list[str]:
+        """Keys from least- to most-recently used (for tests/inspection)."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+class DiskCache:
+    """Sharded on-disk entry store with atomic writes."""
+
+    def __init__(self, directory: Path | str):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str, fingerprint: str,
+            stats: Optional[CacheStats] = None) -> Optional[dict]:
+        """Load and validate one entry; invalid entries are deleted."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not an object")
+            artifact = entry["artifact"]
+            if entry["version"] != SCHEMA_VERSION:
+                raise ValueError(f"schema version {entry['version']}")
+            for required in REQUIRED_ARTIFACT_KEYS:
+                if required not in artifact:
+                    raise ValueError(f"artifact missing {required!r}")
+        except (ValueError, KeyError, TypeError):
+            if stats is not None:
+                stats.dropped_corrupt += 1
+            self._drop(path)
+            return None
+        if entry.get("fingerprint") != fingerprint:
+            if stats is not None:
+                stats.dropped_stale += 1
+            self._drop(path)
+            return None
+        return artifact
+
+    def put(self, key: str, artifact: dict, fingerprint: str) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"version": SCHEMA_VERSION, "fingerprint": fingerprint,
+                 "key": key, "artifact": artifact}
+        payload = json.dumps(entry, sort_keys=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent,
+            prefix=f".{key[:8]}.", suffix=".tmp", delete=False)
+        try:
+            with handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, path)
+        except OSError:
+            self._drop(Path(handle.name))
+
+    @staticmethod
+    def _drop(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+
+@dataclass
+class CompilationCache:
+    """Memory tier in front of an optional disk tier.
+
+    ``fingerprint`` defaults to the live pipeline fingerprint;
+    injectable so tests can simulate a pipeline change without editing
+    compiler sources.
+    """
+
+    capacity: int = 256
+    directory: Optional[Path | str] = None
+    fingerprint: str = field(default_factory=pipeline_fingerprint)
+
+    def __post_init__(self) -> None:
+        self.memory = MemoryLRU(self.capacity)
+        self.disk = DiskCache(self.directory) if self.directory else None
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> Optional[dict]:
+        artifact = self.memory.get(key)
+        if artifact is not None:
+            self.stats.memory_hits += 1
+            return artifact
+        if self.disk is not None:
+            artifact = self.disk.get(key, self.fingerprint, self.stats)
+            if artifact is not None:
+                self.stats.disk_hits += 1
+                self.memory.put(key, artifact)   # promote
+                self.stats.evictions = self.memory.evictions
+                return artifact
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, artifact: dict) -> None:
+        self.memory.put(key, artifact)
+        self.stats.evictions = self.memory.evictions
+        self.stats.writes += 1
+        if self.disk is not None:
+            self.disk.put(key, artifact, self.fingerprint)

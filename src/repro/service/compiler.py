@@ -1,0 +1,356 @@
+"""The compilation service: cached single compiles and parallel batches.
+
+:class:`CompilationService` wraps the paper's pipeline (parse → dims
+analysis → codegen → optional NumPy translation) behind a
+content-addressed cache and a metrics registry.  ``compile`` never
+raises on bad input — every outcome is a :class:`CompileResult`, with
+compilation errors carried as structured :class:`CompileFailure`
+payloads so batch callers and the HTTP front end can report them
+uniformly.
+
+:func:`compile_many` fans a list of named sources across a
+``multiprocessing`` pool (fork-server free, plain ``fork`` where
+available so workers inherit the warm interpreter) with
+
+* **deterministic ordering** — results come back in input order no
+  matter which worker finished first;
+* **error isolation** — one bad file yields one failed result, never a
+  dead batch;
+* **per-file timeout** — enforced *inside* the worker with
+  ``SIGALRM``/``setitimer``, so a pathological input cannot wedge a
+  worker slot forever.
+
+:func:`parallel_map` is the reusable pool primitive; the fuzz campaign
+driver uses it to parallelize oracle runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from ..errors import ReproError
+from .cache import CompilationCache
+from .fingerprint import CompileOptions, cache_key, pipeline_fingerprint
+from .metrics import MetricsRegistry
+
+#: Compile stages reported in latency histograms, in pipeline order.
+STAGES = ("lex", "parse", "analyze", "codegen", "translate")
+
+
+@dataclass
+class CompileFailure:
+    """A structured, picklable compilation error."""
+
+    type: str                   # e.g. 'ParseError', 'timeout', 'internal'
+    message: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class CompileResult:
+    """Outcome of compiling one source, success or failure."""
+
+    name: str
+    ok: bool
+    cached: bool = False
+    cache_key: Optional[str] = None
+    vectorized: Optional[str] = None
+    python: Optional[str] = None
+    stats: Optional[dict] = None
+    report_summary: Optional[str] = None
+    timings: dict[str, float] = field(default_factory=dict)
+    elapsed: float = 0.0
+    error: Optional[CompileFailure] = None
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["error"] = self.error.to_dict() if self.error else None
+        return data
+
+
+class CompilationService:
+    """Cache- and metrics-instrumented front door to the pipeline."""
+
+    def __init__(self, cache: Optional[CompilationCache] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.cache = cache if cache is not None else CompilationCache()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.fingerprint = self.cache.fingerprint
+
+    # -- public API ----------------------------------------------------
+
+    def compile(self, source: str,
+                options: Optional[CompileOptions] = None,
+                name: str = "<memory>") -> CompileResult:
+        """Compile one source, consulting the cache first."""
+        options = options or CompileOptions()
+        start = time.perf_counter()
+        key = cache_key(source, options, self.fingerprint)
+        self.metrics.counter(
+            "mvec_compile_requests_total",
+            "Compilation requests", backend=options.backend).inc()
+
+        artifact = self._cache_lookup(key)
+        if artifact is not None:
+            return CompileResult(
+                name=name, ok=True, cached=True, cache_key=key,
+                vectorized=artifact["vectorized"],
+                python=artifact.get("python"),
+                stats=artifact.get("stats"),
+                report_summary=artifact.get("report_summary"),
+                timings={},
+                elapsed=time.perf_counter() - start)
+
+        result = self._compile_uncached(source, options, name, key)
+        result.elapsed = time.perf_counter() - start
+        if result.ok:
+            self.cache.put(key, {
+                "vectorized": result.vectorized,
+                "python": result.python,
+                "stats": result.stats,
+                "report_summary": result.report_summary,
+            })
+        else:
+            self.metrics.counter(
+                "mvec_compile_errors_total", "Failed compilations",
+                type=result.error.type).inc()
+        return result
+
+    # -- internals -----------------------------------------------------
+
+    def _cache_lookup(self, key: str) -> Optional[dict]:
+        stats = self.cache.stats
+        before = (stats.memory_hits, stats.disk_hits)
+        artifact = self.cache.get(key)
+        if artifact is not None:
+            tier = "memory" if stats.memory_hits > before[0] else "disk"
+            self.metrics.counter("mvec_cache_hits_total",
+                                 "Cache hits by tier", tier=tier).inc()
+        else:
+            self.metrics.counter("mvec_cache_misses_total",
+                                 "Cache misses").inc()
+        return artifact
+
+    def _compile_uncached(self, source: str, options: CompileOptions,
+                          name: str, key: str) -> CompileResult:
+        from ..translate.numpy_backend import translate_source
+        from ..vectorizer.driver import Vectorizer
+
+        try:
+            vect = Vectorizer(options=options.check_options(),
+                              simplify=options.simplify,
+                              scalar_temps=options.scalar_temps,
+                              ).vectorize_source(source)
+            vectorized = vect.source
+            timings = dict(vect.timings)
+            python = None
+            if options.backend == "numpy":
+                start = time.perf_counter()
+                python = translate_source(vectorized).python_source
+                timings["translate"] = time.perf_counter() - start
+        except ReproError as error:
+            return CompileResult(name=name, ok=False, cache_key=key,
+                                 error=CompileFailure(
+                                     type(error).__name__, str(error)))
+        except RecursionError as error:
+            return CompileResult(name=name, ok=False, cache_key=key,
+                                 error=CompileFailure(
+                                     "RecursionError", str(error)))
+        for stage, seconds in timings.items():
+            self.metrics.histogram(
+                "mvec_stage_seconds",
+                "Per-stage compile latency", stage=stage).observe(seconds)
+        return CompileResult(
+            name=name, ok=True, cache_key=key, vectorized=vectorized,
+            python=python, stats=vect.report.stats(),
+            report_summary=vect.report.summary(), timings=timings)
+
+
+# ---------------------------------------------------------------------------
+# Worker pool
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkerFailure:
+    """Why one pool item produced no result."""
+
+    type: str                   # 'timeout' or the exception class name
+    message: str
+
+
+class WorkerTimeout(Exception):
+    """Raised inside a worker when the per-item timer fires."""
+
+
+def _raise_timeout(signum, frame):
+    raise WorkerTimeout()
+
+
+def _call_with_timeout(fn: Callable, item, timeout: Optional[float]):
+    """Run ``fn(item)``, bounded by ``timeout`` seconds where possible.
+
+    The bound uses ``SIGALRM``/``setitimer`` and therefore only applies
+    on platforms with Unix signals and when running on the process's
+    main thread (always true for pool workers; the inline fallback
+    skips the bound when called from a server thread).
+    """
+    can_alarm = (timeout is not None and hasattr(signal, "setitimer")
+                 and threading.current_thread() is threading.main_thread())
+    if not can_alarm:
+        return fn(item)
+    previous = signal.signal(signal.SIGALRM, _raise_timeout)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return fn(item)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+_pool_fn: Optional[Callable] = None
+_pool_timeout: Optional[float] = None
+
+
+def _pool_init(fn: Callable, timeout: Optional[float]) -> None:
+    global _pool_fn, _pool_timeout
+    _pool_fn = fn
+    _pool_timeout = timeout
+
+
+def _pool_call(payload):
+    index, item = payload
+    try:
+        return index, _call_with_timeout(_pool_fn, item, _pool_timeout), None
+    except WorkerTimeout:
+        return index, None, WorkerFailure(
+            "timeout", f"exceeded {_pool_timeout:g}s")
+    except Exception as error:  # noqa: BLE001 — isolation is the contract
+        return index, None, WorkerFailure(type(error).__name__, str(error))
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0])
+
+
+def parallel_map(fn: Callable, items: Sequence, workers: int = 1,
+                 timeout: Optional[float] = None) -> list:
+    """Apply ``fn`` to every item, in parallel, with error isolation.
+
+    Returns one entry per item **in input order**: the call's return
+    value, or a :class:`WorkerFailure` if it raised or timed out.
+    ``fn`` must be a module-level (picklable) callable when
+    ``workers > 1``.  ``workers <= 1`` runs inline, same contract.
+    """
+    if workers <= 1 or len(items) <= 1:
+        out = []
+        for payload in enumerate(items):
+            _, result, failure = _serial_call(payload, fn, timeout)
+            out.append(failure if failure is not None else result)
+        return out
+    payloads = list(enumerate(items))
+    out: list = [None] * len(items)
+    context = _pool_context()
+    with context.Pool(processes=min(workers, len(items)),
+                      initializer=_pool_init,
+                      initargs=(fn, timeout)) as pool:
+        for index, result, failure in pool.imap_unordered(
+                _pool_call, payloads):
+            out[index] = failure if failure is not None else result
+    return out
+
+
+def _serial_call(payload, fn, timeout):
+    index, item = payload
+    try:
+        return index, _call_with_timeout(fn, item, timeout), None
+    except WorkerTimeout:
+        return index, None, WorkerFailure("timeout", f"exceeded {timeout:g}s")
+    except Exception as error:  # noqa: BLE001
+        return index, None, WorkerFailure(type(error).__name__, str(error))
+
+
+# ---------------------------------------------------------------------------
+# Batch compilation
+# ---------------------------------------------------------------------------
+
+#: Per-process service reused across batch items (so a worker compiles
+#: the whole batch slice against one warm cache).
+_worker_services: dict[tuple, CompilationService] = {}
+
+
+def _batch_compile_item(item) -> CompileResult:
+    name, source, options_dict, cache_dir = item
+    service_key = (cache_dir,)
+    service = _worker_services.get(service_key)
+    if service is None:
+        cache = CompilationCache(directory=cache_dir)
+        service = CompilationService(cache=cache)
+        _worker_services[service_key] = service
+    return service.compile(source, CompileOptions(**options_dict), name=name)
+
+
+def compile_many(sources: Sequence[tuple[str, str]],
+                 options: Optional[CompileOptions] = None,
+                 workers: int = 1,
+                 timeout: Optional[float] = None,
+                 cache_dir: Optional[Path | str] = None
+                 ) -> list[CompileResult]:
+    """Compile ``(name, source)`` pairs, fanned across ``workers``.
+
+    Results are returned in input order.  Items that raise or time out
+    come back as failed :class:`CompileResult`\\ s — the batch always
+    completes.  ``cache_dir`` points every worker at one shared on-disk
+    cache tier (safe: writes are atomic and content-addressed).
+    """
+    options = options or CompileOptions()
+    items = [(name, source, options.to_dict(),
+              str(cache_dir) if cache_dir else None)
+             for name, source in sources]
+    mapped = parallel_map(_batch_compile_item, items,
+                          workers=workers, timeout=timeout)
+    results: list[CompileResult] = []
+    for (name, _source, _opts, _dir), outcome in zip(items, mapped):
+        if isinstance(outcome, WorkerFailure):
+            outcome = CompileResult(
+                name=name, ok=False,
+                error=CompileFailure(outcome.type, outcome.message))
+        results.append(outcome)
+    return results
+
+
+def read_sources(paths: Sequence[str | Path]) -> list[tuple[str, str]]:
+    """Read ``(name, source)`` pairs for the CLI; '-' means stdin."""
+    import sys
+
+    pairs = []
+    for path in paths:
+        if str(path) == "-":
+            pairs.append(("<stdin>", sys.stdin.read()))
+        else:
+            with open(path, encoding="utf-8") as handle:
+                pairs.append((Path(path).name, handle.read()))
+    return pairs
+
+
+__all__ = [
+    "STAGES",
+    "CompileFailure",
+    "CompileResult",
+    "CompilationService",
+    "WorkerFailure",
+    "parallel_map",
+    "compile_many",
+    "read_sources",
+    "pipeline_fingerprint",
+]

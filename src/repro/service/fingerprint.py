@@ -1,0 +1,135 @@
+"""Content addressing for compiled artifacts.
+
+A cached artifact is only reusable while the pipeline that produced it
+is byte-identical — a codegen fix must never serve yesterday's output.
+The *pipeline fingerprint* is a digest over the source files of every
+package that determines what the compiler emits (front-end, dimension
+abstraction, analyses, patterns, vectorizer, translator).  It is baked
+into every cache entry and into every cache key, so both tiers of the
+cache invalidate wholesale on any pipeline change.
+
+The *cache key* is ``sha256(fingerprint || options || source)`` — pure
+content addressing: identical source compiled with identical options by
+an identical pipeline always maps to the same key, on any machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Optional
+
+from ..vectorizer.checker import CheckOptions
+
+#: Packages (relative to ``repro``) whose sources determine compiler
+#: output.  ``runtime`` and ``fuzz`` are deliberately absent: they
+#: verify artifacts but never shape them.
+PIPELINE_PACKAGES = ("mlang", "dims", "analysis", "depgraph",
+                     "patterns", "vectorizer", "translate")
+
+#: Bumped on artifact *schema* changes (what a cache entry contains),
+#: independent of pipeline source changes.
+SCHEMA_VERSION = 1
+
+_fingerprint_cache: Optional[str] = None
+
+
+def pipeline_fingerprint(refresh: bool = False) -> str:
+    """Digest of every pipeline source file (hex, 16 chars).
+
+    Computed once per process; ``refresh`` forces recomputation (tests
+    that edit pipeline sources on disk use it).
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is not None and not refresh:
+        return _fingerprint_cache
+    digest = hashlib.sha256()
+    digest.update(f"schema:{SCHEMA_VERSION}".encode())
+    root = Path(__file__).resolve().parent.parent
+    for package in PIPELINE_PACKAGES:
+        for path in sorted((root / package).rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    _fingerprint_cache = digest.hexdigest()[:16]
+    return _fingerprint_cache
+
+
+BACKENDS = ("matlab", "numpy")
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Everything (besides the source) that selects a compiled artifact.
+
+    ``backend`` picks what the service produces: ``"matlab"`` is the
+    paper's source-to-source pipeline; ``"numpy"`` additionally runs the
+    translator over the vectorized output.  The remaining fields mirror
+    :class:`~repro.vectorizer.checker.CheckOptions` plus the driver's
+    ``simplify``/``scalar_temps`` switches.
+    """
+
+    backend: str = "matlab"
+    simplify: bool = False
+    scalar_temps: bool = True
+    transposes: bool = True
+    patterns: bool = True
+    reductions: bool = True
+    promotion: bool = True
+    product_regroup: bool = True
+    max_chain: int = 8
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r} "
+                             f"(expected one of {BACKENDS})")
+
+    def check_options(self) -> CheckOptions:
+        return CheckOptions(
+            transposes=self.transposes,
+            patterns=self.patterns,
+            reductions=self.reductions,
+            promotion=self.promotion,
+            product_regroup=self.product_regroup,
+            max_chain=self.max_chain,
+        )
+
+    def canonical(self) -> str:
+        """Deterministic serialization used in cache keys."""
+        return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompileOptions":
+        """Build options from an untrusted request payload.
+
+        Unknown keys raise ``ValueError`` (a typoed option silently
+        falling back to defaults would poison the content address).
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"options must be an object, "
+                             f"got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown option(s): {sorted(unknown)}")
+        return cls(**data)
+
+
+def cache_key(source: str, options: Optional[CompileOptions] = None,
+              fingerprint: Optional[str] = None) -> str:
+    """Content address of one compilation: sha256 hex digest."""
+    options = options or CompileOptions()
+    fingerprint = fingerprint or pipeline_fingerprint()
+    digest = hashlib.sha256()
+    digest.update(fingerprint.encode())
+    digest.update(b"\0")
+    digest.update(options.canonical().encode())
+    digest.update(b"\0")
+    digest.update(source.encode())
+    return digest.hexdigest()

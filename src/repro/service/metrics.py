@@ -1,0 +1,195 @@
+"""Counters and histograms for the compilation service.
+
+A deliberately small, stdlib-only metrics kernel: named counters and
+fixed-bucket latency histograms with optional labels, registered in a
+:class:`MetricsRegistry` and rendered either as JSON (for programmatic
+consumers and the stdio mode) or in the Prometheus text exposition
+format (for ``GET /metrics`` scrapes).
+
+Instruments are get-or-create by ``(name, labels)``, so call sites can
+write ``registry.histogram("mvec_stage_seconds", stage="parse")`` on
+every observation without bookkeeping.  All mutation is lock-guarded —
+the HTTP front end serves from a thread pool.
+"""
+
+from __future__ import annotations
+
+import math
+from threading import Lock
+from typing import Optional, Sequence
+
+#: Default latency buckets (seconds): compile stages sit in the 0.1 ms –
+#: 100 ms range; the long tail catches pathological inputs.
+DEFAULT_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+                   0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0)
+
+_INVALID_NAME = "metric names must be non-empty [a-zA-Z_][a-zA-Z0-9_]*"
+
+
+def _check_name(name: str) -> str:
+    if not name or not name.replace("_", "a").isalnum() \
+            or name[0].isdigit():
+        raise ValueError(f"{_INVALID_NAME}: {name!r}")
+    return name
+
+
+def _label_str(labels: dict[str, str], extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Optional[dict[str, str]] = None):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = dict(labels or {})
+        self.value = 0.0
+        self._lock = Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (inc {amount})")
+        with self._lock:
+            self.value += amount
+
+    def to_json(self) -> dict:
+        return {"value": self.value}
+
+    def render(self) -> list[str]:
+        return [f"{self.name}{_label_str(self.labels)} {_format(self.value)}"]
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative (Prometheus-style) counts."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 labels: Optional[dict[str, str]] = None):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = dict(labels or {})
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+        self.counts = [0] * len(self.buckets)   # per-bucket (non-cumulative)
+        self.count = 0
+        self.sum = 0.0
+        self._lock = Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[index] += 1
+                    break
+
+    def cumulative(self) -> list[int]:
+        """Cumulative bucket counts, one per upper bound (``+Inf`` is
+        :attr:`count`)."""
+        out, running = [], 0
+        for bucket_count in self.counts:
+            running += bucket_count
+            out.append(running)
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {_format(bound): cum for bound, cum
+                        in zip(self.buckets, self.cumulative())},
+        }
+
+    def render(self) -> list[str]:
+        lines = []
+        for bound, cum in zip(self.buckets, self.cumulative()):
+            le = _label_str(self.labels, f'le="{_format(bound)}"')
+            lines.append(f"{self.name}_bucket{le} {cum}")
+        inf = _label_str(self.labels, 'le="+Inf"')
+        lines.append(f"{self.name}_bucket{inf} {self.count}")
+        lines.append(f"{self.name}_sum{_label_str(self.labels)} "
+                     f"{_format(self.sum)}")
+        lines.append(f"{self.name}_count{_label_str(self.labels)} "
+                     f"{self.count}")
+        return lines
+
+
+def _format(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store plus the two renderers."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple, Counter | Histogram] = {}
+        self._lock = Lock()
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: str) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets)
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs):
+        key = (cls.kind, name, tuple(sorted(labels.items())))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, help, labels=labels, **kwargs)
+                self._instruments[key] = instrument
+            return instrument
+
+    def instruments(self) -> list[Counter | Histogram]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    # -- rendering -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """``{name: {kind, help, series: [{labels, …}]}}``."""
+        out: dict[str, dict] = {}
+        for instrument in self.instruments():
+            family = out.setdefault(instrument.name, {
+                "kind": instrument.kind,
+                "help": instrument.help,
+                "series": [],
+            })
+            family["series"].append(
+                {"labels": instrument.labels, **instrument.to_json()})
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        seen_families: set[str] = set()
+        by_name: dict[str, list] = {}
+        for instrument in self.instruments():
+            by_name.setdefault(instrument.name, []).append(instrument)
+        for name in sorted(by_name):
+            for instrument in by_name[name]:
+                if name not in seen_families:
+                    if instrument.help:
+                        lines.append(f"# HELP {name} {instrument.help}")
+                    lines.append(f"# TYPE {name} {instrument.kind}")
+                    seen_families.add(name)
+                lines.extend(instrument.render())
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,253 @@
+"""The serving front end: a stdlib-only JSON API over the service.
+
+Two transports share one :class:`CompilationService`:
+
+* **HTTP** (:class:`CompilationServer`, a ``ThreadingHTTPServer``)::
+
+      POST /vectorize   {"source": "...", "options": {...}?}
+      POST /translate   same body; forces the NumPy backend
+      GET  /healthz     liveness + pipeline fingerprint
+      GET  /metrics     Prometheus text (``?format=json`` for JSON)
+
+  Success responses are the :class:`CompileResult` dict with
+  ``"ok": true``; compile failures return 422 with the structured
+  error; malformed requests return 400.  Nothing the client sends can
+  crash a worker thread — every handler path ends in a JSON response.
+
+* **stdio JSON-lines** (:func:`serve_stdio`) for embedding ``mvec`` in
+  another process without a port: one request object per input line
+  (``{"op": "vectorize"|"translate"|"health"|"metrics", ...}``), one
+  response object per output line, in order.  EOF ends the session.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import IO, Optional
+from urllib.parse import urlparse
+
+from .compiler import CompilationService
+from .fingerprint import CompileOptions
+
+#: Reject request bodies larger than this (pathological inputs should
+#: fail fast, not occupy a compile slot).
+MAX_SOURCE_BYTES = 1_000_000
+
+
+class RequestError(Exception):
+    """A client error with an HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _parse_request(raw: bytes | str, force_backend: Optional[str] = None
+                   ) -> tuple[str, CompileOptions]:
+    """Validate a vectorize/translate payload into (source, options)."""
+    try:
+        payload = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise RequestError(400, f"invalid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise RequestError(400, "request body must be a JSON object")
+    source = payload.get("source")
+    if not isinstance(source, str):
+        raise RequestError(400, "missing required string field 'source'")
+    options_data = payload.get("options", {})
+    if force_backend is not None:
+        options_data = {**options_data, "backend": force_backend}
+    try:
+        options = CompileOptions.from_dict(options_data)
+    except (ValueError, TypeError) as error:
+        raise RequestError(400, f"bad options: {error}")
+    return source, options
+
+
+def handle_compile(service: CompilationService, raw: bytes | str,
+                   force_backend: Optional[str] = None) -> tuple[int, dict]:
+    """Shared vectorize/translate handler → (HTTP status, response dict)."""
+    source, options = _parse_request(raw, force_backend)
+    result = service.compile(source, options)
+    return (200 if result.ok else 422), result.to_dict()
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the shared :class:`CompilationService`."""
+
+    server_version = "mvec-serve"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> CompilationService:
+        return self.server.service
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", False):
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: bytes,
+              content_type: str = "application/json") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send(status, json.dumps(payload).encode("utf-8"))
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json(status, {"ok": False,
+                                 "error": {"type": "request",
+                                           "message": message}})
+
+    def _observe(self, route: str, status: int) -> None:
+        # Called BEFORE the response is written: a client that chains
+        # request → /metrics must see this request already counted.
+        self.service.metrics.counter(
+            "mvec_http_requests_total", "HTTP requests by route/status",
+            route=route, status=str(status)).inc()
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        url = urlparse(self.path)
+        if url.path == "/healthz":
+            payload = {
+                "ok": True,
+                "fingerprint": self.service.fingerprint,
+                "uptime_seconds": time.monotonic() - self.server.started,
+                "cache": self.service.cache.stats.to_dict(),
+            }
+            self._observe("/healthz", 200)
+            self._send_json(200, payload)
+        elif url.path == "/metrics":
+            self._observe("/metrics", 200)
+            if "format=json" in (url.query or ""):
+                body = json.dumps(self.service.metrics.to_json())
+                self._send(200, body.encode("utf-8"))
+            else:
+                text = self.service.metrics.render_prometheus()
+                self._send(200, text.encode("utf-8"),
+                           content_type="text/plain; version=0.0.4")
+        else:
+            self._observe(url.path, 404)
+            self._send_error(404, f"no such endpoint: {url.path}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        url = urlparse(self.path)
+        routes = {"/vectorize": None, "/translate": "numpy"}
+        if url.path not in routes:
+            self._observe(url.path, 404)
+            self._send_error(404, f"no such endpoint: {url.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length > MAX_SOURCE_BYTES:
+                raise RequestError(
+                    413, f"body exceeds {MAX_SOURCE_BYTES} bytes")
+            raw = self.rfile.read(length)
+            status, payload = handle_compile(self.service, raw,
+                                             routes[url.path])
+        except RequestError as error:
+            self._observe(url.path, error.status)
+            self._send_error(error.status, str(error))
+            return
+        except Exception as error:  # noqa: BLE001 — keep the thread alive
+            self._observe(url.path, 500)
+            self._send_json(500, {"ok": False,
+                                  "error": {"type": "internal",
+                                            "message": str(error)}})
+            return
+        self._observe(url.path, status)
+        self._send_json(status, payload)
+
+
+class CompilationServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` bound to one :class:`CompilationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int],
+                 service: Optional[CompilationService] = None,
+                 quiet: bool = False):
+        super().__init__(address, ServiceHandler)
+        self.service = service if service is not None else CompilationService()
+        self.quiet = quiet
+        self.started = time.monotonic()
+
+
+def serve_http(host: str, port: int,
+               service: Optional[CompilationService] = None,
+               quiet: bool = False) -> int:
+    """Run the HTTP front end until interrupted."""
+    import sys
+
+    server = CompilationServer((host, port), service, quiet=quiet)
+    bound = server.server_address
+    print(f"mvec serve: listening on http://{bound[0]}:{bound[1]} "
+          f"(pipeline {server.service.fingerprint})", file=sys.stderr,
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# stdio JSON-lines transport
+# ---------------------------------------------------------------------------
+
+
+def _stdio_response(service: CompilationService, line: str) -> dict:
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as error:
+        return {"ok": False, "error": {"type": "request",
+                                       "message": f"invalid JSON: {error}"}}
+    if not isinstance(request, dict):
+        return {"ok": False, "error": {"type": "request",
+                                       "message": "request must be an "
+                                                  "object"}}
+    op = request.get("op", "vectorize")
+    if op in ("vectorize", "translate"):
+        backend = "numpy" if op == "translate" else None
+        try:
+            _status, payload = handle_compile(service, line, backend)
+        except RequestError as error:
+            return {"ok": False, "error": {"type": "request",
+                                           "message": str(error)}}
+        return payload
+    if op in ("health", "healthz"):
+        return {"ok": True, "fingerprint": service.fingerprint,
+                "cache": service.cache.stats.to_dict()}
+    if op == "metrics":
+        return {"ok": True, "metrics": service.metrics.to_json()}
+    return {"ok": False, "error": {"type": "request",
+                                   "message": f"unknown op: {op!r}"}}
+
+
+def serve_stdio(service: Optional[CompilationService] = None,
+                stdin: Optional[IO[str]] = None,
+                stdout: Optional[IO[str]] = None) -> int:
+    """JSON-lines loop: one request per line in, one response per line out."""
+    import sys
+
+    service = service if service is not None else CompilationService()
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    for line in stdin:
+        if not line.strip():
+            continue
+        response = _stdio_response(service, line)
+        stdout.write(json.dumps(response) + "\n")
+        stdout.flush()
+    return 0

@@ -14,6 +14,7 @@ transformed program, its printed source, and a per-loop report.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -21,7 +22,8 @@ from ..analysis.shapes import infer_shapes
 from ..dims.context import ShapeEnv
 from ..mlang.annotations import parse_annotations
 from ..mlang.ast_nodes import For, If, Program, Stmt, While
-from ..mlang.parser import parse
+from ..mlang.lexer import tokenize
+from ..mlang.parser import Parser, parse
 from ..mlang.printer import to_source
 from ..patterns.builtin import default_database
 from ..patterns.database import PatternDatabase
@@ -104,10 +106,17 @@ class VectorizeReport:
 
 @dataclass
 class VectorizeResult:
-    """The transformed program plus diagnostics."""
+    """The transformed program plus diagnostics.
+
+    ``timings`` holds per-stage wall-clock seconds keyed by stage name
+    (``lex``/``parse`` when the driver was handed source text, and
+    ``analyze``/``codegen`` always); the compilation service feeds these
+    into its latency histograms.
+    """
 
     program: Program
     report: VectorizeReport
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def source(self) -> str:
@@ -135,19 +144,34 @@ class Vectorizer:
 
     def vectorize_source(self, source: str,
                          shapes: Optional[ShapeEnv] = None) -> VectorizeResult:
-        return self.vectorize_program(parse(source), shapes=shapes)
+        start = time.perf_counter()
+        tokens = tokenize(source)
+        lex_time = time.perf_counter() - start
+        start = time.perf_counter()
+        program = Parser(tokens).parse_program()
+        parse_time = time.perf_counter() - start
+        result = self.vectorize_program(program, shapes=shapes)
+        result.timings = {"lex": lex_time, "parse": parse_time,
+                          **result.timings}
+        return result
 
     def vectorize_program(self, program: Program,
                           shapes: Optional[ShapeEnv] = None) -> VectorizeResult:
+        start = time.perf_counter()
         annotations = parse_annotations(program.annotations)
         if shapes is not None:
             annotations.merge(shapes)
         env = infer_shapes(program, annotations)
         self._ident_counts = _ident_occurrences(program)
+        analyze_time = time.perf_counter() - start
         report = VectorizeReport()
+        start = time.perf_counter()
         body = self._process(program.body, env, report,
                              outer_scalars=frozenset())
-        return VectorizeResult(Program(body), report)
+        codegen_time = time.perf_counter() - start
+        return VectorizeResult(Program(body), report,
+                               {"analyze": analyze_time,
+                                "codegen": codegen_time})
 
     # -- recursive statement-list processing -------------------------------
 

@@ -76,3 +76,38 @@ def test_campaign_deterministic(seed):
     second = run_campaign(5, seed=seed)
     assert first.ok == second.ok
     assert first.total == second.total
+
+
+def test_parallel_campaign_matches_sequential():
+    sequential = run_campaign(30, seed=4)
+    parallel = run_campaign(30, seed=4, workers=2)
+    assert parallel.total == sequential.total == 30
+    assert parallel.ok == sequential.ok
+    assert [m.index for m in parallel.mismatches] == \
+        [m.index for m in sequential.mismatches]
+
+
+def test_parallel_campaign_progress_monotonic():
+    seen = []
+    run_campaign(12, seed=0, workers=2,
+                 progress=lambda done, total: seen.append((done, total)))
+    assert seen[-1] == (12, 12)
+    assert [done for done, _ in seen] == sorted(done for done, _ in seen)
+
+
+def test_injected_vectorizer_forces_sequential_path():
+    # Closures can't cross process boundaries; the campaign must still
+    # honor the injection (and find the planted mismatch) with workers.
+    @dataclass
+    class _FakeResult:
+        source: str
+
+    result = run_campaign(2, seed=0, workers=4,
+                          vectorizer=lambda s: _FakeResult("wrong = 1;\n"))
+    assert len(result.mismatches) == 2
+
+
+def test_cli_fuzz_workers_flag(capsys):
+    assert main(["fuzz", "--n", "8", "--seed", "0", "--quiet",
+                 "--workers", "2"]) == 0
+    assert "8 programs" in capsys.readouterr().err

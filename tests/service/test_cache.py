@@ -1,0 +1,231 @@
+"""Cache tests: LRU order, disk round-trip, invalidation, concurrency,
+and corrupted-entry recovery."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.cache import (
+    CompilationCache,
+    DiskCache,
+    MemoryLRU,
+)
+from repro.service.fingerprint import (
+    CompileOptions,
+    cache_key,
+    pipeline_fingerprint,
+)
+
+
+ARTIFACT = {"vectorized": "z(1:n) = x(1:n);\n", "python": None,
+            "stats": {"loops": {"vectorized": 1}},
+            "report_summary": "loop 'i' (line 1): vectorized"}
+
+
+def entry(tag: str) -> dict:
+    return {**ARTIFACT, "vectorized": f"% {tag}\n"}
+
+
+# ---------------------------------------------------------------------------
+# Keys and fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key("x = 1;") == cache_key("x = 1;")
+
+    def test_source_changes_key(self):
+        assert cache_key("x = 1;") != cache_key("x = 2;")
+
+    def test_options_change_key(self):
+        assert cache_key("x = 1;", CompileOptions()) != \
+            cache_key("x = 1;", CompileOptions(patterns=False))
+        assert cache_key("x = 1;", CompileOptions(backend="matlab")) != \
+            cache_key("x = 1;", CompileOptions(backend="numpy"))
+
+    def test_fingerprint_changes_key(self):
+        assert cache_key("x = 1;", fingerprint="aaaa") != \
+            cache_key("x = 1;", fingerprint="bbbb")
+
+    def test_fingerprint_is_stable_and_short(self):
+        fp = pipeline_fingerprint()
+        assert fp == pipeline_fingerprint()
+        assert len(fp) == 16
+        assert all(c in "0123456789abcdef" for c in fp)
+
+    def test_options_reject_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            CompileOptions(backend="fortran")
+
+    def test_options_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            CompileOptions.from_dict({"patterns": False, "typo": 1})
+
+
+# ---------------------------------------------------------------------------
+# Memory LRU tier
+# ---------------------------------------------------------------------------
+
+
+class TestMemoryLRU:
+    def test_eviction_is_least_recently_used(self):
+        lru = MemoryLRU(capacity=3)
+        for tag in ("a", "b", "c"):
+            lru.put(tag, entry(tag))
+        assert lru.get("a") is not None      # refresh 'a'
+        lru.put("d", entry("d"))             # evicts 'b', not 'a'
+        assert lru.keys() == ["c", "a", "d"]
+        assert lru.get("b") is None
+        assert lru.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        lru = MemoryLRU(capacity=2)
+        lru.put("a", entry("a"))
+        lru.put("b", entry("b"))
+        lru.put("a", entry("a2"))            # rewrite refreshes
+        lru.put("c", entry("c"))             # evicts 'b'
+        assert lru.get("b") is None
+        assert lru.get("a")["vectorized"] == "% a2\n"
+
+    def test_capacity_one(self):
+        lru = MemoryLRU(capacity=1)
+        lru.put("a", entry("a"))
+        lru.put("b", entry("b"))
+        assert len(lru) == 1 and "b" in lru
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryLRU(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Disk tier
+# ---------------------------------------------------------------------------
+
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        disk.put(KEY, ARTIFACT, fingerprint="fp1")
+        assert disk.get(KEY, "fp1") == ARTIFACT
+
+    def test_sharded_layout(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        disk.put(KEY, ARTIFACT, fingerprint="fp1")
+        assert (tmp_path / KEY[:2] / f"{KEY}.json").exists()
+
+    def test_miss_on_absent_key(self, tmp_path):
+        assert DiskCache(tmp_path).get(OTHER, "fp1") is None
+
+    def test_fingerprint_mismatch_drops_entry(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        disk.put(KEY, ARTIFACT, fingerprint="old-pipeline")
+        assert disk.get(KEY, "new-pipeline") is None
+        # stale file was removed, a matching write works again
+        assert not disk.path_for(KEY).exists()
+
+    def test_corrupted_json_recovers(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        disk.put(KEY, ARTIFACT, fingerprint="fp1")
+        disk.path_for(KEY).write_text("{truncated", encoding="utf-8")
+        assert disk.get(KEY, "fp1") is None
+        assert not disk.path_for(KEY).exists()
+        disk.put(KEY, ARTIFACT, fingerprint="fp1")   # recompile path
+        assert disk.get(KEY, "fp1") == ARTIFACT
+
+    def test_schema_invalid_entry_recovers(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        path = disk.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"version": 1, "fingerprint": "fp1",
+                                    "artifact": {"no_vectorized": True}}),
+                        encoding="utf-8")
+        assert disk.get(KEY, "fp1") is None
+
+    def test_wrong_schema_version_dropped(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        path = disk.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"version": 999, "fingerprint": "fp1",
+                                    "artifact": ARTIFACT}),
+                        encoding="utf-8")
+        assert disk.get(KEY, "fp1") is None
+
+    def test_concurrent_writers_never_corrupt(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        errors = []
+
+        def hammer(tag):
+            try:
+                for _ in range(50):
+                    disk.put(KEY, entry(tag), fingerprint="fp1")
+                    loaded = disk.get(KEY, "fp1")
+                    # A concurrent writer may have won, but the entry
+                    # must always parse and validate.
+                    assert loaded is not None
+                    assert loaded["vectorized"].startswith("% t")
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(f"t{i}",))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert disk.get(KEY, "fp1") is not None
+
+
+# ---------------------------------------------------------------------------
+# Two-tier composition
+# ---------------------------------------------------------------------------
+
+
+class TestCompilationCache:
+    def test_memory_then_disk_then_miss(self, tmp_path):
+        cache = CompilationCache(capacity=2, directory=tmp_path,
+                                 fingerprint="fp1")
+        cache.put(KEY, ARTIFACT)
+        assert cache.get(KEY) == ARTIFACT
+        assert cache.stats.memory_hits == 1
+
+        # A fresh process (new cache object) hits the disk tier and
+        # promotes into memory.
+        fresh = CompilationCache(capacity=2, directory=tmp_path,
+                                 fingerprint="fp1")
+        assert fresh.get(KEY) == ARTIFACT
+        assert fresh.stats.disk_hits == 1
+        assert fresh.get(KEY) == ARTIFACT
+        assert fresh.stats.memory_hits == 1
+
+        assert fresh.get(OTHER) is None
+        assert fresh.stats.misses == 1
+
+    def test_pipeline_change_invalidates_disk(self, tmp_path):
+        old = CompilationCache(directory=tmp_path, fingerprint="fp-old")
+        old.put(KEY, ARTIFACT)
+        new = CompilationCache(directory=tmp_path, fingerprint="fp-new")
+        assert new.get(KEY) is None
+        assert new.stats.dropped_stale == 1
+        assert new.stats.misses == 1
+
+    def test_memory_only_mode(self):
+        cache = CompilationCache(capacity=4, fingerprint="fp1")
+        cache.put(KEY, ARTIFACT)
+        assert cache.get(KEY) == ARTIFACT
+        assert cache.disk is None
+
+    def test_hit_rate(self, tmp_path):
+        cache = CompilationCache(directory=tmp_path, fingerprint="fp1")
+        assert cache.stats.hit_rate == 0.0
+        cache.put(KEY, ARTIFACT)
+        cache.get(KEY)
+        cache.get(OTHER)
+        assert cache.stats.hit_rate == pytest.approx(0.5)

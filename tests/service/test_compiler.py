@@ -1,0 +1,189 @@
+"""Compilation service and batch compiler tests."""
+
+import time
+
+import pytest
+
+from repro.service import (
+    CompilationCache,
+    CompilationService,
+    CompileOptions,
+    WorkerFailure,
+    compile_many,
+    parallel_map,
+)
+
+LOOP = """\
+%! x(*,1) y(*,1) n(1)
+x = (1:8)';
+n = 8;
+for i=1:n
+  y(i) = 2*x(i);
+end
+"""
+
+BAD = "for i=1:n\n  oops((\nend\n"
+
+
+class TestCompileOne:
+    def test_vectorizes(self):
+        result = CompilationService().compile(LOOP)
+        assert result.ok and not result.cached
+        assert "y(1:n) = 2*x(1:n);" in result.vectorized
+        assert result.python is None
+        assert result.stats["statements_vectorized"] == 1
+        assert result.cache_key and len(result.cache_key) == 64
+
+    def test_stage_timings_cover_pipeline(self):
+        result = CompilationService().compile(LOOP)
+        assert set(result.timings) == {"lex", "parse", "analyze", "codegen"}
+        assert all(seconds >= 0 for seconds in result.timings.values())
+
+    def test_numpy_backend_adds_translation(self):
+        result = CompilationService().compile(
+            LOOP, CompileOptions(backend="numpy"))
+        assert result.ok
+        assert "def mprogram" in result.python
+        assert "translate" in result.timings
+
+    def test_second_compile_is_cached(self):
+        service = CompilationService()
+        first = service.compile(LOOP)
+        second = service.compile(LOOP)
+        assert not first.cached and second.cached
+        assert second.vectorized == first.vectorized
+        assert service.cache.stats.memory_hits == 1
+
+    def test_different_options_not_conflated(self):
+        service = CompilationService()
+        service.compile(LOOP)
+        other = service.compile(LOOP, CompileOptions(patterns=False))
+        assert not other.cached
+
+    def test_error_is_structured_not_raised(self):
+        result = CompilationService().compile(BAD, name="bad.m")
+        assert not result.ok
+        assert result.error.type == "ParseError"
+        assert "expected" in result.error.message
+        assert result.name == "bad.m"
+
+    def test_errors_are_not_cached(self):
+        service = CompilationService()
+        service.compile(BAD)
+        again = service.compile(BAD)
+        assert not again.ok and not again.cached
+
+    def test_metrics_instrumented(self):
+        service = CompilationService()
+        service.compile(LOOP)
+        service.compile(LOOP)
+        service.compile(BAD)
+        metrics = service.metrics.to_json()
+        requests = metrics["mvec_compile_requests_total"]["series"]
+        assert sum(s["value"] for s in requests) == 3
+        hits = metrics["mvec_cache_hits_total"]["series"]
+        assert sum(s["value"] for s in hits) == 1
+        stages = metrics["mvec_stage_seconds"]["series"]
+        observed = {s["labels"]["stage"] for s in stages}
+        assert {"lex", "parse", "analyze", "codegen"} <= observed
+
+    def test_disk_cache_survives_service_restart(self, tmp_path):
+        options = CompileOptions()
+        first = CompilationService(
+            CompilationCache(directory=tmp_path)).compile(LOOP, options)
+        second_service = CompilationService(
+            CompilationCache(directory=tmp_path))
+        second = second_service.compile(LOOP, options)
+        assert second.cached
+        assert second.vectorized == first.vectorized
+        assert second_service.cache.stats.disk_hits == 1
+
+
+# ---------------------------------------------------------------------------
+# parallel_map
+# ---------------------------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def _explode(x):
+    if x == 3:
+        raise ValueError(f"boom on {x}")
+    return x
+
+
+def _sleep(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_order_preserved(self, workers):
+        assert parallel_map(_square, list(range(10)),
+                            workers=workers) == [x * x for x in range(10)]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_error_isolation(self, workers):
+        out = parallel_map(_explode, [1, 2, 3, 4], workers=workers)
+        assert out[:2] == [1, 2] and out[3] == 4
+        assert isinstance(out[2], WorkerFailure)
+        assert out[2].type == "ValueError"
+        assert "boom on 3" in out[2].message
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_timeout_is_per_item(self, workers):
+        out = parallel_map(_sleep, [0.01, 5.0, 0.01],
+                           workers=workers, timeout=0.3)
+        assert out[0] == 0.01 and out[2] == 0.01
+        assert isinstance(out[1], WorkerFailure)
+        assert out[1].type == "timeout"
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+
+# ---------------------------------------------------------------------------
+# compile_many
+# ---------------------------------------------------------------------------
+
+
+def corpus_pairs():
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2] / "examples" / "corpus"
+    return [(path.name, path.read_text(encoding="utf-8"))
+            for path in sorted(root.glob("*.m"))]
+
+
+class TestCompileMany:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_corpus_compiles_in_order(self, workers):
+        pairs = corpus_pairs()
+        assert len(pairs) == 25
+        results = compile_many(pairs, workers=workers)
+        assert [r.name for r in results] == [name for name, _ in pairs]
+        assert all(r.ok for r in results)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_one_bad_file_never_kills_the_batch(self, workers):
+        pairs = [("good1.m", LOOP), ("bad.m", BAD), ("good2.m", LOOP)]
+        results = compile_many(pairs, workers=workers)
+        assert [r.ok for r in results] == [True, False, True]
+        assert results[1].error.type == "ParseError"
+
+    def test_parallel_matches_sequential(self):
+        pairs = corpus_pairs()[:8]
+        sequential = compile_many(pairs, workers=1)
+        parallel = compile_many(pairs, workers=4)
+        for seq, par in zip(sequential, parallel):
+            assert seq.vectorized == par.vectorized
+            assert seq.cache_key == par.cache_key
+
+    def test_shared_disk_cache(self, tmp_path):
+        pairs = corpus_pairs()[:5]
+        compile_many(pairs, workers=2, cache_dir=tmp_path)
+        warmed = compile_many(pairs, workers=2, cache_dir=tmp_path)
+        assert all(r.cached for r in warmed)

@@ -1,0 +1,90 @@
+"""Metrics layer: counters, histograms, JSON and Prometheus rendering."""
+
+import math
+
+import pytest
+
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("requests_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("requests_total").inc(-1)
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            Counter("bad name")
+        with pytest.raises(ValueError):
+            Counter("1starts_with_digit")
+        with pytest.raises(ValueError):
+            Counter("")
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        hist = Histogram("latency_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(5.605)
+        assert hist.cumulative() == [1, 3, 4]    # +Inf bucket == count
+
+    def test_prometheus_rendering_is_cumulative(self):
+        hist = Histogram("latency_seconds", buckets=(0.01, 0.1),
+                         labels={"stage": "parse"})
+        hist.observe(0.005)
+        hist.observe(0.05)
+        lines = hist.render()
+        assert 'latency_seconds_bucket{stage="parse",le="0.01"} 1' in lines
+        assert 'latency_seconds_bucket{stage="parse",le="0.1"} 2' in lines
+        assert 'latency_seconds_bucket{stage="parse",le="+Inf"} 2' in lines
+        assert 'latency_seconds_count{stage="parse"} 2' in lines
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a1 = registry.counter("hits", tier="memory")
+        a2 = registry.counter("hits", tier="memory")
+        b = registry.counter("hits", tier="disk")
+        assert a1 is a2 and a1 is not b
+
+    def test_json_rendering_groups_series(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", "Cache hits", tier="memory").inc(3)
+        registry.counter("hits", "Cache hits", tier="disk").inc()
+        payload = registry.to_json()
+        assert payload["hits"]["kind"] == "counter"
+        tiers = {tuple(s["labels"].items()): s["value"]
+                 for s in payload["hits"]["series"]}
+        assert tiers[(("tier", "memory"),)] == 3
+        assert tiers[(("tier", "disk"),)] == 1
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", "Cache hits", tier="memory").inc(2)
+        registry.histogram("stage_seconds", "Stage latency",
+                           buckets=(0.1, 1.0), stage="codegen").observe(0.5)
+        text = registry.render_prometheus()
+        assert "# HELP hits Cache hits" in text
+        assert "# TYPE hits counter" in text
+        assert 'hits{tier="memory"} 2' in text
+        assert "# TYPE stage_seconds histogram" in text
+        assert 'stage_seconds_bucket{stage="codegen",le="1"} 1' in text
+        assert text.endswith("\n")
+        # HELP/TYPE emitted once per family even with many series
+        registry.counter("hits", "Cache hits", tier="disk").inc()
+        assert registry.render_prometheus().count("# TYPE hits counter") == 1
+
+    def test_infinity_formatting(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(math.inf,))
+        hist.observe(3.0)
+        assert 'le="+Inf"' in "\n".join(hist.render())

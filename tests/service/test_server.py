@@ -1,0 +1,179 @@
+"""HTTP and stdio front-end tests (real sockets, loopback only)."""
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.compiler import CompilationService
+from repro.service.server import CompilationServer, serve_stdio
+
+LOOP = """\
+%! x(*,1) y(*,1) n(1)
+x = (1:8)';
+n = 8;
+for i=1:n
+  y(i) = 2*x(i);
+end
+"""
+
+
+@pytest.fixture
+def server():
+    server = CompilationServer(("127.0.0.1", 0), quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def url(server, path):
+    host, port = server.server_address
+    return f"http://{host}:{port}{path}"
+
+
+def post(server, path, payload):
+    data = (payload if isinstance(payload, bytes)
+            else json.dumps(payload).encode("utf-8"))
+    request = urllib.request.Request(
+        url(server, path), data=data,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.load(response)
+
+
+def get(server, path):
+    with urllib.request.urlopen(url(server, path)) as response:
+        return response.status, response.read()
+
+
+class TestHTTP:
+    def test_vectorize_then_cache_hit(self, server):
+        status, first = post(server, "/vectorize", {"source": LOOP})
+        assert status == 200 and first["ok"] and not first["cached"]
+        assert "y(1:n) = 2*x(1:n);" in first["vectorized"]
+
+        status, second = post(server, "/vectorize", {"source": LOOP})
+        assert status == 200 and second["cached"]
+        assert second["vectorized"] == first["vectorized"]
+
+    def test_vectorize_with_options(self, server):
+        _, result = post(server, "/vectorize",
+                         {"source": LOOP, "options": {"patterns": False}})
+        assert result["ok"] and not result["cached"]
+
+    def test_translate_forces_numpy_backend(self, server):
+        status, result = post(server, "/translate", {"source": LOOP})
+        assert status == 200 and result["ok"]
+        assert result["python"] is not None
+        assert "def mprogram" in result["python"]
+
+    def test_compile_error_is_422(self, server):
+        request = urllib.request.Request(
+            url(server, "/vectorize"),
+            data=json.dumps({"source": "for i=1:n\n  oops((\nend\n"}
+                            ).encode())
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 422
+        payload = json.load(excinfo.value)
+        assert payload["ok"] is False
+        assert payload["error"]["type"] == "ParseError"
+
+    @pytest.mark.parametrize("body,fragment", [
+        (b"{not json", "invalid JSON"),
+        (b"[1, 2]", "must be a JSON object"),
+        (json.dumps({"no_source": 1}).encode(), "source"),
+        (json.dumps({"source": "x=1;",
+                     "options": {"typo": True}}).encode(), "unknown"),
+    ])
+    def test_bad_requests_are_400(self, server, body, fragment):
+        request = urllib.request.Request(url(server, "/vectorize"),
+                                         data=body)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        assert fragment in json.load(excinfo.value)["error"]["message"]
+
+    def test_unknown_route_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(url(server, "/nope"))
+        assert excinfo.value.code == 404
+
+    def test_healthz(self, server):
+        status, body = get(server, "/healthz")
+        payload = json.loads(body)
+        assert status == 200 and payload["ok"]
+        assert payload["fingerprint"] == server.service.fingerprint
+        assert "cache" in payload
+
+    def test_metrics_prometheus_and_json(self, server):
+        post(server, "/vectorize", {"source": LOOP})
+        post(server, "/vectorize", {"source": LOOP})
+
+        _, body = get(server, "/metrics")
+        text = body.decode()
+        assert "# TYPE mvec_stage_seconds histogram" in text
+        assert 'mvec_stage_seconds_bucket{stage="codegen"' in text
+        assert 'mvec_cache_hits_total{tier="memory"} 1' in text
+        assert "mvec_cache_misses_total 1" in text
+        assert 'mvec_http_requests_total{route="/vectorize",status="200"}' \
+            in text
+
+        _, body = get(server, "/metrics?format=json")
+        payload = json.loads(body)
+        assert payload["mvec_stage_seconds"]["kind"] == "histogram"
+        stage_count = sum(s["count"] for s
+                          in payload["mvec_stage_seconds"]["series"])
+        assert stage_count > 0
+
+
+class TestStdio:
+    def run_lines(self, *requests):
+        stdin = io.StringIO(
+            "".join(json.dumps(request) + "\n" for request in requests))
+        stdout = io.StringIO()
+        assert serve_stdio(CompilationService(), stdin, stdout) == 0
+        return [json.loads(line) for line in
+                stdout.getvalue().splitlines()]
+
+    def test_vectorize_and_cache_hit(self):
+        first, second = self.run_lines(
+            {"op": "vectorize", "source": LOOP},
+            {"op": "vectorize", "source": LOOP})
+        assert first["ok"] and not first["cached"]
+        assert second["ok"] and second["cached"]
+        assert "y(1:n) = 2*x(1:n);" in first["vectorized"]
+
+    def test_translate_and_metrics_and_health(self):
+        translate, health, metrics = self.run_lines(
+            {"op": "translate", "source": LOOP},
+            {"op": "health"},
+            {"op": "metrics"})
+        assert translate["ok"] and "def mprogram" in translate["python"]
+        assert health["ok"] and "fingerprint" in health
+        assert metrics["ok"]
+        assert "mvec_stage_seconds" in metrics["metrics"]
+
+    def test_default_op_is_vectorize(self):
+        (only,) = self.run_lines({"source": LOOP})
+        assert only["ok"] and "vectorized" in only
+
+    def test_bad_lines_produce_error_objects(self):
+        stdin = io.StringIO('{"op": "nope", "source": "x=1;"}\n'
+                            "not json at all\n"
+                            "\n"
+                            '{"source": "x=1;"}\n')
+        stdout = io.StringIO()
+        serve_stdio(CompilationService(), stdin, stdout)
+        lines = [json.loads(line) for line
+                 in stdout.getvalue().splitlines()]
+        assert len(lines) == 3                 # blank line skipped
+        assert not lines[0]["ok"] and "unknown op" in \
+            lines[0]["error"]["message"]
+        assert not lines[1]["ok"]
+        assert lines[2]["ok"]

@@ -136,3 +136,107 @@ end
     assert stats["loops"].get("vectorized") == 1
     assert stats["loops"].get("unchanged") == 1
     assert stats["failure_reasons"]
+
+
+# ---------------------------------------------------------------------------
+# Multi-file invocation and `mvec batch` / `mvec serve`
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def second(tmp_path):
+    path = tmp_path / "sum.m"
+    path.write_text("""
+%! x(*,1) s(1) n(1)
+x = (1:6)';
+n = 6;
+s = 0;
+for i=1:n
+  s = s + x(i);
+end
+""")
+    return path
+
+
+@pytest.fixture
+def broken(tmp_path):
+    path = tmp_path / "broken.m"
+    path.write_text("for i=1:n\n  oops((\nend\n")
+    return path
+
+
+def test_multi_file_prints_headers(sample, second, capsys):
+    assert main([str(sample), str(second)]) == 0
+    out = capsys.readouterr().out
+    assert "% ===== loop.m =====" in out
+    assert "% ===== sum.m =====" in out
+    assert out.index("loop.m") < out.index("sum.m")
+    assert "y(1:n) = 2*x(1:n);" in out
+    assert "s = s+sum(x(1:n), 1);" in out
+
+
+def test_multi_file_bad_input_exits_nonzero(sample, broken, capsys):
+    assert main([str(sample), str(broken)]) == 1
+    captured = capsys.readouterr()
+    assert "y(1:n) = 2*x(1:n);" in captured.out    # good file still emitted
+    assert "broken.m" in captured.err
+
+
+def test_multi_file_rejects_output_flag(sample, second, tmp_path, capsys):
+    code = main([str(sample), str(second), "-o", str(tmp_path / "o.m")])
+    assert code == 2
+    assert "-o" in capsys.readouterr().err
+
+
+def test_batch_writes_out_dir(sample, second, tmp_path, capsys):
+    out_dir = tmp_path / "out"
+    assert main(["batch", str(sample), str(second), "--workers", "1",
+                 "--out-dir", str(out_dir), "--quiet"]) == 0
+    assert "y(1:n) = 2*x(1:n);" in (out_dir / "loop.m").read_text()
+    assert (out_dir / "sum.m").exists()
+
+
+def test_batch_json_report(sample, broken, capsys):
+    import json
+
+    assert main(["batch", str(sample), str(broken), "--workers", "1",
+                 "--json", "--quiet"]) == 1
+    records = json.loads(capsys.readouterr().out)
+    by_name = {record["name"]: record for record in records}
+    assert by_name["loop.m"]["ok"]
+    assert not by_name["broken.m"]["ok"]
+    assert by_name["broken.m"]["error"]["type"] == "ParseError"
+
+
+def test_batch_emit_python(sample, tmp_path, capsys):
+    out_dir = tmp_path / "py"
+    assert main(["batch", str(sample), "--workers", "1", "--emit-python",
+                 "--out-dir", str(out_dir), "--quiet"]) == 0
+    assert "def mprogram" in (out_dir / "loop.py").read_text()
+
+
+def test_batch_cache_dir_warm_run(sample, second, tmp_path, capsys):
+    cache = tmp_path / "cache"
+    argv = ["batch", str(sample), str(second), "--workers", "1",
+            "--cache-dir", str(cache)]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    assert "cached" in capsys.readouterr().err
+
+
+def test_serve_stdio_round_trip(monkeypatch, capsys):
+    import io
+    import json
+
+    source = ("%! x(*,1) y(*,1) n(1)\n"
+              "x = (1:4)';\nn = 4;\n"
+              "for i=1:n\n  y(i) = 3*x(i);\nend\n")
+    lines = (json.dumps({"op": "vectorize", "source": source}) + "\n") * 2
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+    assert main(["serve", "--stdio"]) == 0
+    replies = [json.loads(line) for line
+               in capsys.readouterr().out.splitlines()]
+    assert replies[0]["ok"] and not replies[0]["cached"]
+    assert replies[1]["cached"]
+    assert "y(1:n) = 3*x(1:n);" in replies[0]["vectorized"]
