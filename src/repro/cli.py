@@ -14,6 +14,10 @@ Usage::
     mvec batch *.m --workers 4   # parallel batch compilation
     mvec serve --port 8032       # JSON compile service (HTTP)
     mvec serve --stdio           # JSON-lines compile service (pipes)
+    mvec lint input.m            # static diagnostics (use-before-def,
+                                 #   dead stores, shape conflicts)
+    mvec audit input.m           # compile, then independently re-derive
+                                 #   and check vectorization legality
 """
 
 from __future__ import annotations
@@ -57,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--simplify", action="store_true",
                         help="distribute/cancel transposes in the output "
                              "(the paper's §2.2 'later optimization')")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the IR verifier between pipeline stages "
+                             "(a failure indicates a compiler bug)")
     _add_ablation_flags(parser)
     return parser
 
@@ -89,6 +96,7 @@ def _compile_options(args, backend: str):
         reductions=args.reductions,
         promotion=args.promotion,
         product_regroup=args.product_regroup,
+        verify=getattr(args, "verify", False),
     )
 
 
@@ -114,6 +122,10 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1,
                         help="parallelize oracle runs across N worker "
                              "processes (default 1)")
+    parser.add_argument("--no-lint", dest="lint", action="store_false",
+                        help="skip the lint-clean generator invariant")
+    parser.add_argument("--no-audit", dest="audit", action="store_false",
+                        help="skip the vectorization-legality audit")
     return parser
 
 
@@ -143,6 +155,48 @@ def build_batch_parser() -> argparse.ArgumentParser:
                         help="suppress the per-file summary on stderr")
     parser.add_argument("--simplify", action="store_true",
                         help="distribute/cancel transposes in the output")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the IR verifier between pipeline stages")
+    _add_ablation_flags(parser)
+    return parser
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mvec lint",
+        description="Static diagnostics over MATLAB sources: "
+                    "use-before-def, dead stores, and shape conflicts "
+                    "on the dimension-abstraction lattice.  Exit status "
+                    "is 1 when any *error*-severity diagnostic is "
+                    "found; warnings alone exit 0.")
+    parser.add_argument("files", nargs="+",
+                        help="MATLAB source file(s) (use '-' for stdin)")
+    parser.add_argument("--json", action="store_true",
+                        help="print structured diagnostics as JSON")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-file summaries; only the exit "
+                             "status reports the outcome")
+    return parser
+
+
+def build_audit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mvec audit",
+        description="Compile each file, then independently re-derive "
+                    "dependences over the original loops and confirm "
+                    "the emitted vector code violated none of them.  "
+                    "Exit status is 1 when any audit fails.")
+    parser.add_argument("files", nargs="+",
+                        help="MATLAB source file(s) (use '-' for stdin)")
+    parser.add_argument("--json", action="store_true",
+                        help="print structured audit results as JSON")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-file summaries")
+    parser.add_argument("--simplify", action="store_true",
+                        help="audit the simplified-transposes output")
+    parser.add_argument("--verify", action="store_true",
+                        help="also run the IR verifier between pipeline "
+                             "stages while compiling")
     _add_ablation_flags(parser)
     return parser
 
@@ -263,7 +317,8 @@ def _fuzz_main(argv: list[str]) -> int:
     result = run_campaign(args.n, seed=args.seed, shrink=args.shrink,
                           corpus_dir=Path(args.corpus_dir) if args.shrink
                           else None,
-                          progress=progress, workers=args.workers)
+                          progress=progress, workers=args.workers,
+                          lint=args.lint, audit=args.audit)
     print(result.summary(), file=sys.stderr)
     for mismatch in result.mismatches:
         print(f"--- mismatch at index {mismatch.index} ---",
@@ -277,6 +332,112 @@ def _fuzz_main(argv: list[str]) -> int:
     return 0 if result.ok else 1
 
 
+def _read_inputs(files: list[str]) -> list[tuple[str, str]] | None:
+    """Read (name, source) pairs; '-' reads stdin.  None on I/O error."""
+    pairs: list[tuple[str, str]] = []
+    for name in files:
+        if name == "-":
+            pairs.append(("<stdin>", sys.stdin.read()))
+            continue
+        try:
+            with open(name, encoding="utf-8") as handle:
+                pairs.append((name, handle.read()))
+        except OSError as error:
+            print(f"mvec: {error}", file=sys.stderr)
+            return None
+    return pairs
+
+
+def _lint_main(argv: list[str]) -> int:
+    from .staticcheck import (
+        Severity,
+        counts_by_severity,
+        lint_source,
+        render_text,
+    )
+
+    args = build_lint_parser().parse_args(argv)
+    pairs = _read_inputs(args.files)
+    if pairs is None:
+        return 2
+    status = 0
+    json_out = []
+    for name, source in pairs:
+        diagnostics = lint_source(source)
+        counts = counts_by_severity(diagnostics)
+        if counts.get(Severity.ERROR.value, 0):
+            status = 1
+        if args.json:
+            json_out.append(
+                {"file": name,
+                 "diagnostics": [d.to_dict() for d in diagnostics],
+                 "errors": counts.get(Severity.ERROR.value, 0),
+                 "warnings": counts.get(Severity.WARNING.value, 0)})
+        elif diagnostics:
+            print(render_text(diagnostics, filename=name))
+        if not args.quiet and not args.json:
+            summary = ", ".join(f"{count} {severity}(s)"
+                                for severity, count in sorted(counts.items())
+                                ) or "clean"
+            print(f"mvec lint: {name}: {summary}", file=sys.stderr)
+    if args.json:
+        import json
+
+        print(json.dumps(json_out, indent=2))
+    return status
+
+
+def _audit_main(argv: list[str]) -> int:
+    from .staticcheck import audit_source
+    from .staticcheck.diagnostics import render_text
+    from .vectorizer.driver import Vectorizer
+
+    args = build_audit_parser().parse_args(argv)
+    pairs = _read_inputs(args.files)
+    if pairs is None:
+        return 2
+    options = CheckOptions(
+        patterns=args.patterns,
+        transposes=args.transposes,
+        reductions=args.reductions,
+        promotion=args.promotion,
+        product_regroup=args.product_regroup,
+    )
+    status = 0
+    json_out = []
+    for name, source in pairs:
+        try:
+            compiled = Vectorizer(options=options, simplify=args.simplify,
+                                  scalar_temps=args.scalar_temps,
+                                  verify=args.verify,
+                                  ).vectorize_source(source)
+        except ReproError as error:
+            print(f"mvec audit: {name}: compile error: {error}",
+                  file=sys.stderr)
+            status = 1
+            continue
+        result = audit_source(source, compiled.source,
+                              scalar_temps=args.scalar_temps)
+        if not result.ok:
+            status = 1
+        if args.json:
+            json_out.append({"file": name, **result.to_dict()})
+        else:
+            if result.diagnostics:
+                print(render_text(result.diagnostics, filename=name))
+            if not args.quiet:
+                verdict = "pass" if result.ok else "FAIL"
+                print(f"mvec audit: {name}: {verdict} "
+                      f"({result.vectorized_stmts} vectorized stmt(s) "
+                      f"across {result.audited_loops} loop(s))",
+                      file=sys.stderr)
+    if args.json:
+        import json
+
+        print(json.dumps(json_out, indent=2))
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -286,6 +447,10 @@ def main(argv: list[str] | None = None) -> int:
         return _batch_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return _lint_main(argv[1:])
+    if argv and argv[0] == "audit":
+        return _audit_main(argv[1:])
     args = build_parser().parse_args(argv)
     if len(args.input) > 1:
         return _multi_main(args)
@@ -309,6 +474,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         result = Vectorizer(options=options, simplify=args.simplify,
                             scalar_temps=args.scalar_temps,
+                            verify=args.verify,
                             ).vectorize_source(source)
     except ReproError as error:
         print(f"mvec: {error}", file=sys.stderr)

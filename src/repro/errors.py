@@ -19,6 +19,7 @@ class SourceError(ReproError):
     def __init__(self, message: str, line: int = 0, column: int = 0):
         self.line = line
         self.column = column
+        self.message = message
         if line:
             message = f"{line}:{column}: {message}"
         super().__init__(message)
@@ -59,6 +60,19 @@ class VectorizeError(ReproError):
     simply leaves such loops untouched.  This exception marks internal
     misuse or malformed input to vectorizer entry points.
     """
+
+
+class VerifyError(ReproError):
+    """Raised by the pipeline IR verifier when a stage emits a malformed
+    AST (missing spans, bad operand arity, inconsistent annotations).
+
+    A verifier failure always indicates a compiler bug, never bad user
+    input — user-facing front ends should report it as internal.
+    """
+
+    def __init__(self, stage: str, message: str):
+        self.stage = stage
+        super().__init__(f"[verify:{stage}] {message}")
 
 
 class MatlabRuntimeError(ReproError):

@@ -61,13 +61,13 @@ class CampaignResult:
 def _oracle_range(item) -> list[tuple[int, OracleReport]]:
     """Pool worker: oracle indices ``[start, stop)`` of one seed's
     program stream, returning only the failures (picklable reports)."""
-    seed, start, stop, rtol, atol = item
+    seed, start, stop, rtol, atol, lint, audit = item
     generator = ProgramGenerator(seed)
     failures: list[tuple[int, OracleReport]] = []
     for index in range(start, stop):
         program = generator.generate(index)
         report = run_oracle(program.source, outputs=program.outputs,
-                            rtol=rtol, atol=atol)
+                            rtol=rtol, atol=atol, lint=lint, audit=audit)
         if not report.ok:
             failures.append((index, report))
     return failures
@@ -86,13 +86,14 @@ def _chunk_ranges(n: int, workers: int) -> list[tuple[int, int]]:
 
 
 def _parallel_failures(n: int, seed: int, workers: int,
-                       rtol: float, atol: float,
+                       rtol: float, atol: float, lint: bool, audit: bool,
                        progress: Optional[Callable[[int, int], None]]
                        ) -> list[tuple[int, OracleReport]]:
     from ..service.compiler import WorkerFailure, parallel_map
 
     ranges = _chunk_ranges(n, workers)
-    items = [(seed, start, stop, rtol, atol) for start, stop in ranges]
+    items = [(seed, start, stop, rtol, atol, lint, audit)
+             for start, stop in ranges]
     outcomes = parallel_map(_oracle_range, items, workers=workers)
     failures: list[tuple[int, OracleReport]] = []
     done = 0
@@ -115,7 +116,8 @@ def run_campaign(n: int, seed: int = 0, shrink: bool = False,
                  rtol: float = RTOL, atol: float = ATOL,
                  vectorizer: Optional[Callable] = None,
                  progress: Optional[Callable[[int, int], None]] = None,
-                 workers: int = 1) -> CampaignResult:
+                 workers: int = 1, lint: bool = True,
+                 audit: bool = True) -> CampaignResult:
     """Oracle ``n`` generated programs.
 
     ``shrink`` minimizes each mismatching program; ``corpus_dir``
@@ -125,18 +127,24 @@ def run_campaign(n: int, seed: int = 0, shrink: bool = False,
     (after each chunk when parallel).  ``workers > 1`` parallelizes the
     oracle runs; an injected ``vectorizer`` forces the sequential path
     (closures don't cross process boundaries).
+
+    ``lint``/``audit`` (both on by default) additionally require every
+    generated program to be lint-clean and every vectorization to pass
+    the independent legality audit — static findings count as campaign
+    mismatches exactly like behavioral divergences.
     """
     start_time = time.perf_counter()
     failures: list[tuple[int, OracleReport]] = []
     if workers > 1 and n > 1 and vectorizer is None:
         failures = _parallel_failures(n, seed, workers, rtol, atol,
-                                      progress)
+                                      lint, audit, progress)
     else:
         generator = ProgramGenerator(seed)
         for index in range(n):
             program = generator.generate(index)
             report = run_oracle(program.source, outputs=program.outputs,
-                                rtol=rtol, atol=atol, vectorizer=vectorizer)
+                                rtol=rtol, atol=atol, vectorizer=vectorizer,
+                                lint=lint, audit=audit)
             if not report.ok:
                 failures.append((index, report))
             if progress is not None:

@@ -431,6 +431,67 @@ def t_logical_mask(b: _Builder) -> None:
     b.body.append(_loop(i, Ident(bound), [Assign(_elem(y, Ident(i)), rhs)]))
 
 
+def t_pattern_call(b: _Builder) -> None:
+    """An elementwise builtin wrapped around a Table 2 pattern access:
+    ``a(i) = abs(X(i,:)*Y(:,i))`` or ``d(i) = sin(A(i,i)) + b(i)``.
+
+    Exercises the pattern database *through* a function call — the call
+    itself is pointwise (Table 1), so the loop still vectorizes, but
+    only if codegen threads the dimension abstraction through the call
+    boundary correctly.
+    """
+    rng = b.rng
+    n = rng.randint(2, 5)
+    func = rng.choice(_UNARY_FUNCS)
+    i = b.fresh_index()
+    if rng.random() < 0.5:
+        k = rng.randint(2, 5)
+        X = b.input_var("X", Shape(n, k))
+        Y = b.input_var("Y", Shape(k, n))
+        out = b.output_var("a", Shape(1, n))
+        inner: Expr = BinOp("*", _elem(X, Ident(i), Colon()),
+                            _elem(Y, Colon(), Ident(i)))
+    else:
+        A = b.input_var("A", Shape(n, n))
+        out = b.output_var("d", Shape(1, n))
+        inner = _elem(A, Ident(i), Ident(i))
+    rhs: Expr = call(func, inner)
+    if rng.random() < 0.5:
+        w = b.input_var("b", Shape(1, n))
+        rhs = BinOp(rng.choice(["+", ".*"]), rhs, _elem(w, Ident(i)))
+    bound = b.bound_var(n)
+    b.body.append(_loop(i, Ident(bound), [Assign(_elem(out, Ident(i)),
+                                                 rhs)]))
+
+
+def t_repmat_broadcast(b: _Builder) -> None:
+    """A ``repmat``-tiled input feeding a pointwise 2-nest: the prelude
+    builds ``B = repmat(v, m, 1)`` (or the column variant) with literal
+    replication counts, and the loop reads ``B(i,j)`` alongside another
+    matrix — the explicit form of the broadcast the vectorizer's
+    pattern 2 *emits*, here appearing on the *input* side."""
+    rng = b.rng
+    m, n = rng.randint(2, 4), rng.randint(2, 4)
+    A = b.input_var("A", Shape(m, n))
+    if rng.random() < 0.5:
+        v = b.input_var("v", Shape(1, n))
+        tiled = call("repmat", Ident(v), num(m), num(1))
+    else:
+        v = b.input_var("u", Shape(m, 1))
+        tiled = call("repmat", Ident(v), num(1), num(n))
+    B = b.fresh("B")
+    b.shapes[B] = Shape(m, n)
+    b.prelude.append(Assign(Ident(B), tiled))
+    b.outputs.add(B)
+    C = b.output_var("C", Shape(m, n))
+    mb, nb = b.bound_var(m), b.bound_var(n)
+    i, j = b.fresh_index(), b.fresh_index()
+    leaves = [lambda: _elem(B, Ident(i), Ident(j)),
+              lambda: _elem(A, Ident(i), Ident(j)), b.const_leaf()]
+    stmt = Assign(_elem(C, Ident(i), Ident(j)), b.element_expr(leaves, 2))
+    b.body.append(_loop(i, Ident(mb), [_loop(j, Ident(nb), [stmt])]))
+
+
 def t_while_accumulate(b: _Builder) -> None:
     """Counter-driven ``while`` accumulation — inherently sequential
     control flow the vectorizer must leave intact (§4 screens loops,
@@ -487,6 +548,8 @@ TEMPLATES: list = [
     t_if_guard,
     t_recurrence,
     t_logical_mask,
+    t_pattern_call,
+    t_repmat_broadcast,
     t_while_accumulate,
     t_while_inner_for,
 ]

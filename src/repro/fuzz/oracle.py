@@ -191,8 +191,8 @@ def _numpy_run(source: str, seed: int) -> dict:
 
 def run_oracle(source: str, outputs: Optional[Iterable[str]] = None,
                seed: int = 0, rtol: float = RTOL, atol: float = ATOL,
-               vectorizer: Optional[Callable[[str], object]] = None
-               ) -> OracleReport:
+               vectorizer: Optional[Callable[[str], object]] = None,
+               lint: bool = False, audit: bool = False) -> OracleReport:
     """Run ``source`` through every route and compare final workspaces.
 
     ``outputs`` restricts the comparison to the given variables (the
@@ -200,9 +200,29 @@ def run_oracle(source: str, outputs: Optional[Iterable[str]] = None,
     set is derived from the program itself via :func:`comparable_names`.
     ``vectorizer`` can replace ``vectorize_source`` (tests inject broken
     vectorizers to exercise the oracle and shrinker).
+
+    ``lint`` enforces the generator invariant that every generated
+    program is lint-clean: any error-severity diagnostic on the original
+    source is a ``lint-original`` divergence.  ``audit`` runs the
+    vectorization-legality auditor over the (original, vectorized) pair;
+    a failed audit is an ``audit`` divergence even when every execution
+    route agrees — the transformation must be provably legal, not just
+    observationally lucky on one input.
     """
     report = OracleReport(source=source, outputs=tuple(outputs or ()))
     vectorize = vectorizer if vectorizer is not None else vectorize_source
+
+    if lint:
+        from ..staticcheck import lint_source
+
+        for diagnostic in lint_source(source):
+            if diagnostic.is_error:
+                report.divergences.append(Divergence(
+                    "lint-original", None,
+                    f"generated program is not lint-clean: "
+                    f"{diagnostic.render()}"))
+        if report.divergences:
+            return report
 
     try:
         program = parse(source)
@@ -231,6 +251,16 @@ def run_oracle(source: str, outputs: Optional[Iterable[str]] = None,
             "vectorize", None,
             f"vectorizer crashed: {type(error).__name__}: {error}"))
         return report
+
+    if audit:
+        from ..staticcheck import audit_source
+
+        audit_result = audit_source(source, vectorized_src)
+        if not audit_result.ok:
+            for diagnostic in audit_result.diagnostics:
+                if diagnostic.is_error:
+                    report.divergences.append(Divergence(
+                        "audit", None, diagnostic.render()))
 
     stages = [
         ("interp-vectorized", lambda: _interp(vectorized_src, seed)),

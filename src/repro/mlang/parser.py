@@ -114,7 +114,8 @@ class Parser:
         body = self._parse_stmt_list(top_level=True)
         if self.current.kind is not TokenKind.EOF:
             raise self._error("unexpected trailing input")
-        return Program(body)
+        pos = body[0].pos if body else Pos(1, 1)
+        return Program(body, pos=pos)
 
     def _parse_stmt_list(self, top_level: bool = False) -> list[Stmt]:
         stmts: list[Stmt] = []
@@ -434,7 +435,9 @@ class Parser:
                 return expr
 
     def _parse_apply(self, func: Expr) -> Apply:
-        pos = self._pos()
+        # Anchor the application at the callee, not the '(' — diagnostics
+        # should point at `a` in `a(i)`, matching how users read the code.
+        pos = func.pos if func.pos.line else self._pos()
         self._expect_op("(")
         self._subscript_depth += 1
         args: list[Expr] = []

@@ -124,6 +124,70 @@ class CompilationService:
                 type=result.error.type).inc()
         return result
 
+    def lint(self, source: str, name: str = "<memory>") -> dict:
+        """Lint one source, consulting the cache first.
+
+        Returns the :func:`repro.staticcheck.to_json`-shaped payload
+        plus ``cached``.  Lint results share the artifact cache under a
+        distinct key prefix (a ``vectorized`` placeholder satisfies the
+        artifact schema).
+        """
+        from ..staticcheck import counts_by_severity, lint_source
+
+        self.metrics.counter("mvec_lint_requests_total",
+                             "Lint requests").inc()
+        key = cache_key("lint\0" + source, CompileOptions(),
+                        self.fingerprint)
+        artifact = self._cache_lookup(key)
+        if artifact is not None:
+            return {**artifact["lint"], "cached": True}
+
+        diagnostics = lint_source(source)
+        counts = counts_by_severity(diagnostics)
+        for severity, count in counts.items():
+            if count:
+                self.metrics.counter(
+                    "mvec_lint_diagnostics_total",
+                    "Lint diagnostics by severity",
+                    severity=severity).inc(count)
+        payload = {
+            "file": name,
+            "diagnostics": [d.to_dict() for d in diagnostics],
+            "errors": counts["error"],
+            "warnings": counts["warning"],
+        }
+        self.cache.put(key, {"vectorized": None, "lint": payload})
+        return {**payload, "cached": False}
+
+    def audit(self, source: str,
+              options: Optional[CompileOptions] = None,
+              name: str = "<memory>") -> dict:
+        """Compile one source and audit the emitted code against it.
+
+        The compile itself goes through :meth:`compile` (cached); the
+        audit re-derives legality independently.  A failed compile is
+        reported as ``ok: False`` with the compile error attached.
+        """
+        from ..staticcheck import audit_source
+
+        options = options or CompileOptions()
+        self.metrics.counter("mvec_audit_requests_total",
+                             "Audit requests").inc()
+        compiled = self.compile(source, options, name=name)
+        if not compiled.ok:
+            self.metrics.counter("mvec_audit_total",
+                                 "Audits by verdict",
+                                 verdict="compile-error").inc()
+            return {"file": name, "ok": False, "cached": compiled.cached,
+                    "error": compiled.error.to_dict(), "diagnostics": []}
+        result = audit_source(source, compiled.vectorized,
+                              scalar_temps=options.scalar_temps)
+        self.metrics.counter(
+            "mvec_audit_total", "Audits by verdict",
+            verdict="pass" if result.ok else "fail").inc()
+        return {"file": name, "cached": compiled.cached,
+                **result.to_dict()}
+
     # -- internals -----------------------------------------------------
 
     def _cache_lookup(self, key: str) -> Optional[dict]:
@@ -148,6 +212,7 @@ class CompilationService:
             vect = Vectorizer(options=options.check_options(),
                               simplify=options.simplify,
                               scalar_temps=options.scalar_temps,
+                              verify=options.verify,
                               ).vectorize_source(source)
             vectorized = vect.source
             timings = dict(vect.timings)

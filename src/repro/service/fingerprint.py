@@ -27,7 +27,7 @@ from ..vectorizer.checker import CheckOptions
 #: output.  ``runtime`` and ``fuzz`` are deliberately absent: they
 #: verify artifacts but never shape them.
 PIPELINE_PACKAGES = ("mlang", "dims", "analysis", "depgraph",
-                     "patterns", "vectorizer", "translate")
+                     "patterns", "vectorizer", "translate", "staticcheck")
 
 #: Bumped on artifact *schema* changes (what a cache entry contains),
 #: independent of pipeline source changes.
@@ -81,6 +81,7 @@ class CompileOptions:
     promotion: bool = True
     product_regroup: bool = True
     max_chain: int = 8
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:

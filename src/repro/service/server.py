@@ -6,6 +6,10 @@ Two transports share one :class:`CompilationService`:
 
       POST /vectorize   {"source": "...", "options": {...}?}
       POST /translate   same body; forces the NumPy backend
+      POST /lint        {"source": "..."} — static diagnostics (200
+                        even when the source has errors; they are data)
+      POST /audit       compile + independent legality audit
+                        (422 when the audit finds a violation)
       GET  /healthz     liveness + pipeline fingerprint
       GET  /metrics     Prometheus text (``?format=json`` for JSON)
 
@@ -16,7 +20,8 @@ Two transports share one :class:`CompilationService`:
 
 * **stdio JSON-lines** (:func:`serve_stdio`) for embedding ``mvec`` in
   another process without a port: one request object per input line
-  (``{"op": "vectorize"|"translate"|"health"|"metrics", ...}``), one
+  (``{"op": "vectorize"|"translate"|"lint"|"audit"|"health"|"metrics",
+  ...}``), one
   response object per output line, in order.  EOF ends the session.
 """
 
@@ -72,6 +77,25 @@ def handle_compile(service: CompilationService, raw: bytes | str,
     source, options = _parse_request(raw, force_backend)
     result = service.compile(source, options)
     return (200 if result.ok else 422), result.to_dict()
+
+
+def handle_lint(service: CompilationService, raw: bytes | str
+                ) -> tuple[int, dict]:
+    """``POST /lint`` handler.  Diagnostics are data, not failures:
+    a well-formed request always gets 200, with lex/parse errors
+    reported as E001/E002 diagnostics in the body."""
+    source, _options = _parse_request(raw)
+    payload = service.lint(source)
+    return 200, {"ok": True, **payload}
+
+
+def handle_audit(service: CompilationService, raw: bytes | str
+                 ) -> tuple[int, dict]:
+    """``POST /audit`` handler: 200 on a passing audit, 422 when the
+    compile failed or the auditor found a violation."""
+    source, options = _parse_request(raw)
+    payload = service.audit(source, options)
+    return (200 if payload.get("ok") else 422), payload
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -141,7 +165,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         url = urlparse(self.path)
-        routes = {"/vectorize": None, "/translate": "numpy"}
+        routes = {"/vectorize": None, "/translate": "numpy",
+                  "/lint": None, "/audit": None}
         if url.path not in routes:
             self._observe(url.path, 404)
             self._send_error(404, f"no such endpoint: {url.path}")
@@ -152,8 +177,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 raise RequestError(
                     413, f"body exceeds {MAX_SOURCE_BYTES} bytes")
             raw = self.rfile.read(length)
-            status, payload = handle_compile(self.service, raw,
-                                             routes[url.path])
+            if url.path == "/lint":
+                status, payload = handle_lint(self.service, raw)
+            elif url.path == "/audit":
+                status, payload = handle_audit(self.service, raw)
+            else:
+                status, payload = handle_compile(self.service, raw,
+                                                 routes[url.path])
         except RequestError as error:
             self._observe(url.path, error.status)
             self._send_error(error.status, str(error))
@@ -222,6 +252,20 @@ def _stdio_response(service: CompilationService, line: str) -> dict:
         backend = "numpy" if op == "translate" else None
         try:
             _status, payload = handle_compile(service, line, backend)
+        except RequestError as error:
+            return {"ok": False, "error": {"type": "request",
+                                           "message": str(error)}}
+        return payload
+    if op == "lint":
+        try:
+            _status, payload = handle_lint(service, line)
+        except RequestError as error:
+            return {"ok": False, "error": {"type": "request",
+                                           "message": str(error)}}
+        return payload
+    if op == "audit":
+        try:
+            _status, payload = handle_audit(service, line)
         except RequestError as error:
             return {"ok": False, "error": {"type": "request",
                                            "message": str(error)}}

@@ -1,0 +1,46 @@
+"""Static analysis and diagnostics over the MATLAB subset.
+
+Three tools share this package:
+
+* the **dataflow framework** (:mod:`.cfg`, :mod:`.dataflow`,
+  :mod:`.analyses`) — CFG construction per script/function, a worklist
+  solver, and the classic analyses (reaching definitions, liveness,
+  definite/maybe assignment, shape propagation on the dims lattice);
+* the **linter** (:mod:`.linter`) — runs every analysis and renders
+  structured :class:`~repro.staticcheck.diagnostics.Diagnostic` objects
+  (``mvec lint``, ``POST /lint``);
+* the **pipeline verifier** (:mod:`.verifier`) and the
+  **vectorization-legality auditor** (:mod:`.auditor`) — compiler-grade
+  checks that the vectorizer's stages emit well-formed ASTs and that
+  emitted vector code preserved every dependence (``--verify``,
+  ``mvec audit``).
+"""
+
+from .auditor import AuditResult, audit_source
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    counts_by_severity,
+    render_text,
+    sort_diagnostics,
+    to_json,
+)
+from .linter import lint_program, lint_source
+from .verifier import verify_program, verify_stmts
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "Severity",
+    "counts_by_severity",
+    "render_text",
+    "sort_diagnostics",
+    "to_json",
+    "lint_program",
+    "lint_source",
+    "verify_program",
+    "verify_stmts",
+    "AuditResult",
+    "audit_source",
+]

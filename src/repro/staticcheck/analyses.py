@@ -1,0 +1,574 @@
+"""Concrete dataflow analyses and their diagnostic emitters.
+
+All analyses run over one :class:`~repro.staticcheck.cfg.Scope`:
+
+* **reaching definitions** — which assignment sites may reach each use;
+* **liveness** — which names may still be read after each point;
+* **definite/maybe assignment** — the must/may pair behind
+  use-before-def diagnostics (``E101`` definitely unassigned, ``W102``
+  assigned on only some paths);
+* **dead stores** (``W201``) — full assignments of a pure value that is
+  overwritten before any use;
+* **shape propagation** on the dims lattice — constant-propagates
+  abstract dimensionalities through the CFG and flags provable
+  conflicts (``E301``/``E302``/``E303``).
+
+MATLAB specifics honoured throughout: a subscripted write auto-creates
+its array (so it *defines* the name but also, for liveness, *reads* the
+old array — a partial write preserves untouched elements); annotated
+names are inputs, defined at scope entry; scripts observe their whole
+final workspace, so only overwritten values can be dead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from ..dims.abstract import Dim
+from ..dims.context import IMPURE_FUNCTIONS, KNOWN_FUNCTIONS, ShapeEnv
+from ..errors import AnnotationError
+from ..mlang.annotations import parse_annotation
+from ..mlang.ast_nodes import (
+    Annotation,
+    Apply,
+    Assign,
+    BinOp,
+    Colon,
+    End,
+    Expr,
+    For,
+    Global,
+    Ident,
+    MultiAssign,
+    Node,
+    Range,
+)
+from .cfg import Block, Scope, Unit, assigned_names
+from .dataflow import Analysis, Solution, solve
+from .diagnostics import Diagnostic
+
+# ---------------------------------------------------------------------------
+# Defs and uses of one unit
+# ---------------------------------------------------------------------------
+
+
+def expr_reads(node: Node, known: frozenset[str]) -> set[str]:
+    """Every variable name read by an expression (function names in
+    ``known`` are calls, not reads)."""
+    return {n.name for n in node.walk()
+            if isinstance(n, Ident) and n.name not in known}
+
+
+def unit_defs(unit: Unit) -> tuple[set[str], set[str]]:
+    """``(full, partial)`` definitions made by one unit.  A partial
+    definition (subscripted write) defines the name without killing the
+    previous value."""
+    full: set[str] = set()
+    partial: set[str] = set()
+    node = unit.node
+    if unit.kind == "assign" and isinstance(node, Assign):
+        if isinstance(node.lhs, Ident):
+            full.add(node.lhs.name)
+        elif isinstance(node.lhs, Apply) and isinstance(node.lhs.func, Ident):
+            partial.add(node.lhs.func.name)
+    elif unit.kind == "multiassign" and isinstance(node, MultiAssign):
+        for target in node.targets:
+            if isinstance(target, Ident):
+                full.add(target.name)
+            elif isinstance(target, Apply) and isinstance(target.func, Ident):
+                partial.add(target.func.name)
+    elif unit.kind == "for" and isinstance(node, For):
+        full.add(node.var)
+    elif unit.kind == "global" and isinstance(node, Global):
+        full.update(node.names)
+    return full, partial
+
+
+def unit_uses(unit: Unit, known: frozenset[str],
+              for_liveness: bool = False) -> set[str]:
+    """Names read by one unit.
+
+    With ``for_liveness`` a partial write also counts as a read of its
+    own array (the untouched elements survive); for use-before-def it
+    does not (MATLAB auto-creates the array).
+    """
+    node = unit.node
+    uses: set[str] = set()
+    if unit.kind == "assign" and isinstance(node, Assign):
+        uses |= expr_reads(node.rhs, known)
+        if isinstance(node.lhs, Apply) and isinstance(node.lhs.func, Ident):
+            for arg in node.lhs.args:
+                uses |= expr_reads(arg, known)
+            if for_liveness:
+                uses.add(node.lhs.func.name)
+    elif unit.kind == "multiassign" and isinstance(node, MultiAssign):
+        uses |= expr_reads(node.rhs, known)
+        for target in node.targets:
+            if isinstance(target, Apply) and isinstance(target.func, Ident):
+                for arg in target.args:
+                    uses |= expr_reads(arg, known)
+                if for_liveness:
+                    uses.add(target.func.name)
+    elif unit.kind == "expr":
+        uses |= expr_reads(node, known)
+    elif unit.kind == "for" and isinstance(node, For):
+        uses |= expr_reads(node.iter, known)
+    elif unit.kind == "cond":
+        uses |= expr_reads(node, known)
+    return uses
+
+
+def scope_known_functions(scope: Scope) -> frozenset[str]:
+    """Builtin names acting as functions in this scope — everything the
+    analyses recognize minus names the scope assigns (shadowing)."""
+    shadowed = assigned_names(scope.body) | set(scope.params)
+    return frozenset(KNOWN_FUNCTIONS - shadowed)
+
+
+def scope_annotations(scope: Scope) -> ShapeEnv:
+    """The shape environment declared by ``%!`` annotations in the
+    scope (malformed annotations are skipped here; the linter reports
+    them as E003 separately)."""
+    env = ShapeEnv()
+    for stmt in scope.body:
+        for node in stmt.walk():
+            if isinstance(node, Annotation):
+                try:
+                    parse_annotation(node.text, env)
+                except AnnotationError:
+                    continue
+    return env
+
+
+def entry_defined(scope: Scope, annotated: ShapeEnv) -> frozenset[str]:
+    """Names defined before the scope's first statement runs: function
+    parameters, ``global`` names, and annotated inputs."""
+    names = set(scope.params) | set(annotated.shapes)
+    for stmt in scope.body:
+        for node in stmt.walk():
+            if isinstance(node, Global):
+                names.update(node.names)
+    return frozenset(names)
+
+
+# ---------------------------------------------------------------------------
+# The analyses
+# ---------------------------------------------------------------------------
+
+#: A definition site: (block id, unit index).
+DefSite = tuple[int, int]
+
+
+class ReachingDefinitions(Analysis[frozenset[tuple[str, DefSite]]]):
+    """Forward may-analysis over (name, definition-site) pairs.  Full
+    definitions kill prior sites of the same name; partial definitions
+    accumulate (gen without kill)."""
+
+    direction = "forward"
+
+    def __init__(self, entry_names: frozenset[str] = frozenset()):
+        #: Synthetic entry definitions use the site (-1, -1).
+        self.entry_names = entry_names
+
+    def boundary(self) -> frozenset[tuple[str, DefSite]]:
+        return frozenset((name, (-1, -1)) for name in self.entry_names)
+
+    def meet(self, left: frozenset, right: frozenset) -> frozenset:
+        return left | right
+
+    def transfer(self, block: Block, value: frozenset) -> frozenset:
+        defs = set(value)
+        for index, unit in enumerate(block.units):
+            full, partial = unit_defs(unit)
+            if full:
+                defs = {(name, site) for name, site in defs
+                        if name not in full}
+            for name in full | partial:
+                defs.add((name, (block.id, index)))
+        return frozenset(defs)
+
+
+class Liveness(Analysis[frozenset[str]]):
+    """Backward may-analysis: names whose current value may be read."""
+
+    direction = "backward"
+
+    def __init__(self, known: frozenset[str],
+                 exit_live: frozenset[str]):
+        self.known = known
+        self.exit_live = exit_live
+
+    def boundary(self) -> frozenset[str]:
+        return self.exit_live
+
+    def meet(self, left: frozenset[str],
+             right: frozenset[str]) -> frozenset[str]:
+        return left | right
+
+    def transfer(self, block: Block,
+                 value: frozenset[str]) -> frozenset[str]:
+        live = set(value)
+        for unit in reversed(block.units):
+            full, _partial = unit_defs(unit)
+            live -= full
+            live |= unit_uses(unit, self.known, for_liveness=True)
+        return frozenset(live)
+
+
+class _AssignedNames(Analysis[frozenset[str]]):
+    """Forward analysis over the set of assigned names; the meet picks
+    must (intersection) or may (union) semantics."""
+
+    direction = "forward"
+
+    def __init__(self, entry: frozenset[str], must: bool):
+        self.entry = entry
+        self.must = must
+
+    def boundary(self) -> frozenset[str]:
+        return self.entry
+
+    def meet(self, left: frozenset[str],
+             right: frozenset[str]) -> frozenset[str]:
+        return (left & right) if self.must else (left | right)
+
+    def transfer(self, block: Block,
+                 value: frozenset[str]) -> frozenset[str]:
+        assigned = set(value)
+        for unit in block.units:
+            full, partial = unit_defs(unit)
+            assigned |= full | partial
+        return frozenset(assigned)
+
+
+def definite_assignment(entry: frozenset[str]) -> _AssignedNames:
+    return _AssignedNames(entry, must=True)
+
+
+def maybe_assignment(entry: frozenset[str]) -> _AssignedNames:
+    return _AssignedNames(entry, must=False)
+
+
+# ---------------------------------------------------------------------------
+# Diagnostic emitters
+# ---------------------------------------------------------------------------
+
+
+def check_use_before_def(scope: Scope) -> list[Diagnostic]:
+    """E101 (no assignment reaches this use) and W102 (an assignment
+    reaches it on some paths only)."""
+    known = scope_known_functions(scope)
+    annotated = scope_annotations(scope)
+    entry = entry_defined(scope, annotated)
+    cfg = scope.cfg
+    definite = solve(cfg, definite_assignment(entry))
+    maybe = solve(cfg, maybe_assignment(entry))
+
+    out: list[Diagnostic] = []
+    seen: set[tuple[str, str, int, int]] = set()
+
+    def report(code: str, name: str, unit: Unit, message: str,
+               hint: str) -> None:
+        key = (code, name, unit.pos.line, unit.pos.column)
+        if key not in seen:
+            seen.add(key)
+            out.append(Diagnostic(code, message, unit.pos.line,
+                                  unit.pos.column, hint))
+
+    for block in cfg.blocks:
+        sure = definite.before[block.id]
+        may = maybe.before[block.id]
+        if sure is None or may is None:
+            continue                       # unreachable
+        sure_set, may_set = set(sure), set(may)
+        for unit in block.units:
+            for name in sorted(unit_uses(unit, known)):
+                if name not in may_set:
+                    report("E101", name, unit,
+                           f"'{name}' is used before any assignment",
+                           f"assign '{name}' first or declare it in a "
+                           f"%! annotation")
+                elif name not in sure_set:
+                    report("W102", name, unit,
+                           f"'{name}' may be used before assignment "
+                           f"(assigned on some paths only)",
+                           f"assign '{name}' on every path before this "
+                           f"use")
+            full, partial = unit_defs(unit)
+            sure_set |= full | partial
+            may_set |= full | partial
+    return out
+
+
+def _is_pure(expr: Expr) -> bool:
+    for node in expr.walk():
+        if isinstance(node, Ident) and node.name in IMPURE_FUNCTIONS:
+            return False
+    return True
+
+
+def check_dead_stores(scope: Scope) -> list[Diagnostic]:
+    """W201: a full assignment whose pure value is never read.
+
+    Scripts observe their entire final workspace, so every name is live
+    at scope exit and only values overwritten before any use are dead.
+    Functions observe their outputs and globals.
+    """
+    known = scope_known_functions(scope)
+    if scope.kind == "script":
+        exit_live = frozenset(assigned_names(scope.body))
+    else:
+        globals_: set[str] = set()
+        for stmt in scope.body:
+            for node in stmt.walk():
+                if isinstance(node, Global):
+                    globals_.update(node.names)
+        exit_live = frozenset(set(scope.outs) | globals_)
+
+    cfg = scope.cfg
+    solution: Solution[frozenset[str]] = solve(
+        cfg, Liveness(known, exit_live))
+
+    out: list[Diagnostic] = []
+    for block in cfg.blocks:
+        live_value = solution.before[block.id]
+        if live_value is None:
+            continue
+        live = set(live_value)
+        findings: list[Diagnostic] = []
+        for unit in reversed(block.units):
+            node = unit.node
+            if (unit.kind == "assign" and isinstance(node, Assign)
+                    and isinstance(node.lhs, Ident)
+                    and node.lhs.name not in live
+                    and _is_pure(node.rhs)):
+                name = node.lhs.name
+                findings.append(Diagnostic(
+                    "W201",
+                    f"value assigned to '{name}' is never used",
+                    unit.pos.line, unit.pos.column,
+                    f"remove this assignment or use '{name}' before "
+                    f"reassigning it"))
+            full, _partial = unit_defs(unit)
+            live -= full
+            live |= unit_uses(unit, known, for_liveness=True)
+        out.extend(reversed(findings))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Shape propagation on the dims lattice
+# ---------------------------------------------------------------------------
+
+
+class _Conflict:
+    """Lattice bottom for one variable: defined, shape not constant."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<conflict>"
+
+
+CONFLICT = _Conflict()
+
+ShapeFact = Union[Dim, _Conflict]
+ShapeFacts = dict[str, ShapeFact]
+
+#: Pointwise binary operators (Table 1 row: elementwise ops need
+#: compatible dimensionalities; scalars extend).
+ELEMENTWISE_OPS = frozenset({
+    "+", "-", ".*", "./", ".\\", ".^",
+    "==", "~=", "<", ">", "<=", ">=", "&", "|",
+})
+
+
+class ShapePropagation(Analysis[ShapeFacts]):
+    """Forward constant propagation of abstract dimensionalities."""
+
+    direction = "forward"
+
+    def __init__(self, scope: Scope, annotated: ShapeEnv,
+                 known: frozenset[str]):
+        self.scope = scope
+        self.annotated = annotated
+        self.known = known
+
+    def boundary(self) -> ShapeFacts:
+        return dict(self.annotated.shapes)
+
+    def meet(self, left: ShapeFacts, right: ShapeFacts) -> ShapeFacts:
+        merged: ShapeFacts = {}
+        for name in set(left) | set(right):
+            if name in left and name in right:
+                merged[name] = (left[name] if left[name] == right[name]
+                                else CONFLICT)
+            else:
+                merged[name] = left.get(name, right.get(name, CONFLICT))
+        return merged
+
+    def transfer(self, block: Block, value: ShapeFacts) -> ShapeFacts:
+        facts = dict(value)
+        for unit in block.units:
+            shape_step(unit, facts, self.annotated)
+        return facts
+
+
+def _facts_env(facts: ShapeFacts) -> ShapeEnv:
+    return ShapeEnv({name: dim for name, dim in facts.items()
+                     if isinstance(dim, Dim)})
+
+
+def fact_dim(expr: Expr, facts: ShapeFacts,
+             loop_vars: frozenset[str]) -> Optional[Dim]:
+    """Abstract dims of ``expr`` under the current facts, or None."""
+    from ..analysis.shapes import ShapeInference
+
+    inference = ShapeInference(_facts_env(facts))
+    return inference.expr_dim(expr, set(loop_vars))
+
+
+def shape_step(unit: Unit, facts: ShapeFacts, annotated: ShapeEnv,
+               emit: Optional[Callable[[Diagnostic], None]] = None) -> None:
+    """Advance ``facts`` over one unit, optionally emitting diagnostics.
+
+    Mutates ``facts`` in place (transfer functions copy beforehand).
+    """
+    node = unit.node
+    if unit.kind == "for" and isinstance(node, For):
+        facts[node.var] = Dim.scalar()
+        return
+    if unit.kind == "global" and isinstance(node, Global):
+        for name in node.names:
+            facts.setdefault(name, CONFLICT)
+        return
+    if unit.kind == "multiassign" and isinstance(node, MultiAssign):
+        _multiassign_step(node, facts, unit.loop_vars)
+        return
+    if unit.kind != "assign" or not isinstance(node, Assign):
+        return
+
+    if emit is not None:
+        _emit_operand_conflicts(node, facts, unit, emit)
+
+    rhs_dim = fact_dim(node.rhs, facts, unit.loop_vars)
+    lhs = node.lhs
+    if isinstance(lhs, Ident):
+        name = lhs.name
+        if name in annotated:
+            # Orientation-only mismatches (row vs column) are forgiven:
+            # the pipeline transposes freely and linear indexing works
+            # for either, so only rank/extent conflicts are real bugs.
+            if (emit is not None and rhs_dim is not None
+                    and rhs_dim.reduce() != annotated.shapes[name].reduce()
+                    and rhs_dim.reverse().reduce()
+                    != annotated.shapes[name].reduce()):
+                emit(Diagnostic(
+                    "E302",
+                    f"assignment of shape {rhs_dim} to '{name}' conflicts "
+                    f"with its annotation {annotated.shapes[name]}",
+                    unit.pos.line, unit.pos.column,
+                    f"update the %! annotation for '{name}' or fix the "
+                    f"right-hand side"))
+            facts[name] = annotated.shapes[name]
+        elif name in unit.loop_vars:
+            facts[name] = Dim.scalar()
+        else:
+            facts[name] = rhs_dim if rhs_dim is not None else CONFLICT
+        return
+    if isinstance(lhs, Apply) and isinstance(lhs.func, Ident):
+        name = lhs.func.name
+        if emit is not None and rhs_dim is not None \
+                and not rhs_dim.is_scalar \
+                and _all_scalar_subscripts(lhs, facts, unit.loop_vars):
+            emit(Diagnostic(
+                "E303",
+                f"assignment of a non-scalar value (shape {rhs_dim}) to "
+                f"the single element '{name}"
+                f"({', '.join('…' for _ in lhs.args)})'",
+                unit.pos.line, unit.pos.column,
+                "index a matching slice on the left or reduce the "
+                "right-hand side to a scalar"))
+        if name not in facts and name not in annotated:
+            # MATLAB auto-creation on a subscripted first write.
+            if len(lhs.args) == 1:
+                facts[name] = Dim.row()
+            else:
+                facts[name] = Dim.matrix() if len(lhs.args) == 2 \
+                    else CONFLICT
+
+
+def _multiassign_step(node: MultiAssign, facts: ShapeFacts,
+                      loop_vars: frozenset[str]) -> None:
+    rhs = node.rhs
+    name = rhs.func.name if (isinstance(rhs, Apply)
+                             and isinstance(rhs.func, Ident)) else None
+    targets = [t.name for t in node.targets if isinstance(t, Ident)]
+    if name == "size" or (name in ("max", "min")
+                          and isinstance(rhs, Apply) and len(rhs.args) == 1):
+        for target in targets:
+            facts[target] = Dim.scalar()
+    elif name == "sort" and isinstance(rhs, Apply) and len(rhs.args) == 1:
+        dim = fact_dim(rhs.args[0], facts, loop_vars)
+        for target in targets:
+            facts[target] = dim if dim is not None else CONFLICT
+    else:
+        for target in targets:
+            facts[target] = CONFLICT
+
+
+def _all_scalar_subscripts(lhs: Apply, facts: ShapeFacts,
+                           loop_vars: frozenset[str]) -> bool:
+    for arg in lhs.args:
+        if isinstance(arg, (Colon, End, Range)):
+            return False
+        dim = fact_dim(arg, facts, loop_vars)
+        if dim is None or not dim.is_scalar:
+            return False
+    return True
+
+
+def _emit_operand_conflicts(stmt: Assign, facts: ShapeFacts, unit: Unit,
+                            emit: Callable[[Diagnostic], None]) -> None:
+    """E301: elementwise operands with provably different shapes."""
+    for node in stmt.rhs.walk():
+        if not (isinstance(node, BinOp) and node.op in ELEMENTWISE_OPS):
+            continue
+        left = fact_dim(node.left, facts, unit.loop_vars)
+        right = fact_dim(node.right, facts, unit.loop_vars)
+        if left is None or right is None:
+            continue
+        if left.is_scalar or right.is_scalar:
+            continue
+        if left.reduce() != right.reduce():
+            pos = node.pos if node.pos.line else unit.pos
+            emit(Diagnostic(
+                "E301",
+                f"operands of '{node.op}' have incompatible shapes "
+                f"{left} and {right}",
+                pos.line, pos.column,
+                "transpose one operand or index a matching slice"))
+
+
+def check_shapes(scope: Scope) -> list[Diagnostic]:
+    """E301/E302/E303 over one scope via shape propagation."""
+    known = scope_known_functions(scope)
+    annotated = scope_annotations(scope)
+    cfg = scope.cfg
+    solution = solve(cfg, ShapePropagation(scope, annotated, known))
+
+    out: list[Diagnostic] = []
+    seen: set[tuple[str, str, int, int]] = set()
+
+    def emit(diag: Diagnostic) -> None:
+        key = (diag.code, diag.message, diag.line, diag.column)
+        if key not in seen:
+            seen.add(key)
+            out.append(diag)
+
+    for block in cfg.blocks:
+        facts_value = solution.before[block.id]
+        if facts_value is None:
+            continue
+        facts = dict(facts_value)
+        for unit in block.units:
+            shape_step(unit, facts, annotated, emit)
+    return out

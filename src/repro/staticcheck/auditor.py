@@ -1,0 +1,464 @@
+"""The vectorization-legality auditor (``mvec audit``).
+
+The vectorizer's own codegen *decides* what is legal; the auditor
+*re-derives* legality from scratch and checks the decision.  It
+re-parses the emitted source, rebuilds references and dependences with
+:mod:`repro.depgraph` over the **original** loop nests, and confirms:
+
+* **A001** — no statement was vectorized across a dependence that
+  forces it sequential: for every statement the number of sequential
+  loops still wrapping it in the emitted code is at least the minimum
+  forced by the dependence-graph SCC structure (computed here by an
+  independent walk mirroring Allen & Kennedy, with reductions allowed —
+  the most permissive sound bound, so any stricter compiler option only
+  over-satisfies it);
+* **A002** — emitted statement order respects every dependence edge
+  not already enforced by a *shared* sequential loop;
+* **A003** — vectorized indexed assignments still have compatible dims
+  signatures when re-checked over the emitted text;
+* **A004** — ``%!`` annotations pass through the pipeline verbatim;
+* **A005** (warning) — a variable's writes could not be matched
+  one-to-one between input and output, so its statements were skipped;
+* **A101** — the emitted program failed to re-parse or re-analyze.
+
+Matching works positionally per variable: the original program is first
+*prepared* by mirroring the driver's scalar-temp substitution, after
+which both sides contain the same sequence of writes to each variable
+(vectorization rewrites subscripts and right-hand sides, never the
+written name or the per-variable write order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.shapes import ShapeInference, infer_shapes
+from ..depgraph.graph import DependenceGraph, StmtNode
+from ..dims.abstract import compatible
+from ..dims.context import KNOWN_FUNCTIONS, ShapeEnv
+from ..errors import ReproError
+from ..mlang.annotations import parse_annotations
+from ..mlang.ast_nodes import (
+    Apply,
+    Assign,
+    For,
+    Ident,
+    If,
+    MultiAssign,
+    Program,
+    Stmt,
+    While,
+)
+from ..mlang.parser import parse
+from ..vectorizer.checker import is_additive_reduction
+from ..vectorizer.driver import _ident_occurrences
+from ..vectorizer.loop_info import (
+    LoopNest,
+    extract_nest,
+    loop_rejection_reason,
+)
+from ..vectorizer.scalartemps import substitute_scalar_temps
+from .diagnostics import Diagnostic, sort_diagnostics
+
+__all__ = ["AuditResult", "audit_source"]
+
+
+@dataclass
+class AuditResult:
+    """Outcome of one audit: verdict plus supporting diagnostics."""
+
+    diagnostics: list[Diagnostic]
+    audited_loops: int = 0
+    audited_stmts: int = 0
+    vectorized_stmts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error* was found (warnings are advisory)."""
+        return not any(d.is_error for d in self.diagnostics)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "audited_loops": self.audited_loops,
+            "audited_stmts": self.audited_stmts,
+            "vectorized_stmts": self.vectorized_stmts,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Write records: every assignment with its chain of enclosing loops
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _WriteRec:
+    var: str
+    stmt: Stmt
+    #: Enclosing ``for`` statements from the program root, outermost
+    #: first, as (loop identity, index variable) pairs.  Identity
+    #: matters: two statements share a sequential loop only when they
+    #: sit in the *same* emitted ``for``, not merely same-named ones.
+    chain: tuple[tuple[int, str], ...]
+    order: int
+
+
+def _collect_writes(program: Program) -> list[_WriteRec]:
+    records: list[_WriteRec] = []
+
+    def walk(stmts: list[Stmt],
+             chain: tuple[tuple[int, str], ...]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, For):
+                walk(stmt.body, chain + ((id(stmt), stmt.var),))
+            elif isinstance(stmt, While):
+                walk(stmt.body, chain)
+            elif isinstance(stmt, If):
+                for _, body in stmt.tests:
+                    walk(body, chain)
+                walk(stmt.orelse, chain)
+            elif isinstance(stmt, Assign):
+                name = _written_name(stmt.lhs)
+                if name is not None:
+                    records.append(_WriteRec(name, stmt, chain,
+                                             len(records)))
+            elif isinstance(stmt, MultiAssign):
+                for target in stmt.targets:
+                    name = _written_name(target)
+                    if name is not None:
+                        records.append(_WriteRec(name, stmt, chain,
+                                                 len(records)))
+
+    walk(program.body, ())
+    return records
+
+
+def _written_name(target) -> Optional[str]:
+    if isinstance(target, Ident):
+        return target.name
+    if isinstance(target, Apply) and isinstance(target.func, Ident):
+        return target.func.name
+    return None
+
+
+def _match_writes(original: list[_WriteRec], emitted: list[_WriteRec]
+                  ) -> tuple[dict[int, _WriteRec], list[str]]:
+    """Positionally match per-variable write sequences.  Returns a map
+    from original record id to emitted record, plus the variables whose
+    counts disagreed (their statements are skipped with A005)."""
+    by_var_orig: dict[str, list[_WriteRec]] = {}
+    by_var_emit: dict[str, list[_WriteRec]] = {}
+    for rec in original:
+        by_var_orig.setdefault(rec.var, []).append(rec)
+    for rec in emitted:
+        by_var_emit.setdefault(rec.var, []).append(rec)
+
+    matched: dict[int, _WriteRec] = {}
+    unmatched: list[str] = []
+    for var, orig_recs in by_var_orig.items():
+        emit_recs = by_var_emit.get(var, [])
+        if len(orig_recs) != len(emit_recs):
+            unmatched.append(var)
+            continue
+        for orig_rec, emit_rec in zip(orig_recs, emit_recs):
+            matched[id(orig_rec)] = emit_rec
+    for var in by_var_emit:
+        if var not in by_var_orig:
+            unmatched.append(var)
+    return matched, sorted(set(unmatched))
+
+
+# ---------------------------------------------------------------------------
+# Mirror of the driver's preparation (scalar-temp substitution)
+# ---------------------------------------------------------------------------
+
+
+def _prepare(program: Program, scalar_temps: bool) -> Program:
+    """Re-apply the driver's pre-codegen rewrites so write sequences
+    line up with the emitted program (substituted temps vanish from
+    both sides)."""
+    if not scalar_temps:
+        return program
+    counts = _ident_occurrences(program)
+
+    def live_outside(loop: For) -> frozenset[str]:
+        inside = _ident_occurrences(loop)
+        return frozenset(name for name, total in counts.items()
+                         if total > inside.get(name, 0))
+
+    def process(stmts: list[Stmt]) -> list[Stmt]:
+        out: list[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, For):
+                loop = substitute_scalar_temps(stmt, live_outside(stmt))
+                out.append(For(loop.var, loop.iter, process(loop.body),
+                               pos=loop.pos))
+            elif isinstance(stmt, While):
+                out.append(While(stmt.cond, process(stmt.body),
+                                 pos=stmt.pos))
+            elif isinstance(stmt, If):
+                tests = [(cond, process(body)) for cond, body in stmt.tests]
+                out.append(If(tests, process(stmt.orelse), pos=stmt.pos))
+            else:
+                out.append(stmt)
+        return out
+
+    return Program(process(program.body), pos=program.pos)
+
+
+# ---------------------------------------------------------------------------
+# Independent legality: minimum forced sequential prefix per statement
+# ---------------------------------------------------------------------------
+
+
+def _build_graph(nest: LoopNest, env: ShapeEnv) -> DependenceGraph:
+    nodes = [
+        StmtNode(
+            index=index,
+            stmt=nest_stmt.stmt,
+            loop_vars=tuple(h.var for h in nest_stmt.headers),
+            loop_counts=tuple(h.count for h in nest_stmt.headers),
+        )
+        for index, nest_stmt in enumerate(nest.stmts)
+    ]
+    known = frozenset(name for name in KNOWN_FUNCTIONS if name not in env)
+    return DependenceGraph.build(nodes, known)
+
+
+def _reduction_candidate(graph: DependenceGraph, node: StmtNode) -> bool:
+    """Mirror of ``CodegenDim._is_vector_candidate`` with reductions
+    always allowed — the most permissive sound candidacy, hence the
+    lower bound on every configuration's forced sequential prefix."""
+    self_edges = graph.self_edges(node.index)
+    if not self_edges:
+        return True
+    if not is_additive_reduction(node.stmt):
+        return False
+    writes = node.refs.writes
+    if len(writes) != 1:
+        return False
+    write = writes[0]
+    for edge in self_edges:
+        if edge.var != write.var:
+            return False
+        for ref in (edge.src_ref, edge.dst_ref):
+            if ref is None or ref.var != write.var \
+                    or ref.subs != write.subs:
+                return False
+    return True
+
+
+def _legal_levels(graph: DependenceGraph, level: int,
+                  legal: dict[int, int]) -> None:
+    """Walk the SCC condensation exactly as codegen does, recording the
+    level at which each statement first becomes a vector candidate."""
+    for scc in graph.sccs_topological():
+        if len(scc) == 1 and _reduction_candidate(graph, scc[0]):
+            legal[scc[0].index] = level
+        elif all(level >= len(node.loop_vars) for node in scc):
+            # Safety net; dependence vectors never outlive the common
+            # loop prefix, so a cycle cannot survive to full depth.
+            for node in scc:                     # pragma: no cover
+                legal[node.index] = len(node.loop_vars)
+        else:
+            indices = [n.index for n in scc]
+            sub = graph.subgraph(indices).remove_carried_by(level)
+            _legal_levels(sub, level + 1, legal)
+
+
+# ---------------------------------------------------------------------------
+# The audit
+# ---------------------------------------------------------------------------
+
+
+def audit_source(original: str, emitted: str,
+                 scalar_temps: bool = True) -> AuditResult:
+    """Audit one compilation: ``original`` MATLAB source against the
+    ``emitted`` (vectorized) source.  ``scalar_temps`` must match the
+    compiler option so the preparation mirrors the driver."""
+    diags: list[Diagnostic] = []
+
+    try:
+        original_program = parse(original)
+        annotations = parse_annotations(original_program.annotations)
+        env = infer_shapes(original_program, annotations)
+    except ReproError as exc:
+        return AuditResult([Diagnostic(
+            "A101", f"original program failed to analyze: {exc}")])
+    try:
+        emitted_program = parse(emitted)
+    except ReproError as exc:
+        return AuditResult([Diagnostic(
+            "A101", f"emitted program failed to re-parse: {exc}")])
+
+    if list(original_program.annotations) != list(emitted_program.annotations):
+        diags.append(Diagnostic(
+            "A004",
+            "%! annotations differ between input and output",
+            hint="the pipeline must pass annotations through verbatim"))
+
+    prepared = _prepare(original_program, scalar_temps)
+    orig_writes = _collect_writes(prepared)
+    emit_writes = _collect_writes(emitted_program)
+    matched, unmatched = _match_writes(orig_writes, emit_writes)
+    for var in unmatched:
+        diags.append(Diagnostic(
+            "A005",
+            f"writes to '{var}' could not be matched between input and "
+            f"output; its statements were not audited"))
+
+    rec_of_stmt = {id(rec.stmt): rec for rec in orig_writes}
+    result = AuditResult(diags)
+    _audit_stmts(prepared.body, (), env, matched, rec_of_stmt, result)
+    result.diagnostics = sort_diagnostics(result.diagnostics)
+    return result
+
+
+def _audit_stmts(stmts: list[Stmt], chain: tuple[tuple[int, str], ...],
+                 env: ShapeEnv,
+                 matched: dict[int, _WriteRec],
+                 rec_of_stmt: dict[int, _WriteRec],
+                 result: AuditResult) -> None:
+    """Find every loop nest the vectorizer would accept and audit it."""
+    for stmt in stmts:
+        if isinstance(stmt, For):
+            nest = None
+            if loop_rejection_reason(stmt) is None:
+                nest = extract_nest(stmt)
+            if nest is not None:
+                _audit_nest(stmt, nest, chain, env, matched, rec_of_stmt,
+                            result)
+            else:
+                # Rejected: the driver recursed looking for inner nests.
+                _audit_stmts(stmt.body, chain + ((id(stmt), stmt.var),),
+                             env, matched, rec_of_stmt, result)
+        elif isinstance(stmt, While):
+            _audit_stmts(stmt.body, chain, env, matched,
+                         rec_of_stmt, result)
+        elif isinstance(stmt, If):
+            for _, body in stmt.tests:
+                _audit_stmts(body, chain, env, matched,
+                             rec_of_stmt, result)
+            _audit_stmts(stmt.orelse, chain, env, matched,
+                         rec_of_stmt, result)
+
+
+def _audit_nest(loop: For, nest: LoopNest,
+                chain: tuple[tuple[int, str], ...], env: ShapeEnv,
+                matched: dict[int, _WriteRec],
+                rec_of_stmt: dict[int, _WriteRec],
+                result: AuditResult) -> None:
+    result.audited_loops += 1
+    graph = _build_graph(nest, env)
+    legal: dict[int, int] = {}
+    _legal_levels(graph, 0, legal)
+
+    # The k-th assignment in a pre-order walk of the (prepared) loop is
+    # nest.stmts[k]; normalization rewrote subscripts but kept order.
+    loop_assigns = [s for s in loop.walk() if isinstance(s, Assign)]
+    if len(loop_assigns) != len(nest.stmts):   # pragma: no cover - invariant
+        result.diagnostics.append(Diagnostic(
+            "A005",
+            f"loop at line {loop.pos.line} could not be mapped onto its "
+            f"normalized nest; skipped"))
+        return
+
+    # Emitted sequential chain (within the nest) per statement index.
+    emitted_chain: dict[int, tuple[tuple[int, str], ...]] = {}
+    emitted_order: dict[int, int] = {}
+
+    for index, (assign, nest_stmt) in enumerate(zip(loop_assigns,
+                                                    nest.stmts)):
+        result.audited_stmts += 1
+        orig_rec = rec_of_stmt.get(id(assign))
+        emit_rec = matched.get(id(orig_rec)) if orig_rec else None
+        if emit_rec is None:
+            continue                      # already covered by an A005
+        header_vars = tuple(h.var for h in nest_stmt.headers)
+        outer_vars = tuple(var for _, var in chain)
+        emit_vars = tuple(var for _, var in emit_rec.chain)
+        if emit_vars[:len(outer_vars)] != outer_vars:
+            result.diagnostics.append(Diagnostic(
+                "A005",
+                f"emitted write to '{emit_rec.var}' moved outside its "
+                f"original loop structure; statement not audited",
+                emit_rec.stmt.pos.line, emit_rec.stmt.pos.column))
+            continue
+        remainder = emit_rec.chain[len(outer_vars):]
+        remainder_vars = tuple(var for _, var in remainder)
+        if remainder_vars != header_vars[:len(remainder_vars)]:
+            result.diagnostics.append(Diagnostic(
+                "A005",
+                f"emitted loops around the write to '{emit_rec.var}' do "
+                f"not prefix its original nest "
+                f"({remainder_vars} vs {header_vars}); not audited",
+                emit_rec.stmt.pos.line, emit_rec.stmt.pos.column))
+            continue
+        emitted_chain[index] = remainder
+        emitted_order[index] = emit_rec.order
+
+        prefix = len(remainder)
+        forced = legal.get(index, 0)
+        if prefix < forced:
+            result.diagnostics.append(Diagnostic(
+                "A001",
+                f"statement writing '{emit_rec.var}' was vectorized over "
+                f"loop '{header_vars[prefix]}' despite a dependence "
+                f"carried at level {forced - 1}",
+                emit_rec.stmt.pos.line, emit_rec.stmt.pos.column,
+                "this statement must stay inside "
+                f"{forced} sequential loop(s)"))
+        if prefix < len(header_vars):
+            result.vectorized_stmts += 1
+            _check_emitted_dims(emit_rec, env, result)
+
+    # A002: every dependence edge not enforced by a shared sequential
+    # loop must be enforced by emitted statement order.
+    for edge in graph.edges:
+        if edge.src == edge.dst:
+            continue
+        if edge.src not in emitted_chain or edge.dst not in emitted_chain:
+            continue
+        src_chain = emitted_chain[edge.src]
+        dst_chain = emitted_chain[edge.dst]
+        shared = 0
+        for a, b in zip(src_chain, dst_chain):
+            if a != b:          # identity: must be the *same* for loop
+                break
+            shared += 1
+        needs_order = edge.has_loop_independent or any(
+            level >= shared for level in edge.carried_levels())
+        if needs_order and emitted_order[edge.src] >= emitted_order[edge.dst]:
+            src_rec = matched.get(id(rec_of_stmt.get(id(loop_assigns[edge.src]))))
+            pos = src_rec.stmt.pos if src_rec else loop.pos
+            result.diagnostics.append(Diagnostic(
+                "A002",
+                f"emitted order violates the {edge.kind} dependence on "
+                f"'{edge.var}' between statements {edge.src} and "
+                f"{edge.dst} of the loop at line {loop.pos.line}",
+                pos.line, pos.column))
+
+
+def _check_emitted_dims(emit_rec: _WriteRec, env: ShapeEnv,
+                        result: AuditResult) -> None:
+    """A003: the emitted (vectorized) assignment's dims must still be
+    compatible.  Only provable conflicts are flagged."""
+    stmt = emit_rec.stmt
+    if not isinstance(stmt, Assign) or not isinstance(stmt.lhs, Apply):
+        return
+    loop_vars = {var for _, var in emit_rec.chain}
+    inference = ShapeInference(env)
+    rhs_dim = inference.expr_dim(stmt.rhs, loop_vars)
+    lhs_dim = inference.expr_dim(stmt.lhs, loop_vars)
+    if rhs_dim is None or lhs_dim is None:
+        return
+    if rhs_dim.is_scalar:                     # scalar broadcast is legal
+        return
+    if not compatible(lhs_dim, rhs_dim):
+        result.diagnostics.append(Diagnostic(
+            "A003",
+            f"vectorized assignment to '{emit_rec.var}' has incompatible "
+            f"dims: left {lhs_dim}, right {rhs_dim}",
+            stmt.pos.line, stmt.pos.column))

@@ -1,0 +1,242 @@
+"""Control-flow graphs over the MATLAB AST, one per script/function.
+
+A :class:`CFG` is a list of basic blocks holding :class:`Unit` records —
+one unit per executable statement part (a plain statement, a loop
+header, an ``if``/``while`` condition).  Loop headers are their own
+blocks so that back edges and zero-trip exits are explicit; ``break``,
+``continue``, and ``return`` terminate their block with the appropriate
+edge and start an unreachable continuation block.
+
+:func:`program_scopes` splits a program into analysis scopes: the
+top-level script (excluding function definitions) and one scope per
+``function`` body.  MATLAB functions do not close over the script
+workspace, so every scope is analyzed independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..mlang.ast_nodes import (
+    Annotation,
+    Assign,
+    Break,
+    Continue,
+    Expr,
+    ExprStmt,
+    For,
+    FunctionDef,
+    Global,
+    If,
+    MultiAssign,
+    Node,
+    Pos,
+    Program,
+    Return,
+    Stmt,
+    While,
+)
+
+#: Unit kinds.  ``"for"`` marks a loop-header unit (defines the index
+#: variable, reads the iteration expression); ``"cond"`` an ``if``/
+#: ``while`` condition (pure use).  All other kinds name the statement.
+UNIT_KINDS = frozenset({
+    "assign", "multiassign", "expr", "global", "annotation",
+    "for", "cond", "break", "continue", "return",
+})
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One executable item inside a basic block."""
+
+    kind: str
+    node: Union[Stmt, Expr]
+    pos: Pos
+    loop_vars: frozenset[str] = frozenset()
+
+
+@dataclass
+class Block:
+    """A basic block: straight-line units plus successor/predecessor ids."""
+
+    id: int
+    units: list[Unit] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """A control-flow graph. ``blocks[entry]`` starts execution and
+    every normal termination reaches ``blocks[exit]``."""
+
+    blocks: list[Block]
+    entry: int
+    exit: int
+
+    def units(self) -> list[Unit]:
+        """All units in block order (reachable or not)."""
+        return [unit for block in self.blocks for unit in block.units]
+
+
+@dataclass
+class Scope:
+    """One independently analyzed workspace."""
+
+    name: str
+    kind: str                     # 'script' | 'function'
+    params: tuple[str, ...]
+    outs: tuple[str, ...]
+    body: list[Stmt]
+    cfg: CFG
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+
+    def _new_block(self) -> int:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block.id
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def _unit(self, block: int, kind: str, node: Union[Stmt, Expr],
+              pos: Pos, loop_vars: frozenset[str]) -> None:
+        self.blocks[block].units.append(Unit(kind, node, pos, loop_vars))
+
+    # ``loops`` holds (header_block, after_block) per enclosing loop so
+    # continue/break know their targets.
+    def stmt_list(self, stmts: list[Stmt], current: int,
+                  loops: list[tuple[int, int]],
+                  loop_vars: frozenset[str]) -> int:
+        for stmt in stmts:
+            if isinstance(stmt, For):
+                header = self._new_block()
+                self._edge(current, header)
+                self._unit(header, "for", stmt, stmt.pos, loop_vars)
+                body_entry = self._new_block()
+                after = self._new_block()
+                self._edge(header, body_entry)
+                self._edge(header, after)
+                body_end = self.stmt_list(
+                    stmt.body, body_entry, loops + [(header, after)],
+                    loop_vars | {stmt.var})
+                self._edge(body_end, header)
+                current = after
+            elif isinstance(stmt, While):
+                header = self._new_block()
+                self._edge(current, header)
+                cond_pos = stmt.cond.pos if stmt.cond.pos.line else stmt.pos
+                self._unit(header, "cond", stmt.cond, cond_pos, loop_vars)
+                body_entry = self._new_block()
+                after = self._new_block()
+                self._edge(header, body_entry)
+                self._edge(header, after)
+                body_end = self.stmt_list(
+                    stmt.body, body_entry, loops + [(header, after)],
+                    loop_vars)
+                self._edge(body_end, header)
+                current = after
+            elif isinstance(stmt, If):
+                after = self._new_block()
+                for cond, body in stmt.tests:
+                    cond_pos = cond.pos if cond.pos.line else stmt.pos
+                    self._unit(current, "cond", cond, cond_pos, loop_vars)
+                    body_entry = self._new_block()
+                    self._edge(current, body_entry)
+                    body_end = self.stmt_list(body, body_entry, loops,
+                                              loop_vars)
+                    self._edge(body_end, after)
+                    chain = self._new_block()
+                    self._edge(current, chain)
+                    current = chain
+                orelse_end = self.stmt_list(stmt.orelse, current, loops,
+                                            loop_vars)
+                self._edge(orelse_end, after)
+                current = after
+            elif isinstance(stmt, Break):
+                self._unit(current, "break", stmt, stmt.pos, loop_vars)
+                if loops:
+                    self._edge(current, loops[-1][1])
+                current = self._new_block()
+            elif isinstance(stmt, Continue):
+                self._unit(current, "continue", stmt, stmt.pos, loop_vars)
+                if loops:
+                    self._edge(current, loops[-1][0])
+                current = self._new_block()
+            elif isinstance(stmt, Return):
+                self._unit(current, "return", stmt, stmt.pos, loop_vars)
+                self._edge(current, self.exit)
+                current = self._new_block()
+            elif isinstance(stmt, FunctionDef):
+                continue            # split into its own scope beforehand
+            else:
+                kind = {Assign: "assign", MultiAssign: "multiassign",
+                        ExprStmt: "expr", Global: "global",
+                        Annotation: "annotation"}.get(type(stmt))
+                if kind is None:  # pragma: no cover - parser limits kinds
+                    raise TypeError(
+                        f"unsupported statement {type(stmt).__name__}")
+                self._unit(current, kind, stmt, stmt.pos, loop_vars)
+        return current
+
+
+def build_cfg(stmts: list[Stmt]) -> CFG:
+    """Build the CFG of one statement list."""
+    builder = _Builder()
+    end = builder.stmt_list(stmts, builder.entry, [], frozenset())
+    builder._edge(end, builder.exit)
+    return CFG(builder.blocks, builder.entry, builder.exit)
+
+
+def program_scopes(program: Program) -> list[Scope]:
+    """Split a program into its script scope plus one scope per function."""
+    script_body = [s for s in program.body
+                   if not isinstance(s, FunctionDef)]
+    scopes = [Scope("<script>", "script", (), (), script_body,
+                    build_cfg(script_body))]
+    for stmt in program.body:
+        if isinstance(stmt, FunctionDef):
+            scopes.append(Scope(stmt.name, "function", tuple(stmt.params),
+                                tuple(stmt.outs), stmt.body,
+                                build_cfg(stmt.body)))
+    return scopes
+
+
+def assigned_names(stmts: list[Stmt]) -> set[str]:
+    """Every name assigned anywhere in the statement list, including
+    loop index variables and multi-assign targets."""
+    from ..mlang.ast_nodes import Apply, Ident
+
+    names: set[str] = set()
+    root: Node = Program(stmts)
+    for node in root.walk():
+        if isinstance(node, Assign):
+            target = node.lhs
+        elif isinstance(node, MultiAssign):
+            for target in node.targets:
+                if isinstance(target, Ident):
+                    names.add(target.name)
+                elif isinstance(target, Apply) \
+                        and isinstance(target.func, Ident):
+                    names.add(target.func.name)
+            continue
+        elif isinstance(node, For):
+            names.add(node.var)
+            continue
+        else:
+            continue
+        if isinstance(target, Ident):
+            names.add(target.name)
+        elif isinstance(target, Apply) and isinstance(target.func, Ident):
+            names.add(target.func.name)
+    return names

@@ -1,0 +1,118 @@
+"""A generic worklist solver for forward/backward dataflow analyses.
+
+An analysis supplies a *boundary* value (at the entry for forward
+analyses, the exit for backward ones), a *meet* over predecessor
+values, and a *transfer* function over one basic block.  The solver
+represents the top element (unreached) as ``None`` — ``meet`` is never
+called on it, and blocks whose every predecessor is unreached stay at
+``None``, so must-analyses (intersection meets) need no explicit
+universal set and unreachable code is naturally skipped.
+
+Values must support ``==`` (fixpoint detection); the lattices used by
+the concrete analyses (frozensets, dicts over a finite height lattice)
+all converge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generic, Optional, TypeVar
+
+from .cfg import CFG, Block
+
+T = TypeVar("T")
+
+
+class Analysis(Generic[T]):
+    """Base class for dataflow analyses. Subclass and override."""
+
+    #: 'forward' or 'backward'.
+    direction: str = "forward"
+
+    def boundary(self) -> T:
+        """Value at the entry (forward) / exit (backward) boundary."""
+        raise NotImplementedError
+
+    def meet(self, left: T, right: T) -> T:
+        """Combine two incoming values (∪ for may, ∩ for must)."""
+        raise NotImplementedError
+
+    def transfer(self, block: Block, value: T) -> T:
+        """Push ``value`` through ``block`` in the analysis direction."""
+        raise NotImplementedError
+
+
+class Solution(Generic[T]):
+    """Fixpoint values per block.
+
+    ``before[b]`` is the value on entry to ``b`` *in the analysis
+    direction* (block entry for forward analyses, block exit for
+    backward ones); ``after[b]`` is the transferred value.  ``None``
+    means the block is unreachable from the boundary.
+    """
+
+    def __init__(self, before: dict[int, Optional[T]],
+                 after: dict[int, Optional[T]]):
+        self.before = before
+        self.after = after
+
+
+def solve(cfg: CFG, analysis: Analysis[T]) -> Solution[T]:
+    """Iterate ``analysis`` over ``cfg`` to a fixpoint."""
+    forward = analysis.direction == "forward"
+    boundary_block = cfg.entry if forward else cfg.exit
+
+    def inputs(block: Block) -> list[int]:
+        return block.preds if forward else block.succs
+
+    def outputs(block: Block) -> list[int]:
+        return block.succs if forward else block.preds
+
+    before: dict[int, Optional[T]] = {b.id: None for b in cfg.blocks}
+    after: dict[int, Optional[T]] = {b.id: None for b in cfg.blocks}
+
+    worklist: deque[int] = deque(
+        b.id for b in (cfg.blocks if forward else reversed(cfg.blocks)))
+    queued = set(worklist)
+    while worklist:
+        bid = worklist.popleft()
+        queued.discard(bid)
+        block = cfg.blocks[bid]
+        incoming = [after[p] for p in inputs(block) if after[p] is not None]
+        value: Optional[T]
+        if bid == boundary_block:
+            value = analysis.boundary()
+            for extra in incoming:
+                value = analysis.meet(value, extra)
+        elif incoming:
+            value = incoming[0]
+            for extra in incoming[1:]:
+                value = analysis.meet(value, extra)
+        else:
+            value = None                      # unreachable so far
+        before[bid] = value
+        new_after = None if value is None else analysis.transfer(block, value)
+        if new_after != after[bid]:
+            after[bid] = new_after
+            for succ in outputs(block):
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return Solution(before, after)
+
+
+def run_forward_units(block: Block, value: T,
+                      step: Callable[[int, T], T]) -> T:
+    """Walk a block's units forward, threading ``value`` through
+    ``step(unit_index, value)``; returns the final value."""
+    for index in range(len(block.units)):
+        value = step(index, value)
+    return value
+
+
+def run_backward_units(block: Block, value: T,
+                       step: Callable[[int, T], T]) -> T:
+    """Walk a block's units backward (liveness-style)."""
+    for index in reversed(range(len(block.units))):
+        value = step(index, value)
+    return value

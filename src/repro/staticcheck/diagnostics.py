@@ -1,0 +1,130 @@
+"""Structured diagnostics: codes, severities, rendering.
+
+Every finding produced by the linter, the verifier, and the auditor is a
+:class:`Diagnostic` — a frozen record with a stable machine-readable
+code, a severity, a 1-based source span, and an optional fix hint.  The
+:data:`CODES` registry is the single source of truth for the code table
+in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity. Errors fail ``mvec lint``; warnings do not."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Registry of every diagnostic code: ``code -> one-line description``.
+#: E-codes are linter errors, W-codes linter warnings, V-codes verifier
+#: invariant failures, A-codes auditor findings.
+CODES: dict[str, str] = {
+    "E001": "lexical error: the source cannot be tokenized",
+    "E002": "syntax error: the source cannot be parsed",
+    "E003": "malformed %! shape annotation",
+    "E101": "use of a variable before any assignment reaches it",
+    "W102": "use of a variable assigned on only some paths",
+    "W201": "dead store: value is overwritten before any use",
+    "E301": "shape conflict between pointwise operands",
+    "E302": "assignment conflicts with the variable's %! annotation",
+    "E303": "indexed assignment of a provably non-scalar value",
+    "V001": "verifier: AST node missing a source span",
+    "V002": "verifier: malformed node (bad operator, arity, or field)",
+    "V003": "verifier: ':'/'end' outside a subscript position",
+    "V004": "verifier: annotation text inconsistent with the annotation grammar",
+    "A001": "auditor: statement vectorized across a carried dependence",
+    "A002": "auditor: emitted statement order violates a dependence",
+    "A003": "auditor: vectorized dims signature incompatible",
+    "A004": "auditor: %! annotations changed between input and output",
+    "A005": "auditor: could not match emitted writes for a variable",
+    "A101": "auditor: emitted program failed to re-parse or re-analyze",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, renderable as text or JSON."""
+
+    code: str
+    message: str
+    line: int = 0
+    column: int = 0
+    hint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+
+    @property
+    def severity(self) -> Severity:
+        return (Severity.WARNING if self.code.startswith("W")
+                else Severity.ERROR)
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def render(self, filename: str = "<source>") -> str:
+        head = (f"{filename}:{self.line}:{self.column}: "
+                f"{self.severity}[{self.code}]: {self.message}")
+        if self.hint:
+            head += f"\n    hint: {self.hint}"
+        return head
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "line": self.line,
+            "column": self.column,
+            "hint": self.hint,
+        }
+
+    def sort_key(self) -> tuple[int, int, str, str]:
+        return (self.line, self.column, self.code, self.message)
+
+
+def sort_diagnostics(diags: Sequence[Diagnostic]) -> list[Diagnostic]:
+    """Stable source order: by line, column, code."""
+    return sorted(diags, key=Diagnostic.sort_key)
+
+
+def render_text(diags: Sequence[Diagnostic],
+                filename: str = "<source>") -> str:
+    """All diagnostics, one per line, plus a count trailer."""
+    lines = [d.render(filename) for d in diags]
+    errors = sum(1 for d in diags if d.is_error)
+    warnings = len(diags) - errors
+    lines.append(f"{filename}: {errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def to_json(diags: Sequence[Diagnostic],
+            filename: str = "<source>") -> str:
+    """JSON rendering: ``{"file", "diagnostics", "errors", "warnings"}``."""
+    errors = sum(1 for d in diags if d.is_error)
+    return json.dumps({
+        "file": filename,
+        "diagnostics": [d.to_dict() for d in diags],
+        "errors": errors,
+        "warnings": len(diags) - errors,
+    }, indent=2)
+
+
+def counts_by_severity(diags: Sequence[Diagnostic]) -> dict[str, int]:
+    """``{"error": n, "warning": m}`` — metrics-friendly summary."""
+    out = {"error": 0, "warning": 0}
+    for diag in diags:
+        out[str(diag.severity)] += 1
+    return out

@@ -1,0 +1,68 @@
+"""The linter front end: source text in, sorted diagnostics out.
+
+``lint_source`` handles the syntactic tiers itself (``E001`` lexical,
+``E002`` syntactic, ``E003`` malformed annotations) and then runs every
+dataflow-backed check from :mod:`.analyses` over each scope of the
+parsed program.  Diagnostics come back in stable source order, ready
+for :func:`~repro.staticcheck.diagnostics.render_text` or
+:func:`~repro.staticcheck.diagnostics.to_json`.
+"""
+
+from __future__ import annotations
+
+from ..errors import AnnotationError, LexError, ParseError
+from ..mlang.annotations import parse_annotation
+from ..mlang.ast_nodes import Annotation, Program
+from ..mlang.lexer import tokenize
+from ..mlang.parser import Parser
+from .analyses import check_dead_stores, check_shapes, check_use_before_def
+from .cfg import Scope, program_scopes
+from .diagnostics import Diagnostic, sort_diagnostics
+
+
+def lint_source(source: str) -> list[Diagnostic]:
+    """Lint MATLAB source text.
+
+    A lexical or syntactic failure short-circuits (the later analyses
+    need an AST); everything past parsing accumulates.
+    """
+    try:
+        tokens = tokenize(source)
+    except LexError as exc:
+        return [Diagnostic("E001", exc.message, exc.line, exc.column)]
+    try:
+        program = Parser(tokens).parse_program()
+    except ParseError as exc:
+        return [Diagnostic("E002", exc.message, exc.line, exc.column)]
+    return lint_program(program)
+
+
+def lint_program(program: Program) -> list[Diagnostic]:
+    """Lint a parsed program: annotation syntax plus every per-scope
+    dataflow check, sorted into source order."""
+    diags: list[Diagnostic] = []
+    for scope in program_scopes(program):
+        diags.extend(_check_annotations(scope))
+        diags.extend(check_use_before_def(scope))
+        diags.extend(check_dead_stores(scope))
+        diags.extend(check_shapes(scope))
+    return sort_diagnostics(diags)
+
+
+def _check_annotations(scope: Scope) -> list[Diagnostic]:
+    """E003 for each ``%!`` annotation the grammar rejects."""
+    from ..dims.context import ShapeEnv
+
+    out: list[Diagnostic] = []
+    env = ShapeEnv()
+    for stmt in scope.body:
+        for node in stmt.walk():
+            if isinstance(node, Annotation):
+                try:
+                    parse_annotation(node.text, env)
+                except AnnotationError as exc:
+                    out.append(Diagnostic(
+                        "E003", str(exc), node.pos.line, node.pos.column,
+                        "annotations look like: %! x(1,*) y(*,1) — see "
+                        "docs/dimension-abstraction.md"))
+    return out

@@ -1,0 +1,166 @@
+"""An LLVM-style AST verifier run between pipeline stages.
+
+Every invariant checked here must hold of any AST the pipeline passes
+between stages — a violation is a compiler bug, never user error, so
+violations raise :class:`~repro.errors.VerifyError` (tagged with the
+stage that produced the AST) instead of returning diagnostics.
+
+Checked invariants:
+
+* **V001** — under ``require_spans`` every node carries a 1-based
+  source span.  Only the post-parse stage requires this; later stages
+  synthesize nodes (range headers, scalar-temp substitutions) with
+  default spans.
+* **V002** — structural soundness: operator spellings the printer can
+  emit, assignment targets that are names or subscripted names,
+  non-empty ``if`` chains and matrix rows, well-formed identifiers.
+* **V003** — ``:`` and ``end`` appear only inside subscript argument
+  positions (``a(:, end)``), never as free expressions.
+* **V004** — every ``%!`` annotation still parses under the annotation
+  grammar (stages must not rewrite annotation text).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from ..dims.context import ShapeEnv
+from ..errors import AnnotationError, VerifyError
+from ..mlang.annotations import parse_annotation
+from ..mlang.ast_nodes import (
+    Annotation,
+    Apply,
+    Assign,
+    BinOp,
+    Colon,
+    End,
+    Expr,
+    For,
+    FunctionDef,
+    Ident,
+    If,
+    Matrix,
+    MultiAssign,
+    Node,
+    Num,
+    Program,
+    Stmt,
+    Str,
+    UnOp,
+)
+
+_BINARY_OPS = frozenset({
+    "||", "&&", "|", "&", "==", "~=", "<", "<=", ">", ">=",
+    "+", "-", "*", "/", "\\", ".*", "./", ".\\", "^", ".^",
+})
+_UNARY_OPS = frozenset({"+", "-", "~"})
+
+
+def verify_program(program: Program, stage: str,
+                   require_spans: bool = False) -> None:
+    """Verify a whole program; raises :class:`VerifyError` on the first
+    violated invariant."""
+    verify_stmts(program.body, stage, require_spans)
+
+
+def verify_stmts(stmts: Iterable[Stmt], stage: str,
+                 require_spans: bool = False) -> None:
+    """Verify a statement list (e.g. one rewritten loop body)."""
+    for stmt in stmts:
+        _verify_node(stmt, stage, require_spans,
+                     colon_ok=False, end_ok=False)
+
+
+def _fail(stage: str, code: str, node: Node, detail: str) -> VerifyError:
+    where = ""
+    pos = getattr(node, "pos", None)
+    if pos is not None and pos.line:
+        where = f" at {pos.line}:{pos.column}"
+    return VerifyError(stage,
+                       f"{code}: {detail} ({type(node).__name__}{where})")
+
+
+def _verify_target(target: Expr, stage: str, owner: Node) -> None:
+    """Assignment targets must be names or subscripted names."""
+    if isinstance(target, Ident):
+        return
+    if isinstance(target, Apply) and isinstance(target.func, Ident):
+        return
+    raise _fail(stage, "V002", owner,
+                f"invalid assignment target {type(target).__name__}")
+
+
+def _verify_node(node: Union[Stmt, Expr], stage: str, require_spans: bool,
+                 colon_ok: bool, end_ok: bool) -> None:
+    # ``colon_ok`` holds only in an Apply's direct argument slots; a
+    # bare ':' anywhere else is malformed.  ``end_ok`` holds at any
+    # depth inside a subscript argument (``a(end - 1)`` is fine).
+    if require_spans:
+        pos = getattr(node, "pos", None)
+        if pos is not None and not pos.line:
+            raise _fail(stage, "V001", node, "node is missing a source span")
+
+    if isinstance(node, Colon) and not colon_ok:
+        raise _fail(stage, "V003", node,
+                    "':' outside a subscript position")
+    if isinstance(node, End) and not end_ok:
+        raise _fail(stage, "V003", node,
+                    "'end' outside a subscript position")
+
+    if isinstance(node, BinOp):
+        if node.op not in _BINARY_OPS:
+            raise _fail(stage, "V002", node,
+                        f"unknown binary operator {node.op!r}")
+    elif isinstance(node, UnOp):
+        if node.op not in _UNARY_OPS:
+            raise _fail(stage, "V002", node,
+                        f"unknown unary operator {node.op!r}")
+    elif isinstance(node, Ident):
+        if not node.name:
+            raise _fail(stage, "V002", node, "empty identifier")
+    elif isinstance(node, Num):
+        if not isinstance(node.value, (int, float)):
+            raise _fail(stage, "V002", node,
+                        f"non-numeric literal {node.value!r}")
+    elif isinstance(node, Str):
+        if not isinstance(node.value, str):
+            raise _fail(stage, "V002", node, "non-string literal")
+    elif isinstance(node, Matrix):
+        if any(not row for row in node.rows):
+            raise _fail(stage, "V002", node, "empty matrix row")
+    elif isinstance(node, Assign):
+        _verify_target(node.lhs, stage, node)
+    elif isinstance(node, MultiAssign):
+        if not node.targets:
+            raise _fail(stage, "V002", node, "multi-assign with no targets")
+        for target in node.targets:
+            _verify_target(target, stage, node)
+    elif isinstance(node, For):
+        if not node.var:
+            raise _fail(stage, "V002", node, "for loop with no index name")
+    elif isinstance(node, If):
+        if not node.tests:
+            raise _fail(stage, "V002", node, "if statement with no branches")
+    elif isinstance(node, FunctionDef):
+        if not node.name:
+            raise _fail(stage, "V002", node, "function with no name")
+    elif isinstance(node, Annotation):
+        try:
+            parse_annotation(node.text, ShapeEnv())
+        except AnnotationError as exc:
+            raise _fail(stage, "V004", node,
+                        f"annotation no longer parses: {exc}") from exc
+
+    # Recurse.
+    if isinstance(node, Apply):
+        _verify_node(node.func, stage, require_spans,
+                     colon_ok=False, end_ok=end_ok)
+        for arg in node.args:
+            _verify_node(arg, stage, require_spans,
+                         colon_ok=True, end_ok=True)
+    elif isinstance(node, (Colon, End)):
+        pass
+    else:
+        for child in node.children():
+            _verify_node(child, stage, require_spans,
+                         colon_ok=False, end_ok=end_ok)

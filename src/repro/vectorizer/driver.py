@@ -23,7 +23,7 @@ from ..dims.context import ShapeEnv
 from ..mlang.annotations import parse_annotations
 from ..mlang.ast_nodes import For, If, Program, Stmt, While
 from ..mlang.lexer import tokenize
-from ..mlang.parser import Parser, parse
+from ..mlang.parser import Parser
 from ..mlang.printer import to_source
 from ..patterns.builtin import default_database
 from ..patterns.database import PatternDatabase
@@ -133,12 +133,29 @@ class Vectorizer:
     def __init__(self, db: Optional[PatternDatabase] = None,
                  options: Optional[CheckOptions] = None,
                  simplify: bool = False,
-                 scalar_temps: bool = True):
+                 scalar_temps: bool = True,
+                 verify: bool = False):
         self.db = db if db is not None else default_database()
         self.options = options or CheckOptions()
         self.simplify = simplify
         self.scalar_temps = scalar_temps
+        self.verify = verify
         self._ident_counts: dict[str, int] = {}
+
+    def _verify(self, node, stage: str, require_spans: bool = False) -> None:
+        """Run the IR verifier between stages (``verify=True`` only).
+
+        Imported lazily: the staticcheck package's auditor imports this
+        driver, so a module-level import would be circular.
+        """
+        if not self.verify:
+            return
+        from ..staticcheck.verifier import verify_program, verify_stmts
+
+        if isinstance(node, Program):
+            verify_program(node, stage, require_spans)
+        else:
+            verify_stmts(node, stage, require_spans)
 
     # -- entry points ----------------------------------------------------
 
@@ -150,6 +167,7 @@ class Vectorizer:
         start = time.perf_counter()
         program = Parser(tokens).parse_program()
         parse_time = time.perf_counter() - start
+        self._verify(program, "parse", require_spans=True)
         result = self.vectorize_program(program, shapes=shapes)
         result.timings = {"lex": lex_time, "parse": parse_time,
                           **result.timings}
@@ -164,12 +182,15 @@ class Vectorizer:
         env = infer_shapes(program, annotations)
         self._ident_counts = _ident_occurrences(program)
         analyze_time = time.perf_counter() - start
+        self._verify(program, "analyze")
         report = VectorizeReport()
         start = time.perf_counter()
         body = self._process(program.body, env, report,
                              outer_scalars=frozenset())
         codegen_time = time.perf_counter() - start
-        return VectorizeResult(Program(body), report,
+        result_program = Program(body)
+        self._verify(result_program, "codegen")
+        return VectorizeResult(result_program, report,
                                {"analyze": analyze_time,
                                 "codegen": codegen_time})
 
@@ -233,6 +254,7 @@ class Vectorizer:
         stmts = result.stmts
         if self.simplify:
             stmts = [simplify_transposes(stmt) for stmt in stmts]
+        self._verify(stmts, f"codegen:loop@{line}")
         return stmts
 
 

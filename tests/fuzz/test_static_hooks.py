@@ -1,0 +1,94 @@
+"""The fuzz campaign's static hooks: the lint-clean generator
+invariant and the per-program legality audit.  Like the oracle tests,
+violations are *injected* — the real pipeline is designed not to
+produce them."""
+
+from dataclasses import dataclass
+
+from repro.fuzz.generator import ProgramGenerator
+from repro.fuzz.oracle import run_oracle
+
+GOOD = """\
+%! x(*,1) z(*,1) n(1)
+x = [1; 2; 3];
+n = 3;
+for i = 1:n
+  z(i) = 2 .* x(i);
+end
+"""
+
+#: A recurrence the vectorizer must decline...
+RECURRENCE = """\
+%! w(*,1) n(1)
+w = [1; 0; 0; 0];
+n = 4;
+for i = 2:n
+  w(i) = w(i-1) + 1;
+end
+"""
+
+#: ...and a forged "vectorization" of it that happens to also be
+#: behaviorally wrong — but the *audit* divergence must appear even
+#: before any workspace comparison runs.
+ILLEGAL = """\
+%! w(*,1) n(1)
+w = [1; 0; 0; 0];
+n = 4;
+w(2:n) = w(1:n-1) + 1;
+"""
+
+
+@dataclass
+class _FakeResult:
+    source: str
+
+
+def _illegal_vectorizer(source: str) -> _FakeResult:
+    return _FakeResult(source=ILLEGAL)
+
+
+class TestLintHook:
+    def test_clean_program_passes(self):
+        assert run_oracle(GOOD, lint=True).ok
+
+    def test_unclean_program_is_a_divergence(self):
+        report = run_oracle("y = z + 1;\nq = y;\n", lint=True)
+        stages = [d.stage for d in report.divergences]
+        assert stages == ["lint-original"]
+        assert "E101" in report.divergences[0].detail
+
+    def test_lint_off_by_default(self):
+        # Without the hook the unclean program still *runs* into the
+        # reference-interpreter failure, not a lint finding.
+        report = run_oracle("y = z + 1;\nq = y;\n")
+        assert all(d.stage != "lint-original" for d in report.divergences)
+
+
+class TestAuditHook:
+    def test_legal_vectorization_passes(self):
+        assert run_oracle(GOOD, audit=True).ok
+
+    def test_declined_loop_passes(self):
+        assert run_oracle(RECURRENCE, audit=True).ok
+
+    def test_illegal_vectorization_is_a_divergence(self):
+        report = run_oracle(RECURRENCE, audit=True,
+                            vectorizer=_illegal_vectorizer)
+        audit = [d for d in report.divergences if d.stage == "audit"]
+        assert audit and "A001" in audit[0].detail
+
+    def test_audit_off_misses_the_legality_bug(self):
+        # Same forged output without the hook: only behavioral stages
+        # can complain, and none of them mention the dependence.
+        report = run_oracle(RECURRENCE, vectorizer=_illegal_vectorizer)
+        assert all(d.stage != "audit" for d in report.divergences)
+
+
+class TestGeneratorInvariant:
+    def test_generated_programs_are_lint_clean_and_audit_clean(self):
+        generator = ProgramGenerator(seed=7)
+        for index in range(25):
+            program = generator.generate(index)
+            report = run_oracle(program.source, outputs=program.outputs,
+                                lint=True, audit=True)
+            assert report.ok, report.describe()

@@ -1,0 +1,118 @@
+"""``POST /lint`` and ``POST /audit``: HTTP, stdio, caching, metrics."""
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.compiler import CompilationService
+from repro.service.server import CompilationServer, serve_stdio
+
+LOOP = """\
+%! x(*,1) y(*,1) n(1)
+x = (1:8)';
+n = 8;
+for i=1:n
+  y(i) = 2*x(i);
+end
+"""
+
+BROKEN = "n = 4;\nfor i = 1:n\n  y(i) = z(i) + 1;\nend\n"
+
+
+@pytest.fixture
+def server():
+    server = CompilationServer(("127.0.0.1", 0), quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def url(server, path):
+    host, port = server.server_address
+    return f"http://{host}:{port}{path}"
+
+
+def post(server, path, payload):
+    data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url(server, path), data=data,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+class TestLintEndpoint:
+    def test_clean_source(self, server):
+        status, body = post(server, "/lint", {"source": LOOP})
+        assert status == 200 and body["ok"]
+        assert body["diagnostics"] == []
+        assert body["errors"] == 0
+
+    def test_diagnostics_are_data_not_failures(self, server):
+        status, body = post(server, "/lint", {"source": BROKEN})
+        assert status == 200 and body["ok"]
+        codes = {d["code"] for d in body["diagnostics"]}
+        assert "E101" in codes
+        assert body["errors"] >= 1
+
+    def test_second_request_is_cached(self, server):
+        _, first = post(server, "/lint", {"source": BROKEN})
+        _, second = post(server, "/lint", {"source": BROKEN})
+        assert not first.get("cached")
+        assert second.get("cached")
+        assert second["diagnostics"] == first["diagnostics"]
+
+    def test_missing_source_is_400(self, server):
+        status, body = post(server, "/lint", {"sauce": "x = 1;"})
+        assert status == 400 and not body["ok"]
+
+    def test_metrics_count_lint_requests(self, server):
+        post(server, "/lint", {"source": BROKEN})
+        service = server.service
+        metrics = service.metrics.render_prometheus()
+        assert "mvec_lint_requests_total" in metrics
+        assert 'mvec_lint_diagnostics_total{severity="error"}' in metrics
+
+
+class TestAuditEndpoint:
+    def test_passing_audit(self, server):
+        status, body = post(server, "/audit", {"source": LOOP})
+        assert status == 200 and body["ok"]
+        assert body["vectorized_stmts"] == 1
+
+    def test_compile_error_is_422(self, server):
+        status, body = post(server, "/audit", {"source": "for i =\n"})
+        assert status == 422 and not body["ok"]
+
+    def test_metrics_count_audit_verdicts(self, server):
+        post(server, "/audit", {"source": LOOP})
+        metrics = server.service.metrics.render_prometheus()
+        assert 'mvec_audit_total{verdict="pass"}' in metrics
+
+
+class TestStdio:
+    def run_ops(self, lines):
+        stdin = io.StringIO("".join(json.dumps(l) + "\n" for l in lines))
+        stdout = io.StringIO()
+        serve_stdio(CompilationService(), stdin=stdin, stdout=stdout)
+        return [json.loads(line) for line in
+                stdout.getvalue().splitlines()]
+
+    def test_lint_op(self):
+        (response,) = self.run_ops([{"op": "lint", "source": BROKEN}])
+        assert response["ok"]
+        assert any(d["code"] == "E101" for d in response["diagnostics"])
+
+    def test_audit_op(self):
+        (response,) = self.run_ops([{"op": "audit", "source": LOOP}])
+        assert response["ok"]
+        assert response["vectorized_stmts"] == 1

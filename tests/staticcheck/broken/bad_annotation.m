@@ -1,0 +1,3 @@
+%! x(*,1) oops!!
+x = zeros(3, 1);
+y = x + 1;

@@ -1,0 +1,6 @@
+%! a(*,1) b(1,*) s(1)
+a = zeros(4, 1);
+b = zeros(1, 5);
+q = a .* b;
+s = a;
+a(1) = b;

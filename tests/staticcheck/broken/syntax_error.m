@@ -1,0 +1,3 @@
+n = 3;
+for i = 1:n
+  y(i) = i;

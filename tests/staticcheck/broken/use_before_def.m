@@ -1,0 +1,8 @@
+n = 4;
+for i = 1:n
+  y(i) = z(i) + 1;
+end
+if n > 2
+  w = 1;
+end
+q = w + 1;

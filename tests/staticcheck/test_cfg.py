@@ -1,0 +1,92 @@
+"""CFG construction: block structure, loop/branch edges, scopes."""
+
+from repro.mlang.parser import parse
+from repro.staticcheck.cfg import assigned_names, build_cfg, program_scopes
+
+
+def cfg_of(source: str):
+    return build_cfg(parse(source).body)
+
+
+def reachable(cfg) -> set[int]:
+    seen, stack = set(), [cfg.entry]
+    while stack:
+        bid = stack.pop()
+        if bid in seen:
+            continue
+        seen.add(bid)
+        stack.extend(cfg.blocks[bid].succs)
+    return seen
+
+
+def test_straight_line_single_path():
+    cfg = cfg_of("x = 1;\ny = x + 1;\n")
+    units = cfg.units()
+    assert [u.kind for u in units] == ["assign", "assign"]
+    assert cfg.exit in reachable(cfg)
+
+
+def _closure_succs(cfg, start: int) -> set[int]:
+    seen, stack = set(), [start]
+    while stack:
+        bid = stack.pop()
+        if bid in seen:
+            continue
+        seen.add(bid)
+        stack.extend(cfg.blocks[bid].succs)
+    return seen
+
+
+def test_for_loop_header_has_body_and_exit_edges():
+    cfg = cfg_of("for i = 1:3\n  y(i) = i;\nend\nz = 1;\n")
+    headers = [b for b in cfg.blocks
+               if any(u.kind == "for" for u in b.units)]
+    assert len(headers) == 1
+    header = headers[0]
+    # Zero-trip exit and body entry are distinct successors; exactly
+    # one successor loops back to the header (the body's back edge).
+    assert len(header.succs) == 2
+    back = [s for s in header.succs
+            if header.id in _closure_succs(cfg, s)]
+    assert len(back) == 1
+
+
+def test_loop_body_carries_loop_var():
+    cfg = cfg_of("for i = 1:3\n  y(i) = i;\nend\n")
+    body_units = [u for u in cfg.units() if u.kind == "assign"]
+    assert body_units and body_units[0].loop_vars == frozenset({"i"})
+
+
+def test_if_branches_join():
+    cfg = cfg_of("if x > 0\n  y = 1;\nelse\n  y = 2;\nend\nz = y;\n")
+    kinds = [u.kind for u in cfg.units()]
+    assert kinds.count("cond") == 1
+    assert kinds.count("assign") == 3
+    assert cfg.exit in reachable(cfg)
+
+
+def test_break_leaves_unreachable_continuation():
+    cfg = cfg_of("for i = 1:3\n  break;\n  y = 1;\nend\n")
+    # The statement after `break` sits in a block with no predecessors.
+    dead = [u for b in cfg.blocks if b.id not in reachable(cfg)
+            for u in b.units]
+    assert any(u.kind == "assign" for u in dead)
+
+
+def test_program_scopes_split_functions():
+    scopes = program_scopes(parse(
+        "x = 1;\n"
+        "function y = f(a)\n  y = a + 1;\nend\n"))
+    assert [s.kind for s in scopes] == ["script", "function"]
+    script, func = scopes
+    assert script.name == "<script>"
+    assert func.name == "f"
+    assert func.params == ("a",) and func.outs == ("y",)
+    # Function bodies are excluded from the script scope.
+    assert len(script.body) == 1
+
+
+def test_assigned_names_covers_loops_and_subscripts():
+    names = assigned_names(parse(
+        "for i = 1:3\n  y(i) = i;\nend\n[a, b] = size(y);\n").body)
+    assert names == {"i", "y", "a", "b"}

@@ -1,0 +1,94 @@
+"""``mvec lint`` / ``mvec audit`` / ``mvec --verify`` CLI behavior."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = """\
+%! x(*,1) y(*,1) n(1)
+x = (1:8)';
+n = 8;
+for i = 1:n
+  y(i) = 2 .* x(i);
+end
+"""
+
+BROKEN = """\
+n = 4;
+for i = 1:n
+  y(i) = z(i) + 1;
+end
+x = 1;
+x = 2;
+q = x;
+"""
+
+
+@pytest.fixture
+def clean(tmp_path):
+    path = tmp_path / "clean.m"
+    path.write_text(CLEAN)
+    return path
+
+
+@pytest.fixture
+def broken(tmp_path):
+    path = tmp_path / "broken.m"
+    path.write_text(BROKEN)
+    return path
+
+
+class TestLint:
+    def test_clean_file_exits_zero(self, clean, capsys):
+        assert main(["lint", str(clean)]) == 0
+        assert "clean" in capsys.readouterr().err
+
+    def test_errors_exit_nonzero_with_spans(self, broken, capsys):
+        assert main(["lint", str(broken)]) == 1
+        out = capsys.readouterr().out
+        assert "3:3: error[E101]" in out
+        assert "5:1: warning[W201]" in out
+
+    def test_warnings_alone_exit_zero(self, tmp_path):
+        path = tmp_path / "warn.m"
+        path.write_text("x = 1;\nx = 2;\ny = x;\n")
+        assert main(["lint", str(path)]) == 0
+
+    def test_json_output(self, broken, capsys):
+        assert main(["lint", "--json", str(broken)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["errors"] == 1
+        codes = {d["code"] for d in payload[0]["diagnostics"]}
+        assert "E101" in codes and "W201" in codes
+
+    def test_missing_file_exits_two(self):
+        assert main(["lint", "/nonexistent/nope.m"]) == 2
+
+
+class TestAudit:
+    def test_clean_file_passes(self, clean, capsys):
+        assert main(["audit", str(clean)]) == 0
+        assert "pass" in capsys.readouterr().err
+
+    def test_json_output(self, clean, capsys):
+        assert main(["audit", "--json", str(clean)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["ok"] is True
+        assert payload[0]["vectorized_stmts"] == 1
+
+    def test_unparsable_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.m"
+        path.write_text("for i =\n")
+        assert main(["audit", str(path)]) == 1
+        assert "compile error" in capsys.readouterr().err
+
+
+class TestVerifyFlag:
+    def test_verify_flag_accepted_and_output_unchanged(self, clean,
+                                                       capsys):
+        assert main([str(clean)]) == 0
+        plain = capsys.readouterr().out
+        assert main(["--verify", str(clean)]) == 0
+        assert capsys.readouterr().out == plain

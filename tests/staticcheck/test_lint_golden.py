@@ -1,0 +1,63 @@
+"""Golden diagnostic snapshots: ``mvec lint`` over a corpus of
+deliberately broken programs under ``tests/staticcheck/broken/``.
+
+Every broken program must produce *exactly* the rendered diagnostics in
+its ``tests/staticcheck/golden/<stem>.txt`` snapshot — codes, messages,
+and 1-based ``line:col`` spans included.  Regenerate after an
+intentional diagnostic change with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/staticcheck/test_lint_golden.py -q
+
+then review the diff like any other code change.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import lint_source, render_text
+
+BROKEN = Path(__file__).resolve().parent / "broken"
+GOLDEN = Path(__file__).resolve().parent / "golden"
+UPDATE = bool(os.environ.get("REPRO_UPDATE_GOLDEN"))
+
+FILES = sorted(BROKEN.glob("*.m"))
+
+
+def _rendered(path: Path) -> str:
+    diagnostics = lint_source(path.read_text())
+    return render_text(diagnostics, filename=path.name) + "\n"
+
+
+def test_broken_corpus_present():
+    assert FILES, f"no broken programs found under {BROKEN}"
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.stem)
+def test_diagnostics_match_golden(path):
+    actual = _rendered(path)
+    golden_path = GOLDEN / f"{path.stem}.txt"
+    if UPDATE:
+        GOLDEN.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(actual)
+        return
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path}; regenerate with "
+        "REPRO_UPDATE_GOLDEN=1")
+    assert actual == golden_path.read_text(), (
+        f"diagnostics for {path.name} drifted from the golden snapshot; "
+        f"if intentional, regenerate with REPRO_UPDATE_GOLDEN=1")
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.stem)
+def test_every_broken_program_flags_something(path):
+    assert lint_source(path.read_text()), (
+        f"{path.name} is in the broken corpus but lints clean")
+
+
+def test_no_stale_goldens():
+    stems = {p.stem for p in FILES}
+    stale = [g.name for g in GOLDEN.glob("*.txt") if g.stem not in stems]
+    assert not stale, f"stale golden files without broken programs: {stale}"

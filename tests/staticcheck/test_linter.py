@@ -1,0 +1,92 @@
+"""Targeted linter behavior beyond the golden snapshots."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import lint_source
+
+CORPUS = Path(__file__).resolve().parents[2] / "examples" / "corpus"
+
+
+def codes(source: str) -> list[str]:
+    return [d.code for d in lint_source(source)]
+
+
+def test_clean_program_produces_nothing():
+    assert lint_source(
+        "%! x(*,1) n(1)\n"
+        "x = zeros(4, 1);\n"
+        "n = 4;\n"
+        "for i = 1:n\n  x(i) = i;\nend\n"
+        "s = sum(x);\n") == []
+
+
+def test_annotated_name_counts_as_defined():
+    # The %! annotation vouches for x: no E101 even without a prelude.
+    assert "E101" not in codes("%! x(*,1)\ny = x + 1;\n")
+
+
+def test_loop_index_is_defined_inside_body():
+    assert "E101" not in codes("for i = 1:3\n  y(i) = i;\nend\n")
+
+
+def test_function_params_are_defined():
+    source = ("function y = f(a, b)\n"
+              "  y = a + b;\n"
+              "end\n")
+    assert codes(source) == []
+
+
+def test_function_scopes_are_independent():
+    # x defined in the script does NOT leak into the function body.
+    source = ("x = 1;\n"
+              "function y = g()\n"
+              "  y = x;\n"
+              "end\n")
+    assert "E101" in codes(source)
+
+
+def test_function_output_not_a_dead_store():
+    source = ("function y = h()\n"
+              "  y = 1;\n"
+              "end\n")
+    assert "W201" not in codes(source)
+
+
+def test_dead_store_requires_pure_rhs():
+    # rand() is impure: overwriting its result is not reported.
+    assert "W201" not in codes("x = rand(3, 1);\nx = 1;\ny = x;\n")
+
+
+def test_e302_forgives_orientation_only_mismatch():
+    # The paper's own histeq writes a column into a row-annotated name;
+    # MATLAB reshapes on assignment, so only rank changes are errors.
+    source = ("%! h(1,*)\n"
+              "g = zeros(4, 1);\n"
+              "h = cumsum(g);\n")
+    assert "E302" not in codes(source)
+
+
+def test_e302_flags_rank_mismatch():
+    source = ("%! s(1)\n"
+              "g = zeros(4, 1);\n"
+              "s = cumsum(g);\n")
+    assert "E302" in codes(source)
+
+
+def test_global_names_count_as_defined():
+    assert "E101" not in codes("global counter\nx = counter + 1;\n")
+
+
+def test_diagnostics_are_sorted_by_position():
+    diags = lint_source("a = b;\nc = d;\n")
+    positions = [(d.line, d.column) for d in diags]
+    assert positions == sorted(positions)
+
+
+@pytest.mark.parametrize("path", sorted(CORPUS.glob("*.m")),
+                         ids=lambda p: p.stem)
+def test_corpus_is_error_free(path):
+    errors = [d for d in lint_source(path.read_text()) if d.is_error]
+    assert not errors, [str(d.render(path.name)) for d in errors]

@@ -1,0 +1,68 @@
+"""Source spans: token positions under awkward input (tabs,
+continuations, escaped quotes) and AST node anchoring — the spans the
+linter prints and the verifier's V001 invariant both depend on these."""
+
+from repro.mlang.ast_nodes import Apply, Assign, BinOp, For
+from repro.mlang.lexer import tokenize
+from repro.mlang.parser import parse
+from repro.staticcheck import verify_program
+
+
+def positions(source: str):
+    return [(t.text, t.line, t.column) for t in tokenize(source)
+            if t.text.strip()]
+
+
+def test_tab_counts_as_one_column():
+    assert positions("\ty = 2;\n")[0] == ("y", 1, 2)
+
+
+def test_line_continuation_resumes_on_next_line():
+    toks = positions("z = 1 + ...\n    2;\n")
+    assert ("2", 2, 5) in toks
+    # The '+' stays anchored on the first line.
+    assert ("+", 1, 7) in toks
+
+
+def test_escaped_quote_string_span():
+    toks = positions("s = 'ab''cd';\n")
+    assert ("ab'cd", 1, 5) in toks
+    assert (";", 1, 13) in toks       # the closing quote consumed 1 col
+
+
+def test_comment_lines_do_not_shift_positions():
+    toks = positions("  % leading comment\nw = 3;\n")
+    assert toks[0] == ("w", 2, 1)
+
+
+def test_matrix_rows_span_lines():
+    toks = positions("a = [1 2\n3 4];\n")
+    assert ("3", 2, 1) in toks
+
+
+def test_statement_nodes_carry_spans():
+    program = parse("x = 1;\nfor i = 1:3\n  y(i) = x + i;\nend\n")
+    assigns = [n for n in program.walk() if isinstance(n, Assign)]
+    assert [(a.pos.line, a.pos.column) for a in assigns] == [(1, 1), (3, 3)]
+    loop = next(n for n in program.walk() if isinstance(n, For))
+    assert (loop.pos.line, loop.pos.column) == (2, 1)
+
+
+def test_expression_nodes_carry_spans():
+    program = parse("y = a(2) + b;\n")
+    apply_node = next(n for n in program.walk() if isinstance(n, Apply))
+    assert (apply_node.pos.line, apply_node.pos.column) == (1, 5)
+    binop = next(n for n in program.walk() if isinstance(n, BinOp))
+    assert binop.pos.line == 1
+
+
+def test_every_parsed_node_satisfies_v001():
+    source = ("%! x(*,1) n(1)\n"
+              "x = zeros(4, 1);\n"
+              "n = 4;\n"
+              "for i = 1:n\n"
+              "  if x(i) > 0\n    x(i) = -x(i);\n  end\n"
+              "end\n"
+              "[m, k] = size(x);\n"
+              "s = 'done';\n")
+    verify_program(parse(source), "parse", require_spans=True)

@@ -1,0 +1,96 @@
+"""IR verifier: well-formed ASTs pass, forged compiler bugs raise."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import VerifyError
+from repro.mlang.ast_nodes import (
+    Annotation,
+    Assign,
+    BinOp,
+    Colon,
+    End,
+    Ident,
+    If,
+    MultiAssign,
+    Num,
+)
+from repro.mlang.parser import parse
+from repro.staticcheck import verify_program, verify_stmts
+from repro.vectorizer.driver import Vectorizer
+
+CORPUS = Path(__file__).resolve().parents[2] / "examples" / "corpus"
+
+
+@pytest.mark.parametrize("path", sorted(CORPUS.glob("*.m")),
+                         ids=lambda p: p.stem)
+def test_parsed_corpus_verifies_with_spans(path):
+    verify_program(parse(path.read_text()), "parse", require_spans=True)
+
+
+@pytest.mark.parametrize("path", sorted(CORPUS.glob("*.m")),
+                         ids=lambda p: p.stem)
+def test_full_pipeline_under_verify_flag(path):
+    # --verify runs the verifier after parse, analyze, per-loop codegen,
+    # and the final splice; any raise here is a compiler bug.
+    Vectorizer(verify=True).vectorize_source(path.read_text())
+
+
+def test_v001_missing_span_only_when_required():
+    stmts = [Assign(Ident("x"), Num(1.0))]     # default (0,0) span
+    verify_stmts(stmts, "codegen")             # later stages: fine
+    with pytest.raises(VerifyError, match="V001"):
+        verify_stmts(stmts, "parse", require_spans=True)
+
+
+def test_v002_unknown_binary_operator():
+    stmts = [Assign(Ident("x"), BinOp("<>", Num(1.0), Num(2.0)))]
+    with pytest.raises(VerifyError, match="V002"):
+        verify_stmts(stmts, "codegen")
+
+
+def test_v002_bad_assignment_target():
+    stmts = [Assign(Num(3.0), Num(1.0))]
+    with pytest.raises(VerifyError, match="V002"):
+        verify_stmts(stmts, "codegen")
+
+
+def test_v002_multiassign_without_targets():
+    stmts = [MultiAssign([], Ident("f"))]
+    with pytest.raises(VerifyError, match="V002"):
+        verify_stmts(stmts, "codegen")
+
+
+def test_v002_if_without_branches():
+    with pytest.raises(VerifyError, match="V002"):
+        verify_stmts([If([], [])], "codegen")
+
+
+def test_v003_colon_outside_subscript():
+    stmts = [Assign(Ident("x"), Colon())]
+    with pytest.raises(VerifyError, match="V003"):
+        verify_stmts(stmts, "codegen")
+
+
+def test_v003_end_outside_subscript():
+    stmts = [Assign(Ident("x"), End())]
+    with pytest.raises(VerifyError, match="V003"):
+        verify_stmts(stmts, "codegen")
+
+
+def test_colon_and_end_legal_inside_subscripts():
+    # a(:, end - 1) — ':' in a direct arg slot, 'end' at any depth.
+    verify_program(parse("b = a(:, end - 1);\n"), "parse",
+                   require_spans=True)
+
+
+def test_v004_rewritten_annotation():
+    stmts = [Annotation("x(*,1) garbage!!")]
+    with pytest.raises(VerifyError, match="V004"):
+        verify_stmts(stmts, "codegen")
+
+
+def test_stage_is_reported():
+    with pytest.raises(VerifyError, match="codegen:loop@7"):
+        verify_stmts([Assign(Ident(""), Num(1.0))], "codegen:loop@7")
