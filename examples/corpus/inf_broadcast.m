@@ -1,0 +1,12 @@
+% Row/column broadcast into a matrix, shapes inferred.
+%! A(*,*) u(*,1) v(1,*) m(1) n(1)
+m = 3;
+n = 4;
+u = [2; 4; 6];
+v = linspace(0, 1, 4);
+A = zeros(3, 4);
+for i=1:m
+  for j=1:n
+    A(i,j) = u(i) + v(j);
+  end
+end

@@ -1,0 +1,10 @@
+% Clamp with two-argument min/max; colon-range input.
+%! x(1,*) y(1,*) lo(1) hi(1) n(1)
+n = 9;
+lo = 2;
+hi = 6;
+x = 0:8;
+y = zeros(1, 9);
+for i=1:n
+  y(i) = min(max(x(i), lo), hi);
+end

@@ -1,0 +1,9 @@
+% Column vectors from literal matrices; z = c .* x elementwise.
+%! x(*,1) z(*,1) c(1) n(1)
+n = 5;
+c = 0.5;
+x = [1; 2; 3; 4; 5];
+z = zeros(5, 1);
+for i=1:n
+  z(i) = c * x(i);
+end

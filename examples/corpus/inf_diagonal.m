@@ -1,0 +1,8 @@
+% Diagonal gather (Table 2 pattern 3) from an eye-built matrix.
+%! A(*,*) d(1,*) n(1)
+n = 5;
+A = eye(5) * 3;
+d = zeros(1, 5);
+for i=1:n
+  d(i) = A(i,i) + 1;
+end

@@ -1,0 +1,9 @@
+% Per-column dot products; matrix shapes inferred from ones().
+%! X(*,*) Y(*,*) a(1,*) n(1)
+n = 4;
+X = ones(4, 3) * 0.5;
+Y = ones(3, 4) * 2;
+a = zeros(1, 4);
+for i=1:n
+  a(i) = X(i,:) * Y(:,i);
+end

@@ -1,0 +1,11 @@
+% Interprocedural: the call's result shape feeds the loop.
+function y = scaleadd(x, c)
+y = x .* c + 1;
+end
+n = 8;
+x = linspace(0, 7, 8);
+w = scaleadd(x, 0.5);
+z = zeros(1, 8);
+for i=1:n
+  z(i) = w(i) + x(i);
+end

@@ -1,0 +1,10 @@
+% Mask-weighted combination of two inferred rows.
+%! x(1,*) w(1,*) y(1,*) c(1) n(1)
+n = 6;
+c = 3;
+x = linspace(1, 6, 6);
+w = linspace(6, 1, 6);
+y = zeros(1, 6);
+for i=1:n
+  y(i) = x(i).*(x(i) > c) + w(i).*(x(i) <= c);
+end

@@ -1,0 +1,12 @@
+% Accumulating matrix-vector product, shapes all inferred.
+%! A(*,*) x(*,1) y(*,1) n(1) m(1)
+n = 4;
+m = 3;
+A = ones(4, 3) * 0.25;
+x = [1; 2; 3];
+y = zeros(4, 1);
+for i=1:n
+  for j=1:m
+    y(i) = y(i) + A(i,j) * x(j);
+  end
+end

@@ -1,0 +1,12 @@
+% Outer product from a literal column and an inferred row.
+%! u(*,1) v(1,*) P(*,*) m(1) n(1)
+m = 3;
+n = 4;
+u = [1; 2; 3];
+v = linspace(1, 4, 4);
+P = zeros(3, 4);
+for i=1:m
+  for j=1:n
+    P(i,j) = u(i) * v(j);
+  end
+end

@@ -1,0 +1,8 @@
+% Pointwise math over an inferred column vector.
+%! x(*,1) y(*,1) n(1)
+n = 6;
+x = [0.1; 0.2; 0.3; 0.4; 0.5; 0.6];
+y = zeros(6, 1);
+for i=1:n
+  y(i) = exp(-x(i)^2/2) + cos(x(i))*0.25;
+end

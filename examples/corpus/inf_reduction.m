@@ -1,0 +1,8 @@
+% Scalar additive reduction over an inferred row vector.
+%! x(1,*) s(1) n(1)
+n = 7;
+x = linspace(0, 3, 7);
+s = 0;
+for i=1:n
+  s = s + x(i) * x(i);
+end

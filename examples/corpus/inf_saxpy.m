@@ -1,0 +1,10 @@
+% Self-contained SAXPY; every shape is recoverable by inference.
+%! x(1,*) y(1,*) z(1,*) a(1) n(1)
+n = 8;
+a = 1.5;
+x = linspace(0, 1, 8);
+y = linspace(1, 2, 8);
+z = zeros(1, 8);
+for i=1:n
+  z(i) = a*x(i) + y(i);
+end

@@ -1,0 +1,8 @@
+% Classic scale-and-shift, colon-initialized.
+%! x(1,*) y(1,*) n(1)
+n = 12;
+x = 1:12;
+y = zeros(1, 12);
+for i=1:n
+  y(i) = 2*x(i) + 1;
+end

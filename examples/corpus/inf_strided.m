@@ -1,0 +1,8 @@
+% Non-unit stride over an inferred row vector.
+%! x(1,*) z(1,*) n(1)
+n = 10;
+x = linspace(1, 10, 10);
+z = zeros(1, 10);
+for i=2:2:n
+  z(i) = x(i) * 0.5;
+end

@@ -1,0 +1,12 @@
+% Logical mask over an inferred matrix.
+%! A(*,*) bw(*,*) t(1) m(1) n(1)
+m = 4;
+n = 5;
+t = 0.5;
+A = ones(4, 5) * 0.75;
+bw = zeros(4, 5);
+for i=1:m
+  for j=1:n
+    bw(i,j) = A(i,j) > t;
+  end
+end

@@ -1,0 +1,12 @@
+% Transposed read feeding a pointwise 2-nest.
+%! A(*,*) B(*,*) C(*,*) m(1) n(1)
+m = 3;
+n = 4;
+B = ones(4, 3) * 2;
+C = ones(3, 4) * 5;
+A = zeros(3, 4);
+for i=1:m
+  for j=1:n
+    A(i,j) = B(j,i) + C(i,j);
+  end
+end

@@ -294,6 +294,14 @@ def _power_env(params, rng):
     }
 
 
+def _empty_env(params, rng):
+    """For the self-contained inference corpus (``inf_*.m``): every
+    input is initialized inside the program itself, so the workspace
+    starts empty and the shape engine can recover all dims without the
+    ``%!`` line."""
+    return {}
+
+
 # ---------------------------------------------------------------------------
 # The registry
 # ---------------------------------------------------------------------------
@@ -398,6 +406,34 @@ _register(Workload(
     "jacobi", "jacobi.m", ("U",), _jacobi_env,
     {"tiny": {"rows": 7, "cols": 6, "steps": 3},
      "default": {"rows": 30, "cols": 30, "steps": 15}}))
+
+#: The self-contained inference corpus: each program initializes its
+#: own inputs (literals, zeros/ones/linspace/colon), so stripping the
+#: ``%!`` line leaves the flow-sensitive engine enough information to
+#: vectorize it byte-identically.  ``(name, outputs)`` pairs.
+_INFERENCE_CORPUS = [
+    ("inf-saxpy", ("z",)),
+    ("inf-column-scale", ("z",)),
+    ("inf-power-series", ("y",)),
+    ("inf-dotprod", ("a",)),
+    ("inf-matvec", ("y",)),
+    ("inf-outer", ("P",)),
+    ("inf-threshold", ("bw",)),
+    ("inf-reduction", ("s",)),
+    ("inf-clamp", ("y",)),
+    ("inf-broadcast", ("A",)),
+    ("inf-diagonal", ("d",)),
+    ("inf-strided", ("z",)),
+    ("inf-transpose-add", ("A",)),
+    ("inf-scale-shift", ("y",)),
+    ("inf-masked-sum", ("y",)),
+    ("inf-interproc", ("z",)),
+]
+
+for _name, _outputs in _INFERENCE_CORPUS:
+    _register(Workload(
+        _name, _name.replace("-", "_") + ".m", _outputs, _empty_env,
+        {"tiny": {}, "default": {}}))
 
 
 def workload(name: str) -> Workload:

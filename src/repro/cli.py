@@ -16,8 +16,12 @@ Usage::
     mvec serve --stdio           # JSON-lines compile service (pipes)
     mvec lint input.m            # static diagnostics (use-before-def,
                                  #   dead stores, shape conflicts)
+    mvec lint --fix input.m      # apply safe autofixes in place
     mvec audit input.m           # compile, then independently re-derive
                                  #   and check vectorization legality
+    mvec shapes input.m          # dump the shape engine's inferred
+                                 #   environments per scope
+    mvec input.m --no-annotations  # vectorize from inference alone
 """
 
 from __future__ import annotations
@@ -73,6 +77,11 @@ def _add_ablation_flags(parser: argparse.ArgumentParser) -> None:
                         action="store_false",
                         help="disable forward substitution of per-"
                              "iteration scalar temporaries")
+    parser.add_argument("--no-annotations", dest="use_annotations",
+                        action="store_false",
+                        help="ignore %%! annotations for analysis and "
+                             "rely on shape inference alone (annotations "
+                             "still pass through to the output verbatim)")
     for flag, attr in [("--no-patterns", "patterns"),
                        ("--no-transposes", "transposes"),
                        ("--no-reductions", "reductions"),
@@ -97,6 +106,7 @@ def _compile_options(args, backend: str):
         promotion=args.promotion,
         product_regroup=args.product_regroup,
         verify=getattr(args, "verify", False),
+        use_annotations=args.use_annotations,
     )
 
 
@@ -176,6 +186,13 @@ def build_lint_parser() -> argparse.ArgumentParser:
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-file summaries; only the exit "
                              "status reports the outcome")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply safe autofixes in place (delete W201 "
+                             "dead stores, strip %%! annotation entries "
+                             "for names that no longer occur); stdin "
+                             "input prints the fixed source to stdout.  "
+                             "Remaining diagnostics are reported on the "
+                             "fixed source")
     return parser
 
 
@@ -198,6 +215,24 @@ def build_audit_parser() -> argparse.ArgumentParser:
                         help="also run the IR verifier between pipeline "
                              "stages while compiling")
     _add_ablation_flags(parser)
+    return parser
+
+
+def build_shapes_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mvec shapes",
+        description="Dump the flow-sensitive shape-inference engine's "
+                    "verdict: for each scope, every variable's abstract "
+                    "dimensionality at scope exit, marked 'annotated' "
+                    "(frozen by a %! annotation) or 'inferred'.")
+    parser.add_argument("files", nargs="+",
+                        help="MATLAB source file(s) (use '-' for stdin)")
+    parser.add_argument("--json", action="store_true",
+                        help="print structured shape environments as JSON")
+    parser.add_argument("--no-annotations", dest="use_annotations",
+                        action="store_false",
+                        help="ignore %%! annotations and report what "
+                             "inference alone can prove")
     return parser
 
 
@@ -363,6 +398,20 @@ def _lint_main(argv: list[str]) -> int:
     status = 0
     json_out = []
     for name, source in pairs:
+        if args.fix:
+            from pathlib import Path
+
+            from .staticcheck import fix_source
+
+            fixed = fix_source(source)
+            source = fixed.source
+            if name == "<stdin>":
+                sys.stdout.write(fixed.source)
+            elif fixed.changed:
+                Path(name).write_text(fixed.source)
+            if not args.quiet:
+                print(f"mvec lint --fix: {name}: {fixed.summary()}",
+                      file=sys.stderr)
         diagnostics = lint_source(source)
         counts = counts_by_severity(diagnostics)
         if counts.get(Severity.ERROR.value, 0):
@@ -380,6 +429,53 @@ def _lint_main(argv: list[str]) -> int:
                                 for severity, count in sorted(counts.items())
                                 ) or "clean"
             print(f"mvec lint: {name}: {summary}", file=sys.stderr)
+    if args.json:
+        import json
+
+        print(json.dumps(json_out, indent=2))
+    return status
+
+
+def _shapes_main(argv: list[str]) -> int:
+    from .mlang.annotations import parse_annotations
+    from .shapes import analyze_program
+
+    args = build_shapes_parser().parse_args(argv)
+    pairs = _read_inputs(args.files)
+    if pairs is None:
+        return 2
+    status = 0
+    json_out = []
+    for name, source in pairs:
+        try:
+            program = parse(source)
+            shapes = analyze_program(
+                program, use_annotations=args.use_annotations)
+        except ReproError as error:
+            print(f"mvec shapes: {name}: {error}", file=sys.stderr)
+            status = 1
+            continue
+        annotated = parse_annotations(program.annotations) \
+            if args.use_annotations else None
+        scopes_payload = {}
+        for scope_name, env in shapes.scope_envs.items():
+            entries = {}
+            for var in sorted(env.shapes):
+                origin = ("annotated" if annotated is not None
+                          and var in annotated else "inferred")
+                entries[var] = {"dims": str(env.shapes[var]),
+                                "origin": origin}
+            scopes_payload[scope_name] = entries
+        if args.json:
+            json_out.append({"file": name, "scopes": scopes_payload})
+            continue
+        print(f"% ===== {name} =====")
+        for scope_name, entries in scopes_payload.items():
+            print(f"{scope_name}:")
+            if not entries:
+                print("  (no provable shapes)")
+            for var, info in entries.items():
+                print(f"  {var}: {info['dims']}  [{info['origin']}]")
     if args.json:
         import json
 
@@ -410,6 +506,7 @@ def _audit_main(argv: list[str]) -> int:
             compiled = Vectorizer(options=options, simplify=args.simplify,
                                   scalar_temps=args.scalar_temps,
                                   verify=args.verify,
+                                  use_annotations=args.use_annotations,
                                   ).vectorize_source(source)
         except ReproError as error:
             print(f"mvec audit: {name}: compile error: {error}",
@@ -451,6 +548,8 @@ def main(argv: list[str] | None = None) -> int:
         return _lint_main(argv[1:])
     if argv and argv[0] == "audit":
         return _audit_main(argv[1:])
+    if argv and argv[0] == "shapes":
+        return _shapes_main(argv[1:])
     args = build_parser().parse_args(argv)
     if len(args.input) > 1:
         return _multi_main(args)
@@ -475,6 +574,7 @@ def main(argv: list[str] | None = None) -> int:
         result = Vectorizer(options=options, simplify=args.simplify,
                             scalar_temps=args.scalar_temps,
                             verify=args.verify,
+                            use_annotations=args.use_annotations,
                             ).vectorize_source(source)
     except ReproError as error:
         print(f"mvec: {error}", file=sys.stderr)

@@ -45,6 +45,19 @@ SHAPE_BUILTINS = frozenset(
 #: Functions whose value changes between calls or that have side
 #: effects: hoisting them out of a loop (which vectorization does)
 #: changes program behaviour, so they veto vectorization.
+#:
+#: Some names sit in *both* tables — ``rand``/``randn`` have
+#: signature-determined shapes, ``disp``/``fprintf``/``error`` are
+#: recognized statements — because the two classifications answer
+#: different questions: SHAPE_BUILTINS is "can the lattice type this
+#: call?" while IMPURE_FUNCTIONS is "may the vectorizer reorder or
+#: hoist it?".  **Impurity always wins.**  Every consumer that decides
+#: legality (the checker's call rule, scalar-temp substitution, the
+#: dead-store purity test) consults IMPURE_FUNCTIONS first and vetoes
+#: the transformation regardless of any SHAPE_BUILTINS entry; the
+#: shape tables are only ever used to *type* expressions, never to
+#: license moving them.  ``tests/dims/test_purity_precedence.py``
+#: pins this contract.
 IMPURE_FUNCTIONS = frozenset(
     "rand randn randi disp fprintf error input tic toc".split())
 

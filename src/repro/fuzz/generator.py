@@ -2,10 +2,12 @@
 
 Programs are *well-formed by construction*: the builder tracks a
 concrete shape for every variable it declares, emits a self-contained
-literal prelude (so the oracle needs no external workspace), and writes
-a ``%!`` annotation line declaring each variable's abstract
-dimensionality — exactly the shape information the paper's vectorizer
-consumes (§4).
+literal prelude (so the oracle needs no external workspace), and —
+usually — writes a ``%!`` annotation line declaring each variable's
+abstract dimensionality, exactly the shape information the paper's
+vectorizer consumes (§4).  A configurable fraction of programs is
+generated *annotation-free* instead, forcing every shape through the
+flow-sensitive inference engine.
 
 Each program is assembled from 1–3 *templates* drawn from the grammar
 the vectorizer targets:
@@ -82,6 +84,9 @@ class GeneratedProgram:
     source: str
     outputs: tuple[str, ...]
     program: Program
+    #: ``False`` for the annotation-free variants: no ``%!`` line is
+    #: emitted and every shape must come from flow-sensitive inference.
+    annotated: bool = True
 
 
 #: Pool of exactly-representable literal magnitudes (multiples of 1/32).
@@ -95,8 +100,9 @@ _UNARY_FUNCS = ["sin", "cos", "abs", "exp", "floor", "ceil", "sign"]
 class _Builder:
     """Accumulates the prelude, loop statements, and symbol table."""
 
-    def __init__(self, rng: random.Random):
+    def __init__(self, rng: random.Random, annotate: bool = True):
         self.rng = rng
+        self.annotate = annotate
         self.prelude: list[Stmt] = []
         self.body: list[Stmt] = []
         self.shapes: dict[str, Shape] = {}
@@ -173,7 +179,13 @@ class _Builder:
             return BinOp(".^", self.element_expr(leaves, depth - 1),
                          num(rng.choice([2, 3])))
         if roll < 0.90:
-            return UnOp("-", self.element_expr(leaves, depth - 1))
+            inner = self.element_expr(leaves, depth - 1)
+            if isinstance(inner, Num):
+                # The parser folds unary minus into the literal, so a
+                # synthesized UnOp over a negative Num would not
+                # round-trip (it prints as ``--c``).  Fold it here too.
+                return Num(-inner.value)
+            return UnOp("-", inner)
         return call(rng.choice(_UNARY_FUNCS),
                     self.element_expr(leaves, depth - 1))
 
@@ -184,17 +196,20 @@ class _Builder:
     # -- assembly ----------------------------------------------------------
 
     def finish(self, index: int, seed: int) -> GeneratedProgram:
-        annotated = " ".join(
-            f"{name}{shape.annotation}"
-            for name, shape in sorted(self.shapes.items()))
-        stmts: list[Stmt] = [Annotation(annotated)]
+        stmts: list[Stmt] = []
+        if self.annotate:
+            annotated = " ".join(
+                f"{name}{shape.annotation}"
+                for name, shape in sorted(self.shapes.items()))
+            stmts.append(Annotation(annotated))
         stmts.extend(self.prelude)
         stmts.extend(self.body)
         program = Program(stmts)
         return GeneratedProgram(index=index, seed=seed,
                                 source=to_source(program),
                                 outputs=tuple(sorted(self.outputs)),
-                                program=program)
+                                program=program,
+                                annotated=self.annotate)
 
 
 def _elem(name: str, *subs: Expr) -> Apply:
@@ -557,15 +572,28 @@ TEMPLATES: list = [
 
 class ProgramGenerator:
     """Deterministic program factory: ``generate(i)`` depends only on
-    ``(seed, i)``, so any program from a campaign can be regenerated."""
+    ``(seed, i)``, so any program from a campaign can be regenerated.
 
-    def __init__(self, seed: int = 0, max_templates: int = 3):
+    A ``annotation_free_ratio`` fraction of programs is emitted with no
+    ``%!`` line at all: the prelude's literal matrices and
+    ``zeros(r, c)`` calls carry exactly the information the
+    flow-sensitive inference engine needs, so these programs exercise
+    the inference-only path end to end while keeping the campaign's
+    lint-clean and audit-clean invariants.
+    """
+
+    def __init__(self, seed: int = 0, max_templates: int = 3,
+                 annotation_free_ratio: float = 0.25):
         self.seed = seed
         self.max_templates = max_templates
+        self.annotation_free_ratio = annotation_free_ratio
 
     def generate(self, index: int) -> GeneratedProgram:
         rng = random.Random(self.seed * 1_000_003 + index)
-        builder = _Builder(rng)
+        # Drawn first so the template stream after it stays aligned
+        # between the annotated and annotation-free variants.
+        annotate = rng.random() >= self.annotation_free_ratio
+        builder = _Builder(rng, annotate=annotate)
         for _ in range(rng.randint(1, self.max_templates)):
             rng.choice(TEMPLATES)(builder)
         return builder.finish(index, self.seed)

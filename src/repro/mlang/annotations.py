@@ -46,3 +46,47 @@ def parse_annotations(texts: list[str]) -> ShapeEnv:
     for text in texts:
         parse_annotation(text, env)
     return env
+
+
+def collect_annotations(stmts) -> list:
+    """Every :class:`~repro.mlang.ast_nodes.Annotation` node in a
+    statement list, in source order (nested statements included)."""
+    from .ast_nodes import Annotation
+
+    out = []
+    for stmt in stmts:
+        for node in stmt.walk():
+            if isinstance(node, Annotation):
+                out.append(node)
+    return out
+
+
+def annotations_env(stmts) -> ShapeEnv:
+    """The shape environment declared by the ``%!`` annotations of a
+    statement list.  Malformed annotations are skipped — the linter
+    reports them separately as E003."""
+    env = ShapeEnv()
+    for node in collect_annotations(stmts):
+        try:
+            parse_annotation(node.text, env)
+        except AnnotationError:
+            continue
+    return env
+
+
+def strip_annotation_names(text: str, names: set[str]) -> str | None:
+    """Remove the entries for ``names`` from one annotation string.
+
+    Returns the rewritten annotation text, or ``None`` when no entry
+    survives (the whole annotation line should be dropped).  Text the
+    entry grammar does not recognize is preserved untouched.
+    """
+    stripped = text.strip()
+    kept = [match.group(0) for match in _ENTRY.finditer(stripped)
+            if match.group(1) not in names]
+    leftovers = _ENTRY.sub("", stripped).strip()
+    if leftovers:
+        kept.append(leftovers)
+    if not kept:
+        return None
+    return " ".join(kept)

@@ -213,6 +213,7 @@ class CompilationService:
                               simplify=options.simplify,
                               scalar_temps=options.scalar_temps,
                               verify=options.verify,
+                              use_annotations=options.use_annotations,
                               ).vectorize_source(source)
             vectorized = vect.source
             timings = dict(vect.timings)

@@ -26,7 +26,7 @@ from ..vectorizer.checker import CheckOptions
 #: Packages (relative to ``repro``) whose sources determine compiler
 #: output.  ``runtime`` and ``fuzz`` are deliberately absent: they
 #: verify artifacts but never shape them.
-PIPELINE_PACKAGES = ("mlang", "dims", "analysis", "depgraph",
+PIPELINE_PACKAGES = ("mlang", "dims", "shapes", "depgraph",
                      "patterns", "vectorizer", "translate", "staticcheck")
 
 #: Bumped on artifact *schema* changes (what a cache entry contains),
@@ -45,8 +45,14 @@ def pipeline_fingerprint(refresh: bool = False) -> str:
     global _fingerprint_cache
     if _fingerprint_cache is not None and not refresh:
         return _fingerprint_cache
+    from ..shapes import ENGINE_VERSION
+
     digest = hashlib.sha256()
     digest.update(f"schema:{SCHEMA_VERSION}".encode())
+    # The shape engine versions its lattice semantics explicitly — a
+    # meaning change without a byte change (e.g. a data-driven summary
+    # format) must still invalidate every cached artifact.
+    digest.update(f"shape-engine:{ENGINE_VERSION}".encode())
     root = Path(__file__).resolve().parent.parent
     for package in PIPELINE_PACKAGES:
         for path in sorted((root / package).rglob("*.py")):
@@ -82,6 +88,10 @@ class CompileOptions:
     product_regroup: bool = True
     max_chain: int = 8
     verify: bool = False
+    #: ``False`` ignores ``%!`` annotations for analysis (they still
+    #: pass through to the output verbatim) so every shape must come
+    #: from the flow-sensitive inference engine.
+    use_annotations: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:

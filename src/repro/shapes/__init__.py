@@ -1,0 +1,66 @@
+"""The flow-sensitive shape-inference engine — single source of shape
+truth for the whole pipeline.
+
+The paper assumes array shapes arrive via ``%!`` annotations produced
+by external tools (§2, refs [5, 18]).  This package is our substitute
+for those tools *and* the one place shape facts are computed:
+
+* the **vectorizer driver** consumes per-statement shape environments
+  (:func:`analyze_program` / :meth:`ProgramShapes.env_at`) — annotations
+  stay frozen/authoritative, inference fills the gaps so annotation-free
+  programs vectorize;
+* the **linter** re-expresses its E301–E303 shape diagnostics on the
+  same propagation (:func:`check_shapes`);
+* the **auditor** re-derives dims over emitted code with the same
+  expression evaluator (:func:`expr_dim`);
+* the **service** keys cached artifacts on :data:`ENGINE_VERSION` (via
+  the pipeline fingerprint) so a lattice change invalidates stale
+  results.
+
+Propagation runs on the :mod:`repro.staticcheck` CFG + worklist solver
+over the dims lattice, with per-``function`` interprocedural summaries
+(:class:`~repro.shapes.summaries.FunctionSummaries`) memoized per call
+signature.
+"""
+
+from .engine import (
+    CONFLICT,
+    ELEMENTWISE_OPS,
+    ENGINE_VERSION,
+    ProgramShapes,
+    ShapeFact,
+    ShapeFacts,
+    ShapePropagation,
+    analyze_program,
+    check_shapes,
+    entry_defined,
+    expr_dim,
+    facts_env,
+    fact_dim,
+    infer_shapes,
+    scope_annotations,
+    scope_known_functions,
+    shape_step,
+)
+from .summaries import FunctionSummaries
+
+__all__ = [
+    "CONFLICT",
+    "ELEMENTWISE_OPS",
+    "ENGINE_VERSION",
+    "FunctionSummaries",
+    "ProgramShapes",
+    "ShapeFact",
+    "ShapeFacts",
+    "ShapePropagation",
+    "analyze_program",
+    "check_shapes",
+    "entry_defined",
+    "expr_dim",
+    "facts_env",
+    "fact_dim",
+    "infer_shapes",
+    "scope_annotations",
+    "scope_known_functions",
+    "shape_step",
+]

@@ -1,0 +1,507 @@
+"""Flow-sensitive shape propagation on the dims lattice.
+
+One abstract domain serves every consumer: a *shape fact* per variable
+is either a :class:`~repro.dims.abstract.Dim` (the shape is that
+constant at this program point) or :data:`CONFLICT` (defined, shape not
+constant — the lattice bottom for that name).  Absence from the fact
+map means the name is not defined on any path reaching the point.
+
+The meet is optimistic for one-sided names (a name defined on only one
+incoming path keeps its shape — MATLAB workspaces persist, and the
+auto-creation rules below rely on it) and drops to :data:`CONFLICT`
+when two paths disagree.  That is exactly the join-point conservatism
+the vectorizer needs: a variable whose shape differs across an
+``if``/``else`` merge (or fails to stabilize around a ``while`` back
+edge) is projected out of the :class:`~repro.dims.context.ShapeEnv`,
+the dim checker cannot prove the statement's shapes, and the loop
+stays sequential; the linter reports the same conflict as E301–E303.
+
+Annotated names are *frozen*: ``%!`` annotations are authoritative and
+inference never overrides them (assignments that provably disagree are
+reported as E302).
+
+MATLAB auto-creation is honoured on subscripted first writes:
+``a(i) = …`` creates a row ``(1,*)``, ``A(i,j) = …`` an all-``*``
+array of the subscript arity.
+
+Calls to program-defined ``function``\\ s resolve through
+:class:`~repro.shapes.summaries.FunctionSummaries` — params → result
+dims, memoized per call signature — so shapes flow interprocedurally
+without per-call-site annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from ..dims.abstract import STAR, Dim
+from ..dims.context import KNOWN_FUNCTIONS, ShapeEnv
+from ..mlang.annotations import annotations_env, parse_annotations
+from ..mlang.ast_nodes import (
+    Apply,
+    Assign,
+    BinOp,
+    Colon,
+    End,
+    Expr,
+    For,
+    FunctionDef,
+    Global,
+    Ident,
+    MultiAssign,
+    Program,
+    Range,
+)
+from ..staticcheck.cfg import Block, Scope, Unit, assigned_names, program_scopes
+from ..staticcheck.dataflow import Analysis, Solution, solve
+from ..staticcheck.diagnostics import Diagnostic
+from .summaries import FunctionSummaries
+
+#: Bumped whenever the lattice, transfer functions, or summary format
+#: changes meaning.  The service folds this into the pipeline
+#: fingerprint so cached artifacts from an older engine are never
+#: served (see :mod:`repro.service.fingerprint`).
+ENGINE_VERSION = 2
+
+
+class _Conflict:
+    """Lattice bottom for one variable: defined, shape not constant."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<conflict>"
+
+
+CONFLICT = _Conflict()
+
+ShapeFact = Union[Dim, _Conflict]
+ShapeFacts = dict[str, ShapeFact]
+
+#: Pointwise binary operators (Table 1 row: elementwise ops need
+#: compatible dimensionalities; scalars extend).
+ELEMENTWISE_OPS = frozenset({
+    "+", "-", ".*", "./", ".\\", ".^",
+    "==", "~=", "<", ">", "<=", ">=", "&", "|",
+})
+
+
+# ---------------------------------------------------------------------------
+# Scope-level helpers (annotation collection, known functions)
+# ---------------------------------------------------------------------------
+
+
+def scope_known_functions(scope: Scope,
+                          functions: frozenset[str] = frozenset()
+                          ) -> frozenset[str]:
+    """Names acting as functions in this scope — the builtins plus any
+    program-defined ``function`` names, minus names the scope assigns
+    (shadowing)."""
+    shadowed = assigned_names(scope.body) | set(scope.params)
+    return frozenset((KNOWN_FUNCTIONS | functions) - shadowed)
+
+
+def scope_annotations(scope: Scope) -> ShapeEnv:
+    """The shape environment declared by ``%!`` annotations in the
+    scope (malformed annotations are skipped here; the linter reports
+    them as E003 separately)."""
+    return annotations_env(scope.body)
+
+
+def entry_defined(scope: Scope, annotated: ShapeEnv) -> frozenset[str]:
+    """Names defined before the scope's first statement runs: function
+    parameters, ``global`` names, and annotated inputs."""
+    names = set(scope.params) | set(annotated.shapes)
+    for stmt in scope.body:
+        for node in stmt.walk():
+            if isinstance(node, Global):
+                names.update(node.names)
+    return frozenset(names)
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation on the dims lattice
+# ---------------------------------------------------------------------------
+
+
+def expr_dim(expr: Expr, env: ShapeEnv,
+             loop_vars: frozenset[str] = frozenset()) -> Optional[Dim]:
+    """The abstract dims of a straight-line expression under ``env``
+    (``loop_vars`` are enclosing sequential indices, i.e. scalars), or
+    ``None`` when the shape cannot be proved."""
+    from ..patterns.database import PatternDatabase
+    from ..vectorizer.checker import CheckFailure, CheckOptions, DimChecker
+
+    checker = DimChecker(
+        env, headers=[], sequential_vars=tuple(loop_vars),
+        db=PatternDatabase(), options=CheckOptions(patterns=False),
+    )
+    try:
+        return checker.check_expr(expr).dim
+    except CheckFailure:
+        return None
+
+
+def facts_env(facts: ShapeFacts) -> ShapeEnv:
+    """Project a fact map onto a :class:`ShapeEnv`: names in conflict
+    are dropped (unknown to the dim checker — the conservatism that
+    keeps merge-tainted statements sequential)."""
+    return ShapeEnv({name: dim for name, dim in facts.items()
+                     if isinstance(dim, Dim)})
+
+
+def fact_dim(expr: Expr, facts: ShapeFacts,
+             loop_vars: frozenset[str]) -> Optional[Dim]:
+    """Abstract dims of ``expr`` under the current facts, or None."""
+    return expr_dim(expr, facts_env(facts), loop_vars)
+
+
+def _summary_call_dims(expr: Expr, facts: ShapeFacts,
+                       loop_vars: frozenset[str],
+                       summaries: Optional[FunctionSummaries]
+                       ) -> Optional[tuple[Optional[Dim], ...]]:
+    """Result dims when ``expr`` is a direct call to a program-defined
+    function with provable argument shapes, else None."""
+    if summaries is None or not isinstance(expr, Apply) \
+            or not isinstance(expr.func, Ident) \
+            or not summaries.defines(expr.func.name):
+        return None
+    arg_dims = []
+    for arg in expr.args:
+        dim = fact_dim(arg, facts, loop_vars)
+        if dim is None:
+            return None
+        arg_dims.append(dim)
+    return summaries.result_dims(expr.func.name, tuple(arg_dims))
+
+
+# ---------------------------------------------------------------------------
+# The transfer function
+# ---------------------------------------------------------------------------
+
+
+def shape_step(unit: Unit, facts: ShapeFacts, annotated: ShapeEnv,
+               summaries: Optional[FunctionSummaries] = None,
+               emit: Optional[Callable[[Diagnostic], None]] = None) -> None:
+    """Advance ``facts`` over one unit, optionally emitting diagnostics.
+
+    Mutates ``facts`` in place (transfer functions copy beforehand).
+    """
+    node = unit.node
+    if unit.kind == "for" and isinstance(node, For):
+        facts[node.var] = Dim.scalar()
+        return
+    if unit.kind == "global" and isinstance(node, Global):
+        for name in node.names:
+            facts.setdefault(name, CONFLICT)
+        return
+    if unit.kind == "multiassign" and isinstance(node, MultiAssign):
+        _multiassign_step(node, facts, annotated, unit.loop_vars, summaries)
+        return
+    if unit.kind != "assign" or not isinstance(node, Assign):
+        return
+
+    if emit is not None:
+        _emit_operand_conflicts(node, facts, unit, emit)
+
+    rhs_dim: Optional[Dim] = None
+    summary = _summary_call_dims(node.rhs, facts, unit.loop_vars, summaries)
+    if summary is not None and len(summary) == 1:
+        rhs_dim = summary[0]
+    if rhs_dim is None:
+        rhs_dim = fact_dim(node.rhs, facts, unit.loop_vars)
+    lhs = node.lhs
+    if isinstance(lhs, Ident):
+        name = lhs.name
+        if name in annotated:
+            # Orientation-only mismatches (row vs column) are forgiven:
+            # the pipeline transposes freely and linear indexing works
+            # for either, so only rank/extent conflicts are real bugs.
+            if (emit is not None and rhs_dim is not None
+                    and rhs_dim.reduce() != annotated.shapes[name].reduce()
+                    and rhs_dim.reverse().reduce()
+                    != annotated.shapes[name].reduce()):
+                emit(Diagnostic(
+                    "E302",
+                    f"assignment of shape {rhs_dim} to '{name}' conflicts "
+                    f"with its annotation {annotated.shapes[name]}",
+                    unit.pos.line, unit.pos.column,
+                    f"update the %! annotation for '{name}' or fix the "
+                    f"right-hand side"))
+            facts[name] = annotated.shapes[name]
+        elif name in unit.loop_vars:
+            facts[name] = Dim.scalar()
+        else:
+            facts[name] = rhs_dim if rhs_dim is not None else CONFLICT
+        return
+    if isinstance(lhs, Apply) and isinstance(lhs.func, Ident):
+        name = lhs.func.name
+        if emit is not None and rhs_dim is not None \
+                and not rhs_dim.is_scalar \
+                and _all_scalar_subscripts(lhs, facts, unit.loop_vars):
+            emit(Diagnostic(
+                "E303",
+                f"assignment of a non-scalar value (shape {rhs_dim}) to "
+                f"the single element '{name}"
+                f"({', '.join('…' for _ in lhs.args)})'",
+                unit.pos.line, unit.pos.column,
+                "index a matching slice on the left or reduce the "
+                "right-hand side to a scalar"))
+        if name not in facts and name not in annotated:
+            # MATLAB auto-creation on a subscripted first write.
+            if len(lhs.args) == 1:
+                facts[name] = Dim.row()
+            else:
+                facts[name] = Dim(tuple(STAR for _ in lhs.args))
+
+
+def _multiassign_step(node: MultiAssign, facts: ShapeFacts,
+                      annotated: ShapeEnv, loop_vars: frozenset[str],
+                      summaries: Optional[FunctionSummaries]) -> None:
+    rhs = node.rhs
+    name = rhs.func.name if (isinstance(rhs, Apply)
+                             and isinstance(rhs.func, Ident)) else None
+    targets = [t.name for t in node.targets if isinstance(t, Ident)]
+
+    def assign(target: str, dim: Optional[Dim]) -> None:
+        # Annotations stay authoritative for multi-assign targets too.
+        if target in annotated:
+            facts[target] = annotated.shapes[target]
+        else:
+            facts[target] = dim if dim is not None else CONFLICT
+
+    summary = _summary_call_dims(rhs, facts, loop_vars, summaries)
+    if summary is not None:
+        for index, target in enumerate(targets):
+            assign(target, summary[index] if index < len(summary) else None)
+        return
+    if name == "size" or (name in ("max", "min")
+                          and isinstance(rhs, Apply) and len(rhs.args) == 1):
+        for target in targets:
+            assign(target, Dim.scalar())
+    elif name == "sort" and isinstance(rhs, Apply) and len(rhs.args) == 1:
+        dim = fact_dim(rhs.args[0], facts, loop_vars)
+        for target in targets:
+            assign(target, dim)
+    else:
+        for target in targets:
+            assign(target, None)
+
+
+def _all_scalar_subscripts(lhs: Apply, facts: ShapeFacts,
+                           loop_vars: frozenset[str]) -> bool:
+    for arg in lhs.args:
+        if isinstance(arg, (Colon, End, Range)):
+            return False
+        dim = fact_dim(arg, facts, loop_vars)
+        if dim is None or not dim.is_scalar:
+            return False
+    return True
+
+
+def _emit_operand_conflicts(stmt: Assign, facts: ShapeFacts, unit: Unit,
+                            emit: Callable[[Diagnostic], None]) -> None:
+    """E301: elementwise operands with provably different shapes."""
+    for node in stmt.rhs.walk():
+        if not (isinstance(node, BinOp) and node.op in ELEMENTWISE_OPS):
+            continue
+        left = fact_dim(node.left, facts, unit.loop_vars)
+        right = fact_dim(node.right, facts, unit.loop_vars)
+        if left is None or right is None:
+            continue
+        if left.is_scalar or right.is_scalar:
+            continue
+        if left.reduce() != right.reduce():
+            pos = node.pos if node.pos.line else unit.pos
+            emit(Diagnostic(
+                "E301",
+                f"operands of '{node.op}' have incompatible shapes "
+                f"{left} and {right}",
+                pos.line, pos.column,
+                "transpose one operand or index a matching slice"))
+
+
+# ---------------------------------------------------------------------------
+# The dataflow analysis
+# ---------------------------------------------------------------------------
+
+
+class ShapePropagation(Analysis[ShapeFacts]):
+    """Forward constant propagation of abstract dimensionalities.
+
+    ``annotated`` names are frozen; ``boundary_env`` (defaulting to the
+    annotations) seeds the entry facts — function summaries bind params
+    there without freezing them.
+    """
+
+    direction = "forward"
+
+    def __init__(self, scope: Scope, annotated: ShapeEnv,
+                 known: frozenset[str],
+                 summaries: Optional[FunctionSummaries] = None,
+                 boundary_env: Optional[ShapeEnv] = None):
+        self.scope = scope
+        self.annotated = annotated
+        self.known = known
+        self.summaries = summaries
+        self.boundary_env = boundary_env if boundary_env is not None \
+            else annotated
+
+    def boundary(self) -> ShapeFacts:
+        return dict(self.boundary_env.shapes)
+
+    def meet(self, left: ShapeFacts, right: ShapeFacts) -> ShapeFacts:
+        merged: ShapeFacts = {}
+        for name in set(left) | set(right):
+            if name in left and name in right:
+                merged[name] = (left[name] if left[name] == right[name]
+                                else CONFLICT)
+            else:
+                merged[name] = left.get(name, right.get(name, CONFLICT))
+        return merged
+
+    def transfer(self, block: Block, value: ShapeFacts) -> ShapeFacts:
+        facts = dict(value)
+        for unit in block.units:
+            shape_step(unit, facts, self.annotated, self.summaries)
+        return facts
+
+
+# ---------------------------------------------------------------------------
+# Linter entry point
+# ---------------------------------------------------------------------------
+
+
+def check_shapes(scope: Scope,
+                 summaries: Optional[FunctionSummaries] = None,
+                 functions: frozenset[str] = frozenset()
+                 ) -> list[Diagnostic]:
+    """E301/E302/E303 over one scope via shape propagation."""
+    known = scope_known_functions(scope, functions)
+    annotated = scope_annotations(scope)
+    cfg = scope.cfg
+    solution = solve(cfg, ShapePropagation(scope, annotated, known,
+                                           summaries))
+
+    out: list[Diagnostic] = []
+    seen: set[tuple[str, str, int, int]] = set()
+
+    def emit(diag: Diagnostic) -> None:
+        key = (diag.code, diag.message, diag.line, diag.column)
+        if key not in seen:
+            seen.add(key)
+            out.append(diag)
+
+    for block in cfg.blocks:
+        facts_value = solution.before[block.id]
+        if facts_value is None:
+            continue
+        facts = dict(facts_value)
+        for unit in block.units:
+            shape_step(unit, facts, annotated, summaries, emit)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Per-statement environments for the vectorizer
+# ---------------------------------------------------------------------------
+
+
+class ProgramShapes:
+    """Fixpoint shape environments for every statement of a program.
+
+    :meth:`env_at` answers "what shapes are provable just before this
+    statement executes?" — for a ``for`` loop that is the header's
+    entry facts *at the fixpoint*, so arrays auto-created inside the
+    body are visible (via the back edge) while merge conflicts are
+    projected out.  Nodes rebuilt by pre-codegen rewrites (scalar-temp
+    substitution preserves source positions) resolve through the
+    position index; anything unresolvable falls back to the script
+    scope's exit environment, which is also the whole-program summary
+    :func:`infer_shapes` returns.
+    """
+
+    def __init__(self, program: Program, annotations: ShapeEnv,
+                 summaries: FunctionSummaries):
+        self.program = program
+        self.annotations = annotations
+        self.summaries = summaries
+        self.scope_envs: dict[str, ShapeEnv] = {}
+        self._by_id: dict[int, ShapeEnv] = {}
+        self._by_pos: dict[tuple[int, int], ShapeEnv] = {}
+        self.script_env = ShapeEnv()
+
+    def env_at(self, node) -> ShapeEnv:
+        """The provable shape environment just before ``node`` runs."""
+        env = self._by_id.get(id(node))
+        if env is None:
+            pos = getattr(node, "pos", None)
+            if pos is not None and pos.line:
+                env = self._by_pos.get((pos.line, pos.column))
+        return env if env is not None else self.script_env
+
+    # -- construction ----------------------------------------------------
+
+    def _record_scope(self, scope: Scope, annotated: ShapeEnv,
+                      known: frozenset[str],
+                      boundary_env: Optional[ShapeEnv] = None) -> ShapeEnv:
+        analysis = ShapePropagation(scope, annotated, known,
+                                    self.summaries, boundary_env)
+        solution: Solution[ShapeFacts] = solve(scope.cfg, analysis)
+        for block in scope.cfg.blocks:
+            value = solution.before[block.id]
+            if value is None:
+                continue
+            facts = dict(value)
+            for unit in block.units:
+                env = facts_env(facts)
+                self._by_id[id(unit.node)] = env
+                if unit.pos.line:
+                    self._by_pos.setdefault((unit.pos.line, unit.pos.column),
+                                            env)
+                shape_step(unit, facts, annotated, self.summaries)
+        exit_value = solution.before[scope.cfg.exit]
+        exit_env = facts_env(exit_value) if exit_value is not None \
+            else ShapeEnv()
+        self.scope_envs[scope.name] = exit_env
+        return exit_env
+
+
+def analyze_program(program: Program,
+                    annotations: Optional[ShapeEnv] = None,
+                    use_annotations: bool = True) -> ProgramShapes:
+    """Run the engine over a whole program.
+
+    ``annotations`` overrides annotation collection (the driver merges
+    externally supplied shapes there); with ``use_annotations=False``
+    and no explicit environment, ``%!`` annotations are ignored and
+    every shape must be inferred.
+    """
+    if annotations is None:
+        annotations = parse_annotations(program.annotations) \
+            if use_annotations else ShapeEnv()
+    scopes = program_scopes(program)
+    functions = frozenset(s.name for s in program.body
+                          if isinstance(s, FunctionDef))
+    summaries = FunctionSummaries(scopes, functions,
+                                  use_annotations=use_annotations)
+    shapes = ProgramShapes(program, annotations, summaries)
+    for scope in scopes:
+        known = scope_known_functions(scope, functions)
+        if scope.kind == "script":
+            # The vectorizer historically merges every %! annotation in
+            # the program into the script environment; preserve that.
+            shapes.script_env = shapes._record_scope(scope, annotations,
+                                                     known)
+        else:
+            annotated = scope_annotations(scope) if use_annotations \
+                else ShapeEnv()
+            shapes._record_scope(scope, annotated, known)
+    return shapes
+
+
+def infer_shapes(program: Program,
+                 annotations_env: Optional[ShapeEnv] = None) -> ShapeEnv:
+    """Whole-program shape summary: the script scope's exit environment
+    under the engine's fixpoint, seeded with (frozen) annotations."""
+    annotations = annotations_env.copy() if annotations_env is not None \
+        else parse_annotations(program.annotations)
+    return analyze_program(program, annotations).script_env

@@ -1,0 +1,89 @@
+"""Interprocedural shape summaries: params → result dims per function.
+
+A summary answers "given arguments of these abstract shapes, what
+shapes do this ``function``'s outputs have?" by solving the function
+body's CFG with the parameters bound at the boundary.  Results are
+memoized per ``(function, argument dims)`` signature — the dims
+lattice is tiny, so the memo stays small even across a whole corpus —
+and a recursion guard returns "unknown" for self-referential
+signatures instead of diverging.
+
+Parameters are *bound*, not frozen: a function may legitimately
+reassign a parameter to a different shape, and the propagation tracks
+that.  ``%!`` annotations inside the function body remain frozen as
+everywhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..dims.abstract import Dim
+from ..dims.context import ShapeEnv
+from ..staticcheck.cfg import Scope
+
+#: One summary: a Dim per declared output, None where unprovable.
+ResultDims = tuple[Optional[Dim], ...]
+
+
+class FunctionSummaries:
+    """Memoized params → result dims summaries for a program's functions."""
+
+    def __init__(self, scopes: Sequence[Scope],
+                 functions: Optional[frozenset[str]] = None,
+                 use_annotations: bool = True):
+        self._scopes = {scope.name: scope for scope in scopes
+                        if scope.kind == "function"}
+        self.functions = functions if functions is not None \
+            else frozenset(self._scopes)
+        self.use_annotations = use_annotations
+        self._memo: dict[tuple[str, tuple[Dim, ...]], ResultDims] = {}
+        self._active: set[tuple[str, tuple[Dim, ...]]] = set()
+
+    def defines(self, name: str) -> bool:
+        """True when ``name`` is a program-defined function."""
+        return name in self._scopes
+
+    def result_dims(self, name: str,
+                    arg_dims: tuple[Dim, ...]) -> Optional[ResultDims]:
+        """Output dims of calling ``name`` with ``arg_dims``-shaped
+        arguments, or None when the call cannot be summarized (unknown
+        function, arity mismatch, recursion)."""
+        from .engine import (
+            ShapePropagation,
+            facts_env,
+            scope_annotations,
+            scope_known_functions,
+        )
+        from ..staticcheck.dataflow import solve
+
+        scope = self._scopes.get(name)
+        if scope is None or len(arg_dims) != len(scope.params):
+            return None
+        key = (name, arg_dims)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if key in self._active:
+            return None                     # recursive signature: unknown
+        self._active.add(key)
+        try:
+            annotated = scope_annotations(scope) if self.use_annotations \
+                else ShapeEnv()
+            boundary = annotated.copy()
+            for param, dim in zip(scope.params, arg_dims):
+                boundary.set(param, dim)
+            known = scope_known_functions(scope, self.functions)
+            solution = solve(scope.cfg,
+                             ShapePropagation(scope, annotated, known,
+                                              summaries=self,
+                                              boundary_env=boundary))
+            exit_value = solution.before[scope.cfg.exit]
+            exit_env = facts_env(exit_value) if exit_value is not None \
+                else ShapeEnv()
+            result: ResultDims = tuple(exit_env.get(out)
+                                       for out in scope.outs)
+        finally:
+            self._active.discard(key)
+        self._memo[key] = result
+        return result

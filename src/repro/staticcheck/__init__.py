@@ -5,42 +5,56 @@ Three tools share this package:
 * the **dataflow framework** (:mod:`.cfg`, :mod:`.dataflow`,
   :mod:`.analyses`) — CFG construction per script/function, a worklist
   solver, and the classic analyses (reaching definitions, liveness,
-  definite/maybe assignment, shape propagation on the dims lattice);
+  definite/maybe assignment); shape propagation lives in the shared
+  :mod:`repro.shapes` engine and is consumed here by the linter;
 * the **linter** (:mod:`.linter`) — runs every analysis and renders
   structured :class:`~repro.staticcheck.diagnostics.Diagnostic` objects
-  (``mvec lint``, ``POST /lint``);
+  (``mvec lint``, ``POST /lint``), with the :mod:`.fixer` applying
+  safe autofixes (``mvec lint --fix``);
 * the **pipeline verifier** (:mod:`.verifier`) and the
   **vectorization-legality auditor** (:mod:`.auditor`) — compiler-grade
   checks that the vectorizer's stages emit well-formed ASTs and that
   emitted vector code preserved every dependence (``--verify``,
   ``mvec audit``).
+
+Attributes resolve lazily (PEP 562): the auditor imports the vectorizer
+driver, which imports :mod:`repro.shapes`, which builds on this
+package's CFG and solver — eager re-exports here would close that loop.
 """
 
-from .auditor import AuditResult, audit_source
-from .diagnostics import (
-    CODES,
-    Diagnostic,
-    Severity,
-    counts_by_severity,
-    render_text,
-    sort_diagnostics,
-    to_json,
-)
-from .linter import lint_program, lint_source
-from .verifier import verify_program, verify_stmts
+from __future__ import annotations
 
-__all__ = [
-    "CODES",
-    "Diagnostic",
-    "Severity",
-    "counts_by_severity",
-    "render_text",
-    "sort_diagnostics",
-    "to_json",
-    "lint_program",
-    "lint_source",
-    "verify_program",
-    "verify_stmts",
-    "AuditResult",
-    "audit_source",
-]
+#: Public name → defining submodule.
+_EXPORTS = {
+    "CODES": "diagnostics",
+    "Diagnostic": "diagnostics",
+    "Severity": "diagnostics",
+    "counts_by_severity": "diagnostics",
+    "render_text": "diagnostics",
+    "sort_diagnostics": "diagnostics",
+    "to_json": "diagnostics",
+    "lint_program": "linter",
+    "lint_source": "linter",
+    "fix_source": "fixer",
+    "FixResult": "fixer",
+    "verify_program": "verifier",
+    "verify_stmts": "verifier",
+    "AuditResult": "auditor",
+    "audit_source": "auditor",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    submodule = _EXPORTS.get(name)
+    if submodule is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{submodule}", __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

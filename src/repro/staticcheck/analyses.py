@@ -8,10 +8,11 @@ All analyses run over one :class:`~repro.staticcheck.cfg.Scope`:
   use-before-def diagnostics (``E101`` definitely unassigned, ``W102``
   assigned on only some paths);
 * **dead stores** (``W201``) — full assignments of a pure value that is
-  overwritten before any use;
-* **shape propagation** on the dims lattice — constant-propagates
-  abstract dimensionalities through the CFG and flags provable
-  conflicts (``E301``/``E302``/``E303``).
+  overwritten before any use.
+
+Shape propagation on the dims lattice (``E301``–``E303``) lives in the
+shared :mod:`repro.shapes` engine — the same fixpoint the vectorizer
+consumes — and the linter calls it directly.
 
 MATLAB specifics honoured throughout: a subscripted write auto-creates
 its array (so it *defines* the name but also, for liveness, *reads* the
@@ -22,30 +23,41 @@ final workspace, so only overwritten values can be dead.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
-
-from ..dims.abstract import Dim
-from ..dims.context import IMPURE_FUNCTIONS, KNOWN_FUNCTIONS, ShapeEnv
-from ..errors import AnnotationError
-from ..mlang.annotations import parse_annotation
+from ..dims.context import IMPURE_FUNCTIONS
 from ..mlang.ast_nodes import (
-    Annotation,
     Apply,
     Assign,
-    BinOp,
-    Colon,
-    End,
     Expr,
     For,
     Global,
     Ident,
     MultiAssign,
     Node,
-    Range,
+)
+from ..shapes.engine import (
+    entry_defined,
+    scope_annotations,
+    scope_known_functions,
 )
 from .cfg import Block, Scope, Unit, assigned_names
 from .dataflow import Analysis, Solution, solve
 from .diagnostics import Diagnostic
+
+__all__ = [
+    "DefSite",
+    "Liveness",
+    "ReachingDefinitions",
+    "check_dead_stores",
+    "check_use_before_def",
+    "definite_assignment",
+    "entry_defined",
+    "expr_reads",
+    "maybe_assignment",
+    "scope_annotations",
+    "scope_known_functions",
+    "unit_defs",
+    "unit_uses",
+]
 
 # ---------------------------------------------------------------------------
 # Defs and uses of one unit
@@ -116,39 +128,6 @@ def unit_uses(unit: Unit, known: frozenset[str],
     elif unit.kind == "cond":
         uses |= expr_reads(node, known)
     return uses
-
-
-def scope_known_functions(scope: Scope) -> frozenset[str]:
-    """Builtin names acting as functions in this scope — everything the
-    analyses recognize minus names the scope assigns (shadowing)."""
-    shadowed = assigned_names(scope.body) | set(scope.params)
-    return frozenset(KNOWN_FUNCTIONS - shadowed)
-
-
-def scope_annotations(scope: Scope) -> ShapeEnv:
-    """The shape environment declared by ``%!`` annotations in the
-    scope (malformed annotations are skipped here; the linter reports
-    them as E003 separately)."""
-    env = ShapeEnv()
-    for stmt in scope.body:
-        for node in stmt.walk():
-            if isinstance(node, Annotation):
-                try:
-                    parse_annotation(node.text, env)
-                except AnnotationError:
-                    continue
-    return env
-
-
-def entry_defined(scope: Scope, annotated: ShapeEnv) -> frozenset[str]:
-    """Names defined before the scope's first statement runs: function
-    parameters, ``global`` names, and annotated inputs."""
-    names = set(scope.params) | set(annotated.shapes)
-    for stmt in scope.body:
-        for node in stmt.walk():
-            if isinstance(node, Global):
-                names.update(node.names)
-    return frozenset(names)
 
 
 # ---------------------------------------------------------------------------
@@ -254,10 +233,13 @@ def maybe_assignment(entry: frozenset[str]) -> _AssignedNames:
 # ---------------------------------------------------------------------------
 
 
-def check_use_before_def(scope: Scope) -> list[Diagnostic]:
+def check_use_before_def(scope: Scope,
+                         functions: frozenset[str] = frozenset()
+                         ) -> list[Diagnostic]:
     """E101 (no assignment reaches this use) and W102 (an assignment
-    reaches it on some paths only)."""
-    known = scope_known_functions(scope)
+    reaches it on some paths only).  ``functions`` adds program-defined
+    ``function`` names to the call-not-read set."""
+    known = scope_known_functions(scope, functions)
     annotated = scope_annotations(scope)
     entry = entry_defined(scope, annotated)
     cfg = scope.cfg
@@ -307,14 +289,16 @@ def _is_pure(expr: Expr) -> bool:
     return True
 
 
-def check_dead_stores(scope: Scope) -> list[Diagnostic]:
+def check_dead_stores(scope: Scope,
+                      functions: frozenset[str] = frozenset()
+                      ) -> list[Diagnostic]:
     """W201: a full assignment whose pure value is never read.
 
     Scripts observe their entire final workspace, so every name is live
     at scope exit and only values overwritten before any use are dead.
     Functions observe their outputs and globals.
     """
-    known = scope_known_functions(scope)
+    known = scope_known_functions(scope, functions)
     if scope.kind == "script":
         exit_live = frozenset(assigned_names(scope.body))
     else:
@@ -353,222 +337,4 @@ def check_dead_stores(scope: Scope) -> list[Diagnostic]:
             live -= full
             live |= unit_uses(unit, known, for_liveness=True)
         out.extend(reversed(findings))
-    return out
-
-
-# ---------------------------------------------------------------------------
-# Shape propagation on the dims lattice
-# ---------------------------------------------------------------------------
-
-
-class _Conflict:
-    """Lattice bottom for one variable: defined, shape not constant."""
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "<conflict>"
-
-
-CONFLICT = _Conflict()
-
-ShapeFact = Union[Dim, _Conflict]
-ShapeFacts = dict[str, ShapeFact]
-
-#: Pointwise binary operators (Table 1 row: elementwise ops need
-#: compatible dimensionalities; scalars extend).
-ELEMENTWISE_OPS = frozenset({
-    "+", "-", ".*", "./", ".\\", ".^",
-    "==", "~=", "<", ">", "<=", ">=", "&", "|",
-})
-
-
-class ShapePropagation(Analysis[ShapeFacts]):
-    """Forward constant propagation of abstract dimensionalities."""
-
-    direction = "forward"
-
-    def __init__(self, scope: Scope, annotated: ShapeEnv,
-                 known: frozenset[str]):
-        self.scope = scope
-        self.annotated = annotated
-        self.known = known
-
-    def boundary(self) -> ShapeFacts:
-        return dict(self.annotated.shapes)
-
-    def meet(self, left: ShapeFacts, right: ShapeFacts) -> ShapeFacts:
-        merged: ShapeFacts = {}
-        for name in set(left) | set(right):
-            if name in left and name in right:
-                merged[name] = (left[name] if left[name] == right[name]
-                                else CONFLICT)
-            else:
-                merged[name] = left.get(name, right.get(name, CONFLICT))
-        return merged
-
-    def transfer(self, block: Block, value: ShapeFacts) -> ShapeFacts:
-        facts = dict(value)
-        for unit in block.units:
-            shape_step(unit, facts, self.annotated)
-        return facts
-
-
-def _facts_env(facts: ShapeFacts) -> ShapeEnv:
-    return ShapeEnv({name: dim for name, dim in facts.items()
-                     if isinstance(dim, Dim)})
-
-
-def fact_dim(expr: Expr, facts: ShapeFacts,
-             loop_vars: frozenset[str]) -> Optional[Dim]:
-    """Abstract dims of ``expr`` under the current facts, or None."""
-    from ..analysis.shapes import ShapeInference
-
-    inference = ShapeInference(_facts_env(facts))
-    return inference.expr_dim(expr, set(loop_vars))
-
-
-def shape_step(unit: Unit, facts: ShapeFacts, annotated: ShapeEnv,
-               emit: Optional[Callable[[Diagnostic], None]] = None) -> None:
-    """Advance ``facts`` over one unit, optionally emitting diagnostics.
-
-    Mutates ``facts`` in place (transfer functions copy beforehand).
-    """
-    node = unit.node
-    if unit.kind == "for" and isinstance(node, For):
-        facts[node.var] = Dim.scalar()
-        return
-    if unit.kind == "global" and isinstance(node, Global):
-        for name in node.names:
-            facts.setdefault(name, CONFLICT)
-        return
-    if unit.kind == "multiassign" and isinstance(node, MultiAssign):
-        _multiassign_step(node, facts, unit.loop_vars)
-        return
-    if unit.kind != "assign" or not isinstance(node, Assign):
-        return
-
-    if emit is not None:
-        _emit_operand_conflicts(node, facts, unit, emit)
-
-    rhs_dim = fact_dim(node.rhs, facts, unit.loop_vars)
-    lhs = node.lhs
-    if isinstance(lhs, Ident):
-        name = lhs.name
-        if name in annotated:
-            # Orientation-only mismatches (row vs column) are forgiven:
-            # the pipeline transposes freely and linear indexing works
-            # for either, so only rank/extent conflicts are real bugs.
-            if (emit is not None and rhs_dim is not None
-                    and rhs_dim.reduce() != annotated.shapes[name].reduce()
-                    and rhs_dim.reverse().reduce()
-                    != annotated.shapes[name].reduce()):
-                emit(Diagnostic(
-                    "E302",
-                    f"assignment of shape {rhs_dim} to '{name}' conflicts "
-                    f"with its annotation {annotated.shapes[name]}",
-                    unit.pos.line, unit.pos.column,
-                    f"update the %! annotation for '{name}' or fix the "
-                    f"right-hand side"))
-            facts[name] = annotated.shapes[name]
-        elif name in unit.loop_vars:
-            facts[name] = Dim.scalar()
-        else:
-            facts[name] = rhs_dim if rhs_dim is not None else CONFLICT
-        return
-    if isinstance(lhs, Apply) and isinstance(lhs.func, Ident):
-        name = lhs.func.name
-        if emit is not None and rhs_dim is not None \
-                and not rhs_dim.is_scalar \
-                and _all_scalar_subscripts(lhs, facts, unit.loop_vars):
-            emit(Diagnostic(
-                "E303",
-                f"assignment of a non-scalar value (shape {rhs_dim}) to "
-                f"the single element '{name}"
-                f"({', '.join('…' for _ in lhs.args)})'",
-                unit.pos.line, unit.pos.column,
-                "index a matching slice on the left or reduce the "
-                "right-hand side to a scalar"))
-        if name not in facts and name not in annotated:
-            # MATLAB auto-creation on a subscripted first write.
-            if len(lhs.args) == 1:
-                facts[name] = Dim.row()
-            else:
-                facts[name] = Dim.matrix() if len(lhs.args) == 2 \
-                    else CONFLICT
-
-
-def _multiassign_step(node: MultiAssign, facts: ShapeFacts,
-                      loop_vars: frozenset[str]) -> None:
-    rhs = node.rhs
-    name = rhs.func.name if (isinstance(rhs, Apply)
-                             and isinstance(rhs.func, Ident)) else None
-    targets = [t.name for t in node.targets if isinstance(t, Ident)]
-    if name == "size" or (name in ("max", "min")
-                          and isinstance(rhs, Apply) and len(rhs.args) == 1):
-        for target in targets:
-            facts[target] = Dim.scalar()
-    elif name == "sort" and isinstance(rhs, Apply) and len(rhs.args) == 1:
-        dim = fact_dim(rhs.args[0], facts, loop_vars)
-        for target in targets:
-            facts[target] = dim if dim is not None else CONFLICT
-    else:
-        for target in targets:
-            facts[target] = CONFLICT
-
-
-def _all_scalar_subscripts(lhs: Apply, facts: ShapeFacts,
-                           loop_vars: frozenset[str]) -> bool:
-    for arg in lhs.args:
-        if isinstance(arg, (Colon, End, Range)):
-            return False
-        dim = fact_dim(arg, facts, loop_vars)
-        if dim is None or not dim.is_scalar:
-            return False
-    return True
-
-
-def _emit_operand_conflicts(stmt: Assign, facts: ShapeFacts, unit: Unit,
-                            emit: Callable[[Diagnostic], None]) -> None:
-    """E301: elementwise operands with provably different shapes."""
-    for node in stmt.rhs.walk():
-        if not (isinstance(node, BinOp) and node.op in ELEMENTWISE_OPS):
-            continue
-        left = fact_dim(node.left, facts, unit.loop_vars)
-        right = fact_dim(node.right, facts, unit.loop_vars)
-        if left is None or right is None:
-            continue
-        if left.is_scalar or right.is_scalar:
-            continue
-        if left.reduce() != right.reduce():
-            pos = node.pos if node.pos.line else unit.pos
-            emit(Diagnostic(
-                "E301",
-                f"operands of '{node.op}' have incompatible shapes "
-                f"{left} and {right}",
-                pos.line, pos.column,
-                "transpose one operand or index a matching slice"))
-
-
-def check_shapes(scope: Scope) -> list[Diagnostic]:
-    """E301/E302/E303 over one scope via shape propagation."""
-    known = scope_known_functions(scope)
-    annotated = scope_annotations(scope)
-    cfg = scope.cfg
-    solution = solve(cfg, ShapePropagation(scope, annotated, known))
-
-    out: list[Diagnostic] = []
-    seen: set[tuple[str, str, int, int]] = set()
-
-    def emit(diag: Diagnostic) -> None:
-        key = (diag.code, diag.message, diag.line, diag.column)
-        if key not in seen:
-            seen.add(key)
-            out.append(diag)
-
-    for block in cfg.blocks:
-        facts_value = solution.before[block.id]
-        if facts_value is None:
-            continue
-        facts = dict(facts_value)
-        for unit in block.units:
-            shape_step(unit, facts, annotated, emit)
     return out

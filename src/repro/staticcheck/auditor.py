@@ -33,7 +33,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..analysis.shapes import ShapeInference, infer_shapes
 from ..depgraph.graph import DependenceGraph, StmtNode
 from ..dims.abstract import compatible
 from ..dims.context import KNOWN_FUNCTIONS, ShapeEnv
@@ -51,6 +50,7 @@ from ..mlang.ast_nodes import (
     While,
 )
 from ..mlang.parser import parse
+from ..shapes import expr_dim, infer_shapes
 from ..vectorizer.checker import is_additive_reduction
 from ..vectorizer.driver import _ident_occurrences
 from ..vectorizer.loop_info import (
@@ -448,10 +448,9 @@ def _check_emitted_dims(emit_rec: _WriteRec, env: ShapeEnv,
     stmt = emit_rec.stmt
     if not isinstance(stmt, Assign) or not isinstance(stmt.lhs, Apply):
         return
-    loop_vars = {var for _, var in emit_rec.chain}
-    inference = ShapeInference(env)
-    rhs_dim = inference.expr_dim(stmt.rhs, loop_vars)
-    lhs_dim = inference.expr_dim(stmt.lhs, loop_vars)
+    loop_vars = frozenset(var for _, var in emit_rec.chain)
+    rhs_dim = expr_dim(stmt.rhs, env, loop_vars)
+    lhs_dim = expr_dim(stmt.lhs, env, loop_vars)
     if rhs_dim is None or lhs_dim is None:
         return
     if rhs_dim.is_scalar:                     # scalar broadcast is legal

@@ -1,0 +1,193 @@
+"""Safe autofixes for lint findings (``mvec lint --fix``).
+
+Two fixes are applied, both provably behaviour-preserving:
+
+* **W201 dead stores** — a full assignment of a pure value that is
+  overwritten before any use is deleted.  Fixes cascade (removing one
+  store can orphan the store feeding it), so the linter re-runs until
+  no fixable W201 remains, bounded by :data:`MAX_PASSES`.
+* **unused ``%!`` annotation entries** — after dead-store removal, an
+  annotation entry whose name no longer occurs anywhere in the program
+  declares a shape for nothing and is stripped; an annotation line with
+  no surviving entries is dropped entirely.
+
+Deletion is line-based and deliberately conservative: a statement is
+only removed when its source lines contain no part of any *other*
+statement, so multi-statement lines are left untouched (and reported
+as unfixable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mlang.annotations import strip_annotation_names
+from ..mlang.ast_nodes import Assign, Ident
+from ..mlang.parser import parse
+from .diagnostics import Diagnostic
+from .linter import lint_source
+
+#: Upper bound on lint→delete rounds; each round removes at least one
+#: store, so this is a cascade-depth limit, not a tuning knob.
+MAX_PASSES = 10
+
+
+@dataclass
+class FixResult:
+    """What ``fix_source`` did to one program."""
+
+    source: str
+    removed_stores: list[Diagnostic] = field(default_factory=list)
+    stripped_annotations: list[str] = field(default_factory=list)
+    passes: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.removed_stores or self.stripped_annotations)
+
+    def summary(self) -> str:
+        parts = []
+        if self.removed_stores:
+            parts.append(f"removed {len(self.removed_stores)} dead "
+                         f"store(s)")
+        if self.stripped_annotations:
+            names = ", ".join(self.stripped_annotations)
+            parts.append(f"stripped unused annotation entr"
+                         f"{'y' if len(self.stripped_annotations) == 1 else 'ies'}"
+                         f" ({names})")
+        return "; ".join(parts) if parts else "nothing to fix"
+
+
+def _stmt_spans(program) -> list[tuple[object, int, int]]:
+    """Every statement with its (first line, last line) source span."""
+    spans = []
+    for stmt in program.walk():
+        if not hasattr(stmt, "pos") or not getattr(stmt.pos, "line", 0):
+            continue
+        if not _is_statement(stmt):
+            continue
+        last = stmt.pos.line
+        for node in stmt.walk():
+            pos = getattr(node, "pos", None)
+            if pos is not None and pos.line:
+                last = max(last, pos.line)
+        spans.append((stmt, stmt.pos.line, last))
+    return spans
+
+
+def _is_statement(node) -> bool:
+    from ..mlang.ast_nodes import Stmt
+
+    return isinstance(node, Stmt)
+
+
+def _removable_lines(source: str,
+                     diags: list[Diagnostic]) -> tuple[set[int],
+                                                       list[Diagnostic]]:
+    """Source lines safe to delete for the given W201 diagnostics."""
+    program = parse(source)
+    spans = _stmt_spans(program)
+    removable: set[int] = set()
+    applied: list[Diagnostic] = []
+    for diag in diags:
+        target = None
+        for stmt, first, last in spans:
+            if (isinstance(stmt, Assign) and isinstance(stmt.lhs, Ident)
+                    and first == diag.line
+                    and stmt.pos.column == diag.column):
+                target, t_first, t_last = stmt, first, last
+                break
+        if target is None:
+            continue
+        lines = set(range(t_first, t_last + 1))
+        descendants = {id(node) for node in target.walk()}
+        safe = True
+        for stmt, first, last in spans:
+            if id(stmt) in descendants:
+                continue                # the target itself or part of it
+            if not (lines & set(range(first, last + 1))):
+                continue
+            if any(node is target for node in stmt.walk()):
+                # Enclosing container (loop/branch/function): its body
+                # always overlaps; only its own header line is off
+                # limits.
+                if stmt.pos.line in lines:
+                    safe = False
+                    break
+                continue
+            safe = False                # true sibling on a shared line
+            break
+        if not safe:
+            continue
+        removable |= lines
+        applied.append(diag)
+    return removable, applied
+
+
+def _strip_unused_annotations(source: str) -> tuple[str, list[str]]:
+    """Remove annotation entries for names absent from the program."""
+    program = parse(source)
+    referenced = {node.name for node in program.walk()
+                  if isinstance(node, Ident)}
+    annotated: set[str] = set()
+    from ..mlang.annotations import annotations_env
+
+    annotated = set(annotations_env(program.body).shapes)
+    unused = annotated - referenced
+    if not unused:
+        return source, []
+    out_lines: list[str] = []
+    stripped: set[str] = set()
+    for line in source.splitlines(keepends=True):
+        body = line.strip()
+        if not body.startswith("%!"):
+            out_lines.append(line)
+            continue
+        text = body[2:]
+        before = {name for name in unused
+                  if name in _annotation_names(text)}
+        new_text = strip_annotation_names(text, unused)
+        stripped |= before
+        if new_text is None:
+            continue                    # nothing left: drop the line
+        ending = "\n" if line.endswith("\n") else ""
+        indent = line[:len(line) - len(line.lstrip())]
+        out_lines.append(f"{indent}%! {new_text}{ending}")
+    return "".join(out_lines), sorted(stripped)
+
+
+def _annotation_names(text: str) -> set[str]:
+    from ..mlang.annotations import _ENTRY
+
+    return {match.group(1) for match in _ENTRY.finditer(text.strip())}
+
+
+def fix_source(source: str) -> FixResult:
+    """Apply every safe autofix to ``source``; never changes behaviour.
+
+    Programs that fail to lex or parse come back untouched (the W201
+    analysis needs an AST).
+    """
+    result = FixResult(source)
+    current = source
+    for _ in range(MAX_PASSES):
+        diags = lint_source(current)
+        if any(d.code in ("E001", "E002") for d in diags):
+            result.source = current
+            return result
+        dead = [d for d in diags if d.code == "W201"]
+        if not dead:
+            break
+        removable, applied = _removable_lines(current, dead)
+        if not removable:
+            break
+        result.passes += 1
+        result.removed_stores.extend(applied)
+        current = "".join(
+            line for number, line in
+            enumerate(current.splitlines(keepends=True), start=1)
+            if number not in removable)
+    current, stripped = _strip_unused_annotations(current)
+    result.stripped_annotations = stripped
+    result.source = current
+    return result

@@ -15,7 +15,8 @@ from ..mlang.annotations import parse_annotation
 from ..mlang.ast_nodes import Annotation, Program
 from ..mlang.lexer import tokenize
 from ..mlang.parser import Parser
-from .analyses import check_dead_stores, check_shapes, check_use_before_def
+from ..shapes import FunctionSummaries, check_shapes
+from .analyses import check_dead_stores, check_use_before_def
 from .cfg import Scope, program_scopes
 from .diagnostics import Diagnostic, sort_diagnostics
 
@@ -39,13 +40,21 @@ def lint_source(source: str) -> list[Diagnostic]:
 
 def lint_program(program: Program) -> list[Diagnostic]:
     """Lint a parsed program: annotation syntax plus every per-scope
-    dataflow check, sorted into source order."""
+    dataflow check, sorted into source order.
+
+    Shape checks run on the shared :mod:`repro.shapes` engine with one
+    set of interprocedural summaries for the whole program, so E301–
+    E303 see exactly the facts the vectorizer vectorizes against.
+    """
     diags: list[Diagnostic] = []
-    for scope in program_scopes(program):
+    scopes = program_scopes(program)
+    functions = frozenset(s.name for s in scopes if s.kind == "function")
+    summaries = FunctionSummaries(scopes, functions)
+    for scope in scopes:
         diags.extend(_check_annotations(scope))
-        diags.extend(check_use_before_def(scope))
-        diags.extend(check_dead_stores(scope))
-        diags.extend(check_shapes(scope))
+        diags.extend(check_use_before_def(scope, functions))
+        diags.extend(check_dead_stores(scope, functions))
+        diags.extend(check_shapes(scope, summaries, functions))
     return sort_diagnostics(diags)
 
 

@@ -2,9 +2,17 @@
 
 ``vectorize_source`` runs the whole source-to-source transformation::
 
-    parse → collect %! annotations → shape inference →
+    parse → collect %! annotations → flow-sensitive shape inference →
     per loop nest: screen (control flow / index writes) → normalize →
     data dependence graph → codegen_dim → splice → print
+
+Shape truth comes from the shared :mod:`repro.shapes` engine: each loop
+is checked against the provable shape environment *at its own program
+point* (``%!`` annotations frozen/authoritative, inference as
+fallback), so annotation-free programs vectorize and shapes merged
+inconsistently at ``if``/``while`` join points conservatively stay
+sequential.  ``use_annotations=False`` ignores annotations for
+analysis while still passing them through to the output verbatim.
 
 Loops rejected by the screen keep their header but are searched for
 vectorizable *inner* loops.  Loops where no statement vectorizes are
@@ -18,10 +26,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..analysis.shapes import infer_shapes
 from ..dims.context import ShapeEnv
 from ..mlang.annotations import parse_annotations
 from ..mlang.ast_nodes import For, If, Program, Stmt, While
+from ..shapes import ProgramShapes, analyze_program
 from ..mlang.lexer import tokenize
 from ..mlang.parser import Parser
 from ..mlang.printer import to_source
@@ -134,12 +142,14 @@ class Vectorizer:
                  options: Optional[CheckOptions] = None,
                  simplify: bool = False,
                  scalar_temps: bool = True,
-                 verify: bool = False):
+                 verify: bool = False,
+                 use_annotations: bool = True):
         self.db = db if db is not None else default_database()
         self.options = options or CheckOptions()
         self.simplify = simplify
         self.scalar_temps = scalar_temps
         self.verify = verify
+        self.use_annotations = use_annotations
         self._ident_counts: dict[str, int] = {}
 
     def _verify(self, node, stage: str, require_spans: bool = False) -> None:
@@ -176,16 +186,17 @@ class Vectorizer:
     def vectorize_program(self, program: Program,
                           shapes: Optional[ShapeEnv] = None) -> VectorizeResult:
         start = time.perf_counter()
-        annotations = parse_annotations(program.annotations)
+        annotations = parse_annotations(program.annotations) \
+            if self.use_annotations else ShapeEnv()
         if shapes is not None:
             annotations.merge(shapes)
-        env = infer_shapes(program, annotations)
+        program_shapes = analyze_program(program, annotations=annotations)
         self._ident_counts = _ident_occurrences(program)
         analyze_time = time.perf_counter() - start
         self._verify(program, "analyze")
         report = VectorizeReport()
         start = time.perf_counter()
-        body = self._process(program.body, env, report,
+        body = self._process(program.body, program_shapes, report,
                              outer_scalars=frozenset())
         codegen_time = time.perf_counter() - start
         result_program = Program(body)
@@ -196,32 +207,37 @@ class Vectorizer:
 
     # -- recursive statement-list processing -------------------------------
 
-    def _process(self, stmts: list[Stmt], env: ShapeEnv,
+    def _process(self, stmts: list[Stmt], shapes: ProgramShapes,
                  report: VectorizeReport,
                  outer_scalars: frozenset[str]) -> list[Stmt]:
         out: list[Stmt] = []
         for stmt in stmts:
             if isinstance(stmt, For):
-                out.extend(self._process_loop(stmt, env, report,
+                out.extend(self._process_loop(stmt, shapes, report,
                                               outer_scalars))
             elif isinstance(stmt, While):
-                body = self._process(stmt.body, env, report, outer_scalars)
+                body = self._process(stmt.body, shapes, report,
+                                     outer_scalars)
                 out.append(While(stmt.cond, body, pos=stmt.pos))
             elif isinstance(stmt, If):
-                tests = [(cond, self._process(body, env, report,
+                tests = [(cond, self._process(body, shapes, report,
                                               outer_scalars))
                          for cond, body in stmt.tests]
-                orelse = self._process(stmt.orelse, env, report,
+                orelse = self._process(stmt.orelse, shapes, report,
                                        outer_scalars)
                 out.append(If(tests, orelse, pos=stmt.pos))
             else:
                 out.append(stmt)
         return out
 
-    def _process_loop(self, loop: For, env: ShapeEnv,
+    def _process_loop(self, loop: For, shapes: ProgramShapes,
                       report: VectorizeReport,
                       outer_scalars: frozenset[str]) -> list[Stmt]:
         line = loop.pos.line
+        # Look the environment up before any rewrite: scalar-temp
+        # substitution rebuilds the For node (preserving its position,
+        # which is the engine's fallback key for inner loops).
+        env = shapes.env_at(loop)
         if self.scalar_temps:
             loop = substitute_scalar_temps(loop, self._live_outside(loop))
         reason = loop_rejection_reason(loop)
@@ -233,7 +249,7 @@ class Vectorizer:
             # Rejected: keep the loop, but look for inner candidates.
             report.loops.append(LoopReport(line, loop.var, "rejected",
                                            reason))
-            body = self._process(loop.body, env, report,
+            body = self._process(loop.body, shapes, report,
                                  outer_scalars | {loop.var})
             return [For(loop.var, loop.iter, body, pos=loop.pos)]
 

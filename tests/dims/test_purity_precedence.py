@@ -1,0 +1,113 @@
+"""IMPURE_FUNCTIONS / SHAPE_BUILTINS overlap: impurity always wins.
+
+``rand``/``randn`` have signature-determined result shapes and
+``disp``/``fprintf``/``error`` are recognized statement forms, so all
+five live in SHAPE_BUILTINS *and* IMPURE_FUNCTIONS.  The tables answer
+different questions — "can the lattice type this call?" vs. "may the
+vectorizer reorder it?" — and every legality decision must consult
+impurity first.  These tests pin that precedence for each consumer:
+the vectorizer's call rule, scalar-temp substitution, the dead-store
+analysis, and the autofixer built on it.
+"""
+
+import pytest
+
+from repro.dims.context import (
+    IMPURE_FUNCTIONS,
+    KNOWN_FUNCTIONS,
+    SHAPE_BUILTINS,
+)
+from repro.staticcheck import fix_source, lint_source
+from repro.vectorizer.driver import Vectorizer
+
+#: The names deliberately present in both tables.
+OVERLAP = frozenset("rand randn disp fprintf error".split())
+
+
+def test_overlap_is_exactly_the_documented_set():
+    assert IMPURE_FUNCTIONS & SHAPE_BUILTINS == OVERLAP
+
+
+def test_every_impure_shape_builtin_is_still_known():
+    # Being impure must not hide a name from the analyses' function
+    # tables — calls still parse and type, they just never vectorize.
+    assert OVERLAP <= KNOWN_FUNCTIONS
+
+
+@pytest.mark.parametrize("call", ["rand(1, 1)", "randn(1, 1)"])
+def test_impure_value_call_vetoes_vectorization(call):
+    # rand's result shape is perfectly typeable — SHAPE_BUILTINS says
+    # (1,1) here — yet hoisting it out of the loop would evaluate it
+    # once instead of n times.  The loop must stay sequential.
+    source = (
+        "%! x(1,*) y(1,*) n(1)\n"
+        "for i = 1:n\n"
+        f"  y(i) = x(i) + {call};\n"
+        "end\n"
+    )
+    result = Vectorizer().vectorize_source(source)
+    assert result.report.vectorized_loops == 0
+    reasons = [reason for loop in result.report.loops
+               for outcome in loop.outcomes
+               for reason in outcome.reasons]
+    assert any("impure" in reason for reason in reasons), reasons
+
+
+@pytest.mark.parametrize("stmt", ["disp(x(i));", "fprintf(x(i));"])
+def test_impure_statement_call_vetoes_vectorization(stmt):
+    source = (
+        "%! x(1,*) n(1)\n"
+        "for i = 1:n\n"
+        f"  {stmt}\n"
+        "end\n"
+    )
+    result = Vectorizer().vectorize_source(source)
+    assert result.report.vectorized_loops == 0
+
+
+def test_pure_control_still_vectorizes():
+    # Control for the veto tests above: the same loop without the
+    # impure call vectorizes fine.
+    source = (
+        "%! x(1,*) y(1,*) n(1)\n"
+        "for i = 1:n\n"
+        "  y(i) = x(i) + 1;\n"
+        "end\n"
+    )
+    result = Vectorizer().vectorize_source(source)
+    assert result.report.vectorized_loops == 1
+
+
+def test_impure_store_is_not_a_dead_store():
+    # `x = rand(...)` overwritten before use: deleting it would drop a
+    # draw from the RNG stream, so W201 must not fire and the fixer
+    # must leave the program alone.
+    source = "x = rand(1, 3);\nx = zeros(1, 3);\ny = x;\n"
+    assert not [d for d in lint_source(source) if d.code == "W201"]
+    result = fix_source(source)
+    assert result.source == source
+    assert not result.changed
+
+
+def test_pure_twin_is_a_dead_store():
+    # Identical program with a pure initializer: now the store *is*
+    # dead, proving the previous test exercised impurity, not some
+    # other guard.
+    source = "x = ones(1, 3);\nx = zeros(1, 3);\ny = x;\n"
+    assert [d.code for d in lint_source(source)] == ["W201"]
+
+
+def test_scalar_temp_substitution_blocks_impure_rhs():
+    # A scalar temp holding an impure value must not be forwarded into
+    # a later statement (substitution would reorder the call past the
+    # loop boundary).  The loop still vectorizes, but t stays put.
+    source = (
+        "%! x(1,*) y(1,*) n(1) t(1)\n"
+        "t = rand(1, 1);\n"
+        "for i = 1:n\n"
+        "  y(i) = x(i) * t;\n"
+        "end\n"
+    )
+    result = Vectorizer(scalar_temps=True).vectorize_source(source)
+    assert "t = rand(1, 1);" in result.source
+    assert result.report.vectorized_loops == 1

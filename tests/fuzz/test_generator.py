@@ -57,9 +57,37 @@ def test_outputs_exclude_loop_indices(sample):
         assert not indices & set(program.outputs)
 
 
-def test_annotations_present(sample):
-    for program in sample:
+def test_annotation_mix(sample):
+    annotated = [p for p in sample if p.annotated]
+    inference_only = [p for p in sample if not p.annotated]
+    assert annotated and inference_only, \
+        "sample must mix annotated and annotation-free programs"
+    for program in annotated:
         assert program.source.startswith("%! ")
+    for program in inference_only:
+        assert "%!" not in program.source
+
+
+def test_annotation_free_programs_vectorize():
+    """The inference-only path is not a dead letter: a healthy share
+    of annotation-free programs still vectorizes at least one loop."""
+    from repro.vectorizer.driver import vectorize_source
+
+    vectorized = total = 0
+    for program in ProgramGenerator(seed=3).programs(60):
+        if program.annotated:
+            continue
+        total += 1
+        result = vectorize_source(program.source)
+        vectorized += bool(result.report.vectorized_loops)
+    assert total >= 5
+    assert vectorized >= total // 2, (vectorized, total)
+
+
+def test_annotation_ratio_zero_keeps_all_annotated():
+    for program in ProgramGenerator(
+            seed=0, annotation_free_ratio=0.0).programs(10):
+        assert program.annotated
 
 
 def test_template_coverage():

@@ -21,6 +21,13 @@ FULLY_VECTORIZED = {
     "running-sum", "matvec", "threshold", "normalize-rows",
     "outer-product", "power-series", "column-scale", "clamp",
     "fir-filter",
+    # Self-contained inference corpus: fully vectorized even with the
+    # %! annotation line stripped (see test_annotation_free.py).
+    "inf-saxpy", "inf-column-scale", "inf-power-series", "inf-dotprod",
+    "inf-matvec", "inf-outer", "inf-threshold", "inf-reduction",
+    "inf-clamp", "inf-broadcast", "inf-diagonal", "inf-strided",
+    "inf-transpose-add", "inf-scale-shift", "inf-masked-sum",
+    "inf-interproc",
 }
 SEQUENTIAL = {"recurrence"}
 PARTIAL = {"mixed", "convolution", "jacobi"}

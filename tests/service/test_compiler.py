@@ -162,7 +162,7 @@ class TestCompileMany:
     @pytest.mark.parametrize("workers", [1, 4])
     def test_corpus_compiles_in_order(self, workers):
         pairs = corpus_pairs()
-        assert len(pairs) == 25
+        assert len(pairs) == 41
         results = compile_many(pairs, workers=workers)
         assert [r.name for r in results] == [name for name, _ in pairs]
         assert all(r.ok for r in results)

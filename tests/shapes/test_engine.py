@@ -1,4 +1,4 @@
-"""Tests for annotations parsing and forward shape inference."""
+"""Annotation parsing and the engine's whole-program inference summary."""
 
 import pytest
 
@@ -6,7 +6,7 @@ from repro.dims.abstract import Dim
 from repro.dims.context import ShapeEnv
 from repro.errors import AnnotationError
 from repro.mlang.annotations import parse_annotation, parse_annotations
-from repro.analysis.shapes import infer_shapes
+from repro.shapes import infer_shapes
 from repro.mlang.parser import parse
 
 

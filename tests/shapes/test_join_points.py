@@ -1,0 +1,185 @@
+"""Join-point conservatism of the flow-sensitive shape engine.
+
+When control-flow paths disagree about a variable's dims, the meet
+widens to CONFLICT and the engine *withholds* the shape rather than
+guessing: the vectorizer then leaves dependent loops sequential and
+the linter stays silent about that variable (it cannot prove a
+conflict).  When the paths agree, the joined shape flows through and
+both consumers act on it — including across ``while`` back edges,
+where the solver must reach a fixed point.
+"""
+
+from repro.mlang.parser import parse
+from repro.shapes import analyze_program, infer_shapes
+from repro.staticcheck import lint_source
+from repro.vectorizer.driver import vectorize_source
+
+CONFLICTING_IF = """\
+c = 1;
+if c > 0
+  v = zeros(1, 4);
+else
+  v = zeros(4, 1);
+end
+z = zeros(1, 4);
+for i=1:4
+  z(i) = v(i);
+end
+"""
+
+AGREEING_IF = """\
+c = 1;
+if c > 0
+  v = zeros(1, 4);
+else
+  v = zeros(1, 9);
+end
+z = zeros(1, 4);
+for i=1:4
+  z(i) = v(i) + 1;
+end
+"""
+
+
+class TestIfJoin:
+    def test_conflicting_branches_withhold_the_shape(self):
+        env = infer_shapes(parse(CONFLICTING_IF))
+        assert env.get("v") is None
+        assert str(env.get("z")) == "(1,*)"
+
+    def test_conflicting_branches_keep_loop_sequential(self):
+        result = vectorize_source(CONFLICTING_IF)
+        assert result.report.vectorized_loops == 0
+        reasons = [r for loop in result.report.loops
+                   for o in loop.outcomes for r in o.reasons]
+        assert any("no shape information for 'v'" in r for r in reasons)
+
+    def test_conflicting_branches_do_not_lint_error(self):
+        # Conservative widening means no *claim* about v — the linter
+        # must not fabricate an E30x it cannot prove.
+        assert not lint_source(CONFLICTING_IF)
+
+    def test_agreeing_branches_join_and_vectorize(self):
+        env = infer_shapes(parse(AGREEING_IF))
+        assert str(env.get("v")) == "(1,*)"
+        result = vectorize_source(AGREEING_IF)
+        assert result.report.vectorized_loops == 1
+
+    def test_one_sided_if_keeps_the_entry_shape_optimistically(self):
+        # v defined only in the then-branch: the meet with the fall-
+        # through path keeps the one known shape (the lattice is
+        # optimistic for one-sided names).
+        source = (
+            "c = 1;\n"
+            "if c > 0\n"
+            "  v = zeros(1, 4);\n"
+            "end\n"
+        )
+        env = infer_shapes(parse(source))
+        assert str(env.get("v")) == "(1,*)"
+
+    def test_join_with_known_shapes_still_lints_downstream(self):
+        # Both branches agree on a column: the joined shape is *used*
+        # by the linter, which proves the pointwise conflict with the
+        # row w after the join.
+        source = (
+            "c = 1;\n"
+            "if c > 0\n"
+            "  v = zeros(4, 1);\n"
+            "else\n"
+            "  v = ones(4, 1);\n"
+            "end\n"
+            "w = zeros(1, 4);\n"
+            "q = v + w;\n"
+        )
+        diagnostics = lint_source(source)
+        assert [(d.code, d.line) for d in diagnostics] == [("E301", 8)]
+
+
+class TestWhileFixedPoint:
+    CONFLICTING_WHILE = """\
+x = zeros(1, 4);
+k = 1;
+while k < 3
+  x = zeros(4, 1);
+  k = k + 1;
+end
+y = zeros(1, 4);
+for i=1:4
+  y(i) = x(i);
+end
+"""
+
+    PRESERVING_WHILE = """\
+x = zeros(1, 4);
+k = 1;
+while k < 3
+  x = x + 1;
+  k = k + 1;
+end
+y = zeros(1, 4);
+for i=1:4
+  y(i) = x(i);
+end
+"""
+
+    def test_reshaping_body_conflicts_at_exit(self):
+        # The back edge meets (1,*) from entry with (*,1) from the
+        # body: the solver reaches its fixed point with x CONFLICT,
+        # which the engine withholds.
+        env = infer_shapes(parse(self.CONFLICTING_WHILE))
+        assert env.get("x") is None
+        assert vectorize_source(
+            self.CONFLICTING_WHILE).report.vectorized_loops == 0
+
+    def test_shape_preserving_body_converges_to_the_shape(self):
+        env = infer_shapes(parse(self.PRESERVING_WHILE))
+        assert str(env.get("x")) == "(1,*)"
+        assert vectorize_source(
+            self.PRESERVING_WHILE).report.vectorized_loops == 1
+
+    def test_linter_uses_post_while_shape(self):
+        # x keeps (*,1) through the loop, so the indexed assignment of
+        # the provably non-scalar x after it is an E303.
+        source = (
+            "c = 1;\n"
+            "k = 1;\n"
+            "v = zeros(4, 1);\n"
+            "while k < 3\n"
+            "  v = v .* 2;\n"
+            "  k = k + 1;\n"
+            "end\n"
+            "z = zeros(4, 1);\n"
+            "z(2) = v;\n"
+        )
+        diagnostics = lint_source(source)
+        assert [(d.code, d.line) for d in diagnostics] == [("E303", 9)]
+
+
+class TestPerStatementEnvs:
+    def test_env_at_sees_facts_at_the_loop_not_at_exit(self):
+        # v is a row at the first loop and a column at the second:
+        # the per-statement environments must differ even though the
+        # whole-program exit env only has the final shape.
+        source = (
+            "v = zeros(1, 4);\n"
+            "a = zeros(1, 4);\n"
+            "for i=1:4\n"
+            "  a(i) = v(i);\n"
+            "end\n"
+            "v = zeros(4, 1);\n"
+            "b = zeros(1, 4);\n"
+            "for i=1:4\n"
+            "  b(i) = v(i);\n"
+            "end\n"
+        )
+        program = parse(source)
+        shapes = analyze_program(program)
+        loops = [stmt for stmt in program.body
+                 if type(stmt).__name__ == "For"]
+        first = shapes.env_at(loops[0])
+        second = shapes.env_at(loops[1])
+        assert str(first.get("v")) == "(1,*)"
+        assert str(second.get("v")) == "(*,1)"
+        result = vectorize_source(source)
+        assert result.report.vectorized_loops == 2

@@ -1,0 +1,5 @@
+x = 1;
+y = x + 2;
+y = 9;
+x = y;
+z = x;

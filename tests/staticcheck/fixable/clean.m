@@ -1,0 +1,4 @@
+%! a(1,*)
+a = zeros(1, 4);
+b = a + 1;
+disp(b);

@@ -1,0 +1,5 @@
+x = 1;
+x = 2;
+y = x + 1;
+t = y;
+t = y + 2;

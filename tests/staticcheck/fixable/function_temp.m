@@ -1,0 +1,5 @@
+function r = scaled(v)
+t = v + 1;
+r = v * 2;
+end
+q = scaled(3);

@@ -1,0 +1,3 @@
+y = 9;
+x = y;
+z = x;

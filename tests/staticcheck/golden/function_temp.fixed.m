@@ -1,0 +1,4 @@
+function r = scaled(v)
+r = v * 2;
+end
+q = scaled(3);

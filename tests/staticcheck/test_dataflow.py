@@ -1,14 +1,16 @@
 """Worklist solver + concrete analyses over small hand-checked CFGs."""
 
 from repro.mlang.parser import parse
+from repro.shapes import (
+    ShapePropagation,
+    scope_annotations,
+    scope_known_functions,
+)
 from repro.staticcheck.analyses import (
     Liveness,
     ReachingDefinitions,
-    ShapePropagation,
     definite_assignment,
     maybe_assignment,
-    scope_annotations,
-    scope_known_functions,
 )
 from repro.staticcheck.cfg import build_cfg, program_scopes
 from repro.staticcheck.dataflow import solve

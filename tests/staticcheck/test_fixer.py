@@ -1,0 +1,135 @@
+"""Before/after golden tests for ``mvec lint --fix``.
+
+Every program under ``tests/staticcheck/fixable/`` is run through the
+autofixer and must come out byte-identical to its
+``tests/staticcheck/golden/<stem>.fixed.m`` snapshot.  Regenerate after
+an intentional fixer change with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/staticcheck/test_fixer.py -q
+
+Beyond the snapshots, the fixer carries three structural guarantees
+exercised here: it is idempotent, it never introduces new diagnostics,
+and it leaves unparseable input untouched.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import fix_source, lint_source
+
+FIXABLE = Path(__file__).resolve().parent / "fixable"
+GOLDEN = Path(__file__).resolve().parent / "golden"
+UPDATE = bool(os.environ.get("REPRO_UPDATE_GOLDEN"))
+
+FILES = sorted(FIXABLE.glob("*.m"))
+
+
+def test_fixable_corpus_present():
+    assert FILES, f"no fixable programs found under {FIXABLE}"
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.stem)
+def test_fixed_output_matches_golden(path):
+    golden = GOLDEN / f"{path.stem}.fixed.m"
+    actual = fix_source(path.read_text()).source
+    if UPDATE:
+        golden.write_text(actual)
+    assert golden.exists(), f"missing golden snapshot {golden}"
+    assert actual == golden.read_text()
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.stem)
+def test_fix_is_idempotent(path):
+    once = fix_source(path.read_text())
+    twice = fix_source(once.source)
+    assert twice.source == once.source
+    assert not twice.changed
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.stem)
+def test_fix_never_adds_diagnostics(path):
+    source = path.read_text()
+    before = {(d.code, d.message) for d in lint_source(source)}
+    after = lint_source(fix_source(source).source)
+    assert not [d for d in after if (d.code, d.message) not in before]
+    assert not [d for d in after if d.code == "W201"], \
+        "every full-assignment dead store must be fixed"
+
+
+def test_dead_store_fix_details():
+    result = fix_source((FIXABLE / "dead_store.m").read_text())
+    assert [(d.line, d.column) for d in result.removed_stores] == \
+        [(1, 1), (4, 1)]
+    assert result.passes == 1
+    assert result.changed
+
+
+def test_cascading_stores_need_two_passes():
+    result = fix_source((FIXABLE / "cascade.m").read_text())
+    assert result.passes == 2
+    assert len(result.removed_stores) == 2
+
+
+def test_stale_annotations_stripped():
+    result = fix_source((FIXABLE / "stale_annotation.m").read_text())
+    assert result.stripped_annotations == ["alsogone", "gone"]
+    assert "gone" not in result.source
+    # The emptied second annotation line is dropped entirely.
+    assert result.source.count("%!") == 1
+
+
+def test_clean_program_untouched():
+    source = (FIXABLE / "clean.m").read_text()
+    result = fix_source(source)
+    assert result.source == source
+    assert not result.changed
+    assert result.summary() == "nothing to fix"
+
+
+def test_unparseable_input_untouched():
+    source = "x = = 1;\n"
+    result = fix_source(source)
+    assert result.source == source
+    assert not result.changed
+
+
+def test_shared_line_store_not_fixed():
+    # Both statements live on one physical line: deleting the dead
+    # store would also delete its live neighbour, so the fixer must
+    # leave the line alone.
+    source = "x = 1; y = 2;\nx = 3;\nz = x + y;\n"
+    result = fix_source(source)
+    assert result.source == source
+    assert not result.removed_stores
+
+
+def test_cli_fix_rewrites_file_in_place(tmp_path):
+    target = tmp_path / "prog.m"
+    target.write_text((FIXABLE / "dead_store.m").read_text())
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = str(root / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", "--fix", str(target)],
+        capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, proc.stderr
+    assert target.read_text() == \
+        (GOLDEN / "dead_store.fixed.m").read_text()
+    assert "removed 2 dead store(s)" in proc.stderr
+
+
+def test_cli_fix_stdin_prints_fixed_source():
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = str(root / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", "--fix", "-"],
+        input=(FIXABLE / "cascade.m").read_text(),
+        capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout == (GOLDEN / "cascade.fixed.m").read_text()
