@@ -11,7 +11,11 @@ The package provides:
   Allen & Kennedy ``codegen`` (:mod:`repro.vectorizer`);
 * a MATLAB interpreter over NumPy (:mod:`repro.runtime`) used to verify
   and benchmark transformations;
-* a MATLAB → NumPy transpiler (:mod:`repro.translate`).
+* a MATLAB → NumPy transpiler (:mod:`repro.translate`);
+* a unified, cached facade (:mod:`repro.api`): ``api.vectorize``,
+  ``api.translate``, ``api.lint``, ``api.audit``,
+  ``api.compile_many``, ``api.fanout`` — frozen result objects, one
+  shared content-addressed cache.
 
 Quickstart::
 
@@ -25,6 +29,12 @@ Quickstart::
     print(result.source)   # z(1:n) = x(1:n)+y(1:n);
 """
 
+from . import api  # noqa: F401
+from .api import (  # noqa: F401
+    AuditReport,
+    CompileOutcome,
+    LintReport,
+)
 from .dims.abstract import Dim, ONE, RSym, STAR  # noqa: F401
 from .dims.context import ShapeEnv  # noqa: F401
 from .errors import ReproError  # noqa: F401
@@ -43,6 +53,10 @@ from .vectorizer.driver import (  # noqa: F401
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "AuditReport",
+    "CompileOutcome",
+    "LintReport",
     "Dim",
     "ONE",
     "STAR",

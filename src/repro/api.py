@@ -1,0 +1,312 @@
+"""``repro.api`` — the one-stop Python facade over the toolchain.
+
+Everything the CLI, the serving front ends, and embedders need, behind
+five functions returning **frozen** result objects::
+
+    from repro import api
+
+    out = api.vectorize("for i=1:n\\n  z(i) = x(i) + y(i);\\nend")
+    out.ok, out.vectorized, out.cached
+
+    api.translate(src).python          # NumPy translation
+    api.lint(src).diagnostics          # static diagnostics (data)
+    api.audit(src).ok                  # independent legality audit
+    api.compile_many([("a.m", src)])   # parallel batch, input order
+
+All entry points route through one shared, cached
+:class:`~repro.service.compiler.CompilationService` (override with the
+``service=`` keyword for isolation — tests do), so repeated calls on
+the same source hit the content-addressed cache no matter which entry
+point made the first one.  Nothing here raises on *bad input*: every
+outcome is a result object with ``ok`` and a structured ``error``.
+Programming errors (bad option names, unknown backends) still raise.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from .service.compiler import CompilationService, CompileResult
+from .service.fingerprint import CompileOptions
+
+__all__ = [
+    "ApiError",
+    "AuditReport",
+    "CompileOutcome",
+    "CompileOptions",
+    "FanoutReport",
+    "LintReport",
+    "audit",
+    "compile_many",
+    "default_service",
+    "fanout",
+    "lint",
+    "options",
+    "reset_default_service",
+    "translate",
+    "vectorize",
+]
+
+
+# ---------------------------------------------------------------------------
+# Result types (frozen: results are facts, not scratch space)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ApiError:
+    """A structured failure (compile error, timeout, crashed worker)."""
+
+    type: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.type}: {self.message}"
+
+
+@dataclass(frozen=True)
+class CompileOutcome:
+    """Outcome of one :func:`vectorize`/:func:`translate` call."""
+
+    name: str
+    ok: bool
+    cached: bool = False
+    cache_key: Optional[str] = None
+    vectorized: Optional[str] = None
+    python: Optional[str] = None
+    stats: Optional[Mapping] = None
+    report_summary: Optional[str] = None
+    timings: Mapping[str, float] = field(default_factory=dict)
+    elapsed: float = 0.0
+    error: Optional[ApiError] = None
+
+    @classmethod
+    def from_result(cls, result: CompileResult) -> "CompileOutcome":
+        return cls(
+            name=result.name, ok=result.ok, cached=result.cached,
+            cache_key=result.cache_key, vectorized=result.vectorized,
+            python=result.python, stats=result.stats,
+            report_summary=result.report_summary,
+            timings=dict(result.timings), elapsed=result.elapsed,
+            error=ApiError(result.error.type, result.error.message)
+            if result.error else None)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "ok": self.ok, "cached": self.cached,
+            "cache_key": self.cache_key, "vectorized": self.vectorized,
+            "python": self.python, "stats": self.stats,
+            "report_summary": self.report_summary,
+            "timings": dict(self.timings), "elapsed": self.elapsed,
+            "error": {"type": self.error.type,
+                      "message": self.error.message}
+            if self.error else None,
+        }
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one :func:`lint` call.  Diagnostics are data — a
+    lint that *finds* errors is still a successful lint."""
+
+    file: str
+    errors: int
+    warnings: int
+    diagnostics: tuple[Mapping, ...] = ()
+    cached: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings alone pass)."""
+        return self.errors == 0
+
+    def to_dict(self) -> dict:
+        return {"file": self.file, "errors": self.errors,
+                "warnings": self.warnings,
+                "diagnostics": [dict(d) for d in self.diagnostics],
+                "cached": self.cached}
+
+    def render(self) -> str:
+        """Human-readable report, matching ``mvec lint`` output."""
+        lines = []
+        for diag in self.diagnostics:
+            head = (f"{self.file}:{diag['line']}:{diag['column']}: "
+                    f"{diag['severity']}[{diag['code']}]: "
+                    f"{diag['message']}")
+            if diag.get("hint"):
+                head += f"\n    hint: {diag['hint']}"
+            lines.append(head)
+        lines.append(f"{self.file}: {self.errors} error(s), "
+                     f"{self.warnings} warning(s)")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of one :func:`audit` call (compile + legality audit)."""
+
+    file: str
+    ok: bool
+    cached: bool = False
+    audited_loops: int = 0
+    audited_stmts: int = 0
+    vectorized_stmts: int = 0
+    diagnostics: tuple[Mapping, ...] = ()
+    error: Optional[ApiError] = None
+
+    def to_dict(self) -> dict:
+        return {"file": self.file, "ok": self.ok, "cached": self.cached,
+                "audited_loops": self.audited_loops,
+                "audited_stmts": self.audited_stmts,
+                "vectorized_stmts": self.vectorized_stmts,
+                "diagnostics": [dict(d) for d in self.diagnostics],
+                "error": {"type": self.error.type,
+                          "message": self.error.message}
+                if self.error else None}
+
+
+@dataclass(frozen=True)
+class FanoutReport:
+    """Outcome of one :func:`fanout` call: per-backend payload map."""
+
+    ok: bool
+    results: Mapping[str, Mapping] = field(default_factory=dict)
+    statuses: Mapping[str, int] = field(default_factory=dict)
+
+    def __getitem__(self, backend: str) -> Mapping:
+        return self.results[backend]
+
+
+# ---------------------------------------------------------------------------
+# The shared default service
+# ---------------------------------------------------------------------------
+
+_default_service: Optional[CompilationService] = None
+_default_service_lock = threading.Lock()
+
+
+def default_service() -> CompilationService:
+    """The process-wide service every facade call shares by default."""
+    global _default_service
+    if _default_service is None:
+        with _default_service_lock:
+            if _default_service is None:
+                _default_service = CompilationService()
+    return _default_service
+
+
+def reset_default_service() -> None:
+    """Drop the shared service (tests; config changes)."""
+    global _default_service
+    with _default_service_lock:
+        _default_service = None
+
+
+def options(**kwargs) -> CompileOptions:
+    """Build :class:`CompileOptions`; raises on unknown option names."""
+    return CompileOptions(**kwargs)
+
+
+def _pin_backend(opts: Optional[CompileOptions],
+                 backend: str) -> CompileOptions:
+    opts = opts or CompileOptions()
+    if opts.backend != backend:
+        opts = CompileOptions(**{**opts.to_dict(), "backend": backend})
+    return opts
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def vectorize(source: str, *, options: Optional[CompileOptions] = None,
+              name: str = "<memory>",
+              service: Optional[CompilationService] = None
+              ) -> CompileOutcome:
+    """Vectorize one MATLAB source (the paper's pipeline, cached)."""
+    service = service or default_service()
+    result = service.compile(source, _pin_backend(options, "matlab"),
+                             name=name)
+    return CompileOutcome.from_result(result)
+
+
+def translate(source: str, *, options: Optional[CompileOptions] = None,
+              name: str = "<memory>",
+              service: Optional[CompilationService] = None
+              ) -> CompileOutcome:
+    """Vectorize, then translate to NumPy Python (``.python``)."""
+    service = service or default_service()
+    result = service.compile(source, _pin_backend(options, "numpy"),
+                             name=name)
+    return CompileOutcome.from_result(result)
+
+
+def lint(source: str, *, name: str = "<memory>",
+         service: Optional[CompilationService] = None) -> LintReport:
+    """Static diagnostics over one source (cached)."""
+    service = service or default_service()
+    payload = service.lint(source, name=name)
+    return LintReport(
+        file=payload.get("file", name),
+        errors=payload.get("errors", 0),
+        warnings=payload.get("warnings", 0),
+        diagnostics=tuple(payload.get("diagnostics") or ()),
+        cached=bool(payload.get("cached")))
+
+
+def audit(source: str, *, options: Optional[CompileOptions] = None,
+          name: str = "<memory>",
+          service: Optional[CompilationService] = None) -> AuditReport:
+    """Compile one source and independently audit the emitted code."""
+    service = service or default_service()
+    payload = service.audit(source, options, name=name)
+    error = payload.get("error")
+    return AuditReport(
+        file=payload.get("file", name),
+        ok=bool(payload.get("ok")),
+        cached=bool(payload.get("cached")),
+        audited_loops=payload.get("audited_loops", 0),
+        audited_stmts=payload.get("audited_stmts", 0),
+        vectorized_stmts=payload.get("vectorized_stmts", 0),
+        diagnostics=tuple(payload.get("diagnostics") or ()),
+        error=ApiError(error["type"], error["message"]) if error else None)
+
+
+def compile_many(sources: Sequence[tuple[str, str]], *,
+                 options: Optional[CompileOptions] = None,
+                 workers: int = 1,
+                 timeout: Optional[float] = None,
+                 cache_dir=None) -> tuple[CompileOutcome, ...]:
+    """Compile ``(name, source)`` pairs in parallel, input order.
+
+    Error-isolated: a file that fails (or times out) yields a failed
+    outcome, never a dead batch.
+    """
+    from .service.compiler import compile_many as _compile_many
+
+    results = _compile_many(sources, options=options, workers=workers,
+                            timeout=timeout, cache_dir=cache_dir)
+    return tuple(CompileOutcome.from_result(r) for r in results)
+
+
+def fanout(source: str, *, options: Optional[CompileOptions] = None,
+           backends: Optional[Sequence[str]] = None,
+           service: Optional[CompilationService] = None) -> FanoutReport:
+    """Run one source against several backends concurrently."""
+    from .service.backends import fanout_sync
+
+    service = service or default_service()
+    outcome = fanout_sync(service, source, options, backends)
+    return FanoutReport(
+        ok=outcome.ok,
+        results={name: payload for name, (_s, payload)
+                 in outcome.results.items()},
+        statuses={name: status for name, (status, _p)
+                  in outcome.results.items()})

@@ -1,6 +1,6 @@
-"""Service benchmarks: cache cold-vs-warm and batch throughput.
+"""Service benchmarks: caching, batch, serving, and shard scaling.
 
-Two questions the compilation service must answer with numbers:
+Four questions the compilation service must answer with numbers:
 
 1. How much does the content-addressed cache buy?  ``measure_cache_speedup``
    times cold compiles (fresh service per run) against warm compiles
@@ -18,7 +18,22 @@ Two questions the compilation service must answer with numbers:
    beat ``workers=1`` on CPU-bound compiles; the pool still wins on
    multi-core CI, and both numbers are recorded.
 
-``python -m repro.bench.servicebench`` writes ``BENCH_service.json``.
+3. How do the two HTTP front ends compare under concurrent load?
+   ``measure_serving_throughput`` fires the same warm ``/v1/vectorize``
+   request at the threaded server and the asyncio server from N client
+   threads and reports requests/second for each.
+
+4. Does cache sharding scale?  ``measure_shard_scaling`` drives
+   durable writes into a disk-backed cache from several threads —
+   every put serializes, writes and fsyncs its entry file under the
+   owning shard's lock — for 1 shard (one global lock, every fsync
+   serialized) vs N shards (up to N fsyncs in flight), and verifies
+   the sharded and unsharded caches produce **identical artifacts**
+   for the same compile.
+
+``python -m repro.bench.servicebench`` writes ``BENCH_service_v2.json``
+(items 1–4); ``--v1`` writes the original ``BENCH_service.json``
+payload (items 1–2 only).
 """
 
 from __future__ import annotations
@@ -28,6 +43,7 @@ import os
 import statistics
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -149,11 +165,173 @@ def measure_batch_throughput(corpus_dir: Path = CORPUS_DIR,
 
 
 def run_service_bench() -> dict:
-    """Run both measurements and return the BENCH_service payload."""
+    """Run the v1 measurements and return the BENCH_service payload."""
     return {
         "benchmark": "service",
         "cache": measure_cache_speedup(),
         "batch": measure_batch_throughput(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# v2: serving throughput (threaded vs async) and shard scaling
+# ---------------------------------------------------------------------------
+
+
+def _fire_requests(host: str, port: int, source: str,
+                   n_requests: int, concurrency: int) -> float:
+    """POST the same /v1/vectorize request from N client threads;
+    return elapsed wall-clock seconds."""
+    import urllib.request
+    from concurrent.futures import ThreadPoolExecutor
+
+    body = json.dumps({"source": source}).encode()
+
+    def one(_index: int) -> None:
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/vectorize", data=body,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=60) as response:
+            payload = json.load(response)
+            if not payload["ok"]:
+                raise RuntimeError("benchmark request failed")
+
+    one(0)                                   # warm the cache first
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        list(pool.map(one, range(n_requests)))
+    return time.perf_counter() - start
+
+
+def measure_serving_throughput(source: str = DEFAULT_SOURCE,
+                               n_requests: int = 200,
+                               concurrency: int = 8) -> dict:
+    """Requests/second for the threaded vs the asyncio front end,
+    serving one warm (cache-hit) compile under concurrent clients."""
+    from ..service.aserver import AsyncServerThread
+    from ..service.server import CompilationServer
+
+    server = CompilationServer(("127.0.0.1", 0),
+                               CompilationService(), quiet=True)
+    accept = threading.Thread(target=server.serve_forever, daemon=True)
+    accept.start()
+    try:
+        host, port = server.server_address
+        threaded_s = _fire_requests(host, port, source,
+                                    n_requests, concurrency)
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    with AsyncServerThread(service=CompilationService(),
+                           max_concurrency=concurrency,
+                           queue_depth=n_requests) as handle:
+        async_s = _fire_requests(handle.host, handle.port, source,
+                                 n_requests, concurrency)
+
+    return {
+        "requests": n_requests,
+        "concurrency": concurrency,
+        "threaded_s": threaded_s,
+        "threaded_rps": n_requests / threaded_s,
+        "async_s": async_s,
+        "async_rps": n_requests / async_s,
+    }
+
+
+def measure_shard_scaling(tmp_root: Path | None = None,
+                          shard_counts: tuple[int, ...] = (1, 4),
+                          writes_per_thread: int = 96,
+                          threads: int = 4,
+                          repeats: int = 5) -> dict:
+    """Disk-write throughput under thread contention, 1 vs N shards.
+
+    Every ``put`` runs its whole disk write — serialize, write,
+    ``fsync``, atomic rename — under the owning shard's lock, so the
+    single-shard run serializes every durable write on one lock while
+    the N-shard run keeps up to N fsyncs in flight.  ``fsync`` is a
+    real IO wait (the GIL is released), which is what the per-shard
+    locks parallelize even on one core.  Also checks the
+    **identical-artifacts** property: the same compile through a
+    sharded and an unsharded cache yields the same cache key and the
+    same vectorized output.
+    """
+    import hashlib
+    import tempfile
+
+    from ..service.shardedcache import ShardedCache
+
+    own_tmp = tmp_root is None
+    if own_tmp:
+        tmp_handle = tempfile.TemporaryDirectory(prefix="mvec-shardbench-")
+        tmp_root = Path(tmp_handle.name)
+
+    # A realistically sized artifact (~5 KB entry file).
+    artifact = {"vectorized": "y(1:n) = 2*x(1:n);\n" * 256,
+                "python": None, "stats": None, "report_summary": None}
+    keysets = [[hashlib.sha256(f"bench-{t}-{i}".encode()).hexdigest()
+                for i in range(writes_per_thread)]
+               for t in range(threads)]
+    timings = {}
+    try:
+        for shards in shard_counts:
+            cache = ShardedCache(shards=shards, capacity=shards,
+                                 directory=tmp_root / f"s{shards}")
+
+            def worker(slice_index: int, cache=cache) -> None:
+                for key in keysets[slice_index]:
+                    cache.put(key, artifact)
+
+            best = float("inf")
+            for _ in range(repeats):
+                pool = [threading.Thread(target=worker, args=(t,))
+                        for t in range(threads)]
+                start = time.perf_counter()
+                for thread in pool:
+                    thread.start()
+                for thread in pool:
+                    thread.join()
+                best = min(best, time.perf_counter() - start)
+            timings[shards] = best
+    finally:
+        if own_tmp:
+            tmp_handle.cleanup()
+
+    # Identical-artifacts check: same key, same output, either layout.
+    plain = CompilationService(CompilationCache(capacity=8))
+    sharded = CompilationService(
+        cache=ShardedCache(shards=max(shard_counts), capacity=64))
+    a = plain.compile(DEFAULT_SOURCE)
+    b = sharded.compile(DEFAULT_SOURCE)
+    identical = (a.cache_key == b.cache_key
+                 and a.vectorized == b.vectorized)
+    if not identical:
+        raise RuntimeError("sharded cache produced a different artifact")
+
+    single = timings[shard_counts[0]]
+    multi = timings[shard_counts[-1]]
+    writes = writes_per_thread * threads
+    return {
+        "threads": threads,
+        "writes": writes,
+        "shard_counts": list(shard_counts),
+        **{f"shards_{n}_s": s for n, s in timings.items()},
+        **{f"shards_{n}_writes_per_s": writes / s
+           for n, s in timings.items()},
+        "multi_vs_single_speedup": single / multi if multi > 0
+        else float("inf"),
+        "identical_artifacts": identical,
+    }
+
+
+def run_service_bench_v2() -> dict:
+    """All four measurements — the BENCH_service_v2 payload."""
+    return {
+        "benchmark": "service_v2",
+        "cache": measure_cache_speedup(),
+        "batch": measure_batch_throughput(),
+        "serving": measure_serving_throughput(),
+        "shards": measure_shard_scaling(),
     }
 
 
@@ -174,12 +352,31 @@ def format_service_rows(payload: dict) -> str:
             lines.append(f"{'batch workers=' + n:<24} {value:>12.3f} s")
     lines.append(f"{'batch-speedup':<24} "
                  f"{batch['batch_speedup_vs_per_file']:>12.1f} x")
+    if "serving" in payload:
+        serving = payload["serving"]
+        lines.append(f"{'serve threaded':<24} "
+                     f"{serving['threaded_rps']:>12.1f} req/s")
+        lines.append(f"{'serve async':<24} "
+                     f"{serving['async_rps']:>12.1f} req/s")
+    if "shards" in payload:
+        shards = payload["shards"]
+        for n in shards["shard_counts"]:
+            lines.append(f"{f'cache shards={n}':<24} "
+                         f"{shards[f'shards_{n}_writes_per_s']:>12.1f}"
+                         " write/s")
+        lines.append(f"{'shard-speedup':<24} "
+                     f"{shards['multi_vs_single_speedup']:>12.2f} x")
     return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
-    out = Path(argv[0]) if argv else REPO_ROOT / "BENCH_service.json"
-    payload = run_service_bench()
+    argv = list(argv or [])
+    v1 = "--v1" in argv
+    if v1:
+        argv.remove("--v1")
+    default = "BENCH_service.json" if v1 else "BENCH_service_v2.json"
+    out = Path(argv[0]) if argv else REPO_ROOT / default
+    payload = run_service_bench() if v1 else run_service_bench_v2()
     out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(format_service_rows(payload))
     print(f"wrote {out}")

@@ -12,8 +12,12 @@ Usage::
     mvec input.m --no-patterns --no-transposes ...   # ablations
     mvec fuzz --n 500 --seed 0   # differential-equivalence fuzzing
     mvec batch *.m --workers 4   # parallel batch compilation
-    mvec serve --port 8032       # JSON compile service (HTTP)
+    mvec serve --port 8032       # JSON compile service (HTTP, threaded)
+    mvec serve --async --shards 4  # asyncio front end + process pool,
+                                 #   consistent-hash sharded cache
     mvec serve --stdio           # JSON-lines compile service (pipes)
+    mvec client vectorize in.m   # speak /v1 to a running server
+                                 #   (retries 503/504 with backoff)
     mvec lint input.m            # static diagnostics (use-before-def,
                                  #   dead stores, shape conflicts)
     mvec lint --fix input.m      # apply safe autofixes in place
@@ -33,9 +37,6 @@ import time
 from .errors import ReproError
 from .mlang.parser import parse
 from .runtime.interp import Interpreter
-from .translate.numpy_backend import translate_source
-from .vectorizer.checker import CheckOptions
-from .vectorizer.driver import Vectorizer
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -239,9 +240,11 @@ def build_shapes_parser() -> argparse.ArgumentParser:
 def build_serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mvec serve",
-        description="Run the compilation service: POST /vectorize, "
-                    "POST /translate, GET /healthz, GET /metrics — or a "
-                    "JSON-lines loop over stdin/stdout with --stdio.")
+        description="Run the compilation service: the versioned /v1 API "
+                    "(POST /v1/vectorize|translate|lint|audit|fanout, "
+                    "GET /v1/healthz|/v1/metrics) plus the deprecated "
+                    "unversioned shims — or a JSON-lines loop over "
+                    "stdin/stdout with --stdio.")
     parser.add_argument("--host", default="127.0.0.1",
                         help="bind address (default 127.0.0.1)")
     parser.add_argument("--port", type=int, default=8032,
@@ -250,6 +253,24 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--stdio", action="store_true",
                         help="serve JSON-lines over stdin/stdout instead "
                              "of HTTP")
+    parser.add_argument("--async", dest="use_async", action="store_true",
+                        help="asyncio front end: CPU-bound compiles run "
+                             "in a process pool; saturated queue sheds "
+                             "with 503 + Retry-After")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="split the cache across N consistent-hashed "
+                             "shards (default 1 = the plain two-tier "
+                             "cache)")
+    parser.add_argument("--max-concurrency", type=int, default=4,
+                        help="concurrent compiles in flight with --async "
+                             "(default 4)")
+    parser.add_argument("--queue-depth", type=int, default=8,
+                        help="admitted requests allowed to queue beyond "
+                             "--max-concurrency before shedding "
+                             "(default 8)")
+    parser.add_argument("--request-timeout", type=float, default=30.0,
+                        help="per-request deadline in seconds with "
+                             "--async; expiry answers 504 (default 30)")
     parser.add_argument("--cache-dir",
                         help="enable the on-disk cache tier at this "
                              "directory (memory-only by default)")
@@ -261,6 +282,39 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_client_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mvec client",
+        description="Talk /v1 to a running 'mvec serve' instance, with "
+                    "retry/backoff on 503 (saturated) and 504 (timeout). "
+                    "Prints the JSON envelope; exit status 0 iff ok.")
+    parser.add_argument("op",
+                        choices=["vectorize", "translate", "lint",
+                                 "audit", "fanout", "healthz", "metrics"],
+                        help="which /v1 operation to invoke")
+    parser.add_argument("file", nargs="?",
+                        help="MATLAB source file for POST ops ('-' for "
+                             "stdin)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8032,
+                        help="server port (default 8032)")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="per-request client timeout in seconds")
+    parser.add_argument("--retries", type=int, default=3,
+                        help="retry budget for 503/504/connection "
+                             "errors (default 3)")
+    parser.add_argument("--backends",
+                        help="comma-separated backend names for fanout "
+                             "(default: all registered)")
+    parser.add_argument("--simplify", action="store_true",
+                        help="request transpose simplification")
+    parser.add_argument("--verify", action="store_true",
+                        help="request the IR verifier between stages")
+    _add_ablation_flags(parser)
+    return parser
+
+
 def _default_workers() -> int:
     import os
 
@@ -268,7 +322,8 @@ def _default_workers() -> int:
 
 
 def _batch_main(argv: list[str]) -> int:
-    from .service.compiler import compile_many, read_sources
+    from . import api
+    from .service.compiler import read_sources
 
     args = build_batch_parser().parse_args(argv)
     workers = args.workers if args.workers is not None else \
@@ -280,9 +335,10 @@ def _batch_main(argv: list[str]) -> int:
         return 2
     backend = "numpy" if args.emit_python else "matlab"
     start = time.perf_counter()
-    results = compile_many(pairs, options=_compile_options(args, backend),
-                           workers=workers, timeout=args.timeout,
-                           cache_dir=args.cache_dir)
+    results = api.compile_many(pairs,
+                               options=_compile_options(args, backend),
+                               workers=workers, timeout=args.timeout,
+                               cache_dir=args.cache_dir)
     elapsed = time.perf_counter() - start
 
     out_dir = None
@@ -325,14 +381,71 @@ def _serve_main(argv: list[str]) -> int:
     from .service.cache import CompilationCache
     from .service.compiler import CompilationService
     from .service.server import serve_http, serve_stdio
+    from .service.shardedcache import ShardedCache
 
-    args = build_serve_parser().parse_args(argv)
-    cache = CompilationCache(capacity=args.cache_capacity,
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
+    if args.shards > 1:
+        cache = ShardedCache(shards=args.shards,
+                             capacity=args.cache_capacity,
                              directory=args.cache_dir)
+    else:
+        cache = CompilationCache(capacity=args.cache_capacity,
+                                 directory=args.cache_dir)
     service = CompilationService(cache=cache)
     if args.stdio:
         return serve_stdio(service)
+    if args.use_async:
+        from .service.aserver import serve_async
+
+        return serve_async(args.host, args.port, service,
+                           quiet=args.quiet,
+                           max_concurrency=args.max_concurrency,
+                           queue_depth=args.queue_depth,
+                           request_timeout=args.request_timeout)
     return serve_http(args.host, args.port, service, quiet=args.quiet)
+
+
+def _client_main(argv: list[str]) -> int:
+    import json
+
+    from .service.client import ServiceClient, ServiceUnavailable
+
+    parser = build_client_parser()
+    args = parser.parse_args(argv)
+    client = ServiceClient(host=args.host, port=args.port,
+                           timeout=args.timeout,
+                           max_retries=args.retries)
+    try:
+        if args.op == "healthz":
+            response = client.healthz()
+        elif args.op == "metrics":
+            response = client.metrics_json()
+        else:
+            if not args.file:
+                parser.error(f"{args.op} needs a source file")
+            pairs = _read_inputs([args.file])
+            if pairs is None:
+                return 2
+            _name, source = pairs[0]
+            backend = "numpy" if args.op == "translate" else "matlab"
+            options = _compile_options(args, backend).to_dict()
+            if args.op == "fanout":
+                backends = (args.backends.split(",")
+                            if args.backends else None)
+                response = client.fanout(source, options=options,
+                                         backends=backends)
+            else:
+                response = getattr(client, args.op)(
+                    source, **({} if args.op == "lint"
+                               else {"options": options}))
+    except ServiceUnavailable as error:
+        print(f"mvec client: {error}", file=sys.stderr)
+        return 3
+    print(json.dumps(response.body, indent=2))
+    return 0 if response.ok else 1
 
 
 def _fuzz_main(argv: list[str]) -> int:
@@ -383,13 +496,20 @@ def _read_inputs(files: list[str]) -> list[tuple[str, str]] | None:
     return pairs
 
 
+def _render_diagnostic_dicts(diagnostics, filename: str) -> str:
+    """``render_text`` over the facade's diagnostic dicts."""
+    from .staticcheck import render_text
+    from .staticcheck.diagnostics import Diagnostic
+
+    rebuilt = [Diagnostic(code=d["code"], message=d["message"],
+                          line=d["line"], column=d["column"],
+                          hint=d.get("hint"))
+               for d in diagnostics]
+    return render_text(rebuilt, filename=filename)
+
+
 def _lint_main(argv: list[str]) -> int:
-    from .staticcheck import (
-        Severity,
-        counts_by_severity,
-        lint_source,
-        render_text,
-    )
+    from . import api
 
     args = build_lint_parser().parse_args(argv)
     pairs = _read_inputs(args.files)
@@ -412,23 +532,20 @@ def _lint_main(argv: list[str]) -> int:
             if not args.quiet:
                 print(f"mvec lint --fix: {name}: {fixed.summary()}",
                       file=sys.stderr)
-        diagnostics = lint_source(source)
-        counts = counts_by_severity(diagnostics)
-        if counts.get(Severity.ERROR.value, 0):
+        report = api.lint(source, name=name)
+        if report.errors:
             status = 1
         if args.json:
             json_out.append(
                 {"file": name,
-                 "diagnostics": [d.to_dict() for d in diagnostics],
-                 "errors": counts.get(Severity.ERROR.value, 0),
-                 "warnings": counts.get(Severity.WARNING.value, 0)})
-        elif diagnostics:
-            print(render_text(diagnostics, filename=name))
+                 "diagnostics": [dict(d) for d in report.diagnostics],
+                 "errors": report.errors,
+                 "warnings": report.warnings})
+        elif report.diagnostics:
+            print(_render_diagnostic_dicts(report.diagnostics, name))
         if not args.quiet and not args.json:
-            summary = ", ".join(f"{count} {severity}(s)"
-                                for severity, count in sorted(counts.items())
-                                ) or "clean"
-            print(f"mvec lint: {name}: {summary}", file=sys.stderr)
+            print(f"mvec lint: {name}: {report.errors} error(s), "
+                  f"{report.warnings} warning(s)", file=sys.stderr)
     if args.json:
         import json
 
@@ -484,49 +601,34 @@ def _shapes_main(argv: list[str]) -> int:
 
 
 def _audit_main(argv: list[str]) -> int:
-    from .staticcheck import audit_source
-    from .staticcheck.diagnostics import render_text
-    from .vectorizer.driver import Vectorizer
+    from . import api
 
     args = build_audit_parser().parse_args(argv)
     pairs = _read_inputs(args.files)
     if pairs is None:
         return 2
-    options = CheckOptions(
-        patterns=args.patterns,
-        transposes=args.transposes,
-        reductions=args.reductions,
-        promotion=args.promotion,
-        product_regroup=args.product_regroup,
-    )
+    options = _compile_options(args, "matlab")
     status = 0
     json_out = []
     for name, source in pairs:
-        try:
-            compiled = Vectorizer(options=options, simplify=args.simplify,
-                                  scalar_temps=args.scalar_temps,
-                                  verify=args.verify,
-                                  use_annotations=args.use_annotations,
-                                  ).vectorize_source(source)
-        except ReproError as error:
-            print(f"mvec audit: {name}: compile error: {error}",
-                  file=sys.stderr)
+        report = api.audit(source, options=options, name=name)
+        if report.error is not None:
+            print(f"mvec audit: {name}: compile error: "
+                  f"{report.error.message}", file=sys.stderr)
             status = 1
             continue
-        result = audit_source(source, compiled.source,
-                              scalar_temps=args.scalar_temps)
-        if not result.ok:
+        if not report.ok:
             status = 1
         if args.json:
-            json_out.append({"file": name, **result.to_dict()})
+            json_out.append(report.to_dict())
         else:
-            if result.diagnostics:
-                print(render_text(result.diagnostics, filename=name))
+            if report.diagnostics:
+                print(_render_diagnostic_dicts(report.diagnostics, name))
             if not args.quiet:
-                verdict = "pass" if result.ok else "FAIL"
+                verdict = "pass" if report.ok else "FAIL"
                 print(f"mvec audit: {name}: {verdict} "
-                      f"({result.vectorized_stmts} vectorized stmt(s) "
-                      f"across {result.audited_loops} loop(s))",
+                      f"({report.vectorized_stmts} vectorized stmt(s) "
+                      f"across {report.audited_loops} loop(s))",
                       file=sys.stderr)
     if args.json:
         import json
@@ -544,6 +646,8 @@ def main(argv: list[str] | None = None) -> int:
         return _batch_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        return _client_main(argv[1:])
     if argv and argv[0] == "lint":
         return _lint_main(argv[1:])
     if argv and argv[0] == "audit":
@@ -563,54 +667,51 @@ def main(argv: list[str] | None = None) -> int:
             print(f"mvec: {error}", file=sys.stderr)
             return 2
 
-    options = CheckOptions(
-        patterns=args.patterns,
-        transposes=args.transposes,
-        reductions=args.reductions,
-        promotion=args.promotion,
-        product_regroup=args.product_regroup,
-    )
-    try:
-        result = Vectorizer(options=options, simplify=args.simplify,
-                            scalar_temps=args.scalar_temps,
-                            verify=args.verify,
-                            use_annotations=args.use_annotations,
-                            ).vectorize_source(source)
-    except ReproError as error:
-        print(f"mvec: {error}", file=sys.stderr)
+    from . import api
+
+    if args.emit_python:
+        outcome = api.translate(
+            source, options=_compile_options(args, "numpy"),
+            name=args.input[0])
+    else:
+        outcome = api.vectorize(
+            source, options=_compile_options(args, "matlab"),
+            name=args.input[0])
+    if not outcome.ok:
+        print(f"mvec: {outcome.error.message}", file=sys.stderr)
         return 1
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(result.source)
+            handle.write(outcome.vectorized)
     else:
-        print(result.source, end="")
+        print(outcome.vectorized, end="")
 
     if args.report:
         print("--- report ---", file=sys.stderr)
-        print(result.report.summary(), file=sys.stderr)
+        print(outcome.report_summary, file=sys.stderr)
 
     if args.stats:
         import json
 
-        print(json.dumps(result.report.stats(), indent=2), file=sys.stderr)
+        print(json.dumps(outcome.stats, indent=2), file=sys.stderr)
 
     if args.emit_python:
-        unit = translate_source(result.source)
         print("--- python ---")
-        print(unit.python_source, end="")
+        print(outcome.python, end="")
 
     if args.run:
-        status = _run_both(source, result.source, args.seed)
+        status = _run_both(source, outcome.vectorized, args.seed)
         if status:
             return status
     return 0
 
 
 def _multi_main(args) -> int:
-    """Several positional inputs: compile through the batch compiler,
-    print each result, exit nonzero if any file failed."""
-    from .service.compiler import compile_many, read_sources
+    """Several positional inputs: compile through the facade's batch
+    compiler, print each result, exit nonzero if any file failed."""
+    from . import api
+    from .service.compiler import read_sources
 
     if args.output:
         print("mvec: -o/--output needs a single input; use "
@@ -622,7 +723,8 @@ def _multi_main(args) -> int:
         print(f"mvec: {error}", file=sys.stderr)
         return 2
     backend = "numpy" if args.emit_python else "matlab"
-    results = compile_many(pairs, options=_compile_options(args, backend))
+    results = api.compile_many(pairs,
+                               options=_compile_options(args, backend))
     status = 0
     for (name, source), result in zip(pairs, results):
         print(f"% ===== {name} =====")

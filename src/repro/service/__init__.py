@@ -6,15 +6,44 @@ The scaling layer over the paper's one-shot pipeline:
   content-addressed cache keys;
 * :mod:`repro.service.cache` — two-tier (LRU memory + atomic disk)
   artifact cache;
+* :mod:`repro.service.shardedcache` — consistent-hash sharding of the
+  two-tier cache across N directories with rebalance-on-resize;
 * :mod:`repro.service.compiler` — :class:`CompilationService`,
   :func:`compile_many`, and the error-isolated worker pool;
-* :mod:`repro.service.metrics` — counters/histograms with JSON and
-  Prometheus rendering;
-* :mod:`repro.service.server` — ``mvec serve``'s HTTP and stdio
-  front ends.
+* :mod:`repro.service.backends` — the backend registry behind
+  multi-backend fan-out;
+* :mod:`repro.service.metrics` — counters/gauges/histograms with JSON
+  and Prometheus rendering;
+* :mod:`repro.service.v1` — the versioned (``/v1``) envelope protocol
+  shared by both front ends;
+* :mod:`repro.service.server` — the threaded HTTP and stdio front
+  ends (``mvec serve``);
+* :mod:`repro.service.aserver` — the asyncio front end with a bounded
+  queue, load shedding, and a process-pool executor
+  (``mvec serve --async``);
+* :mod:`repro.service.client` — the retrying v1 client
+  (``mvec client``).
 """
 
+from .aserver import (  # noqa: F401
+    AsyncCompilationServer,
+    AsyncServerThread,
+    serve_async,
+)
+from .backends import (  # noqa: F401
+    Backend,
+    backend_names,
+    fanout_sync,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
 from .cache import CompilationCache, DiskCache, MemoryLRU  # noqa: F401
+from .client import (  # noqa: F401
+    ClientResponse,
+    ServiceClient,
+    ServiceUnavailable,
+)
 from .compiler import (  # noqa: F401
     CompilationService,
     CompileFailure,
@@ -27,27 +56,45 @@ from .fingerprint import (  # noqa: F401
     CompileOptions,
     cache_key,
     pipeline_fingerprint,
+    salted_cache_key,
 )
-from .metrics import Counter, Histogram, MetricsRegistry  # noqa: F401
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry  # noqa: F401
 from .server import CompilationServer, serve_http, serve_stdio  # noqa: F401
+from .shardedcache import RebalanceReport, ShardedCache  # noqa: F401
 
 __all__ = [
+    "AsyncCompilationServer",
+    "AsyncServerThread",
+    "Backend",
+    "ClientResponse",
     "CompilationCache",
-    "DiskCache",
-    "MemoryLRU",
+    "CompilationServer",
     "CompilationService",
     "CompileFailure",
-    "CompileResult",
-    "WorkerFailure",
-    "compile_many",
-    "parallel_map",
     "CompileOptions",
-    "cache_key",
-    "pipeline_fingerprint",
+    "CompileResult",
     "Counter",
+    "DiskCache",
+    "Gauge",
     "Histogram",
+    "MemoryLRU",
     "MetricsRegistry",
-    "CompilationServer",
+    "RebalanceReport",
+    "ServiceClient",
+    "ServiceUnavailable",
+    "ShardedCache",
+    "WorkerFailure",
+    "backend_names",
+    "cache_key",
+    "compile_many",
+    "fanout_sync",
+    "get_backend",
+    "parallel_map",
+    "pipeline_fingerprint",
+    "register_backend",
+    "salted_cache_key",
+    "serve_async",
     "serve_http",
     "serve_stdio",
+    "unregister_backend",
 ]

@@ -1,0 +1,537 @@
+"""The asyncio serving front end: concurrent compiles over a process pool.
+
+:class:`AsyncCompilationServer` is the scale-out counterpart of the
+threaded :class:`~repro.service.server.CompilationServer`.  The event
+loop owns admission control, caching, and response assembly; the
+CPU-bound pipeline work runs in an executor (by default a
+``ProcessPoolExecutor`` of forked workers, each keeping one warm
+:class:`~repro.service.compiler.CompilationService`), so one slow
+compile never stalls the accept loop or other in-flight requests.
+
+Request lifecycle::
+
+    accept ──► admission check ──► semaphore ──► cache lookup ──► hit?
+       │    (active ≥ max+queue        (max_concurrency           │yes
+       │     → 503 + Retry-After)       slots)                    ▼
+       │                                  │no-hit            envelope
+       │                                  ▼
+       │                          run_backend in executor
+       │                          (asyncio.wait_for → 504)
+       │                                  │
+       └──────────────────────── cache.put + metering ◄───────────┘
+
+* **Bounded queue** — at most ``max_concurrency`` requests execute and
+  at most ``queue_depth`` more wait on the semaphore; anything beyond
+  that is shed immediately with **503** and a ``Retry-After`` header
+  (see :mod:`repro.service.client` for the matching backoff).
+* **Per-request timeout** — ``asyncio.wait_for(..., request_timeout)``
+  bounds queue-wait plus compute; expiry answers **504**.  The executor
+  job itself is left to finish (a process-pool future cannot be
+  interrupted) and its artifact still lands in the worker's own cache.
+* **Caching** — the parent process consults its (optionally sharded)
+  cache before shipping work out, and stores the artifact on the way
+  back, so concurrent identical requests converge to one compile plus
+  N−1 hits.
+
+The HTTP surface is the same as the threaded server's: ``/v1/*`` with
+the :mod:`repro.service.v1` envelope, plus the deprecated unversioned
+shims with ``Deprecation``/``Link`` headers.  Requests are parsed by a
+deliberately small HTTP/1.1 reader (stdlib-only; every response is
+``Connection: close``).
+
+For tests and synchronous callers :class:`AsyncServerThread` runs the
+whole event loop in a daemon thread behind a context manager.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from http import HTTPStatus
+from typing import Optional
+from urllib.parse import urlparse
+
+from . import v1
+from .backends import (
+    Backend,
+    artifact_for,
+    get_backend,
+    meter_backend,
+    payload_from_artifact,
+    resolve_backends,
+    run_backend,
+    status_for,
+)
+from .compiler import CompilationService
+from .fingerprint import CompileOptions
+from .server import (
+    MAX_SOURCE_BYTES,
+    RequestError,
+    _parse_request,
+    parse_fanout_request,
+)
+
+#: Upper bound on the request head (request line + headers).
+MAX_HEADER_BYTES = 16_384
+
+#: Seconds a shed client is told to wait before retrying.
+RETRY_AFTER_SECONDS = 1
+
+
+def _default_executor(workers: int) -> ProcessPoolExecutor:
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0])
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+class AsyncCompilationServer:
+    """asyncio front end over one :class:`CompilationService`.
+
+    ``executor`` defaults to a fork-based ``ProcessPoolExecutor`` with
+    ``max_concurrency`` workers (owned, and shut down by
+    :meth:`stop`).  Tests inject a ``ThreadPoolExecutor`` so custom
+    in-process backends and monkeypatches reach the runner.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 service: Optional[CompilationService] = None, *,
+                 executor: Optional[Executor] = None,
+                 max_concurrency: int = 4,
+                 queue_depth: int = 8,
+                 request_timeout: float = 30.0,
+                 quiet: bool = True):
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        self.host = host
+        self.port = port
+        self.service = service if service is not None else CompilationService()
+        self.max_concurrency = max_concurrency
+        self.queue_depth = queue_depth
+        self.request_timeout = request_timeout
+        self.quiet = quiet
+        self.executor = executor
+        self._owns_executor = executor is None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._active = 0
+        self._started = time.monotonic()
+        self.address: Optional[tuple[str, int]] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        if self.executor is None:
+            self.executor = _default_executor(self.max_concurrency)
+        self._semaphore = asyncio.Semaphore(self.max_concurrency)
+        self._started = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._owns_executor and self.executor is not None:
+            self.executor.shutdown(wait=False, cancel_futures=True)
+            self.executor = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted (executing or queued)."""
+        return self._active
+
+    # -- metering ------------------------------------------------------
+
+    def _observe(self, route: str, status: int) -> None:
+        self.service.metrics.counter(
+            "mvec_http_requests_total", "HTTP requests by route/status",
+            route=route, status=str(status)).inc()
+
+    def _gauge_inflight(self) -> None:
+        self.service.metrics.gauge(
+            "mvec_inflight_requests",
+            "Admitted requests currently in flight").set(self._active)
+
+    # -- HTTP plumbing -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            status, body, content_type, extra = await self._handle_request(
+                reader)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        except Exception as error:  # noqa: BLE001 — keep the loop alive
+            status = 500
+            body = json.dumps(
+                v1.error_envelope("internal", str(error))).encode()
+            content_type, extra = "application/json", []
+        try:
+            self._write_response(writer, status, body, content_type, extra)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _read_head(self, reader: asyncio.StreamReader
+                         ) -> tuple[str, str, dict[str, str]]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        if len(head) > MAX_HEADER_BYTES:
+            raise RequestError(431, "request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            raise RequestError(400, f"malformed request line: {lines[0]!r}")
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _sep, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), target, headers
+
+    async def _read_body(self, reader: asyncio.StreamReader,
+                         headers: dict[str, str]) -> bytes:
+        try:
+            length = int(headers.get("content-length", 0))
+        except ValueError:
+            raise RequestError(400, "bad Content-Length")
+        if length > MAX_SOURCE_BYTES:
+            raise RequestError(413,
+                               f"body exceeds {MAX_SOURCE_BYTES} bytes")
+        if length <= 0:
+            return b""
+        return await reader.readexactly(length)
+
+    def _write_response(self, writer: asyncio.StreamWriter, status: int,
+                        body: bytes, content_type: str,
+                        extra_headers: list[tuple[str, str]]) -> None:
+        try:
+            reason = HTTPStatus(status).phrase
+        except ValueError:
+            reason = "Unknown"
+        head = [f"HTTP/1.1 {status} {reason}",
+                "Server: mvec-aserve",
+                f"Content-Type: {content_type}",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        head += [f"{name}: {value}" for name, value in extra_headers]
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+
+    # -- routing -------------------------------------------------------
+
+    async def _handle_request(self, reader: asyncio.StreamReader
+                              ) -> tuple[int, bytes, str, list]:
+        path = "?"
+        try:
+            try:
+                method, target, headers = await self._read_head(reader)
+            except asyncio.LimitOverrunError:
+                raise RequestError(431, "request head too large")
+            url = urlparse(target)
+            path = url.path
+            if method == "GET":
+                return self._handle_get(url)
+            if method == "POST":
+                body = await self._read_body(reader, headers)
+                return await self._handle_post(url, body)
+            self._observe(url.path, 405)
+            return (405,
+                    json.dumps(v1.error_envelope(
+                        "request", f"method {method} not allowed")).encode(),
+                    "application/json", [])
+        except RequestError as error:
+            self._observe(path, error.status)
+            return (error.status,
+                    json.dumps(v1.error_envelope(
+                        "request", str(error))).encode(),
+                    "application/json", [])
+
+    def _handle_get(self, url) -> tuple[int, bytes, str, list]:
+        if url.path in ("/v1/healthz", "/healthz"):
+            extra_headers = ([] if url.path.startswith("/v1/")
+                             else v1.deprecation_headers(url.path))
+            uptime = time.monotonic() - self._started
+            if url.path == "/v1/healthz":
+                payload = v1.health_envelope(
+                    self.service, uptime,
+                    extra={"server": "async", "inflight": self._active})
+            else:
+                payload = {"ok": True,
+                           "fingerprint": self.service.fingerprint,
+                           "uptime_seconds": uptime,
+                           "cache": self.service.cache.stats.to_dict()}
+            self._observe(url.path, 200)
+            return 200, json.dumps(payload).encode(), "application/json", \
+                extra_headers
+        if url.path in ("/v1/metrics", "/metrics"):
+            extra_headers = ([] if url.path.startswith("/v1/")
+                             else v1.deprecation_headers(url.path))
+            self._observe(url.path, 200)
+            if "format=json" in (url.query or ""):
+                body = json.dumps(self.service.metrics.to_json()).encode()
+                return 200, body, "application/json", extra_headers
+            text = self.service.metrics.render_prometheus()
+            return (200, text.encode(), "text/plain; version=0.0.4",
+                    extra_headers)
+        self._observe(url.path, 404)
+        return (404, json.dumps(v1.error_envelope(
+            "request", f"no such endpoint: {url.path}")).encode(),
+            "application/json", [])
+
+    _LEGACY_POSTS = {"/vectorize": "vectorize", "/translate": "translate",
+                     "/lint": "lint", "/audit": "audit"}
+
+    async def _handle_post(self, url, body: bytes
+                           ) -> tuple[int, bytes, str, list]:
+        is_v1 = url.path.startswith("/v1/")
+        if is_v1:
+            op = url.path[len("/v1/"):]
+            if op not in v1.V1_POST_OPS:
+                raise RequestError(404, f"no such endpoint: {url.path}")
+            extra_headers: list = []
+        elif url.path in self._LEGACY_POSTS:
+            op = self._LEGACY_POSTS[url.path]
+            extra_headers = v1.deprecation_headers(url.path)
+        else:
+            raise RequestError(404, f"no such endpoint: {url.path}")
+
+        # Admission control: shed immediately once the queue is full.
+        if self._active >= self.max_concurrency + self.queue_depth:
+            self._observe(url.path, 503)
+            self.service.metrics.counter(
+                "mvec_requests_shed_total",
+                "Requests shed at admission (queue full)").inc()
+            return (503,
+                    json.dumps(v1.error_envelope(
+                        "saturated",
+                        f"queue full ({self._active} in flight); "
+                        f"retry later")).encode(),
+                    "application/json",
+                    extra_headers + [("Retry-After",
+                                      str(RETRY_AFTER_SECONDS))])
+
+        self._active += 1
+        self._gauge_inflight()
+        try:
+            status, payload = await asyncio.wait_for(
+                self._execute(op, body),
+                timeout=self.request_timeout)
+        except asyncio.TimeoutError:
+            self._observe(url.path, 504)
+            return (504,
+                    json.dumps(v1.error_envelope(
+                        "timeout",
+                        f"request exceeded "
+                        f"{self.request_timeout:g}s")).encode(),
+                    "application/json", extra_headers)
+        finally:
+            self._active -= 1
+            self._gauge_inflight()
+
+        raw = payload.pop("_raw", None)
+        if not is_v1:
+            payload = self._legacy_payload(op, payload, raw)
+        self._observe(url.path, status)
+        return (status, json.dumps(payload).encode(), "application/json",
+                extra_headers)
+
+    @staticmethod
+    def _legacy_payload(op: str, envelope_payload: dict,
+                        raw: Optional[dict]) -> dict:
+        """The legacy (pre-v1) response shape for a shim route."""
+        if raw is None:
+            return envelope_payload
+        if op == "lint" and not raw.get("error"):
+            return {"ok": True, **raw}
+        return raw
+
+    # -- execution -----------------------------------------------------
+
+    async def _execute(self, op: str, body: bytes) -> tuple[int, dict]:
+        """One admitted request → ``(status, v1 envelope)``.
+
+        The envelope carries the raw backend payload under ``"_raw"``
+        (popped before serialization) so the legacy shims can recover
+        their historical response shapes.
+        """
+        assert self._semaphore is not None
+        async with self._semaphore:
+            if op == "fanout":
+                source, options, names = parse_fanout_request(body)
+                try:
+                    backends = resolve_backends(names)
+                except ValueError as error:
+                    raise RequestError(400, str(error))
+                outcomes = await asyncio.gather(
+                    *(self._run_one(b, source, b.options_for(options))
+                      for b in backends))
+                results = {b.name: outcome
+                           for b, outcome in zip(backends, outcomes)}
+                return v1.fanout_envelope(
+                    results, {b.name: b for b in backends})
+            backend = get_backend(op)
+            source, options = _parse_request(body)
+            status, payload = await self._run_one(
+                backend, source, backend.options_for(options))
+            envelope_payload = v1.envelope_for(backend, payload)
+            envelope_payload["_raw"] = payload
+            return status, envelope_payload
+
+    async def _run_one(self, backend: Backend, source: str,
+                       options: CompileOptions) -> tuple[int, dict]:
+        """Run one backend: parent cache first, executor on a miss."""
+        start = time.perf_counter()
+        key: Optional[str] = None
+        if backend.cacheable:
+            key = backend.cache_key_for(source, options,
+                                        self.service.fingerprint)
+            artifact = self.service._cache_lookup(key)
+            if artifact is not None:
+                payload = payload_from_artifact(backend, artifact, key=key)
+                status = status_for(backend, payload)
+                meter_backend(self.service.metrics, backend.name,
+                              time.perf_counter() - start,
+                              ok=status < 400)
+                return status, payload
+
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(
+                self.executor, run_backend, backend.name, source,
+                options.to_dict())
+        except Exception as error:  # noqa: BLE001 — broken pool, pickling
+            from .backends import failure_payload
+            payload = failure_payload(backend, type(error).__name__,
+                                      str(error))
+        # The worker's own warm cache may have answered, but from this
+        # serving tier's perspective the request was a miss.
+        payload["cached"] = False
+        if key is not None:
+            artifact = artifact_for(backend, payload)
+            if artifact is not None:
+                self.service.cache.put(key, artifact)
+        for stage, seconds in (payload.get("timings") or {}).items():
+            self.service.metrics.histogram(
+                "mvec_stage_seconds", "Per-stage compile latency",
+                stage=stage).observe(seconds)
+        status = status_for(backend, payload)
+        meter_backend(self.service.metrics, backend.name,
+                      time.perf_counter() - start, ok=status < 400)
+        return status, payload
+
+
+# ---------------------------------------------------------------------------
+# Synchronous wrappers
+# ---------------------------------------------------------------------------
+
+
+class AsyncServerThread:
+    """Run an :class:`AsyncCompilationServer` in a daemon thread.
+
+    Context manager for tests, benchmarks, and the CLI's foreground
+    mode::
+
+        with AsyncServerThread(service=svc, max_concurrency=4) as srv:
+            requests.post(f"http://{srv.host}:{srv.port}/v1/vectorize", ...)
+    """
+
+    def __init__(self, **kwargs):
+        self.server = AsyncCompilationServer(**kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "AsyncServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> tuple[str, int]:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._loop.run_forever,
+                                        daemon=True, name="mvec-aserve")
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self.server.start(),
+                                                  self._loop)
+        return future.result(timeout=10)
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+        asyncio.run_coroutine_threadsafe(self.server.stop(),
+                                         self._loop).result(timeout=10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    @property
+    def host(self) -> str:
+        assert self.server.address is not None
+        return self.server.address[0]
+
+    @property
+    def port(self) -> int:
+        assert self.server.address is not None
+        return self.server.address[1]
+
+
+def serve_async(host: str, port: int,
+                service: Optional[CompilationService] = None,
+                quiet: bool = False, **kwargs) -> int:
+    """Run the async front end until interrupted (CLI entry point)."""
+    import sys
+
+    async def _main() -> None:
+        server = AsyncCompilationServer(host, port, service, quiet=quiet,
+                                        **kwargs)
+        bound = await server.start()
+        print(f"mvec serve --async: listening on "
+              f"http://{bound[0]}:{bound[1]} "
+              f"(pipeline {server.service.fingerprint}, "
+              f"{server.max_concurrency} workers, "
+              f"queue {server.queue_depth})", file=sys.stderr, flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+__all__ = [
+    "MAX_HEADER_BYTES",
+    "RETRY_AFTER_SECONDS",
+    "AsyncCompilationServer",
+    "AsyncServerThread",
+    "serve_async",
+]

@@ -1,0 +1,337 @@
+"""The backend registry: named compile targets for multi-backend fan-out.
+
+One request can ask the service to run a source against several
+*backends* — the paper's vectorizer, the NumPy translator, the static
+linter, the legality auditor — concurrently, and get back a result map
+keyed by backend name.  This module owns:
+
+* the :class:`Backend` descriptor and the process-global registry
+  (:func:`register_backend` / :func:`get_backend`);
+* the **executor entry point** :func:`run_backend` — a module-level,
+  picklable callable the async front end ships to its process pool
+  (each worker process lazily builds one warm
+  :class:`~repro.service.compiler.CompilationService` and reuses it for
+  every job it is handed);
+* the artifact adapters (:func:`artifact_for` /
+  :func:`payload_from_artifact`) that let all backends share the one
+  content-addressed cache under per-backend key namespaces; and
+* :func:`fanout_sync`, the thread-pool fan-out used by the synchronous
+  (threaded) front end and the :mod:`repro.api` facade.
+
+Every backend execution is metered in the caller's metrics registry
+(``mvec_backend_requests_total`` / ``mvec_backend_seconds`` /
+``mvec_backend_errors_total``, labeled by backend).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from .fingerprint import CompileOptions, cache_key, salted_cache_key
+from .metrics import MetricsRegistry
+
+#: Backends every fan-out request gets when it names none.
+DEFAULT_FANOUT = ("vectorize", "translate", "lint", "audit")
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One named compile target.
+
+    ``kind`` selects the payload/caching/status conventions:
+
+    * ``"compile"`` — payload is a ``CompileResult`` dict; artifacts
+      share the compile cache namespace (``force_backend`` pins the
+      pipeline backend, e.g. ``numpy`` for the translator);
+    * ``"lint"`` / ``"audit"`` — payload is the corresponding service
+      method's dict; artifacts live under a salted key namespace;
+    * ``"custom"`` — anything registered by an embedder; the payload
+      dict should carry ``ok`` (assumed true when absent).
+    """
+
+    name: str
+    kind: str
+    runner: Callable[[str, dict], dict]
+    force_backend: Optional[str] = None
+    salt: str = ""
+    cacheable: bool = True
+    description: str = ""
+
+    def options_for(self, options: CompileOptions) -> CompileOptions:
+        """Options with this backend's pipeline backend pinned."""
+        if self.force_backend and options.backend != self.force_backend:
+            return CompileOptions(**{**options.to_dict(),
+                                     "backend": self.force_backend})
+        return options
+
+    def cache_key_for(self, source: str, options: CompileOptions,
+                      fingerprint: Optional[str] = None) -> str:
+        options = self.options_for(options)
+        if self.kind == "compile":
+            return cache_key(source, options, fingerprint)
+        return salted_cache_key(self.salt or self.name, source,
+                                options, fingerprint)
+
+
+# ---------------------------------------------------------------------------
+# Executor-side runners.  Each worker process keeps one warm service;
+# its small in-process cache is a bonus tier under the serving cache.
+# ---------------------------------------------------------------------------
+
+_worker_service = None
+
+
+def _service():
+    global _worker_service
+    if _worker_service is None:
+        from .compiler import CompilationService
+        _worker_service = CompilationService()
+    return _worker_service
+
+
+def _run_vectorize(source: str, options_dict: dict) -> dict:
+    options = CompileOptions(**{**options_dict, "backend": "matlab"})
+    return _service().compile(source, options).to_dict()
+
+
+def _run_translate(source: str, options_dict: dict) -> dict:
+    options = CompileOptions(**{**options_dict, "backend": "numpy"})
+    return _service().compile(source, options).to_dict()
+
+
+def _run_lint(source: str, options_dict: dict) -> dict:
+    return dict(_service().lint(source))
+
+
+def _run_audit(source: str, options_dict: dict) -> dict:
+    options = CompileOptions(**options_dict)
+    return dict(_service().audit(source, options))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, replace: bool = False) -> Backend:
+    """Add a backend to the registry (``replace=True`` to overwrite)."""
+    if not replace and backend.name in _REGISTRY:
+        raise ValueError(f"backend {backend.name!r} already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown backend {name!r} "
+                         f"(registered: {sorted(_REGISTRY)})") from None
+
+
+def backend_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+register_backend(Backend(
+    name="vectorize", kind="compile", runner=_run_vectorize,
+    force_backend="matlab",
+    description="the paper's source-to-source vectorizer"))
+register_backend(Backend(
+    name="translate", kind="compile", runner=_run_translate,
+    force_backend="numpy",
+    description="vectorize, then translate to NumPy Python"))
+register_backend(Backend(
+    name="lint", kind="lint", runner=_run_lint, salt="lint",
+    description="static diagnostics (E/W codes)"))
+register_backend(Backend(
+    name="audit", kind="audit", runner=_run_audit, salt="audit",
+    description="compile + independent legality audit"))
+
+
+def run_backend(name: str, source: str, options_dict: dict) -> dict:
+    """Module-level executor entry point: run one backend, return its
+    primitive payload dict.  Never raises — a crashing runner comes
+    back as a failure payload so the serving loop stays up."""
+    backend = get_backend(name)
+    try:
+        return backend.runner(source, options_dict)
+    except Exception as error:  # noqa: BLE001 — isolation is the contract
+        return failure_payload(backend, type(error).__name__, str(error))
+
+
+def failure_payload(backend: Backend, error_type: str,
+                    message: str) -> dict:
+    """A backend-shaped failure payload (timeouts, crashed runners)."""
+    error = {"type": error_type, "message": message}
+    if backend.kind == "compile":
+        return {"name": "<memory>", "ok": False, "cached": False,
+                "cache_key": None, "vectorized": None, "python": None,
+                "stats": None, "report_summary": None, "timings": {},
+                "elapsed": 0.0, "error": error}
+    if backend.kind == "lint":
+        return {"file": "<memory>", "diagnostics": [], "errors": 0,
+                "warnings": 0, "cached": False, "ok": False,
+                "error": error}
+    if backend.kind == "audit":
+        return {"file": "<memory>", "ok": False, "cached": False,
+                "diagnostics": [], "error": error}
+    return {"ok": False, "error": error}
+
+
+# ---------------------------------------------------------------------------
+# Cache adapters
+# ---------------------------------------------------------------------------
+
+
+def artifact_for(backend: Backend, payload: dict) -> Optional[dict]:
+    """The cache-storable artifact for a payload, or ``None`` when the
+    outcome must not be cached (failures may be transient)."""
+    if not backend.cacheable:
+        return None
+    if backend.kind == "compile":
+        if not payload.get("ok"):
+            return None
+        return {"vectorized": payload.get("vectorized"),
+                "python": payload.get("python"),
+                "stats": payload.get("stats"),
+                "report_summary": payload.get("report_summary")}
+    if payload.get("error"):
+        return None
+    data = {k: v for k, v in payload.items() if k != "cached"}
+    return {"vectorized": None, backend.kind: data}
+
+
+def payload_from_artifact(backend: Backend, artifact: dict,
+                          name: str = "<memory>",
+                          key: Optional[str] = None) -> dict:
+    """Rebuild the backend's payload shape from a cache hit."""
+    if backend.kind == "compile":
+        return {"name": name, "ok": True, "cached": True,
+                "cache_key": key,
+                "vectorized": artifact.get("vectorized"),
+                "python": artifact.get("python"),
+                "stats": artifact.get("stats"),
+                "report_summary": artifact.get("report_summary"),
+                "timings": {}, "elapsed": 0.0, "error": None}
+    data = artifact.get(backend.kind) or artifact.get("payload") or {}
+    return {**data, "cached": True}
+
+
+def status_for(backend: Backend, payload: dict) -> int:
+    """HTTP status for a payload: lint diagnostics are data (200,
+    unless the linter itself crashed); compile/audit failures are
+    422."""
+    if backend.kind == "lint":
+        return 422 if payload.get("error") else 200
+    return 200 if payload.get("ok", True) else 422
+
+
+def meter_backend(metrics: MetricsRegistry, name: str, seconds: float,
+                  ok: bool = True) -> None:
+    """Per-backend request/latency/error metering."""
+    metrics.counter("mvec_backend_requests_total",
+                    "Backend executions by backend", backend=name).inc()
+    metrics.histogram("mvec_backend_seconds",
+                      "Per-backend execution latency",
+                      backend=name).observe(seconds)
+    if not ok:
+        metrics.counter("mvec_backend_errors_total",
+                        "Failed backend executions", backend=name).inc()
+
+
+# ---------------------------------------------------------------------------
+# Synchronous fan-out (threaded front end, repro.api facade)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FanoutOutcome:
+    """Result map of one fan-out: ``name -> (status, payload)``."""
+
+    results: dict[str, tuple[int, dict]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(status < 400 for status, _payload in
+                   self.results.values())
+
+
+def resolve_backends(names: Optional[Sequence[str]]) -> list[Backend]:
+    """Validate fan-out backend names (raises ``ValueError`` on an
+    unknown or duplicate name, or an empty list)."""
+    chosen = tuple(names) if names else DEFAULT_FANOUT
+    if not chosen:
+        raise ValueError("fan-out needs at least one backend")
+    if len(set(chosen)) != len(chosen):
+        raise ValueError(f"duplicate backend in {list(chosen)}")
+    return [get_backend(name) for name in chosen]
+
+
+def dispatch_sync(service, backend: Backend, source: str,
+                  options: CompileOptions) -> dict:
+    """Run one backend inline through a (thread-safe) service, using
+    the service's own caching for the standard backends."""
+    if backend.kind == "compile":
+        return service.compile(source, backend.options_for(options)).to_dict()
+    if backend.kind == "lint":
+        return dict(service.lint(source))
+    if backend.kind == "audit":
+        return dict(service.audit(source, options))
+    return run_backend(backend.name, source, options.to_dict())
+
+
+def fanout_sync(service, source: str,
+                options: Optional[CompileOptions] = None,
+                backends: Optional[Sequence[str]] = None,
+                max_workers: Optional[int] = None) -> FanoutOutcome:
+    """Run several backends over one source concurrently (threads).
+
+    Used by the threaded front end and :func:`repro.api.fanout`; the
+    async front end fans out over its process pool instead.
+    """
+    options = options or CompileOptions()
+    resolved = resolve_backends(backends)
+
+    def run_one(backend: Backend) -> tuple[str, tuple[int, dict]]:
+        start = time.perf_counter()
+        payload = dispatch_sync(service, backend, source, options)
+        status = status_for(backend, payload)
+        meter_backend(service.metrics, backend.name,
+                      time.perf_counter() - start, ok=status < 400)
+        return backend.name, (status, payload)
+
+    workers = max_workers or min(4, len(resolved))
+    if workers <= 1 or len(resolved) == 1:
+        return FanoutOutcome(dict(run_one(b) for b in resolved))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return FanoutOutcome(dict(pool.map(run_one, resolved)))
+
+
+__all__ = [
+    "DEFAULT_FANOUT",
+    "Backend",
+    "FanoutOutcome",
+    "artifact_for",
+    "backend_names",
+    "dispatch_sync",
+    "failure_payload",
+    "fanout_sync",
+    "get_backend",
+    "meter_backend",
+    "payload_from_artifact",
+    "register_backend",
+    "resolve_backends",
+    "run_backend",
+    "status_for",
+    "unregister_backend",
+]

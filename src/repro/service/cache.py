@@ -100,6 +100,12 @@ class MemoryLRU:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    def pop(self, key: str) -> Optional[dict]:
+        """Remove and return one entry (``None`` when absent).  Used by
+        the sharded cache to re-home entries on a shard-count change."""
+        with self._lock:
+            return self._entries.pop(key, None)
+
     def keys(self) -> list[str]:
         """Keys from least- to most-recently used (for tests/inspection)."""
         with self._lock:

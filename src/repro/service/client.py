@@ -1,0 +1,196 @@
+"""A stdlib v1 client with retry/backoff for the serving front ends.
+
+:class:`ServiceClient` speaks the ``/v1`` envelope protocol to either
+front end (threaded or async).  Its one interesting behavior is the
+**retry policy**, matched to the async server's load shedding:
+
+* **503 (saturated)** — the server shed the request at admission; the
+  client sleeps ``Retry-After`` seconds (or the backoff schedule when
+  the header is missing) and retries, up to ``max_retries`` times.
+* **504 (timeout)** and connection errors — retried on the exponential
+  backoff schedule (``backoff * 2**attempt``, capped); the request may
+  have warmed the server cache, so the retry is usually cheaper.
+* **4xx / 422** — never retried: the request itself is wrong, or the
+  compile legitimately failed.
+
+Responses come back as :class:`ClientResponse` (status + parsed
+envelope + headers), so callers can assert on ``Deprecation`` headers
+and cache flags in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+#: Statuses worth retrying: shed (503) and request-timeout (504).
+RETRYABLE_STATUSES = (503, 504)
+
+
+class ServiceUnavailable(Exception):
+    """All retries exhausted (the last status/error is attached)."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class ClientResponse:
+    """One HTTP exchange: status + parsed JSON body + headers."""
+
+    status: int
+    body: dict
+    headers: dict[str, str] = field(default_factory=dict)
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.body.get("ok"))
+
+    @property
+    def deprecated(self) -> bool:
+        return self.headers.get("deprecation", "").lower() == "true"
+
+    @property
+    def result(self):
+        return self.body.get("result")
+
+
+@dataclass
+class ServiceClient:
+    """v1 client for one server, with bounded retry/backoff.
+
+    ``sleep`` is injectable so tests can count/skip the waits.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8032
+    timeout: float = 60.0
+    max_retries: int = 3
+    backoff: float = 0.1
+    backoff_cap: float = 2.0
+    sleep: Callable[[float], None] = time.sleep
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- transport -----------------------------------------------------
+
+    def _exchange(self, method: str, path: str,
+                  payload: Optional[dict] = None
+                  ) -> tuple[int, dict, dict[str, str]]:
+        url = self.base_url + path
+        data = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        request = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                body = json.loads(response.read().decode("utf-8"))
+                headers = {k.lower(): v for k, v in
+                           response.headers.items()}
+                return response.status, body, headers
+        except urllib.error.HTTPError as error:
+            raw = error.read().decode("utf-8", "replace")
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError:
+                body = {"ok": False, "error": {"type": "http",
+                                               "message": raw}}
+            headers = {k.lower(): v for k, v in error.headers.items()}
+            return error.code, body, headers
+
+    def request(self, method: str, path: str,
+                payload: Optional[dict] = None) -> ClientResponse:
+        """One request with the retry policy applied."""
+        last_status: Optional[int] = None
+        last_error: Optional[str] = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                status, body, headers = self._exchange(method, path, payload)
+            except (urllib.error.URLError, ConnectionError,
+                    TimeoutError) as error:
+                last_status, last_error = None, str(error)
+                if attempt >= self.max_retries:
+                    break
+                self.sleep(self._backoff_delay(attempt))
+                continue
+            if status not in RETRYABLE_STATUSES:
+                return ClientResponse(status, body, headers,
+                                      attempts=attempt + 1)
+            last_status = status
+            last_error = (body.get("error") or {}).get("message")
+            if attempt >= self.max_retries:
+                break
+            self.sleep(self._retry_delay(headers, attempt))
+        raise ServiceUnavailable(
+            f"{method} {path} failed after "
+            f"{self.max_retries + 1} attempts: "
+            f"{last_error or last_status}", status=last_status)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        return min(self.backoff * (2 ** attempt), self.backoff_cap)
+
+    def _retry_delay(self, headers: dict[str, str], attempt: int) -> float:
+        retry_after = headers.get("retry-after")
+        if retry_after:
+            try:
+                return min(float(retry_after), self.backoff_cap)
+            except ValueError:
+                pass
+        return self._backoff_delay(attempt)
+
+    # -- v1 operations -------------------------------------------------
+
+    def _post_op(self, op: str, source: str,
+                 options: Optional[dict] = None) -> ClientResponse:
+        payload: dict = {"source": source}
+        if options:
+            payload["options"] = options
+        return self.request("POST", f"/v1/{op}", payload)
+
+    def vectorize(self, source: str,
+                  options: Optional[dict] = None) -> ClientResponse:
+        return self._post_op("vectorize", source, options)
+
+    def translate(self, source: str,
+                  options: Optional[dict] = None) -> ClientResponse:
+        return self._post_op("translate", source, options)
+
+    def lint(self, source: str) -> ClientResponse:
+        return self._post_op("lint", source)
+
+    def audit(self, source: str,
+              options: Optional[dict] = None) -> ClientResponse:
+        return self._post_op("audit", source, options)
+
+    def fanout(self, source: str, options: Optional[dict] = None,
+               backends: Optional[Sequence[str]] = None) -> ClientResponse:
+        payload: dict = {"source": source}
+        if options:
+            payload["options"] = options
+        if backends:
+            payload["backends"] = list(backends)
+        return self.request("POST", "/v1/fanout", payload)
+
+    def healthz(self) -> ClientResponse:
+        return self.request("GET", "/v1/healthz")
+
+    def metrics_json(self) -> ClientResponse:
+        return self.request("GET", "/v1/metrics?format=json")
+
+
+__all__ = [
+    "RETRYABLE_STATUSES",
+    "ClientResponse",
+    "ServiceClient",
+    "ServiceUnavailable",
+]

@@ -16,9 +16,12 @@ available so workers inherit the warm interpreter) with
   matter which worker finished first;
 * **error isolation** — one bad file yields one failed result, never a
   dead batch;
-* **per-file timeout** — enforced *inside* the worker with
-  ``SIGALRM``/``setitimer``, so a pathological input cannot wedge a
-  worker slot forever.
+* **per-file timeout** — enforced cooperatively *inside* the worker
+  with ``SIGALRM``/``setitimer`` where the platform has it, and
+  unconditionally by a parent-side watchdog routed through the
+  executor (dispatch-one-per-idle-process + deadline + pool recycle),
+  so a pathological input cannot wedge a worker slot forever even on
+  platforms without Unix signals.
 
 :func:`parallel_map` is the reusable pool primitive; the fuzz campaign
 driver uses it to parallelize oracle runs.
@@ -36,7 +39,12 @@ from typing import Callable, Optional, Sequence
 
 from ..errors import ReproError
 from .cache import CompilationCache
-from .fingerprint import CompileOptions, cache_key, pipeline_fingerprint
+from .fingerprint import (
+    CompileOptions,
+    cache_key,
+    pipeline_fingerprint,
+    salted_cache_key,
+)
 from .metrics import MetricsRegistry
 
 #: Compile stages reported in latency histograms, in pipeline order.
@@ -136,8 +144,8 @@ class CompilationService:
 
         self.metrics.counter("mvec_lint_requests_total",
                              "Lint requests").inc()
-        key = cache_key("lint\0" + source, CompileOptions(),
-                        self.fingerprint)
+        key = salted_cache_key("lint", source, CompileOptions(),
+                               self.fingerprint)
         artifact = self._cache_lookup(key)
         if artifact is not None:
             return {**artifact["lint"], "cached": True}
@@ -309,6 +317,16 @@ def _pool_context():
         "fork" if "fork" in methods else methods[0])
 
 
+#: Parent-side slack on top of the per-item timeout before the watchdog
+#: declares a worker wedged.  When SIGALRM is available the worker
+#: self-reports right at ``timeout`` and the watchdog never fires; the
+#: grace keeps the two enforcement layers from racing.
+POOL_TIMEOUT_GRACE = 0.25
+
+#: Watchdog poll interval (seconds).
+_POOL_POLL = 0.01
+
+
 def parallel_map(fn: Callable, items: Sequence, workers: int = 1,
                  timeout: Optional[float] = None) -> list:
     """Apply ``fn`` to every item, in parallel, with error isolation.
@@ -317,6 +335,17 @@ def parallel_map(fn: Callable, items: Sequence, workers: int = 1,
     value, or a :class:`WorkerFailure` if it raised or timed out.
     ``fn`` must be a module-level (picklable) callable when
     ``workers > 1``.  ``workers <= 1`` runs inline, same contract.
+
+    The per-item ``timeout`` is enforced twice when ``workers > 1``:
+    cooperatively inside the worker via ``SIGALRM`` where the platform
+    has it, and unconditionally by a parent-side watchdog that routes
+    the deadline through the executor itself — items are dispatched one
+    per idle process (so an item's clock only starts when it is
+    actually executing), and an item that blows its deadline has its
+    pool terminated and rebuilt, the survivors resubmitted, and a
+    ``timeout`` :class:`WorkerFailure` recorded.  The watchdog is what
+    keeps timeouts meaningful on platforms without Unix signals, where
+    the in-worker bound silently cannot apply.
     """
     if workers <= 1 or len(items) <= 1:
         out = []
@@ -324,15 +353,60 @@ def parallel_map(fn: Callable, items: Sequence, workers: int = 1,
             _, result, failure = _serial_call(payload, fn, timeout)
             out.append(failure if failure is not None else result)
         return out
-    payloads = list(enumerate(items))
+    return _executor_map(fn, items, workers, timeout)
+
+
+def _executor_map(fn: Callable, items: Sequence, workers: int,
+                  timeout: Optional[float]) -> list:
+    """Pool fan-out with the parent-side deadline watchdog."""
     out: list = [None] * len(items)
+    pending: list[tuple[int, object]] = list(enumerate(items))
+    pending.reverse()                      # pop() preserves input order
+    processes = min(workers, len(items))
     context = _pool_context()
-    with context.Pool(processes=min(workers, len(items)),
-                      initializer=_pool_init,
-                      initargs=(fn, timeout)) as pool:
-        for index, result, failure in pool.imap_unordered(
-                _pool_call, payloads):
-            out[index] = failure if failure is not None else result
+    pool = context.Pool(processes, initializer=_pool_init,
+                        initargs=(fn, timeout))
+    #: index -> (async handle, dispatch time, original item)
+    inflight: dict[int, tuple] = {}
+    try:
+        while pending or inflight:
+            while pending and len(inflight) < processes:
+                index, item = pending.pop()
+                handle = pool.apply_async(_pool_call, ((index, item),))
+                inflight[index] = (handle, time.monotonic(), item)
+            progressed = False
+            now = time.monotonic()
+            for index in list(inflight):
+                handle, dispatched, item = inflight[index]
+                if handle.ready():
+                    _index, result, failure = handle.get()
+                    out[index] = failure if failure is not None else result
+                    del inflight[index]
+                    progressed = True
+                elif (timeout is not None
+                        and now - dispatched > timeout + POOL_TIMEOUT_GRACE):
+                    # The worker is wedged (no SIGALRM, or stuck in C
+                    # code): give up on this item, recycle the pool to
+                    # free the slot, and resubmit the other in-flight
+                    # items (content-addressed compiles are idempotent).
+                    out[index] = WorkerFailure(
+                        "timeout", f"exceeded {timeout:g}s")
+                    del inflight[index]
+                    for other_index, (_h, _t, other_item) in \
+                            inflight.items():
+                        pending.append((other_index, other_item))
+                    inflight.clear()
+                    pool.terminate()
+                    pool.join()
+                    pool = context.Pool(processes, initializer=_pool_init,
+                                        initargs=(fn, timeout))
+                    progressed = True
+                    break
+            if not progressed:
+                time.sleep(_POOL_POLL)
+    finally:
+        pool.terminate()
+        pool.join()
     return out
 
 

@@ -144,3 +144,18 @@ def cache_key(source: str, options: Optional[CompileOptions] = None,
     digest.update(b"\0")
     digest.update(source.encode())
     return digest.hexdigest()
+
+
+def salted_cache_key(salt: str, source: str,
+                     options: Optional[CompileOptions] = None,
+                     fingerprint: Optional[str] = None) -> str:
+    """Content address in a named key namespace.
+
+    Non-compile artifacts (lint results, audit verdicts, custom fan-out
+    backends) share the artifact cache but must never collide with
+    compile artifacts for the same source; the ``salt`` prefixes the
+    addressed content with an out-of-band namespace tag (``\\0`` cannot
+    occur in MATLAB source).
+    """
+    prefixed = f"{salt}\0{source}" if salt else source
+    return cache_key(prefixed, options, fingerprint)

@@ -66,6 +66,38 @@ class Counter:
         return [f"{self.name}{_label_str(self.labels)} {_format(self.value)}"]
 
 
+class Gauge:
+    """A value that can go up and down (in-flight requests, queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Optional[dict[str, str]] = None):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = dict(labels or {})
+        self.value = 0.0
+        self._lock = Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+    def to_json(self) -> dict:
+        return {"value": self.value}
+
+    def render(self) -> list[str]:
+        return [f"{self.name}{_label_str(self.labels)} {_format(self.value)}"]
+
+
 class Histogram:
     """Fixed-bucket histogram with cumulative (Prometheus-style) counts."""
 
@@ -137,11 +169,14 @@ class MetricsRegistry:
     """Get-or-create instrument store plus the two renderers."""
 
     def __init__(self) -> None:
-        self._instruments: dict[tuple, Counter | Histogram] = {}
+        self._instruments: dict[tuple, Counter | Gauge | Histogram] = {}
         self._lock = Lock()
 
     def counter(self, name: str, help: str = "", **labels: str) -> Counter:
         return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
 
     def histogram(self, name: str, help: str = "",
                   buckets: Sequence[float] = DEFAULT_BUCKETS,
@@ -158,7 +193,7 @@ class MetricsRegistry:
                 self._instruments[key] = instrument
             return instrument
 
-    def instruments(self) -> list[Counter | Histogram]:
+    def instruments(self) -> list[Counter | Gauge | Histogram]:
         with self._lock:
             return list(self._instruments.values())
 

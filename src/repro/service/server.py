@@ -1,28 +1,35 @@
-"""The serving front end: a stdlib-only JSON API over the service.
+"""The threaded serving front end: a stdlib-only JSON API.
 
 Two transports share one :class:`CompilationService`:
 
-* **HTTP** (:class:`CompilationServer`, a ``ThreadingHTTPServer``)::
+* **HTTP** (:class:`CompilationServer`, a ``ThreadingHTTPServer``).
+  The current surface is versioned under ``/v1`` and answers with the
+  uniform envelope described in :mod:`repro.service.v1`::
 
-      POST /vectorize   {"source": "...", "options": {...}?}
-      POST /translate   same body; forces the NumPy backend
-      POST /lint        {"source": "..."} — static diagnostics (200
-                        even when the source has errors; they are data)
-      POST /audit       compile + independent legality audit
-                        (422 when the audit finds a violation)
-      GET  /healthz     liveness + pipeline fingerprint
-      GET  /metrics     Prometheus text (``?format=json`` for JSON)
+      POST /v1/vectorize   {"source": "...", "options": {...}?}
+      POST /v1/translate   same body; forces the NumPy backend
+      POST /v1/lint        static diagnostics (diagnostics are data)
+      POST /v1/audit       compile + independent legality audit
+      POST /v1/fanout      {"source", "options"?, "backends"?} — run
+                           several backends concurrently, keyed map
+      GET  /v1/healthz     liveness + fingerprint + cache stats
+      GET  /v1/metrics     Prometheus text (``?format=json`` for JSON)
 
-  Success responses are the :class:`CompileResult` dict with
-  ``"ok": true``; compile failures return 422 with the structured
-  error; malformed requests return 400.  Nothing the client sends can
-  crash a worker thread — every handler path ends in a JSON response.
+  The legacy unversioned paths (``/vectorize``, ``/translate``,
+  ``/lint``, ``/audit``, ``/healthz``, ``/metrics``) still answer with
+  their historical payload shapes, but as **deprecated shims**: every
+  response carries ``Deprecation: true`` and a ``Link`` to the v1
+  successor route.  Nothing the client sends can crash a worker
+  thread — every handler path ends in a JSON response.
 
 * **stdio JSON-lines** (:func:`serve_stdio`) for embedding ``mvec`` in
   another process without a port: one request object per input line
-  (``{"op": "vectorize"|"translate"|"lint"|"audit"|"health"|"metrics",
-  ...}``), one
-  response object per output line, in order.  EOF ends the session.
+  (``{"op": "vectorize"|"translate"|"lint"|"audit"|"fanout"|"health"|
+  "metrics", ...}``), one response object per output line, in order.
+  EOF ends the session.
+
+For scale-out serving (asyncio + process-pool executor, bounded queue,
+503 shedding) see :mod:`repro.service.aserver`.
 """
 
 from __future__ import annotations
@@ -33,6 +40,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO, Optional
 from urllib.parse import urlparse
 
+from . import v1
+from .backends import fanout_sync, get_backend, resolve_backends
 from .compiler import CompilationService
 from .fingerprint import CompileOptions
 
@@ -52,12 +61,7 @@ class RequestError(Exception):
 def _parse_request(raw: bytes | str, force_backend: Optional[str] = None
                    ) -> tuple[str, CompileOptions]:
     """Validate a vectorize/translate payload into (source, options)."""
-    try:
-        payload = json.loads(raw)
-    except (json.JSONDecodeError, UnicodeDecodeError) as error:
-        raise RequestError(400, f"invalid JSON: {error}")
-    if not isinstance(payload, dict):
-        raise RequestError(400, "request body must be a JSON object")
+    payload = _parse_json_object(raw)
     source = payload.get("source")
     if not isinstance(source, str):
         raise RequestError(400, "missing required string field 'source'")
@@ -69,6 +73,29 @@ def _parse_request(raw: bytes | str, force_backend: Optional[str] = None
     except (ValueError, TypeError) as error:
         raise RequestError(400, f"bad options: {error}")
     return source, options
+
+
+def _parse_json_object(raw: bytes | str) -> dict:
+    try:
+        payload = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise RequestError(400, f"invalid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise RequestError(400, "request body must be a JSON object")
+    return payload
+
+
+def parse_fanout_request(raw: bytes | str
+                         ) -> tuple[str, CompileOptions, Optional[list]]:
+    """Validate a fan-out payload into (source, options, backends)."""
+    source, options = _parse_request(raw)
+    payload = _parse_json_object(raw)
+    backends = payload.get("backends")
+    if backends is not None and (
+            not isinstance(backends, list)
+            or not all(isinstance(name, str) for name in backends)):
+        raise RequestError(400, "'backends' must be a list of names")
+    return source, options, backends
 
 
 def handle_compile(service: CompilationService, raw: bytes | str,
@@ -98,6 +125,33 @@ def handle_audit(service: CompilationService, raw: bytes | str
     return (200 if payload.get("ok") else 422), payload
 
 
+def handle_v1_post(service: CompilationService, op: str,
+                   raw: bytes | str) -> tuple[int, dict]:
+    """One v1 POST op → ``(status, envelope)``, dispatched inline
+    through the (thread-safe) service.  Shared by the threaded front
+    end and the stdio transport."""
+    if op not in v1.V1_POST_OPS:
+        raise RequestError(404, f"no such endpoint: /v1/{op}")
+    if op == "fanout":
+        source, options, names = parse_fanout_request(raw)
+        try:
+            backends = {b.name: b for b in resolve_backends(names)}
+        except ValueError as error:
+            raise RequestError(400, str(error))
+        outcome = fanout_sync(service, source, options, names)
+        return v1.fanout_envelope(outcome.results, backends)
+    backend = get_backend(op)
+    source, options = _parse_request(raw)
+    from .backends import dispatch_sync, meter_backend, status_for
+
+    start = time.perf_counter()
+    payload = dispatch_sync(service, backend, source, options)
+    status = status_for(backend, payload)
+    meter_backend(service.metrics, backend.name,
+                  time.perf_counter() - start, ok=status < 400)
+    return status, v1.envelope_for(backend, payload)
+
+
 class ServiceHandler(BaseHTTPRequestHandler):
     """Routes HTTP requests to the shared :class:`CompilationService`."""
 
@@ -115,20 +169,30 @@ class ServiceHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send(self, status: int, body: bytes,
-              content_type: str = "application/json") -> None:
+              content_type: str = "application/json",
+              extra_headers: Optional[list[tuple[str, str]]] = None
+              ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers or []:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        self._send(status, json.dumps(payload).encode("utf-8"))
+    def _send_json(self, status: int, payload: dict,
+                   extra_headers: Optional[list[tuple[str, str]]] = None
+                   ) -> None:
+        self._send(status, json.dumps(payload).encode("utf-8"),
+                   extra_headers=extra_headers)
 
-    def _send_error(self, status: int, message: str) -> None:
+    def _send_error(self, status: int, message: str,
+                    extra_headers: Optional[list[tuple[str, str]]] = None
+                    ) -> None:
         self._send_json(status, {"ok": False,
                                  "error": {"type": "request",
-                                           "message": message}})
+                                           "message": message}},
+                        extra_headers=extra_headers)
 
     def _observe(self, route: str, status: int) -> None:
         # Called BEFORE the response is written: a client that chains
@@ -139,63 +203,92 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
 
+    def _health_payload(self) -> dict:
+        return {
+            "ok": True,
+            "fingerprint": self.service.fingerprint,
+            "uptime_seconds": time.monotonic() - self.server.started,
+            "cache": self.service.cache.stats.to_dict(),
+        }
+
+    def _metrics_body(self, query: str) -> tuple[bytes, str]:
+        if "format=json" in (query or ""):
+            body = json.dumps(self.service.metrics.to_json())
+            return body.encode("utf-8"), "application/json"
+        text = self.service.metrics.render_prometheus()
+        return text.encode("utf-8"), "text/plain; version=0.0.4"
+
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
         url = urlparse(self.path)
-        if url.path == "/healthz":
-            payload = {
-                "ok": True,
-                "fingerprint": self.service.fingerprint,
-                "uptime_seconds": time.monotonic() - self.server.started,
-                "cache": self.service.cache.stats.to_dict(),
-            }
-            self._observe("/healthz", 200)
+        if url.path == "/v1/healthz":
+            uptime = time.monotonic() - self.server.started
+            payload = v1.health_envelope(
+                self.service, uptime, extra={"server": "threaded"})
+            self._observe(url.path, 200)
             self._send_json(200, payload)
+        elif url.path == "/healthz":
+            self._observe(url.path, 200)
+            self._send_json(200, self._health_payload(),
+                            extra_headers=v1.deprecation_headers(url.path))
+        elif url.path == "/v1/metrics":
+            self._observe(url.path, 200)
+            body, content_type = self._metrics_body(url.query)
+            self._send(200, body, content_type=content_type)
         elif url.path == "/metrics":
-            self._observe("/metrics", 200)
-            if "format=json" in (url.query or ""):
-                body = json.dumps(self.service.metrics.to_json())
-                self._send(200, body.encode("utf-8"))
-            else:
-                text = self.service.metrics.render_prometheus()
-                self._send(200, text.encode("utf-8"),
-                           content_type="text/plain; version=0.0.4")
+            self._observe(url.path, 200)
+            body, content_type = self._metrics_body(url.query)
+            self._send(200, body, content_type=content_type,
+                       extra_headers=v1.deprecation_headers(url.path))
         else:
             self._observe(url.path, 404)
             self._send_error(404, f"no such endpoint: {url.path}")
 
     def do_POST(self) -> None:  # noqa: N802
         url = urlparse(self.path)
-        routes = {"/vectorize": None, "/translate": "numpy",
-                  "/lint": None, "/audit": None}
-        if url.path not in routes:
+        legacy_routes = {"/vectorize": None, "/translate": "numpy",
+                         "/lint": None, "/audit": None}
+        is_v1 = url.path.startswith("/v1/")
+        if not is_v1 and url.path not in legacy_routes:
             self._observe(url.path, 404)
             self._send_error(404, f"no such endpoint: {url.path}")
             return
+        deprecated = (v1.deprecation_headers(url.path)
+                      if not is_v1 else None)
         try:
             length = int(self.headers.get("Content-Length", 0))
             if length > MAX_SOURCE_BYTES:
                 raise RequestError(
                     413, f"body exceeds {MAX_SOURCE_BYTES} bytes")
             raw = self.rfile.read(length)
-            if url.path == "/lint":
+            if is_v1:
+                status, payload = handle_v1_post(
+                    self.service, url.path[len("/v1/"):], raw)
+            elif url.path == "/lint":
                 status, payload = handle_lint(self.service, raw)
             elif url.path == "/audit":
                 status, payload = handle_audit(self.service, raw)
             else:
                 status, payload = handle_compile(self.service, raw,
-                                                 routes[url.path])
+                                                 legacy_routes[url.path])
         except RequestError as error:
             self._observe(url.path, error.status)
-            self._send_error(error.status, str(error))
+            if is_v1:
+                self._send_json(error.status,
+                                v1.error_envelope("request", str(error)))
+            else:
+                self._send_error(error.status, str(error),
+                                 extra_headers=deprecated)
             return
         except Exception as error:  # noqa: BLE001 — keep the thread alive
             self._observe(url.path, 500)
-            self._send_json(500, {"ok": False,
-                                  "error": {"type": "internal",
-                                            "message": str(error)}})
+            body = (v1.error_envelope("internal", str(error)) if is_v1
+                    else {"ok": False, "error": {"type": "internal",
+                                                 "message": str(error)}})
+            self._send_json(500, body,
+                            extra_headers=None if is_v1 else deprecated)
             return
         self._observe(url.path, status)
-        self._send_json(status, payload)
+        self._send_json(status, payload, extra_headers=deprecated)
 
 
 class CompilationServer(ThreadingHTTPServer):
@@ -266,6 +359,13 @@ def _stdio_response(service: CompilationService, line: str) -> dict:
     if op == "audit":
         try:
             _status, payload = handle_audit(service, line)
+        except RequestError as error:
+            return {"ok": False, "error": {"type": "request",
+                                           "message": str(error)}}
+        return payload
+    if op == "fanout":
+        try:
+            _status, payload = handle_v1_post(service, "fanout", line)
         except RequestError as error:
             return {"ok": False, "error": {"type": "request",
                                            "message": str(error)}}

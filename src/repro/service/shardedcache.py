@@ -1,0 +1,319 @@
+"""Consistent-hash sharding over the two-tier compilation cache.
+
+:class:`ShardedCache` spreads fingerprint keys across N independent
+:class:`~repro.service.cache.CompilationCache` shards — each with its
+own memory LRU, its own on-disk directory (``<dir>/shard-NNN/``), and
+its own lock — so concurrent front ends (the async server's request
+tasks, the threaded server's handler threads) never serialize on one
+cache-wide lock, and the disk tier can later be mounted across hosts.
+
+Routing is a **consistent-hash ring**: every shard owns
+:data:`DEFAULT_VNODES` pseudo-random points on a 64-bit ring, and a key
+goes to the shard owning the first point at or after the key's own ring
+position.  Cache keys are already sha256 hex digests (see
+:func:`repro.service.fingerprint.cache_key`), so the key's leading 16
+hex chars *are* its ring position — no rehash on the hot path.
+
+Why a ring instead of ``hash(key) % N``: :meth:`resize` (rebalance on a
+shard-count change) only re-homes the ~``K/N`` entries whose owning arc
+actually moved, instead of reshuffling nearly every key.  Re-homing
+moves live memory entries between LRUs and renames disk entry files
+into their new shard directory — atomic per entry, and any entry a
+concurrent reader misses mid-move is simply recompiled (the cache is
+content-addressed; a miss is never wrong, only slower).
+
+The class is drop-in compatible with :class:`CompilationCache` where
+the service touches it: ``get``/``put``, a ``stats`` object with the
+same fields (here a live view aggregating over shards), and
+``fingerprint``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from bisect import bisect_left
+from dataclasses import dataclass
+from pathlib import Path
+from threading import Lock
+from typing import Optional
+
+from .cache import CompilationCache
+from .fingerprint import pipeline_fingerprint
+
+#: Ring points per shard.  128 keeps the per-shard load within a few
+#: percent of uniform for thousands of keys while the ring stays tiny
+#: (N * 128 sorted ints, built once per resize).
+DEFAULT_VNODES = 128
+
+
+def _ring_point(token: str) -> int:
+    """64-bit ring position of an arbitrary token."""
+    return int(hashlib.sha256(token.encode()).hexdigest()[:16], 16)
+
+
+def _key_point(key: str) -> int:
+    """Ring position of a cache key (sha256 hex: reuse its own bits)."""
+    try:
+        return int(key[:16], 16)
+    except ValueError:
+        return _ring_point(key)
+
+
+class AggregateStats:
+    """Live, read-only aggregation of per-shard :class:`CacheStats`.
+
+    Mirrors the :class:`~repro.service.cache.CacheStats` attribute
+    surface so callers written against a single cache (the service's
+    hit/miss metering, ``/healthz``) work unchanged; every attribute
+    read re-sums the shards, so "snapshot, operate, compare" patterns
+    observe fresh values.
+    """
+
+    _FIELDS = ("memory_hits", "disk_hits", "misses", "writes",
+               "evictions", "dropped_stale", "dropped_corrupt")
+
+    def __init__(self, cache: "ShardedCache"):
+        self._cache = cache
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(shard.stats, attr)
+                   for shard in self._cache.shards)
+
+    def __getattr__(self, attr: str):
+        if attr in self._FIELDS:
+            return self._sum(attr)
+        raise AttributeError(attr)
+
+    @property
+    def hits(self) -> int:
+        return self._sum("memory_hits") + self._sum("disk_hits")
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self._sum("misses")
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        out = {field: self._sum(field) for field in self._FIELDS}
+        out["hits"] = out["memory_hits"] + out["disk_hits"]
+        out["hit_rate"] = self.hit_rate
+        out["shards"] = self._cache.shard_stats()
+        return out
+
+
+@dataclass
+class RebalanceReport:
+    """What one :meth:`ShardedCache.resize` moved."""
+
+    shards_before: int
+    shards_after: int
+    moved_memory: int = 0
+    moved_disk: int = 0
+
+    @property
+    def moved(self) -> int:
+        return self.moved_memory + self.moved_disk
+
+    def to_dict(self) -> dict:
+        return {"shards_before": self.shards_before,
+                "shards_after": self.shards_after,
+                "moved_memory": self.moved_memory,
+                "moved_disk": self.moved_disk,
+                "moved": self.moved}
+
+
+class ShardedCache:
+    """N consistent-hashed :class:`CompilationCache` shards behind the
+    single-cache interface."""
+
+    def __init__(self, shards: int = 4, capacity: int = 256,
+                 directory: Optional[Path | str] = None,
+                 fingerprint: Optional[str] = None,
+                 vnodes: int = DEFAULT_VNODES):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.capacity = capacity
+        self.directory = Path(directory) if directory is not None else None
+        self.fingerprint = fingerprint or pipeline_fingerprint()
+        self.vnodes = vnodes
+        self.shards: list[CompilationCache] = []
+        self._locks: list[Lock] = []
+        self._ring: list[tuple[int, int]] = []
+        self._resize_lock = Lock()
+        self._grow_to(shards)
+        self._rebuild_ring()
+        self.stats = AggregateStats(self)
+
+    # -- construction --------------------------------------------------
+
+    def _shard_directory(self, index: int) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"shard-{index:03d}"
+
+    def _per_shard_capacity(self, count: int) -> int:
+        return max(1, self.capacity // count)
+
+    def _grow_to(self, count: int) -> None:
+        while len(self.shards) < count:
+            index = len(self.shards)
+            self.shards.append(CompilationCache(
+                capacity=self._per_shard_capacity(count),
+                directory=self._shard_directory(index),
+                fingerprint=self.fingerprint))
+            self._locks.append(Lock())
+
+    def _rebuild_ring(self) -> None:
+        ring = []
+        for index in range(len(self.shards)):
+            for vnode in range(self.vnodes):
+                ring.append((_ring_point(f"shard-{index}:vnode-{vnode}"),
+                             index))
+        ring.sort()
+        self._ring = ring
+
+    # -- routing -------------------------------------------------------
+
+    def shard_index(self, key: str) -> int:
+        """Which shard owns ``key`` (first ring point at/after it)."""
+        ring = self._ring
+        position = bisect_left(ring, (_key_point(key),))
+        if position == len(ring):
+            position = 0          # wrap around the ring
+        return ring[position][1]
+
+    # -- the CompilationCache interface --------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        index = self.shard_index(key)
+        with self._locks[index]:
+            return self.shards[index].get(key)
+
+    def put(self, key: str, artifact: dict) -> None:
+        index = self.shard_index(key)
+        with self._locks[index]:
+            self.shards[index].put(key, artifact)
+
+    # -- introspection -------------------------------------------------
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard statistics, index order."""
+        out = []
+        for index, shard in enumerate(self.shards):
+            out.append({
+                "shard": index,
+                "memory_entries": len(shard.memory),
+                **shard.stats.to_dict(),
+            })
+        return out
+
+    def distribution(self, keys) -> list[int]:
+        """How many of ``keys`` each shard would own (for tests/bench)."""
+        counts = [0] * len(self.shards)
+        for key in keys:
+            counts[self.shard_index(key)] += 1
+        return counts
+
+    # -- rebalance-on-resize -------------------------------------------
+
+    def resize(self, shards: int) -> RebalanceReport:
+        """Change the shard count and re-home misplaced entries.
+
+        Thanks to consistent hashing only the entries whose owning arc
+        moved are touched — ~``K/N`` of them, not all ``K``.  The call
+        serializes against all shard locks; concurrent ``get``/``put``
+        either complete before the new ring is installed or run after
+        the move (a racing reader that looked at the old home sees a
+        miss and recompiles — safe, never stale).
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        with self._resize_lock:
+            before = len(self.shards)
+            report = RebalanceReport(before, shards)
+            if shards == before:
+                return report
+            acquired = list(self._locks)
+            for lock in acquired:
+                lock.acquire()
+            try:
+                removed: list[CompilationCache] = []
+                if shards > before:
+                    self._grow_to(shards)     # appends shards and locks
+                else:
+                    removed = self.shards[shards:]
+                    del self.shards[shards:]
+                    del self._locks[shards:]
+                per_shard = self._per_shard_capacity(shards)
+                for shard in self.shards:
+                    shard.memory.capacity = per_shard
+                self._rebuild_ring()
+                self._rehome(removed, report)
+            finally:
+                for lock in acquired:
+                    lock.release()
+            return report
+
+    def rebalance(self) -> RebalanceReport:
+        """Re-home any misplaced entries without changing the count
+        (e.g. after pointing the cache at a directory written under a
+        different shard layout)."""
+        with self._resize_lock:
+            report = RebalanceReport(len(self.shards), len(self.shards))
+            acquired = list(self._locks)
+            for lock in acquired:
+                lock.acquire()
+            try:
+                self._rehome([], report)
+            finally:
+                for lock in acquired:
+                    lock.release()
+            return report
+
+    def _rehome(self, removed: list[CompilationCache],
+                report: RebalanceReport) -> None:
+        """Move every entry whose owning shard changed.  Caller holds
+        all shard locks."""
+        sources = list(enumerate(self.shards))
+        sources += [(None, shard) for shard in removed]
+        for source_index, shard in sources:
+            for key in shard.memory.keys():
+                target = self.shard_index(key)
+                if target == source_index:
+                    continue
+                artifact = shard.memory.pop(key)
+                if artifact is not None:
+                    self.shards[target].memory.put(key, artifact)
+                    report.moved_memory += 1
+            if shard.disk is None:
+                continue
+            for path in list(shard.disk.directory.glob("*/*.json")):
+                key = path.stem
+                target = self.shard_index(key)
+                if target == source_index:
+                    continue
+                target_disk = self.shards[target].disk
+                if target_disk is None:
+                    continue
+                destination = target_disk.path_for(key)
+                destination.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    os.replace(path, destination)
+                    report.moved_disk += 1
+                except OSError:
+                    pass
+
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "AggregateStats",
+    "RebalanceReport",
+    "ShardedCache",
+]

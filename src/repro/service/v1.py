@@ -1,0 +1,163 @@
+"""The versioned HTTP surface (``/v1``) shared by both front ends.
+
+Every v1 response — threaded or async, success or failure — is one
+JSON **envelope**::
+
+    {
+      "ok":          bool,
+      "result":      op-specific payload (null on failure),
+      "error":       {"type", "message"} or null,
+      "diagnostics": [Diagnostic dicts]     (lint/audit findings),
+      "timings":     {"stages": {...}, "elapsed": s},
+      "cache":       {"cached": bool, "key": hex} for compile-shaped
+                     ops; the full cache-stats dict on /v1/healthz
+    }
+
+The legacy unversioned paths (``/vectorize``, ``/translate``,
+``/lint``, ``/audit``, ``/healthz``, ``/metrics``) are kept as
+**deprecated shims**: they answer with their historical payload shapes
+but carry a ``Deprecation: true`` header plus a ``Link`` to the
+``successor-version`` v1 route (RFC 8594/9745 style).  New clients and
+``repro.service.client`` speak v1 only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .backends import Backend
+
+#: Path prefix of the current API version.
+V1_PREFIX = "/v1"
+
+#: POST ops served under /v1/<op>.
+V1_POST_OPS = ("vectorize", "translate", "lint", "audit", "fanout")
+
+#: GET ops served under /v1/<op>.
+V1_GET_OPS = ("healthz", "metrics")
+
+#: legacy path -> v1 successor, for the Deprecation/Link shim headers.
+LEGACY_SUCCESSORS = {
+    "/vectorize": "/v1/vectorize",
+    "/translate": "/v1/translate",
+    "/lint": "/v1/lint",
+    "/audit": "/v1/audit",
+    "/healthz": "/v1/healthz",
+    "/metrics": "/v1/metrics",
+}
+
+
+def deprecation_headers(path: str) -> list[tuple[str, str]]:
+    """Headers a legacy shim must attach to its response."""
+    successor = LEGACY_SUCCESSORS.get(path)
+    headers = [("Deprecation", "true")]
+    if successor:
+        headers.append(("Link",
+                        f'<{successor}>; rel="successor-version"'))
+    return headers
+
+
+def envelope(ok: bool, *, result=None, error: Optional[dict] = None,
+             diagnostics: Optional[Sequence[dict]] = None,
+             timings: Optional[dict] = None,
+             cache: Optional[dict] = None) -> dict:
+    """Assemble one v1 envelope with every field always present."""
+    return {
+        "ok": bool(ok),
+        "result": result,
+        "error": error,
+        "diagnostics": list(diagnostics or []),
+        "timings": timings if timings is not None
+        else {"stages": {}, "elapsed": 0.0},
+        "cache": cache if cache is not None
+        else {"cached": False, "key": None},
+    }
+
+
+def error_envelope(error_type: str, message: str) -> dict:
+    """An envelope for a request-level failure (400/404/413/429/...)."""
+    return envelope(False, error={"type": error_type, "message": message})
+
+
+def envelope_for(backend: Backend, payload: dict) -> dict:
+    """The v1 envelope for one backend's primitive payload."""
+    if backend.kind == "compile":
+        timings = {"stages": dict(payload.get("timings") or {}),
+                   "elapsed": payload.get("elapsed", 0.0)}
+        cache = {"cached": bool(payload.get("cached")),
+                 "key": payload.get("cache_key")}
+        if payload.get("ok"):
+            result = {key: payload.get(key) for key in
+                      ("name", "vectorized", "python", "stats",
+                       "report_summary")}
+            return envelope(True, result=result, timings=timings,
+                            cache=cache)
+        return envelope(False, error=payload.get("error"),
+                        timings=timings, cache=cache)
+    cache = {"cached": bool(payload.get("cached")), "key": None}
+    diagnostics = payload.get("diagnostics") or []
+    if backend.kind == "lint":
+        if payload.get("error"):
+            return envelope(False, error=payload["error"], cache=cache)
+        result = {"file": payload.get("file"),
+                  "errors": payload.get("errors", 0),
+                  "warnings": payload.get("warnings", 0)}
+        return envelope(True, result=result, diagnostics=diagnostics,
+                        cache=cache)
+    if backend.kind == "audit":
+        if payload.get("error"):
+            return envelope(False, error=payload["error"],
+                            diagnostics=diagnostics, cache=cache)
+        result = {key: payload.get(key) for key in
+                  ("file", "audited_loops", "audited_stmts",
+                   "vectorized_stmts")}
+        return envelope(bool(payload.get("ok")), result=result,
+                        diagnostics=diagnostics, cache=cache)
+    # custom backend: the payload (minus bookkeeping) is the result
+    result = {key: value for key, value in payload.items()
+              if key not in ("ok", "error", "cached", "diagnostics")}
+    return envelope(payload.get("ok", True) and not payload.get("error"),
+                    result=result, error=payload.get("error"),
+                    diagnostics=diagnostics, cache=cache)
+
+
+def fanout_envelope(results: dict[str, tuple[int, dict]],
+                    backends: dict[str, Backend]) -> tuple[int, dict]:
+    """``(status, envelope)`` for a fan-out result map.
+
+    ``result`` maps each backend name to its own sub-envelope;
+    top-level ``ok`` (and a 422) reflects any backend failure.
+    """
+    sub = {name: envelope_for(backends[name], payload)
+           for name, (_status, payload) in results.items()}
+    ok = all(status < 400 for status, _payload in results.values())
+    return (200 if ok else 422), envelope(
+        ok, result=sub,
+        cache={"cached": all(e["cache"].get("cached") for e in
+                             sub.values()) if sub else False,
+               "key": None})
+
+
+def health_envelope(service, uptime_seconds: float,
+                    extra: Optional[dict] = None) -> dict:
+    """The /v1/healthz envelope (cache field carries the stats dict)."""
+    result = {"fingerprint": service.fingerprint,
+              "uptime_seconds": uptime_seconds}
+    if extra:
+        result.update(extra)
+    return envelope(True, result=result,
+                    cache=service.cache.stats.to_dict())
+
+
+__all__ = [
+    "LEGACY_SUCCESSORS",
+    "V1_GET_OPS",
+    "V1_POST_OPS",
+    "V1_PREFIX",
+    "deprecation_headers",
+    "envelope",
+    "envelope_for",
+    "error_envelope",
+    "fanout_envelope",
+    "health_envelope",
+]

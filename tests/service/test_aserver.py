@@ -1,0 +1,332 @@
+"""Async front-end tests: v1 envelopes, concurrency, shedding, timeouts.
+
+The server under test runs in a daemon-thread event loop
+(:class:`AsyncServerThread`).  Concurrency tests inject a
+``ThreadPoolExecutor`` and register an in-process ``sleep`` backend so
+the pool's work is controllable without pickling across processes.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service.aserver import AsyncServerThread
+from repro.service.backends import (
+    Backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.service.compiler import CompilationService
+from repro.service.shardedcache import ShardedCache
+
+LOOP = """\
+%! x(*,1) y(*,1) n(1)
+x = (1:8)';
+n = 8;
+for i=1:n
+  y(i) = 2*x(i);
+end
+"""
+
+ENVELOPE_FIELDS = {"ok", "result", "error", "diagnostics", "timings",
+                   "cache"}
+
+
+def http(method, host, port, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return (response.status, json.loads(response.read()),
+                    dict(response.headers))
+    except urllib.error.HTTPError as error:
+        return (error.code, json.loads(error.read()),
+                dict(error.headers))
+
+
+@pytest.fixture
+def srv():
+    with AsyncServerThread(executor=ThreadPoolExecutor(max_workers=8),
+                           max_concurrency=4, queue_depth=4,
+                           request_timeout=30.0) as handle:
+        yield handle
+
+
+class TestV1Surface:
+    def test_vectorize_envelope_and_cache_key(self, srv):
+        status, body, _headers = http("POST", srv.host, srv.port,
+                                      "/v1/vectorize", {"source": LOOP})
+        assert status == 200
+        assert set(body) == ENVELOPE_FIELDS
+        assert body["ok"] and body["error"] is None
+        assert "y(1:n) = 2*x(1:n);" in body["result"]["vectorized"]
+        assert body["cache"]["cached"] is False
+        assert len(body["cache"]["key"]) == 64
+        assert "stages" in body["timings"]
+
+        status, again, _headers = http("POST", srv.host, srv.port,
+                                       "/v1/vectorize", {"source": LOOP})
+        assert again["cache"]["cached"] is True
+        assert again["cache"]["key"] == body["cache"]["key"]
+        assert again["result"]["vectorized"] \
+            == body["result"]["vectorized"]
+
+    def test_translate_returns_python(self, srv):
+        _s, body, _h = http("POST", srv.host, srv.port, "/v1/translate",
+                            {"source": LOOP})
+        assert body["ok"]
+        assert "def mprogram" in body["result"]["python"]
+
+    def test_lint_diagnostics_are_data(self, srv):
+        _s, body, _h = http("POST", srv.host, srv.port, "/v1/lint",
+                            {"source": "y = z + 1;\n"})
+        assert body["ok"]
+        assert body["result"]["errors"] >= 1
+        assert body["diagnostics"]
+
+    def test_audit_envelope(self, srv):
+        status, body, _h = http("POST", srv.host, srv.port, "/v1/audit",
+                                {"source": LOOP})
+        assert status == 200 and body["ok"]
+        assert body["result"]["vectorized_stmts"] == 1
+
+    def test_compile_error_is_422_envelope(self, srv):
+        status, body, _h = http("POST", srv.host, srv.port,
+                                "/v1/vectorize",
+                                {"source": "for i=1:n\n  oops((\nend\n"})
+        assert status == 422
+        assert not body["ok"]
+        assert body["error"]["type"]
+        assert body["result"] is None
+
+    def test_bad_request_is_400_envelope(self, srv):
+        status, body, _h = http("POST", srv.host, srv.port,
+                                "/v1/vectorize", {"src": "typo"})
+        assert status == 400 and not body["ok"]
+        assert body["error"]["type"] == "request"
+
+    def test_unknown_route_404(self, srv):
+        status, body, _h = http("POST", srv.host, srv.port, "/v1/zap",
+                                {"source": "x = 1;"})
+        assert status == 404
+
+    def test_healthz_reports_async_server(self, srv):
+        status, body, _h = http("GET", srv.host, srv.port, "/v1/healthz")
+        assert status == 200 and body["ok"]
+        assert body["result"]["server"] == "async"
+        assert "hit_rate" in body["cache"]
+
+    def test_metrics_prometheus_and_json(self, srv):
+        http("POST", srv.host, srv.port, "/v1/vectorize",
+             {"source": LOOP})
+        with urllib.request.urlopen(
+                f"http://{srv.host}:{srv.port}/v1/metrics") as response:
+            text = response.read().decode()
+        assert "mvec_backend_requests_total" in text
+        status, body, _h = http("GET", srv.host, srv.port,
+                                "/v1/metrics?format=json")
+        assert status == 200
+
+    def test_fanout_keyed_result_map(self, srv):
+        status, body, _h = http("POST", srv.host, srv.port, "/v1/fanout",
+                                {"source": LOOP,
+                                 "backends": ["vectorize", "lint"]})
+        assert status == 200 and body["ok"]
+        assert set(body["result"]) == {"vectorize", "lint"}
+        assert body["result"]["vectorize"]["ok"]
+        assert set(body["result"]["vectorize"]) == ENVELOPE_FIELDS
+
+    def test_fanout_unknown_backend_400(self, srv):
+        status, body, _h = http("POST", srv.host, srv.port, "/v1/fanout",
+                                {"source": LOOP, "backends": ["zap"]})
+        assert status == 400
+
+
+class TestLegacyShims:
+    def test_legacy_vectorize_shape_and_deprecation_headers(self, srv):
+        status, body, headers = http("POST", srv.host, srv.port,
+                                     "/vectorize", {"source": LOOP})
+        assert status == 200
+        assert body["ok"] and "vectorized" in body     # legacy flat shape
+        assert "result" not in body
+        assert headers["Deprecation"] == "true"
+        assert 'rel="successor-version"' in headers["Link"]
+        assert "/v1/vectorize" in headers["Link"]
+
+    def test_legacy_lint_shape(self, srv):
+        status, body, headers = http("POST", srv.host, srv.port, "/lint",
+                                     {"source": "y = z + 1;\n"})
+        assert status == 200 and body["ok"]
+        assert "diagnostics" in body
+        assert headers["Deprecation"] == "true"
+
+    def test_legacy_healthz_and_metrics_deprecated(self, srv):
+        status, body, headers = http("GET", srv.host, srv.port,
+                                     "/healthz")
+        assert status == 200 and body["ok"]
+        assert "fingerprint" in body                   # legacy flat shape
+        assert headers["Deprecation"] == "true"
+        with urllib.request.urlopen(
+                f"http://{srv.host}:{srv.port}/metrics") as response:
+            assert response.headers["Deprecation"] == "true"
+
+
+class SleepGate:
+    """A custom backend whose runner blocks until released."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.concurrent = 0
+        self.peak = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, source, options):
+        with self._lock:
+            self.concurrent += 1
+            self.peak = max(self.peak, self.concurrent)
+        self.started.set()
+        try:
+            self.release.wait(timeout=30)
+            return {"ok": True, "slept": True}
+        finally:
+            with self._lock:
+                self.concurrent -= 1
+
+
+@pytest.fixture
+def gate():
+    gate = SleepGate()
+    register_backend(Backend(name="sleep-test", kind="custom",
+                             runner=gate, cacheable=False))
+    yield gate
+    gate.release.set()
+    unregister_backend("sleep-test")
+
+
+def post_async(host, port, path, payload, results):
+    try:
+        results.append(http("POST", host, port, path, payload))
+    except Exception as error:  # noqa: BLE001
+        results.append(error)
+
+
+class TestConcurrency:
+    def test_sustains_four_concurrent_inflight_requests(self, gate):
+        with AsyncServerThread(
+                executor=ThreadPoolExecutor(max_workers=8),
+                max_concurrency=4, queue_depth=4,
+                request_timeout=30.0) as srv:
+            results = []
+            threads = [threading.Thread(
+                target=post_async,
+                args=(srv.host, srv.port, "/v1/fanout",
+                      {"source": "x = 1;",
+                       "backends": ["sleep-test"]}, results))
+                for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            # Wait until all four are executing simultaneously.
+            deadline = time.monotonic() + 10
+            while gate.peak < 4 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert gate.peak >= 4
+            assert srv.server.inflight >= 4
+            gate.release.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert len(results) == 4
+            assert all(status == 200 for status, _b, _h in results)
+
+    def test_saturation_sheds_503_with_retry_after(self, gate):
+        with AsyncServerThread(
+                executor=ThreadPoolExecutor(max_workers=8),
+                max_concurrency=2, queue_depth=1,
+                request_timeout=30.0) as srv:
+            results = []
+            threads = [threading.Thread(
+                target=post_async,
+                args=(srv.host, srv.port, "/v1/fanout",
+                      {"source": "x = 1;",
+                       "backends": ["sleep-test"]}, results))
+                for _ in range(3)]           # fills slots (2) + queue (1)
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 10
+            while srv.server.inflight < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert srv.server.inflight == 3
+
+            # The 4th request must be shed immediately, not queued.
+            status, body, headers = http(
+                "POST", srv.host, srv.port, "/v1/fanout",
+                {"source": "x = 1;", "backends": ["sleep-test"]})
+            assert status == 503
+            assert body["error"]["type"] == "saturated"
+            assert headers["Retry-After"] == "1"
+
+            gate.release.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert all(status == 200 for status, _b, _h in results)
+
+    def test_request_timeout_answers_504(self, gate):
+        with AsyncServerThread(
+                executor=ThreadPoolExecutor(max_workers=2),
+                max_concurrency=2, queue_depth=2,
+                request_timeout=0.2) as srv:
+            status, body, _headers = http(
+                "POST", srv.host, srv.port, "/v1/fanout",
+                {"source": "x = 1;", "backends": ["sleep-test"]})
+            assert status == 504
+            assert body["error"]["type"] == "timeout"
+            gate.release.set()
+
+    def test_identical_concurrent_requests_converge_via_cache(self):
+        service = CompilationService(cache=ShardedCache(shards=2))
+        with AsyncServerThread(
+                service=service,
+                executor=ThreadPoolExecutor(max_workers=4),
+                max_concurrency=4, queue_depth=8,
+                request_timeout=30.0) as srv:
+            results = []
+            threads = [threading.Thread(
+                target=post_async,
+                args=(srv.host, srv.port, "/v1/vectorize",
+                      {"source": LOOP}, results)) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert len(results) == 6
+            outputs = {body["result"]["vectorized"]
+                       for _s, body, _h in results}
+            assert len(outputs) == 1
+            # A follow-up request is a parent-cache hit.
+            _s, body, _h = http("POST", srv.host, srv.port,
+                                "/v1/vectorize", {"source": LOOP})
+            assert body["cache"]["cached"] is True
+
+
+class TestShardedServing:
+    def test_sharded_cache_behind_async_server(self, tmp_path):
+        service = CompilationService(
+            cache=ShardedCache(shards=3, directory=tmp_path))
+        with AsyncServerThread(
+                service=service,
+                executor=ThreadPoolExecutor(max_workers=4)) as srv:
+            http("POST", srv.host, srv.port, "/v1/vectorize",
+                 {"source": LOOP})
+            _s, body, _h = http("POST", srv.host, srv.port,
+                                "/v1/vectorize", {"source": LOOP})
+            assert body["cache"]["cached"] is True
+            _s, health, _h = http("GET", srv.host, srv.port,
+                                  "/v1/healthz")
+            assert len(health["cache"]["shards"]) == 3

@@ -1,0 +1,178 @@
+"""Backend registry, cache adapters, and synchronous fan-out tests."""
+
+import pytest
+
+from repro.service.backends import (
+    DEFAULT_FANOUT,
+    Backend,
+    artifact_for,
+    backend_names,
+    failure_payload,
+    fanout_sync,
+    get_backend,
+    payload_from_artifact,
+    register_backend,
+    resolve_backends,
+    run_backend,
+    status_for,
+    unregister_backend,
+)
+from repro.service.compiler import CompilationService
+from repro.service.fingerprint import CompileOptions, cache_key
+
+LOOP = ("%! x(*,1) y(*,1) n(1)\n"
+        "x = (1:8)';\n"
+        "n = 8;\n"
+        "for i = 1:n\n"
+        "  y(i) = 2*x(i);\n"
+        "end\n")
+
+
+class TestRegistry:
+    def test_defaults_registered(self):
+        assert set(DEFAULT_FANOUT) <= set(backend_names())
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(get_backend("lint"))
+
+    def test_register_and_unregister_custom(self):
+        backend = Backend(name="echo-test", kind="custom",
+                          runner=lambda s, o: {"ok": True, "echo": s},
+                          cacheable=False)
+        register_backend(backend)
+        try:
+            assert get_backend("echo-test") is backend
+        finally:
+            unregister_backend("echo-test")
+        with pytest.raises(ValueError):
+            get_backend("echo-test")
+
+    def test_resolve_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            resolve_backends(["lint", "lint"])
+        with pytest.raises(ValueError):
+            resolve_backends(["nope"])
+        assert [b.name for b in resolve_backends(None)] \
+            == list(DEFAULT_FANOUT)
+
+
+class TestKeysAndOptions:
+    def test_compile_backends_pin_their_pipeline_backend(self):
+        options = CompileOptions()
+        assert get_backend("translate").options_for(options).backend \
+            == "numpy"
+        assert get_backend("vectorize").options_for(options).backend \
+            == "matlab"
+
+    def test_compile_key_matches_service_key(self):
+        backend = get_backend("vectorize")
+        options = CompileOptions()
+        assert backend.cache_key_for(LOOP, options, "f" * 16) \
+            == cache_key(LOOP, backend.options_for(options), "f" * 16)
+
+    def test_salted_kinds_get_distinct_namespaces(self):
+        options = CompileOptions()
+        lint_key = get_backend("lint").cache_key_for(LOOP, options)
+        audit_key = get_backend("audit").cache_key_for(LOOP, options)
+        compile_key = get_backend("vectorize").cache_key_for(LOOP, options)
+        assert len({lint_key, audit_key, compile_key}) == 3
+
+
+class TestRunBackend:
+    def test_run_vectorize_returns_compile_payload(self):
+        payload = run_backend("vectorize", LOOP,
+                              CompileOptions().to_dict())
+        assert payload["ok"]
+        assert "y(1:n) = 2*x(1:n);" in payload["vectorized"]
+
+    def test_crashing_runner_comes_back_as_failure_payload(self):
+        backend = Backend(name="crash-test", kind="custom",
+                          runner=lambda s, o: 1 / 0)
+        register_backend(backend)
+        try:
+            payload = run_backend("crash-test", LOOP, {})
+        finally:
+            unregister_backend("crash-test")
+        assert payload["ok"] is False
+        assert payload["error"]["type"] == "ZeroDivisionError"
+
+
+class TestArtifacts:
+    def test_compile_artifact_round_trip(self):
+        backend = get_backend("vectorize")
+        payload = run_backend("vectorize", LOOP,
+                              CompileOptions().to_dict())
+        artifact = artifact_for(backend, payload)
+        assert artifact["vectorized"] == payload["vectorized"]
+        rebuilt = payload_from_artifact(backend, artifact, key="k")
+        assert rebuilt["cached"] is True
+        assert rebuilt["vectorized"] == payload["vectorized"]
+
+    def test_failed_compile_is_not_cached(self):
+        backend = get_backend("vectorize")
+        payload = failure_payload(backend, "ParseError", "boom")
+        assert artifact_for(backend, payload) is None
+
+    def test_lint_artifact_satisfies_schema_and_round_trips(self):
+        backend = get_backend("lint")
+        payload = run_backend("lint", "x = 1;\nx = 2;\ny = x;\n", {})
+        artifact = artifact_for(backend, payload)
+        assert artifact["vectorized"] is None          # schema placeholder
+        rebuilt = payload_from_artifact(backend, artifact)
+        assert rebuilt["cached"] is True
+        assert rebuilt["warnings"] == payload["warnings"]
+
+    def test_non_cacheable_backend_yields_no_artifact(self):
+        backend = Backend(name="x", kind="custom",
+                          runner=lambda s, o: {"ok": True},
+                          cacheable=False)
+        assert artifact_for(backend, {"ok": True}) is None
+
+
+class TestStatus:
+    def test_lint_findings_are_200_but_crashes_are_422(self):
+        lint = get_backend("lint")
+        assert status_for(lint, {"errors": 3}) == 200
+        assert status_for(lint, {"error": {"type": "x"}}) == 422
+
+    def test_compile_failure_is_422(self):
+        vec = get_backend("vectorize")
+        assert status_for(vec, {"ok": False}) == 422
+        assert status_for(vec, {"ok": True}) == 200
+
+
+class TestFanoutSync:
+    def test_default_fanout_runs_all_backends(self):
+        service = CompilationService()
+        outcome = fanout_sync(service, LOOP)
+        assert set(outcome.results) == set(DEFAULT_FANOUT)
+        status, payload = outcome.results["vectorize"]
+        assert status == 200 and payload["ok"]
+
+    def test_fanout_ok_reflects_any_failure(self):
+        service = CompilationService()
+        outcome = fanout_sync(service, "for i=1:n\n  oops((\nend\n",
+                              backends=["vectorize", "lint"])
+        assert not outcome.ok
+        assert outcome.results["vectorize"][0] == 422
+        assert outcome.results["lint"][0] == 200     # lint reports data
+
+    def test_fanout_meters_each_backend(self):
+        service = CompilationService()
+        fanout_sync(service, LOOP, backends=["vectorize", "lint"])
+        rendered = service.metrics.render_prometheus()
+        assert 'mvec_backend_requests_total{backend="vectorize"}' \
+            in rendered
+        assert 'mvec_backend_requests_total{backend="lint"}' in rendered
+
+    def test_fanout_compile_backends_share_the_service_cache(self):
+        service = CompilationService()
+        fanout_sync(service, LOOP, backends=["vectorize"])
+        _status, payload = fanout_sync(
+            service, LOOP, backends=["vectorize"]).results["vectorize"]
+        assert payload["cached"] is True

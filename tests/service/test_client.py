@@ -1,0 +1,136 @@
+"""Retry/backoff client tests, against fakes and a live async server."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service.aserver import AsyncServerThread
+from repro.service.client import (
+    ClientResponse,
+    ServiceClient,
+    ServiceUnavailable,
+)
+
+LOOP = """\
+%! x(*,1) y(*,1) n(1)
+x = (1:8)';
+n = 8;
+for i=1:n
+  y(i) = 2*x(i);
+end
+"""
+
+
+class ScriptedClient(ServiceClient):
+    """A client whose HTTP layer replays a scripted exchange list."""
+
+    def __init__(self, script, **kwargs):
+        kwargs.setdefault("sleep", self.record_sleep)
+        super().__init__(**kwargs)
+        self.script = list(script)
+        self.sleeps = []
+
+    def record_sleep(self, seconds):
+        self.sleeps.append(seconds)
+
+    def _exchange(self, method, path, payload=None):
+        outcome = self.script.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+class TestRetryPolicy:
+    def test_503_retried_honoring_retry_after(self):
+        client = ScriptedClient([
+            (503, {"ok": False, "error": {"type": "saturated",
+                                          "message": "full"}},
+             {"retry-after": "0.5"}),
+            (200, {"ok": True, "result": {}}, {}),
+        ])
+        response = client.request("POST", "/v1/vectorize",
+                                  {"source": "x=1;"})
+        assert response.status == 200
+        assert response.attempts == 2
+        assert client.sleeps == [0.5]
+
+    def test_504_retried_on_backoff_schedule(self):
+        client = ScriptedClient([
+            (504, {"ok": False, "error": {"type": "timeout",
+                                          "message": "slow"}}, {}),
+            (504, {"ok": False, "error": {"type": "timeout",
+                                          "message": "slow"}}, {}),
+            (200, {"ok": True}, {}),
+        ], backoff=0.1)
+        response = client.request("POST", "/v1/vectorize", {})
+        assert response.attempts == 3
+        assert client.sleeps == [0.1, 0.2]          # exponential
+
+    def test_connection_errors_retried(self):
+        client = ScriptedClient([
+            ConnectionResetError("boom"),
+            (200, {"ok": True}, {}),
+        ])
+        assert client.request("GET", "/v1/healthz").status == 200
+
+    def test_retries_exhausted_raises_service_unavailable(self):
+        responses = [(503, {"ok": False,
+                            "error": {"type": "saturated",
+                                      "message": "full"}},
+                      {"retry-after": "0"})] * 4
+        client = ScriptedClient(responses, max_retries=3)
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.request("POST", "/v1/vectorize", {})
+        assert excinfo.value.status == 503
+
+    def test_422_is_never_retried(self):
+        client = ScriptedClient([
+            (422, {"ok": False, "error": {"type": "ParseError",
+                                          "message": "bad"}}, {}),
+            (200, {"ok": True}, {}),                # must not be reached
+        ])
+        response = client.request("POST", "/v1/vectorize", {})
+        assert response.status == 422
+        assert response.attempts == 1
+        assert len(client.script) == 1              # second never consumed
+        assert client.sleeps == []
+
+    def test_backoff_is_capped(self):
+        client = ScriptedClient([], backoff=1.0, backoff_cap=2.0)
+        assert client._backoff_delay(10) == 2.0
+
+
+class TestAgainstLiveServer:
+    @pytest.fixture
+    def srv(self):
+        with AsyncServerThread(
+                executor=ThreadPoolExecutor(max_workers=4),
+                max_concurrency=4, queue_depth=4) as handle:
+            yield handle
+
+    def test_vectorize_round_trip(self, srv):
+        client = ServiceClient(host=srv.host, port=srv.port)
+        response = client.vectorize(LOOP)
+        assert response.ok
+        assert "y(1:n) = 2*x(1:n);" in response.result["vectorized"]
+        again = client.vectorize(LOOP)
+        assert again.body["cache"]["cached"] is True
+
+    def test_deprecated_flag_readable(self, srv):
+        client = ServiceClient(host=srv.host, port=srv.port)
+        response = client.request("POST", "/vectorize",
+                                  {"source": LOOP})
+        assert response.deprecated
+        assert not client.healthz().deprecated
+
+    def test_fanout_and_health(self, srv):
+        client = ServiceClient(host=srv.host, port=srv.port)
+        response = client.fanout(LOOP, backends=["vectorize", "lint"])
+        assert response.ok
+        assert set(response.result) == {"vectorize", "lint"}
+        assert client.healthz().result["server"] == "async"
+
+    def test_client_response_helpers(self):
+        response = ClientResponse(200, {"ok": True, "result": 5},
+                                  {"deprecation": "true"})
+        assert response.ok and response.deprecated and response.result == 5

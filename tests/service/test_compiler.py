@@ -145,6 +145,60 @@ class TestParallelMap:
         assert parallel_map(_square, [], workers=4) == []
 
 
+def _hang(seconds):
+    # Sleeps in small slices so SIGALRM, if present, could interrupt;
+    # the no-SIGALRM regression below removes that layer entirely.
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        time.sleep(0.01)
+    return seconds
+
+
+class TestWatchdogWithoutSignals:
+    """Regression: per-item timeouts must hold on platforms without
+    ``SIGALRM`` (Windows, some embedded CPythons).  We simulate one by
+    deleting ``signal.setitimer`` before the pool forks, which disables
+    the cooperative in-worker layer and leaves only the parent-side
+    executor watchdog."""
+
+    def test_timeout_enforced_by_parent_watchdog(self, monkeypatch):
+        import signal as signal_module
+
+        monkeypatch.delattr(signal_module, "setitimer")
+        start = time.monotonic()
+        out = parallel_map(_hang, [0.01, 30.0, 0.01],
+                           workers=2, timeout=0.3)
+        elapsed = time.monotonic() - start
+        assert out[0] == 0.01 and out[2] == 0.01
+        assert isinstance(out[1], WorkerFailure)
+        assert out[1].type == "timeout"
+        # The watchdog recycles the pool instead of waiting the full
+        # 30 s sleep out; generous bound for slow CI.
+        assert elapsed < 10
+
+    def test_inline_path_without_signals_skips_the_bound(self,
+                                                         monkeypatch):
+        import signal as signal_module
+
+        monkeypatch.delattr(signal_module, "setitimer")
+        # workers=1 runs inline where no watchdog applies: the call
+        # must still complete (unbounded) rather than crash.
+        assert parallel_map(_sleep, [0.01], workers=1,
+                            timeout=5.0) == [0.01]
+
+    def test_compile_many_timeout_without_signals(self, monkeypatch,
+                                                  tmp_path):
+        import signal as signal_module
+
+        from repro.service.compiler import compile_many
+
+        monkeypatch.delattr(signal_module, "setitimer")
+        results = compile_many(
+            [("ok.m", "x = 1;\n"), ("ok2.m", "y = 2;\n")],
+            workers=2, timeout=5.0)
+        assert [r.ok for r in results] == [True, True]
+
+
 # ---------------------------------------------------------------------------
 # compile_many
 # ---------------------------------------------------------------------------

@@ -1,0 +1,193 @@
+"""Sharded-cache tests: routing, uniformity, rebalance, drop-in use."""
+
+import hashlib
+import threading
+
+import pytest
+
+from repro.service.cache import CompilationCache
+from repro.service.compiler import CompilationService
+from repro.service.fingerprint import CompileOptions, cache_key
+from repro.service.shardedcache import ShardedCache
+
+
+def keys(n):
+    return [hashlib.sha256(f"key-{i}".encode()).hexdigest()
+            for i in range(n)]
+
+
+def artifact(i):
+    return {"vectorized": f"x = {i};", "python": None,
+            "stats": None, "report_summary": None}
+
+
+class TestRouting:
+    def test_routing_is_deterministic(self):
+        a = ShardedCache(shards=4)
+        b = ShardedCache(shards=4)
+        for key in keys(200):
+            assert a.shard_index(key) == b.shard_index(key)
+
+    def test_distribution_is_roughly_uniform_over_1k_keys(self):
+        cache = ShardedCache(shards=4)
+        counts = cache.distribution(keys(2000))
+        assert sum(counts) == 2000
+        # Consistent hashing with 128 vnodes/shard: every shard should
+        # land within a factor of ~2 of the 500-key ideal.
+        assert min(counts) > 250
+        assert max(counts) < 1000
+
+    def test_single_shard_degenerates_to_plain_routing(self):
+        cache = ShardedCache(shards=1)
+        assert cache.distribution(keys(50)) == [50]
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            ShardedCache(shards=0)
+        with pytest.raises(ValueError):
+            ShardedCache(shards=2, vnodes=0)
+
+
+class TestGetPut:
+    def test_round_trip_and_stats(self):
+        cache = ShardedCache(shards=3)
+        ks = keys(100)
+        for i, key in enumerate(ks):
+            cache.put(key, artifact(i))
+        for i, key in enumerate(ks):
+            assert cache.get(key)["vectorized"] == f"x = {i};"
+        assert cache.stats.memory_hits == 100
+        assert cache.stats.misses == 0
+        assert cache.stats.hit_rate == 1.0
+
+    def test_stats_view_is_live(self):
+        cache = ShardedCache(shards=2)
+        stats = cache.stats
+        before = stats.memory_hits
+        cache.put(keys(1)[0], artifact(0))
+        cache.get(keys(1)[0])
+        assert stats.memory_hits == before + 1
+
+    def test_stats_dict_carries_per_shard_breakdown(self):
+        cache = ShardedCache(shards=2)
+        payload = cache.stats.to_dict()
+        assert len(payload["shards"]) == 2
+        assert payload["shards"][0]["shard"] == 0
+
+    def test_disk_tier_lands_in_shard_directories(self, tmp_path):
+        cache = ShardedCache(shards=2, directory=tmp_path)
+        for i, key in enumerate(keys(20)):
+            cache.put(key, artifact(i))
+        dirs = sorted(p.name for p in tmp_path.iterdir())
+        assert dirs == ["shard-000", "shard-001"]
+
+
+class TestResize:
+    def test_grow_moves_only_a_fraction(self, tmp_path):
+        cache = ShardedCache(shards=2, capacity=4096, directory=tmp_path)
+        ks = keys(1000)
+        for i, key in enumerate(ks):
+            cache.put(key, artifact(i))
+        report = cache.resize(4)
+        assert report.shards_before == 2
+        assert report.shards_after == 4
+        # Consistent hashing: roughly half the keys move 2→4, never all.
+        assert 0 < report.moved_memory < 900
+        for i, key in enumerate(ks):
+            assert cache.get(key)["vectorized"] == f"x = {i};"
+
+    def test_shrink_keeps_every_entry(self, tmp_path):
+        cache = ShardedCache(shards=4, capacity=4096, directory=tmp_path)
+        ks = keys(300)
+        for i, key in enumerate(ks):
+            cache.put(key, artifact(i))
+        report = cache.resize(2)
+        assert report.shards_after == 2
+        assert len(cache.shards) == 2
+        for i, key in enumerate(ks):
+            assert cache.get(key)["vectorized"] == f"x = {i};"
+
+    def test_resize_to_same_count_is_a_noop(self):
+        cache = ShardedCache(shards=3)
+        report = cache.resize(3)
+        assert report.moved == 0
+
+    def test_moved_disk_files_follow(self, tmp_path):
+        cache = ShardedCache(shards=2, capacity=4096, directory=tmp_path)
+        for i, key in enumerate(keys(200)):
+            cache.put(key, artifact(i))
+        report = cache.resize(3)
+        assert report.moved_disk == report.moved_memory
+        assert (tmp_path / "shard-002").exists()
+
+    def test_rebalance_after_layout_change_rehomes(self, tmp_path):
+        # Simulate a directory written under a different layout: dump
+        # entries straight into what shard 0 of a 2-shard cache reads.
+        writer = CompilationCache(capacity=4096,
+                                  directory=tmp_path / "shard-000")
+        ks = keys(50)
+        for i, key in enumerate(ks):
+            writer.put(key, artifact(i))
+        cache = ShardedCache(shards=2, capacity=4096, directory=tmp_path)
+        report = cache.rebalance()
+        assert report.moved_disk > 0
+        for i, key in enumerate(ks):
+            assert cache.get(key)["vectorized"] == f"x = {i};"
+
+    def test_concurrent_puts_during_resize_survive(self):
+        cache = ShardedCache(shards=2, capacity=8192)
+        ks = keys(400)
+        errors = []
+
+        def writer(chunk):
+            try:
+                for i, key in enumerate(chunk):
+                    cache.put(key, artifact(i))
+                    cache.get(key)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer,
+                                    args=(ks[i::4],)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        cache.resize(5)
+        cache.resize(3)
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # After a final rebalance every key must be found at its home.
+        cache.rebalance()
+        hits = sum(1 for key in ks if cache.get(key) is not None)
+        assert hits == len(ks)
+
+
+class TestDropInWithService:
+    def test_service_runs_unmodified_on_a_sharded_cache(self):
+        service = CompilationService(cache=ShardedCache(shards=4))
+        source = "for i = 1:8\n  y(i) = 2*x(i);\nend"
+        first = service.compile(source)
+        second = service.compile(source)
+        assert not first.cached and second.cached
+        assert service.cache.stats.memory_hits == 1
+        tiers = {tuple(sorted(s.labels.items())): s.value
+                 for s in service.metrics.samples("mvec_cache_hits_total")} \
+            if hasattr(service.metrics, "samples") else None
+        # The tiered hit metering (snapshot/compare) must see the live
+        # aggregate view move — the memory-tier counter exists.
+        rendered = service.metrics.render_prometheus()
+        assert 'mvec_cache_hits_total{tier="memory"} 1' in rendered
+        assert tiers is None or tiers
+
+    def test_artifacts_identical_across_shard_counts(self, tmp_path):
+        source = "for i = 1:8\n  y(i) = 2*x(i);\nend"
+        options = CompileOptions()
+        plain = CompilationService(
+            cache=CompilationCache(directory=tmp_path / "plain"))
+        sharded = CompilationService(
+            cache=ShardedCache(shards=4, directory=tmp_path / "sharded"))
+        a = plain.compile(source, options)
+        b = sharded.compile(source, options)
+        assert a.cache_key == b.cache_key == cache_key(
+            source, options, plain.fingerprint)
+        assert a.vectorized == b.vectorized

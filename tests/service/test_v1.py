@@ -1,0 +1,162 @@
+"""The /v1 surface on the *threaded* server, and shim deprecation."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.compiler import CompilationService
+from repro.service.server import CompilationServer, serve_stdio
+from repro.service.shardedcache import ShardedCache
+from repro.service.v1 import LEGACY_SUCCESSORS, deprecation_headers
+
+LOOP = """\
+%! x(*,1) y(*,1) n(1)
+x = (1:8)';
+n = 8;
+for i=1:n
+  y(i) = 2*x(i);
+end
+"""
+
+ENVELOPE_FIELDS = {"ok", "result", "error", "diagnostics", "timings",
+                   "cache"}
+
+
+@pytest.fixture
+def server():
+    service = CompilationService(cache=ShardedCache(shards=2))
+    server = CompilationServer(("127.0.0.1", 0), service, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def call(server, method, path, payload=None):
+    host, port = server.server_address
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return (response.status, json.loads(response.read()),
+                    dict(response.headers))
+    except urllib.error.HTTPError as error:
+        return (error.code, json.loads(error.read()),
+                dict(error.headers))
+
+
+class TestV1OnThreadedServer:
+    def test_every_post_op_answers_the_envelope(self, server):
+        for op in ("vectorize", "translate", "lint", "audit", "fanout"):
+            status, body, _h = call(server, "POST", f"/v1/{op}",
+                                    {"source": LOOP})
+            assert status == 200, op
+            assert set(body) == ENVELOPE_FIELDS, op
+            assert body["ok"], op
+
+    def test_vectorize_cache_flow(self, server):
+        _s, first, _h = call(server, "POST", "/v1/vectorize",
+                             {"source": LOOP})
+        _s, second, _h = call(server, "POST", "/v1/vectorize",
+                              {"source": LOOP})
+        assert first["cache"]["cached"] is False
+        assert second["cache"]["cached"] is True
+        assert first["cache"]["key"] == second["cache"]["key"]
+
+    def test_fanout_sub_envelopes(self, server):
+        status, body, _h = call(server, "POST", "/v1/fanout",
+                                {"source": LOOP,
+                                 "backends": ["vectorize", "audit"]})
+        assert status == 200
+        assert set(body["result"]) == {"vectorize", "audit"}
+        for sub in body["result"].values():
+            assert set(sub) == ENVELOPE_FIELDS
+
+    def test_fanout_failure_is_422_with_per_backend_detail(self, server):
+        status, body, _h = call(server, "POST", "/v1/fanout",
+                                {"source": "for i=1:n\n  oops((\nend\n",
+                                 "backends": ["vectorize", "lint"]})
+        assert status == 422 and not body["ok"]
+        assert not body["result"]["vectorize"]["ok"]
+        assert body["result"]["lint"]["ok"]
+
+    def test_v1_healthz_and_metrics(self, server):
+        status, body, headers = call(server, "GET", "/v1/healthz")
+        assert status == 200 and body["ok"]
+        assert body["result"]["server"] == "threaded"
+        assert "shards" in body["cache"]
+        assert "Deprecation" not in headers
+        host, port = server.server_address
+        with urllib.request.urlopen(
+                f"http://{host}:{port}/v1/metrics") as response:
+            assert b"mvec_http_requests_total" in response.read()
+            assert "Deprecation" not in response.headers
+
+    def test_v1_errors_use_the_envelope(self, server):
+        status, body, _h = call(server, "POST", "/v1/vectorize",
+                                {"nope": 1})
+        assert status == 400
+        assert set(body) == ENVELOPE_FIELDS
+        assert body["error"]["type"] == "request"
+
+
+class TestShims:
+    def test_all_legacy_routes_emit_deprecation_and_successor(self,
+                                                              server):
+        host, port = server.server_address
+        for path, successor in LEGACY_SUCCESSORS.items():
+            if path == "/metrics":                 # Prometheus text body
+                with urllib.request.urlopen(
+                        f"http://{host}:{port}{path}") as response:
+                    status = response.status
+                    headers = dict(response.headers)
+            elif path == "/healthz":
+                status, _body, headers = call(server, "GET", path)
+            else:
+                status, _body, headers = call(server, "POST", path,
+                                              {"source": LOOP})
+            assert status == 200, path
+            assert headers["Deprecation"] == "true", path
+            assert successor in headers["Link"], path
+
+    def test_legacy_shapes_unchanged(self, server):
+        _s, body, _h = call(server, "POST", "/vectorize",
+                            {"source": LOOP})
+        assert body["ok"] and "vectorized" in body and "result" not in body
+        _s, health, _h = call(server, "GET", "/healthz")
+        assert "fingerprint" in health
+
+    def test_legacy_errors_keep_flat_shape_with_headers(self, server):
+        status, body, headers = call(server, "POST", "/vectorize",
+                                     {"nope": 1})
+        assert status == 400
+        assert body == {"ok": False,
+                        "error": {"type": "request",
+                                  "message": "missing required string "
+                                             "field 'source'"}}
+        assert headers["Deprecation"] == "true"
+
+    def test_deprecation_headers_helper(self):
+        headers = dict(deprecation_headers("/vectorize"))
+        assert headers["Deprecation"] == "true"
+        assert "successor-version" in headers["Link"]
+
+
+class TestStdioFanout:
+    def test_stdio_fanout_op(self):
+        import io
+
+        stdin = io.StringIO(json.dumps(
+            {"op": "fanout", "source": LOOP,
+             "backends": ["vectorize", "lint"]}) + "\n")
+        stdout = io.StringIO()
+        assert serve_stdio(CompilationService(), stdin, stdout) == 0
+        response = json.loads(stdout.getvalue())
+        assert response["ok"]
+        assert set(response["result"]) == {"vectorize", "lint"}

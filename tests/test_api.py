@@ -1,0 +1,141 @@
+"""``repro.api`` facade tests: frozen results, shared cache, batch."""
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.service.compiler import CompilationService
+
+LOOP = """\
+%! x(*,1) y(*,1) n(1)
+x = (1:8)';
+n = 8;
+for i=1:n
+  y(i) = 2*x(i);
+end
+"""
+
+
+@pytest.fixture
+def service():
+    """An isolated service so tests never share the process default."""
+    return CompilationService()
+
+
+class TestVectorize:
+    def test_success(self, service):
+        out = api.vectorize(LOOP, service=service)
+        assert out.ok and out.error is None
+        assert "y(1:n) = 2*x(1:n);" in out.vectorized
+        assert out.report_summary
+        assert out.stats["statements_vectorized"] == 1
+
+    def test_results_are_frozen(self, service):
+        out = api.vectorize(LOOP, service=service)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            out.ok = False
+
+    def test_failure_is_a_value_not_an_exception(self, service):
+        out = api.vectorize("for i=1:n\n  oops((\nend\n", service=service)
+        assert not out.ok
+        assert out.error.type == "ParseError"
+        assert "ParseError" in str(out.error)
+
+    def test_repeat_hits_the_cache(self, service):
+        first = api.vectorize(LOOP, service=service)
+        second = api.vectorize(LOOP, service=service)
+        assert not first.cached and second.cached
+        assert first.cache_key == second.cache_key
+
+    def test_options_pin_matlab_backend(self, service):
+        opts = api.options(backend="numpy", simplify=True)
+        out = api.vectorize(LOOP, options=opts, service=service)
+        assert out.ok and out.python is None       # backend repinned
+
+    def test_unknown_option_raises(self):
+        with pytest.raises(TypeError):
+            api.options(bogus=True)
+
+
+class TestTranslate:
+    def test_returns_python(self, service):
+        out = api.translate(LOOP, service=service)
+        assert out.ok
+        assert "def mprogram" in out.python
+
+    def test_translate_and_vectorize_have_distinct_keys(self, service):
+        a = api.vectorize(LOOP, service=service)
+        b = api.translate(LOOP, service=service)
+        assert a.cache_key != b.cache_key
+
+
+class TestLint:
+    def test_diagnostics_are_data(self, service):
+        report = api.lint("y = z + 1;\n", service=service)
+        assert report.errors == 1 and not report.ok
+        assert report.diagnostics[0]["code"]
+        assert "error(s)" in report.render()
+
+    def test_clean_source(self, service):
+        report = api.lint("x = 1;\ny = x;\n", service=service)
+        assert report.ok and report.clean
+
+    def test_lint_caches(self, service):
+        api.lint(LOOP, service=service)
+        assert api.lint(LOOP, service=service).cached
+
+
+class TestAudit:
+    def test_passing_audit(self, service):
+        report = api.audit(LOOP, service=service)
+        assert report.ok and report.error is None
+        assert report.vectorized_stmts == 1
+
+    def test_compile_error_reported(self, service):
+        report = api.audit("for i=1:n\n  oops((\nend\n", service=service)
+        assert not report.ok
+        assert report.error is not None
+
+
+class TestCompileMany:
+    def test_batch_in_input_order_with_isolation(self):
+        outcomes = api.compile_many([
+            ("good.m", LOOP),
+            ("bad.m", "for i=1:n\n  oops((\nend\n"),
+            ("also-good.m", "x = 1;\n"),
+        ])
+        assert [o.name for o in outcomes] \
+            == ["good.m", "bad.m", "also-good.m"]
+        assert outcomes[0].ok and not outcomes[1].ok and outcomes[2].ok
+        assert outcomes[1].error.type == "ParseError"
+
+    def test_to_dict_round_trips(self):
+        (outcome,) = api.compile_many([("a.m", LOOP)])
+        payload = outcome.to_dict()
+        assert payload["ok"] and payload["name"] == "a.m"
+        assert payload["error"] is None
+
+
+class TestFanout:
+    def test_keyed_results(self, service):
+        report = api.fanout(LOOP, backends=["vectorize", "lint"],
+                            service=service)
+        assert report.ok
+        assert set(report.results) == {"vectorize", "lint"}
+        assert report["vectorize"]["ok"]
+        assert report.statuses["vectorize"] == 200
+
+
+class TestDefaultService:
+    def test_default_service_is_shared_and_resettable(self):
+        first = api.default_service()
+        assert api.default_service() is first
+        api.reset_default_service()
+        assert api.default_service() is not first
+
+    def test_package_reexports(self):
+        import repro
+
+        assert repro.api is api
+        assert repro.CompileOutcome is api.CompileOutcome

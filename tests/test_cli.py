@@ -240,3 +240,45 @@ def test_serve_stdio_round_trip(monkeypatch, capsys):
     assert replies[0]["ok"] and not replies[0]["cached"]
     assert replies[1]["cached"]
     assert "y(1:n) = 3*x(1:n);" in replies[0]["vectorized"]
+
+
+def test_serve_parser_accepts_async_and_shards():
+    from repro.cli import build_serve_parser
+
+    args = build_serve_parser().parse_args(
+        ["--async", "--shards", "4", "--max-concurrency", "8",
+         "--queue-depth", "2", "--request-timeout", "5"])
+    assert args.use_async and args.shards == 4
+    assert args.max_concurrency == 8 and args.queue_depth == 2
+    assert args.request_timeout == 5.0
+
+
+def test_client_vectorize_against_async_server(sample, capsys):
+    import json
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service.aserver import AsyncServerThread
+
+    with AsyncServerThread(
+            executor=ThreadPoolExecutor(max_workers=2)) as srv:
+        assert main(["client", "vectorize", str(sample),
+                     "--host", srv.host, "--port", str(srv.port)]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"]
+        assert "y(1:n) = 2*x(1:n);" in envelope["result"]["vectorized"]
+
+        assert main(["client", "healthz",
+                     "--host", srv.host, "--port", str(srv.port)]) == 0
+        health = json.loads(capsys.readouterr().out)
+        assert health["result"]["server"] == "async"
+
+
+def test_client_unreachable_server_exits_three(sample, capsys):
+    assert main(["client", "vectorize", str(sample),
+                 "--port", "1", "--retries", "0"]) == 3
+    assert "mvec client:" in capsys.readouterr().err
+
+
+def test_client_needs_a_file_for_post_ops(capsys):
+    with pytest.raises(SystemExit):
+        main(["client", "vectorize"])
